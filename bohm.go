@@ -1,0 +1,135 @@
+// Package bohm is a production-quality Go implementation of BOHM, the
+// serializable multiversion concurrency control protocol of Faleiro &
+// Abadi, "Rethinking serializable multiversion concurrency control"
+// (VLDB 2015), together with the four baselines the paper evaluates
+// against: Hekaton-style optimistic MVCC, Snapshot Isolation, Silo-style
+// single-version OCC, and deadlock-free two-phase locking.
+//
+// # Model
+//
+// Transactions are stored procedures with declared access sets: the
+// write-set must cover every key the transaction may write (BOHM plans
+// version placement before execution), and the read-set enables BOHM's
+// read-reference optimization. A transaction's logic runs against a Ctx
+// and may be re-executed, so it must be deterministic given its reads.
+//
+//	eng, _ := bohm.New(bohm.DefaultConfig())
+//	defer eng.Close()
+//	eng.Load(bohm.Key{Table: 0, ID: 1}, bohm.NewValue(8, 100))
+//
+//	k := bohm.Key{Table: 0, ID: 1}
+//	res := eng.ExecuteBatch([]bohm.Txn{&bohm.Proc{
+//		Reads:  []bohm.Key{k},
+//		Writes: []bohm.Key{k},
+//		Body: func(ctx bohm.Ctx) error {
+//			v, err := ctx.Read(k)
+//			if err != nil {
+//				return err
+//			}
+//			return ctx.Write(k, bohm.Incremented(v, 1))
+//		},
+//	}})
+//
+// ExecuteBatch is serializable on every engine; on BOHM the equivalent
+// serial order is exactly the submission order.
+//
+// # Engines
+//
+// New creates a BOHM engine (the paper's contribution); NewHekaton,
+// NewSnapshotIsolation, NewOCC and New2PL create the baselines. All five
+// implement Engine and are interchangeable.
+package bohm
+
+import (
+	"bohm/internal/core"
+	"bohm/internal/engine"
+	"bohm/internal/hekaton"
+	"bohm/internal/occ"
+	"bohm/internal/si"
+	"bohm/internal/twopl"
+	"bohm/internal/txn"
+)
+
+// Key identifies a record: a table number and a 64-bit row id.
+type Key = txn.Key
+
+// Txn is a stored-procedure transaction with declared access sets.
+type Txn = txn.Txn
+
+// Ctx is the data-access interface handed to transaction logic.
+type Ctx = txn.Ctx
+
+// Proc builds a Txn from closures.
+type Proc = txn.Proc
+
+// Engine is the interface all five engines implement.
+type Engine = engine.Engine
+
+// Stats is an engine's counter snapshot.
+type Stats = engine.Stats
+
+// ErrNotFound is returned by Ctx.Read for records with no visible version.
+var ErrNotFound = txn.ErrNotFound
+
+// ErrAbort is a convenience sentinel for aborting a transaction.
+var ErrAbort = txn.ErrAbort
+
+// Config parameterizes the BOHM engine; see the field documentation in
+// the internal core package.
+type Config = core.Config
+
+// DefaultConfig returns a small general-purpose BOHM configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New starts a BOHM engine.
+func New(cfg Config) (*core.Engine, error) { return core.New(cfg) }
+
+// HekatonConfig parameterizes the Hekaton and Snapshot Isolation engines.
+type HekatonConfig = hekaton.Config
+
+// DefaultHekatonConfig returns a small general-purpose configuration.
+func DefaultHekatonConfig() HekatonConfig { return hekaton.DefaultConfig() }
+
+// NewHekaton creates the optimistic serializable multiversion baseline
+// (Larson et al.), with its global timestamp counter and commit
+// dependencies.
+func NewHekaton(cfg HekatonConfig) (Engine, error) {
+	cfg.Level = hekaton.Serializable
+	return hekaton.New(cfg)
+}
+
+// NewSnapshotIsolation creates the snapshot isolation baseline: the
+// Hekaton codebase without read validation. Not serializable.
+func NewSnapshotIsolation(cfg HekatonConfig) (Engine, error) { return si.New(cfg) }
+
+// OCCConfig parameterizes the single-version OCC engine.
+type OCCConfig = occ.Config
+
+// DefaultOCCConfig returns a small general-purpose configuration.
+func DefaultOCCConfig() OCCConfig { return occ.DefaultConfig() }
+
+// NewOCC creates the Silo-style single-version optimistic baseline.
+func NewOCC(cfg OCCConfig) (Engine, error) { return occ.New(cfg) }
+
+// TwoPLConfig parameterizes the two-phase locking engine.
+type TwoPLConfig = twopl.Config
+
+// DefaultTwoPLConfig returns a small general-purpose configuration.
+func DefaultTwoPLConfig() TwoPLConfig { return twopl.DefaultConfig() }
+
+// New2PL creates the deadlock-free two-phase locking baseline.
+func New2PL(cfg TwoPLConfig) (Engine, error) { return twopl.New(cfg) }
+
+// Value helpers re-exported for transaction bodies.
+
+// U64 decodes the uint64 counter at the front of a record value.
+func U64(v []byte) uint64 { return txn.U64(v) }
+
+// PutU64 encodes x into the first eight bytes of v.
+func PutU64(v []byte, x uint64) { txn.PutU64(v, x) }
+
+// NewValue allocates a record value of the given size holding counter x.
+func NewValue(size int, x uint64) []byte { return txn.NewValue(size, x) }
+
+// Incremented returns a fresh copy of v with its counter incremented.
+func Incremented(v []byte, delta uint64) []byte { return txn.Incremented(v, delta) }

@@ -1,0 +1,201 @@
+package bohm_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bohm"
+)
+
+// newEngines builds one engine of every kind for API-level tests.
+func newEngines(t *testing.T) map[string]bohm.Engine {
+	t.Helper()
+	out := map[string]bohm.Engine{}
+	add := func(name string, e bohm.Engine, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Cleanup(e.Close)
+		out[name] = e
+	}
+	b, err := bohm.New(bohm.DefaultConfig())
+	add("bohm", b, err)
+	h, err := bohm.NewHekaton(bohm.DefaultHekatonConfig())
+	add("hekaton", h, err)
+	s, err := bohm.NewSnapshotIsolation(bohm.DefaultHekatonConfig())
+	add("si", s, err)
+	o, err := bohm.NewOCC(bohm.DefaultOCCConfig())
+	add("occ", o, err)
+	p, err := bohm.New2PL(bohm.DefaultTwoPLConfig())
+	add("2pl", p, err)
+	return out
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	for name, eng := range newEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			k := bohm.Key{Table: 0, ID: 1}
+			if err := eng.Load(k, bohm.NewValue(8, 10)); err != nil {
+				t.Fatal(err)
+			}
+			res := eng.ExecuteBatch([]bohm.Txn{&bohm.Proc{
+				Reads:  []bohm.Key{k},
+				Writes: []bohm.Key{k},
+				Body: func(ctx bohm.Ctx) error {
+					v, err := ctx.Read(k)
+					if err != nil {
+						return err
+					}
+					return ctx.Write(k, bohm.Incremented(v, 5))
+				},
+			}})
+			if res[0] != nil {
+				t.Fatal(res[0])
+			}
+			var got uint64
+			res = eng.ExecuteBatch([]bohm.Txn{&bohm.Proc{
+				Reads: []bohm.Key{k},
+				Body: func(ctx bohm.Ctx) error {
+					v, err := ctx.Read(k)
+					if err != nil {
+						return err
+					}
+					got = bohm.U64(v)
+					return nil
+				},
+			}})
+			if res[0] != nil || got != 15 {
+				t.Fatalf("read back %d (%v), want 15", got, res[0])
+			}
+			if s := eng.Stats(); s.Committed < 2 {
+				t.Errorf("stats.Committed = %d", s.Committed)
+			}
+		})
+	}
+}
+
+func TestErrNotFoundExported(t *testing.T) {
+	eng, err := bohm.New(bohm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var readErr error
+	eng.ExecuteBatch([]bohm.Txn{&bohm.Proc{
+		Body: func(ctx bohm.Ctx) error {
+			_, readErr = ctx.Read(bohm.Key{ID: 9999})
+			return nil
+		},
+	}})
+	if !errors.Is(readErr, bohm.ErrNotFound) {
+		t.Fatalf("read of absent key = %v, want bohm.ErrNotFound", readErr)
+	}
+}
+
+func TestErrAbortUsable(t *testing.T) {
+	eng, err := bohm.New(bohm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	k := bohm.Key{ID: 1}
+	if err := eng.Load(k, bohm.NewValue(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.ExecuteBatch([]bohm.Txn{&bohm.Proc{
+		Writes: []bohm.Key{k},
+		Body: func(ctx bohm.Ctx) error {
+			if err := ctx.Write(k, bohm.NewValue(8, 2)); err != nil {
+				return err
+			}
+			return bohm.ErrAbort
+		},
+	}})
+	if !errors.Is(res[0], bohm.ErrAbort) {
+		t.Fatalf("res = %v, want ErrAbort", res[0])
+	}
+}
+
+func TestValueHelpersExported(t *testing.T) {
+	v := bohm.NewValue(100, 7)
+	if bohm.U64(v) != 7 || len(v) != 100 {
+		t.Fatal("NewValue/U64 mismatch")
+	}
+	bohm.PutU64(v, 9)
+	if bohm.U64(v) != 9 {
+		t.Fatal("PutU64 mismatch")
+	}
+	w := bohm.Incremented(v, 1)
+	if bohm.U64(w) != 10 || bohm.U64(v) != 9 {
+		t.Fatal("Incremented mismatch")
+	}
+}
+
+// ExampleNew demonstrates the quickstart flow from the README.
+func ExampleNew() {
+	eng, err := bohm.New(bohm.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	k := bohm.Key{Table: 0, ID: 1}
+	if err := eng.Load(k, bohm.NewValue(8, 100)); err != nil {
+		panic(err)
+	}
+
+	res := eng.ExecuteBatch([]bohm.Txn{&bohm.Proc{
+		Reads:  []bohm.Key{k},
+		Writes: []bohm.Key{k},
+		Body: func(ctx bohm.Ctx) error {
+			v, err := ctx.Read(k)
+			if err != nil {
+				return err
+			}
+			return ctx.Write(k, bohm.Incremented(v, 1))
+		},
+	}})
+	fmt.Println("committed:", res[0] == nil)
+	// Output: committed: true
+}
+
+// ExampleEngine_ExecuteBatch shows that the serialization order of a BOHM
+// batch is the submission order.
+func ExampleEngine_ExecuteBatch() {
+	eng, err := bohm.New(bohm.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	k := bohm.Key{Table: 0, ID: 1}
+	if err := eng.Load(k, bohm.NewValue(8, 0)); err != nil {
+		panic(err)
+	}
+
+	set := func(x uint64) bohm.Txn {
+		return &bohm.Proc{
+			Writes: []bohm.Key{k},
+			Body: func(ctx bohm.Ctx) error {
+				return ctx.Write(k, bohm.NewValue(8, x))
+			},
+		}
+	}
+	eng.ExecuteBatch([]bohm.Txn{set(1), set(2), set(3)})
+
+	var final uint64
+	eng.ExecuteBatch([]bohm.Txn{&bohm.Proc{
+		Reads: []bohm.Key{k},
+		Body: func(ctx bohm.Ctx) error {
+			v, err := ctx.Read(k)
+			if err != nil {
+				return err
+			}
+			final = bohm.U64(v)
+			return nil
+		},
+	}})
+	fmt.Println("final value:", final)
+	// Output: final value: 3
+}

@@ -1,0 +1,91 @@
+// Command bohm-bench regenerates the paper's experiments.
+//
+// Usage:
+//
+//	bohm-bench -exp fig5              # one experiment at the default scale
+//	bohm-bench -exp all -scale quick  # everything, scaled down
+//	bohm-bench -list                  # enumerate experiments
+//
+// The "paper" scale reproduces the published configuration (1M-row YCSB
+// table, 1,000-byte records, 100k transactions per point, threads up to
+// 40); "quick" preserves the shapes at a fraction of the cost. Output is
+// one aligned table per figure, matching the rows/series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"bohm/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale   = flag.String("scale", "quick", "experiment scale: quick, ref or paper")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		procs   = flag.Int("procs", 0, "GOMAXPROCS override (0 = runtime default)")
+		records = flag.Int("records", 0, "override the YCSB table size")
+		txns    = flag.Int("txns", 0, "override the per-point transaction count")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, ex := range bench.Experiments {
+			fmt.Printf("%-18s %s\n", ex.ID, ex.Title)
+		}
+		return
+	}
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+
+	var s bench.Scale
+	switch *scale {
+	case "quick":
+		s = bench.Quick
+	case "ref":
+		s = bench.Ref
+	case "paper":
+		s = bench.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick, ref or paper)\n", *scale)
+		os.Exit(2)
+	}
+	if *records > 0 {
+		s.Records = *records
+	}
+	if *txns > 0 {
+		s.Txns = *txns
+	}
+
+	fmt.Printf("bohm-bench: scale=%s records=%d txns/point=%d GOMAXPROCS=%d\n\n",
+		s.Name, s.Records, s.Txns, runtime.GOMAXPROCS(0))
+
+	run := func(ex bench.Experiment) {
+		start := time.Now()
+		for _, t := range ex.Run(s) {
+			fmt.Println(t.Format())
+		}
+		fmt.Printf("(%s took %s)\n\n", ex.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, ex := range bench.Experiments {
+			run(ex)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		ex, ok := bench.ExperimentByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+			os.Exit(2)
+		}
+		run(ex)
+	}
+}

@@ -1,0 +1,229 @@
+// Banking: a SmallBank-style application (§4.3 of the paper) written
+// against the public API, runnable on any of the five engines. It opens
+// accounts, runs a concurrent mix of deposits, withdrawals, transfers and
+// balance checks, and verifies that money is conserved.
+//
+//	go run ./examples/banking            # BOHM
+//	go run ./examples/banking -engine 2pl
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bohm"
+)
+
+// Table numbers for the two account tables.
+const (
+	savings  uint32 = 1
+	checking uint32 = 2
+)
+
+const (
+	customers      = 1000
+	initialBalance = 10_000
+)
+
+func savKey(c uint64) bohm.Key   { return bohm.Key{Table: savings, ID: c} }
+func checkKey(c uint64) bohm.Key { return bohm.Key{Table: checking, ID: c} }
+
+// errInsufficient aborts withdrawals that would overdraw an account; the
+// engine rolls the transaction back and reports the error to us.
+var errInsufficient = errors.New("banking: insufficient funds")
+
+// deposit adds amount to a customer's checking account.
+func deposit(c uint64, amount int64) bohm.Txn {
+	k := checkKey(c)
+	return &bohm.Proc{
+		Reads:  []bohm.Key{k},
+		Writes: []bohm.Key{k},
+		Body: func(ctx bohm.Ctx) error {
+			v, err := ctx.Read(k)
+			if err != nil {
+				return err
+			}
+			return ctx.Write(k, bohm.NewValue(8, uint64(int64(bohm.U64(v))+amount)))
+		},
+	}
+}
+
+// withdraw removes amount from savings, aborting on insufficient funds.
+func withdraw(c uint64, amount int64) bohm.Txn {
+	k := savKey(c)
+	return &bohm.Proc{
+		Reads:  []bohm.Key{k},
+		Writes: []bohm.Key{k},
+		Body: func(ctx bohm.Ctx) error {
+			v, err := ctx.Read(k)
+			if err != nil {
+				return err
+			}
+			balance := int64(bohm.U64(v)) - amount
+			if balance < 0 {
+				return errInsufficient
+			}
+			return ctx.Write(k, bohm.NewValue(8, uint64(balance)))
+		},
+	}
+}
+
+// transfer moves amount between two customers' checking accounts.
+func transfer(from, to uint64, amount int64) bohm.Txn {
+	kf, kt := checkKey(from), checkKey(to)
+	return &bohm.Proc{
+		Reads:  []bohm.Key{kf, kt},
+		Writes: []bohm.Key{kf, kt},
+		Body: func(ctx bohm.Ctx) error {
+			vf, err := ctx.Read(kf)
+			if err != nil {
+				return err
+			}
+			vt, err := ctx.Read(kt)
+			if err != nil {
+				return err
+			}
+			balance := int64(bohm.U64(vf)) - amount
+			if balance < 0 {
+				return errInsufficient
+			}
+			if err := ctx.Write(kf, bohm.NewValue(8, uint64(balance))); err != nil {
+				return err
+			}
+			return ctx.Write(kt, bohm.NewValue(8, uint64(int64(bohm.U64(vt))+amount)))
+		},
+	}
+}
+
+// balance reads both of a customer's balances.
+func balance(c uint64, out *int64) bohm.Txn {
+	return &bohm.Proc{
+		Reads: []bohm.Key{savKey(c), checkKey(c)},
+		Body: func(ctx bohm.Ctx) error {
+			s, err := ctx.Read(savKey(c))
+			if err != nil {
+				return err
+			}
+			ch, err := ctx.Read(checkKey(c))
+			if err != nil {
+				return err
+			}
+			*out = int64(bohm.U64(s)) + int64(bohm.U64(ch))
+			return nil
+		},
+	}
+}
+
+func newEngine(kind string) (bohm.Engine, error) {
+	switch kind {
+	case "bohm":
+		return bohm.New(bohm.DefaultConfig())
+	case "hekaton":
+		return bohm.NewHekaton(bohm.DefaultHekatonConfig())
+	case "si":
+		return bohm.NewSnapshotIsolation(bohm.DefaultHekatonConfig())
+	case "occ":
+		return bohm.NewOCC(bohm.DefaultOCCConfig())
+	case "2pl":
+		return bohm.New2PL(bohm.DefaultTwoPLConfig())
+	}
+	return nil, fmt.Errorf("unknown engine %q", kind)
+}
+
+// op records one generated transaction's effect on the global ledger so
+// conservation can be checked after the run: deposits add delta, committed
+// withdrawals subtract it, transfers and balance checks are neutral.
+type op struct {
+	txn   bohm.Txn
+	delta int64
+}
+
+func main() {
+	kind := flag.String("engine", "bohm", "engine: bohm, hekaton, si, occ, 2pl")
+	txns := flag.Int("txns", 20_000, "number of transactions")
+	flag.Parse()
+
+	eng, err := newEngine(*kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	for c := uint64(0); c < customers; c++ {
+		if err := eng.Load(savKey(c), bohm.NewValue(8, initialBalance)); err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Load(checkKey(c), bohm.NewValue(8, initialBalance)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	ops := make([]op, *txns)
+	var lastBalance int64
+	for i := range ops {
+		c := uint64(rng.Intn(customers))
+		switch rng.Intn(4) {
+		case 0:
+			amt := int64(1 + rng.Intn(100))
+			ops[i] = op{deposit(c, amt), amt}
+		case 1:
+			amt := int64(1 + rng.Intn(100))
+			ops[i] = op{withdraw(c, amt), -amt}
+		case 2:
+			to := uint64(rng.Intn(customers))
+			for to == c {
+				to = uint64(rng.Intn(customers))
+			}
+			ops[i] = op{transfer(c, to, int64(1+rng.Intn(100))), 0}
+		default:
+			ops[i] = op{balance(c, &lastBalance), 0}
+		}
+	}
+
+	batch := make([]bohm.Txn, len(ops))
+	for i := range ops {
+		batch[i] = ops[i].txn
+	}
+	results := eng.ExecuteBatch(batch)
+
+	committed, insufficient := 0, 0
+	var ledgerDelta int64
+	for i, err := range results {
+		switch {
+		case err == nil:
+			committed++
+			ledgerDelta += ops[i].delta
+		case errors.Is(err, errInsufficient):
+			insufficient++
+		default:
+			log.Fatalf("txn %d failed unexpectedly: %v", i, err)
+		}
+	}
+
+	var total int64
+	for c := uint64(0); c < customers; c++ {
+		var b int64
+		if res := eng.ExecuteBatch([]bohm.Txn{balance(c, &b)}); res[0] != nil {
+			log.Fatal(res[0])
+		}
+		total += b
+	}
+	want := int64(customers*2*initialBalance) + ledgerDelta
+	fmt.Printf("engine=%s committed=%d insufficient-funds aborts=%d\n", *kind, committed, insufficient)
+	fmt.Printf("total balance = %d, expected %d — %s\n", total, want, verdict(total == want))
+
+	s := eng.Stats()
+	fmt.Printf("stats: committed=%d userAborts=%d ccAborts=%d tsFetches=%d\n",
+		s.Committed, s.UserAborts, s.CCAborts, s.TimestampFetches)
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "conserved ✓"
+	}
+	return "VIOLATION ✗"
+}

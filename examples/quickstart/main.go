@@ -1,0 +1,89 @@
+// Quickstart: create a BOHM engine, load a few records, run some
+// serializable transactions, and inspect the engine's statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bohm"
+)
+
+func main() {
+	cfg := bohm.DefaultConfig()
+	cfg.CCWorkers = 2
+	cfg.ExecWorkers = 2
+	eng, err := bohm.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Load ten records, each holding a uint64 counter.
+	for i := uint64(0); i < 10; i++ {
+		if err := eng.Load(bohm.Key{Table: 0, ID: i}, bohm.NewValue(8, 0)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A transaction is a stored procedure with declared access sets. This
+	// one transfers one unit from key a to key b.
+	transfer := func(a, b uint64) bohm.Txn {
+		ka, kb := bohm.Key{Table: 0, ID: a}, bohm.Key{Table: 0, ID: b}
+		return &bohm.Proc{
+			Reads:  []bohm.Key{ka, kb},
+			Writes: []bohm.Key{ka, kb},
+			Body: func(ctx bohm.Ctx) error {
+				va, err := ctx.Read(ka)
+				if err != nil {
+					return err
+				}
+				vb, err := ctx.Read(kb)
+				if err != nil {
+					return err
+				}
+				if err := ctx.Write(ka, bohm.NewValue(8, bohm.U64(va)-1)); err != nil {
+					return err
+				}
+				return ctx.Write(kb, bohm.NewValue(8, bohm.U64(vb)+1))
+			},
+		}
+	}
+
+	// Submit a batch; the serialization order is the submission order.
+	var batch []bohm.Txn
+	for i := 0; i < 1000; i++ {
+		batch = append(batch, transfer(uint64(i%10), uint64((i+3)%10)))
+	}
+	for i, err := range eng.ExecuteBatch(batch) {
+		if err != nil {
+			log.Fatalf("txn %d aborted: %v", i, err)
+		}
+	}
+
+	// Read the final counters back in a read-only transaction.
+	sum := uint64(0)
+	read := &bohm.Proc{
+		Body: func(ctx bohm.Ctx) error {
+			for i := uint64(0); i < 10; i++ {
+				v, err := ctx.Read(bohm.Key{Table: 0, ID: i})
+				if err != nil {
+					return err
+				}
+				fmt.Printf("key %d = %d\n", i, int64(bohm.U64(v)))
+				sum += bohm.U64(v)
+			}
+			return nil
+		},
+	}
+	if res := eng.ExecuteBatch([]bohm.Txn{read}); res[0] != nil {
+		log.Fatal(res[0])
+	}
+	fmt.Printf("sum   = %d (conserved)\n", int64(sum))
+
+	s := eng.Stats()
+	fmt.Printf("committed=%d versions=%d gc'd=%d batches=%d readRefHits=%d\n",
+		s.Committed, s.VersionsCreated, s.VersionsCollected, s.Batches, s.ReadRefHits)
+}

@@ -1,0 +1,106 @@
+// YCSB: drive the paper's YCSB transaction shapes against any engine at a
+// chosen contention level, printing throughput and abort behaviour — a
+// one-point slice of Figures 5–7.
+//
+//	go run ./examples/ycsb -engine bohm -theta 0.9 -workload 2rmw8r
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"bohm"
+	"bohm/internal/txn"
+	"bohm/internal/workload"
+)
+
+func newEngine(kind string, threads, capacity int) (bohm.Engine, error) {
+	switch kind {
+	case "bohm":
+		cfg := bohm.DefaultConfig()
+		cfg.CCWorkers = (threads + 1) / 2
+		cfg.ExecWorkers = threads - threads/2
+		cfg.Capacity = capacity
+		return bohm.New(cfg)
+	case "hekaton":
+		cfg := bohm.DefaultHekatonConfig()
+		cfg.Workers = threads
+		cfg.Capacity = capacity
+		cfg.TrimChains = true
+		return bohm.NewHekaton(cfg)
+	case "si":
+		cfg := bohm.DefaultHekatonConfig()
+		cfg.Workers = threads
+		cfg.Capacity = capacity
+		cfg.TrimChains = true
+		return bohm.NewSnapshotIsolation(cfg)
+	case "occ":
+		cfg := bohm.DefaultOCCConfig()
+		cfg.Workers = threads
+		cfg.Capacity = capacity
+		return bohm.NewOCC(cfg)
+	case "2pl":
+		cfg := bohm.DefaultTwoPLConfig()
+		cfg.Workers = threads
+		cfg.Capacity = capacity
+		return bohm.New2PL(cfg)
+	}
+	return nil, fmt.Errorf("unknown engine %q", kind)
+}
+
+func main() {
+	var (
+		kind    = flag.String("engine", "bohm", "engine: bohm, hekaton, si, occ, 2pl")
+		records = flag.Int("records", 100_000, "table size")
+		size    = flag.Int("size", 1000, "record size in bytes (paper: 1000)")
+		theta   = flag.Float64("theta", 0.9, "zipfian skew (0 = uniform, paper high contention: 0.9)")
+		shape   = flag.String("workload", "10rmw", "transaction shape: 10rmw or 2rmw8r")
+		threads = flag.Int("threads", 4, "worker threads")
+		count   = flag.Int("txns", 50_000, "transactions to run")
+	)
+	flag.Parse()
+
+	eng, err := newEngine(*kind, *threads, *records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	y := workload.YCSB{Records: *records, RecordSize: *size}
+	if err := y.LoadInto(eng); err != nil {
+		log.Fatal(err)
+	}
+
+	src := y.NewSource(1, *theta)
+	pick := src.RMW10
+	if *shape == "2rmw8r" {
+		pick = src.RMW2Read8
+	}
+
+	batch := make([]txn.Txn, *count)
+	for i := range batch {
+		batch[i] = pick()
+	}
+
+	start := time.Now()
+	results := eng.ExecuteBatch(batch)
+	elapsed := time.Since(start)
+
+	failed := 0
+	for _, err := range results {
+		if err != nil {
+			failed++
+		}
+	}
+	s := eng.Stats()
+	fmt.Printf("engine=%s workload=%s theta=%.2f records=%d threads=%d\n",
+		*kind, *shape, *theta, *records, *threads)
+	fmt.Printf("throughput: %.0f txns/sec (%d txns in %s, %d failed)\n",
+		float64(*count-failed)/elapsed.Seconds(), *count, elapsed.Round(time.Millisecond), failed)
+	fmt.Printf("cc aborts (retried internally): %d, timestamp fetches: %d\n", s.CCAborts, s.TimestampFetches)
+	if s.VersionsCreated > 0 {
+		fmt.Printf("versions created: %d, collected: %d\n", s.VersionsCreated, s.VersionsCollected)
+	}
+}

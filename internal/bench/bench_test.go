@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"bohm/internal/txn"
+	"bohm/internal/workload"
+)
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{
+		ID:     "figX",
+		Title:  "test table",
+		Param:  "threads",
+		Series: []string{"A", "B"},
+		Notes:  []string{"a note"},
+	}
+	tb.AddRow("1", 1234, 2_500_000) // 1234 renders as 1.2k
+	tb.AddRow("40", 999, 0)
+	out := tb.Format()
+	for _, want := range []string{"figX", "test table", "threads", "A", "B", "1.2k", "2.50M", "999", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+	// Zero throughput renders as a dash.
+	if !strings.Contains(out, "-") {
+		t.Errorf("zero throughput not dashed:\n%s", out)
+	}
+}
+
+func TestFormatTput(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "-"},
+		{-5, "-"},
+		{500, "500"},
+		{1500, "1.5k"},
+		{2_000_000, "2.00M"},
+	}
+	for _, c := range cases {
+		if got := formatTput(c.v); got != c.want {
+			t.Errorf("formatTput(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize(Bohm)
+	if o.Txns < 1 || o.WarmupTxns < 1 || o.Streams < 2 || o.Chunk < 1 {
+		t.Errorf("Bohm defaults: %+v", o)
+	}
+	o = Options{}.normalize(OCC)
+	if o.Streams != 1 {
+		t.Errorf("OCC streams = %d, want 1", o.Streams)
+	}
+	o = Options{WarmupTxns: -1}.normalize(OCC)
+	if o.WarmupTxns != -1 {
+		t.Error("explicit no-warmup overridden")
+	}
+}
+
+func TestMakeEngineAllKinds(t *testing.T) {
+	for _, kind := range AllEngines {
+		e, err := MakeEngine(kind, 2, 128)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := e.Load(txn.Key{ID: 1}, txn.NewValue(8, 0)); err != nil {
+			t.Fatalf("%s load: %v", kind, err)
+		}
+		res := e.ExecuteBatch([]txn.Txn{&txn.Proc{
+			Reads: []txn.Key{{ID: 1}},
+			Body: func(ctx txn.Ctx) error {
+				_, err := ctx.Read(txn.Key{ID: 1})
+				return err
+			},
+		}})
+		if res[0] != nil {
+			t.Fatalf("%s exec: %v", kind, res[0])
+		}
+		e.Close()
+	}
+	if _, err := MakeEngine("nope", 2, 128); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestMakeEngineSingleThread(t *testing.T) {
+	// threads=1 must still give BOHM one CC and one exec worker.
+	e, err := MakeEngine(Bohm, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Load(txn.Key{ID: 1}, txn.NewValue(8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	res := e.ExecuteBatch([]txn.Txn{&txn.Proc{
+		Reads:  []txn.Key{{ID: 1}},
+		Writes: []txn.Key{{ID: 1}},
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(txn.Key{ID: 1})
+			if err != nil {
+				return err
+			}
+			return ctx.Write(txn.Key{ID: 1}, txn.Incremented(v, 1))
+		},
+	}})
+	if res[0] != nil {
+		t.Fatal(res[0])
+	}
+}
+
+func TestRunMeasuresThroughput(t *testing.T) {
+	y := workload.YCSB{Records: 256, RecordSize: 16}
+	for _, kind := range []EngineKind{Bohm, TwoPL} {
+		e, err := MakeEngine(kind, 2, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := y.LoadInto(e); err != nil {
+			t.Fatal(err)
+		}
+		r := Run(kind, e, Options{Txns: 500, WarmupTxns: 50, Chunk: 64},
+			func(stream int) func() txn.Txn {
+				src := y.NewSource(int64(stream+1), 0)
+				return func() txn.Txn { return src.RMW10() }
+			})
+		e.Close()
+		if r.Stats.Committed != 500 {
+			t.Errorf("%s: committed = %d, want 500", kind, r.Stats.Committed)
+		}
+		if r.Throughput <= 0 {
+			t.Errorf("%s: throughput = %v", kind, r.Throughput)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ex := range Experiments {
+		if ex.ID == "" || ex.Run == nil || ex.Title == "" {
+			t.Errorf("incomplete experiment %+v", ex)
+		}
+		if seen[ex.ID] {
+			t.Errorf("duplicate experiment id %s", ex.ID)
+		}
+		seen[ex.ID] = true
+		got, ok := ExperimentByID(ex.ID)
+		if !ok || got.ID != ex.ID {
+			t.Errorf("ExperimentByID(%s) failed", ex.ID)
+		}
+	}
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %s (paper figure)", id)
+		}
+	}
+	if _, ok := ExperimentByID("nope"); ok {
+		t.Error("unknown id found")
+	}
+}
+
+// TestTinyExperimentEndToEnd runs a micro-scaled fig10 and fig4 to keep
+// the whole experiment pipeline wired.
+func TestTinyExperimentEndToEnd(t *testing.T) {
+	s := Quick
+	s.Records = 512
+	s.RecordSize = 16
+	s.Txns = 200
+	s.Threads = []int{2}
+	s.MaxThreads = 2
+	s.Thetas = []float64{0, 0.9}
+	s.ScanSize = 50
+	s.ReadOnlyPct = []int{0, 10}
+	s.Fig4CC = []int{1}
+	s.Fig4Exec = []int{1}
+	s.SBCustomersHigh = 10
+	s.SBCustomersLow = 100
+
+	ids := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"ablation-readrefs", "ablation-gc", "ablation-batch", "ablation-preprocess"}
+	if testing.Short() {
+		ids = []string{"fig4", "fig10", "fig8"}
+	}
+	var exps []Experiment
+	for _, id := range ids {
+		exps = append(exps, mustExperiment(t, id))
+	}
+	for _, ex := range exps {
+		tables := ex.Run(s)
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", ex.ID)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("%s table %s has no rows", ex.ID, tb.ID)
+			}
+			for _, row := range tb.Rows {
+				for i, v := range row.Values {
+					if v <= 0 {
+						t.Errorf("%s %s row %s col %d: throughput %v", ex.ID, tb.ID, row.Label, i, v)
+					}
+				}
+			}
+			_ = tb.Format()
+		}
+	}
+}
+
+func mustExperiment(t *testing.T, id string) Experiment {
+	t.Helper()
+	ex, ok := ExperimentByID(id)
+	if !ok {
+		t.Fatalf("experiment %s missing", id)
+	}
+	return ex
+}
+
+func TestRunReportsLatencyPercentiles(t *testing.T) {
+	y := workload.YCSB{Records: 128, RecordSize: 16}
+	e, err := MakeEngine(TwoPL, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := y.LoadInto(e); err != nil {
+		t.Fatal(err)
+	}
+	r := Run(TwoPL, e, Options{Txns: 400, WarmupTxns: -1, Chunk: 50},
+		func(stream int) func() txn.Txn {
+			src := y.NewSource(9, 0)
+			return func() txn.Txn { return src.RMW10() }
+		})
+	if r.P50 <= 0 || r.P99 < r.P50 {
+		t.Errorf("latency percentiles: p50=%v p99=%v", r.P50, r.P99)
+	}
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: a labeled grid of throughput numbers,
+// one column per series (usually an engine), one row per swept parameter
+// value — the same rows/series the paper's figure reports.
+type Table struct {
+	// ID is the experiment identifier, e.g. "fig5-high".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Param names the swept row parameter ("threads", "theta", …).
+	Param string
+	// Series names each column.
+	Series []string
+	// Rows holds the measurements.
+	Rows []Row
+	// Notes carry caveats (substitutions, scaling) for the record.
+	Notes []string
+}
+
+// Row is one measurement row.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a measurement row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+
+	width := len(t.Param)
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	colw := make([]int, len(t.Series))
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Values))
+		for j, v := range r.Values {
+			cells[i][j] = formatTput(v)
+		}
+	}
+	for j, s := range t.Series {
+		colw[j] = len(s)
+		for i := range cells {
+			if j < len(cells[i]) && len(cells[i][j]) > colw[j] {
+				colw[j] = len(cells[i][j])
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "%-*s", width, t.Param)
+	for j, s := range t.Series {
+		fmt.Fprintf(&b, "  %*s", colw[j], s)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width, r.Label)
+		for j := range r.Values {
+			fmt.Fprintf(&b, "  %*s", colw[j], cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// formatTput prints a throughput in the paper's "M txns/sec" style.
+func formatTput(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

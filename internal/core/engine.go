@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bohm/internal/engine"
+	"bohm/internal/storage"
+	"bohm/internal/txn"
+)
+
+// ErrClosed is returned by ExecuteBatch after Close.
+var ErrClosed = errors.New("bohm: engine closed")
+
+// Config parameterizes a BOHM engine. The zero value is not usable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// CCWorkers is the number of concurrency control threads (m in the
+	// paper). Records are hash-partitioned across them.
+	CCWorkers int
+	// ExecWorkers is the number of transaction execution threads (n).
+	ExecWorkers int
+	// BatchSize is the number of transactions per coordination batch
+	// (§3.2.4). Larger batches amortize the inter-phase barrier.
+	BatchSize int
+	// Capacity is the expected number of records across all tables; the
+	// partitioned hash index is sized from it.
+	Capacity int
+	// GC enables incremental garbage collection of superseded versions
+	// (§3.3.2, Condition 3).
+	GC bool
+	// DisableReadRefs turns off the read-reference annotation of §3.2.3,
+	// forcing reads to traverse version chains (ablation).
+	DisableReadRefs bool
+	// Preprocess enables the §3.2.2 pre-processing layer: transactions
+	// are analyzed once and per-partition work lists are forwarded to the
+	// CC workers, so a CC worker no longer examines transactions that
+	// write nothing in its partition.
+	Preprocess bool
+	// PreprocessWorkers sizes the pre-processing pool (default 1). The
+	// analysis is embarrassingly parallel; each worker handles a
+	// contiguous stripe of every batch.
+	PreprocessWorkers int
+}
+
+// DefaultConfig returns a small general-purpose configuration.
+func DefaultConfig() Config {
+	return Config{
+		CCWorkers:   2,
+		ExecWorkers: 2,
+		BatchSize:   1024,
+		Capacity:    1 << 20,
+		GC:          true,
+	}
+}
+
+func (c *Config) normalize() error {
+	if c.CCWorkers < 1 || c.ExecWorkers < 1 {
+		return fmt.Errorf("bohm: need at least one CC and one execution worker (got %d, %d)", c.CCWorkers, c.ExecWorkers)
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 1024
+	}
+	if c.Capacity < 1 {
+		c.Capacity = 1 << 20
+	}
+	if c.Preprocess && c.PreprocessWorkers < 1 {
+		c.PreprocessWorkers = 1
+	}
+	return nil
+}
+
+// stats holds the engine's counters; padded alignment is not needed since
+// hot-path counters are sharded per worker and folded on read.
+type workerStats struct {
+	committed         uint64
+	userAborts        uint64
+	readRefHits       uint64
+	chainSteps        uint64
+	requeues          uint64
+	recursiveExecs    uint64
+	versionsCreated   uint64
+	versionsCollected uint64
+	_                 [8]uint64 // pad to a cache line to avoid false sharing
+}
+
+// Engine is a running BOHM instance. Create with New, feed with
+// ExecuteBatch, and Close when done.
+type Engine struct {
+	cfg Config
+
+	// parts[p] is the version-chain index owned by CC worker p. Only
+	// worker p inserts; execution workers read concurrently.
+	parts []*storage.Map[storage.Chain]
+
+	subCh   chan *submission
+	seqOut  []chan *batch // sequencer's output stage: ppIn or ccIn
+	ppIn    []chan *batch
+	ppDone  []chan *batch
+	ccIn    []chan *batch
+	ccDone  []chan *batch
+	execIn  []chan *batch
+	ccWG    sync.WaitGroup
+	execWG  sync.WaitGroup
+	seqWG   sync.WaitGroup
+	closed  atomic.Bool
+	batches atomic.Uint64
+
+	// execBatch[i] is the newest batch sequence fully handled by
+	// execution worker i; the minimum over workers is the GC watermark.
+	execBatch []atomic.Uint64
+
+	ccStats   []workerStats // one per CC worker, owner-written
+	execStats []workerStats // one per execution worker
+}
+
+// New starts a BOHM engine with the given configuration: one sequencer
+// goroutine, cfg.CCWorkers concurrency control goroutines and
+// cfg.ExecWorkers execution goroutines.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:       cfg,
+		parts:     make([]*storage.Map[storage.Chain], cfg.CCWorkers),
+		subCh:     make(chan *submission, 64),
+		ccIn:      make([]chan *batch, cfg.CCWorkers),
+		ccDone:    make([]chan *batch, cfg.CCWorkers),
+		execIn:    make([]chan *batch, cfg.ExecWorkers),
+		execBatch: make([]atomic.Uint64, cfg.ExecWorkers),
+		ccStats:   make([]workerStats, cfg.CCWorkers),
+		execStats: make([]workerStats, cfg.ExecWorkers),
+	}
+	perPart := cfg.Capacity/cfg.CCWorkers + cfg.Capacity/(4*cfg.CCWorkers) + 64
+	for p := range e.parts {
+		e.parts[p] = storage.NewMap[storage.Chain](perPart)
+	}
+	for i := range e.ccIn {
+		e.ccIn[i] = make(chan *batch, 2)
+		e.ccDone[i] = make(chan *batch, 2)
+	}
+	for i := range e.execIn {
+		e.execIn[i] = make(chan *batch, 2)
+	}
+	e.seqOut = e.ccIn
+	if cfg.Preprocess {
+		e.ppIn = make([]chan *batch, cfg.PreprocessWorkers)
+		e.ppDone = make([]chan *batch, cfg.PreprocessWorkers)
+		for i := range e.ppIn {
+			e.ppIn[i] = make(chan *batch, 2)
+			e.ppDone[i] = make(chan *batch, 2)
+		}
+		e.seqOut = e.ppIn
+		for j := 0; j < cfg.PreprocessWorkers; j++ {
+			go e.preprocWorker(j)
+		}
+		go e.ppForwarder()
+	}
+
+	e.seqWG.Add(1)
+	go e.sequencer()
+	for w := 0; w < cfg.CCWorkers; w++ {
+		e.ccWG.Add(1)
+		go e.ccWorker(w)
+	}
+	go e.forwarder()
+	for w := 0; w < cfg.ExecWorkers; w++ {
+		e.execWG.Add(1)
+		go e.execWorker(w)
+	}
+	return e, nil
+}
+
+// forwarder implements the batch barrier between the phases: it collects
+// each batch's completion report from every CC worker (workers emit
+// batches in sequence order) and releases the batch to every execution
+// worker, preserving sequence order end-to-end.
+func (e *Engine) forwarder() {
+	for {
+		var b *batch
+		for w := range e.ccDone {
+			bw, ok := <-e.ccDone[w]
+			if !ok {
+				for _, ch := range e.execIn {
+					close(ch)
+				}
+				return
+			}
+			if b == nil {
+				b = bw
+			} else if b != bw {
+				panic("bohm: CC workers emitted batches out of order")
+			}
+		}
+		for _, ch := range e.execIn {
+			ch <- b
+		}
+	}
+}
+
+// partitionOf returns the CC worker owning key k. Partition selection uses
+// the high hash bits; the per-partition hash index probes with the low
+// bits, so the two placements stay independent.
+func (e *Engine) partitionOf(k txn.Key) int {
+	return int((k.Hash() >> 40) % uint64(len(e.parts)))
+}
+
+// chainFor returns the version chain of k, or nil if the record has never
+// existed.
+func (e *Engine) chainFor(k txn.Key) *storage.Chain {
+	return e.parts[e.partitionOf(k)].Get(k)
+}
+
+// Load inserts an initial record visible to every transaction. It must be
+// called before any ExecuteBatch and is not safe for concurrent use with
+// transaction processing.
+func (e *Engine) Load(k txn.Key, v []byte) error {
+	data := make([]byte, len(v))
+	copy(data, v)
+	chain := storage.NewChain(storage.NewLoadedVersion(data))
+	_, ok, err := e.parts[e.partitionOf(k)].Insert(k, chain)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("bohm: duplicate load of key %+v", k)
+	}
+	return nil
+}
+
+// ExecuteBatch submits transactions for serializable execution and blocks
+// until every one has committed or aborted. The returned slice has one
+// entry per transaction: nil for commit, the transaction's own error for a
+// logic abort. The serialization order of the whole system is the
+// submission order.
+func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
+	res := make([]error, len(ts))
+	if len(ts) == 0 {
+		return res
+	}
+	if e.closed.Load() {
+		for i := range res {
+			res[i] = ErrClosed
+		}
+		return res
+	}
+	sub := &submission{txns: ts, res: res, done: make(chan struct{})}
+	sub.remaining.Store(int64(len(ts)))
+	e.subCh <- sub
+	<-sub.done
+	return res
+}
+
+// Close drains the pipeline and stops all goroutines. ExecuteBatch must
+// not be called concurrently with or after Close.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	close(e.subCh)
+	e.seqWG.Wait()
+	e.execWG.Wait()
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() engine.Stats {
+	var s engine.Stats
+	for i := range e.ccStats {
+		w := &e.ccStats[i]
+		s.VersionsCreated += atomic.LoadUint64(&w.versionsCreated)
+		s.VersionsCollected += atomic.LoadUint64(&w.versionsCollected)
+	}
+	for i := range e.execStats {
+		w := &e.execStats[i]
+		s.Committed += atomic.LoadUint64(&w.committed)
+		s.UserAborts += atomic.LoadUint64(&w.userAborts)
+		s.ReadRefHits += atomic.LoadUint64(&w.readRefHits)
+		s.ChainSteps += atomic.LoadUint64(&w.chainSteps)
+		s.Requeues += atomic.LoadUint64(&w.requeues)
+		s.RecursiveExecs += atomic.LoadUint64(&w.recursiveExecs)
+	}
+	s.Batches = e.batches.Load()
+	return s
+}
+
+// watermark returns the newest batch sequence every execution worker has
+// finished (§3.3.2): versions superseded at or before it are collectable.
+func (e *Engine) watermark() uint64 {
+	wm := e.execBatch[0].Load()
+	for i := 1; i < len(e.execBatch); i++ {
+		if b := e.execBatch[i].Load(); b < wm {
+			wm = b
+		}
+	}
+	return wm
+}

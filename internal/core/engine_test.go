@@ -1,0 +1,581 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bohm/internal/txn"
+)
+
+// setTxn writes a deterministic, order-sensitive value: v' = v*31 + tag.
+// Folding these is non-commutative, so the final value pins down the
+// exact serialization order.
+func setTxn(id uint64, tag uint64) txn.Txn {
+	k := key(id)
+	return &txn.Proc{
+		Reads:  []txn.Key{k},
+		Writes: []txn.Key{k},
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(k)
+			if err != nil {
+				return err
+			}
+			return ctx.Write(k, txn.NewValue(8, txn.U64(v)*31+tag))
+		},
+	}
+}
+
+// TestSerializationOrderIsSubmissionOrder is BOHM's headline contract:
+// the equivalent serial order is exactly the submission order, checked
+// with a non-commutative fold over a hot key.
+func TestSerializationOrderIsSubmissionOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CCWorkers = 3
+	cfg.ExecWorkers = 4
+	cfg.BatchSize = 16
+	e := newTestEngine(t, cfg, 1)
+
+	const n = 500
+	ts := make([]txn.Txn, n)
+	want := uint64(0)
+	for i := range ts {
+		tag := uint64(i + 1)
+		ts[i] = setTxn(0, tag)
+		want = want*31 + tag
+	}
+	for i, err := range e.ExecuteBatch(ts) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	if got := readCounter(t, e, 0); got != want {
+		t.Fatalf("fold = %d, want %d (serialization order differs from submission order)", got, want)
+	}
+}
+
+// TestSerializationOrderAcrossSubmissions extends the order check across
+// multiple concurrent ExecuteBatch calls from one goroutine at a time
+// (sequential calls must serialize in call order).
+func TestSerializationOrderAcrossSubmissions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 8
+	e := newTestEngine(t, cfg, 1)
+	want := uint64(0)
+	tag := uint64(1)
+	for round := 0; round < 30; round++ {
+		ts := make([]txn.Txn, 7)
+		for i := range ts {
+			ts[i] = setTxn(0, tag)
+			want = want*31 + tag
+			tag++
+		}
+		for i, err := range e.ExecuteBatch(ts) {
+			if err != nil {
+				t.Fatalf("round %d txn %d: %v", round, i, err)
+			}
+		}
+	}
+	if got := readCounter(t, e, 0); got != want {
+		t.Fatalf("fold = %d, want %d", got, want)
+	}
+}
+
+// TestDeclaredButUnwrittenKeyCopiesForward: a transaction that declares a
+// write it never performs must leave the record's value intact for later
+// readers (§3.3.1's copy-forward of placeholders).
+func TestDeclaredButUnwrittenKeyCopiesForward(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 2)
+	if res := e.ExecuteBatch([]txn.Txn{incTxn(0)}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	conditional := &txn.Proc{
+		Reads:  []txn.Key{key(0), key(1)},
+		Writes: []txn.Key{key(0), key(1)}, // declares both, writes only key 1
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(key(1))
+			if err != nil {
+				return err
+			}
+			return ctx.Write(key(1), txn.Incremented(v, 10))
+		},
+	}
+	res := e.ExecuteBatch([]txn.Txn{conditional, incTxn(0), incTxn(1)})
+	for i, err := range res {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	if got := readCounter(t, e, 0); got != 2 {
+		t.Errorf("key 0 = %d, want 2 (copy-forward must preserve the old value)", got)
+	}
+	if got := readCounter(t, e, 1); got != 11 {
+		t.Errorf("key 1 = %d, want 11", got)
+	}
+}
+
+// TestReadOwnWrite: within a transaction, a read after a write observes
+// the buffered write; the pre-state is observed before the write.
+func TestReadOwnWrite(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 1)
+	if res := e.ExecuteBatch([]txn.Txn{incTxn(0)}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	var before, after uint64
+	p := &txn.Proc{
+		Reads:  []txn.Key{key(0)},
+		Writes: []txn.Key{key(0)},
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(key(0))
+			if err != nil {
+				return err
+			}
+			before = txn.U64(v)
+			if err := ctx.Write(key(0), txn.NewValue(8, 77)); err != nil {
+				return err
+			}
+			v, err = ctx.Read(key(0))
+			if err != nil {
+				return err
+			}
+			after = txn.U64(v)
+			return nil
+		},
+	}
+	if res := e.ExecuteBatch([]txn.Txn{p}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	if before != 1 || after != 77 {
+		t.Fatalf("before=%d after=%d, want 1 and 77", before, after)
+	}
+}
+
+// TestDeleteInsertChain: delete then re-insert the same key across
+// batches; intermediate readers see the tombstone.
+func TestDeleteInsertChain(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 1)
+	k := key(0)
+	del := &txn.Proc{Writes: []txn.Key{k}, Body: func(ctx txn.Ctx) error { return ctx.Delete(k) }}
+	var sawDeleted error
+	probe := &txn.Proc{Reads: []txn.Key{k}, Body: func(ctx txn.Ctx) error {
+		_, sawDeleted = ctx.Read(k)
+		return nil
+	}}
+	reinsert := &txn.Proc{Writes: []txn.Key{k}, Body: func(ctx txn.Ctx) error {
+		return ctx.Write(k, txn.NewValue(8, 5))
+	}}
+	res := e.ExecuteBatch([]txn.Txn{del, probe, reinsert})
+	for i, err := range res {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	if !errors.Is(sawDeleted, txn.ErrNotFound) {
+		t.Errorf("probe between delete and reinsert read %v, want ErrNotFound", sawDeleted)
+	}
+	if got := readCounter(t, e, 0); got != 5 {
+		t.Errorf("after reinsert = %d, want 5", got)
+	}
+}
+
+// TestAbortedInsertInvisible: an insert whose logic aborts must leave the
+// record nonexistent (tombstone copy-forward for placeholders without a
+// predecessor).
+func TestAbortedInsertInvisible(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 1)
+	k := key(99)
+	boom := errors.New("boom")
+	ins := &txn.Proc{Writes: []txn.Key{k}, Body: func(ctx txn.Ctx) error {
+		if err := ctx.Write(k, txn.NewValue(8, 1)); err != nil {
+			return err
+		}
+		return boom
+	}}
+	res := e.ExecuteBatch([]txn.Txn{ins})
+	if !errors.Is(res[0], boom) {
+		t.Fatalf("insert abort = %v", res[0])
+	}
+	if _, err := readVal(t, e, 99); !errors.Is(err, txn.ErrNotFound) {
+		t.Errorf("aborted insert visible: %v", err)
+	}
+}
+
+func readVal(t *testing.T, e *Engine, id uint64) (uint64, error) {
+	t.Helper()
+	var got uint64
+	res := e.ExecuteBatch([]txn.Txn{&txn.Proc{
+		Reads: []txn.Key{key(id)},
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(key(id))
+			if err != nil {
+				return err
+			}
+			got = txn.U64(v)
+			return nil
+		},
+	}})
+	return got, res[0]
+}
+
+// TestDisableReadRefs runs the same workload with the read-reference
+// optimization off; results must match (only the read path differs).
+func TestDisableReadRefs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableReadRefs = true
+	cfg.BatchSize = 32
+	e := newTestEngine(t, cfg, 8)
+	const n = 300
+	ts := make([]txn.Txn, n)
+	for i := range ts {
+		ts[i] = incTxn(uint64(i%8), uint64((i+3)%8))
+	}
+	for i, err := range e.ExecuteBatch(ts) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	var sum uint64
+	for i := uint64(0); i < 8; i++ {
+		sum += readCounter(t, e, i)
+	}
+	if sum != 2*n {
+		t.Fatalf("sum = %d, want %d", sum, 2*n)
+	}
+	if s := e.Stats(); s.ReadRefHits != 0 {
+		t.Errorf("readRefHits = %d with annotation disabled", s.ReadRefHits)
+	} else if s.ChainSteps == 0 {
+		t.Error("expected chain traversal steps with annotation disabled")
+	}
+}
+
+// TestReadRefsUsed confirms the annotation path actually serves reads in
+// the default configuration.
+func TestReadRefsUsed(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 4)
+	ts := make([]txn.Txn, 50)
+	for i := range ts {
+		ts[i] = incTxn(uint64(i % 4))
+	}
+	e.ExecuteBatch(ts)
+	if s := e.Stats(); s.ReadRefHits == 0 {
+		t.Error("readRefHits = 0; annotation not in use")
+	}
+}
+
+// TestBatchSizeOne degenerates to a per-transaction barrier; correctness
+// must be unaffected.
+func TestBatchSizeOne(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 1
+	e := newTestEngine(t, cfg, 2)
+	ts := make([]txn.Txn, 60)
+	want := uint64(0)
+	for i := range ts {
+		tag := uint64(i + 1)
+		ts[i] = setTxn(0, tag)
+		want = want*31 + tag
+	}
+	for i, err := range e.ExecuteBatch(ts) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	if got := readCounter(t, e, 0); got != want {
+		t.Fatalf("fold = %d, want %d", got, want)
+	}
+}
+
+// TestGarbageCollectionBoundsChains: with GC on, a hammered key's chain
+// must stay bounded instead of growing with the update count.
+func TestGarbageCollectionBoundsChains(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 16
+	cfg.GC = true
+	e := newTestEngine(t, cfg, 1)
+	for round := 0; round < 40; round++ {
+		ts := make([]txn.Txn, 25)
+		for i := range ts {
+			ts[i] = incTxn(0)
+		}
+		for _, err := range e.ExecuteBatch(ts) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s := e.Stats()
+	if s.VersionsCollected == 0 {
+		t.Fatal("GC collected nothing")
+	}
+	chain := e.chainFor(key(0))
+	if chain == nil {
+		t.Fatal("chain missing")
+	}
+	if l := chain.Len(); l > 200 {
+		t.Errorf("chain length %d after 1000 updates; GC not bounding growth", l)
+	}
+}
+
+// TestGCDisabledKeepsVersions: with GC off, all versions survive.
+func TestGCDisabledKeepsVersions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GC = false
+	e := newTestEngine(t, cfg, 1)
+	const n = 200
+	ts := make([]txn.Txn, n)
+	for i := range ts {
+		ts[i] = incTxn(0)
+	}
+	for _, err := range e.ExecuteBatch(ts) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.Stats(); s.VersionsCollected != 0 {
+		t.Fatalf("collected %d versions with GC off", s.VersionsCollected)
+	}
+	if l := e.chainFor(key(0)).Len(); l != n+1 {
+		t.Errorf("chain length = %d, want %d", l, n+1)
+	}
+}
+
+// TestConcurrentSubmitters drives the engine from several goroutines;
+// per-key sums must add up.
+func TestConcurrentSubmitters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 32
+	e := newTestEngine(t, cfg, 16)
+	var wg sync.WaitGroup
+	const subs = 4
+	const perSub = 50
+	for s := 0; s < subs; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for r := 0; r < perSub; r++ {
+				ts := []txn.Txn{incTxn(uint64(rng.Intn(16))), incTxn(uint64(rng.Intn(16)))}
+				for _, err := range e.ExecuteBatch(ts) {
+					if err != nil {
+						t.Errorf("txn failed: %v", err)
+						return
+					}
+				}
+			}
+		}(int64(s))
+	}
+	wg.Wait()
+	var sum uint64
+	for i := uint64(0); i < 16; i++ {
+		sum += readCounter(t, e, i)
+	}
+	if want := uint64(subs * perSub * 2); sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+// TestCloseRejectsNewWork: ExecuteBatch after Close errors out rather
+// than hanging.
+func TestCloseRejectsNewWork(t *testing.T) {
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(key(0), txn.NewValue(8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	res := e.ExecuteBatch([]txn.Txn{incTxn(0)})
+	if !errors.Is(res[0], ErrClosed) {
+		t.Fatalf("after close = %v, want ErrClosed", res[0])
+	}
+	e.Close() // double close must be safe
+}
+
+// TestEmptyBatch returns immediately.
+func TestEmptyBatch(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 1)
+	if res := e.ExecuteBatch(nil); len(res) != 0 {
+		t.Fatal("nil batch returned results")
+	}
+}
+
+// TestConfigValidation rejects zero workers.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{CCWorkers: 0, ExecWorkers: 1}); err == nil {
+		t.Error("accepted zero CC workers")
+	}
+	if _, err := New(Config{CCWorkers: 1, ExecWorkers: 0}); err == nil {
+		t.Error("accepted zero exec workers")
+	}
+}
+
+// TestDuplicateLoadRejected surfaces double loads.
+func TestDuplicateLoadRejected(t *testing.T) {
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	if err := e.Load(key(0), txn.NewValue(8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(key(0), txn.NewValue(8, 0)); err == nil {
+		t.Error("duplicate load accepted")
+	}
+}
+
+// TestPartitionBalance sanity-checks the partitioning function over a
+// dense keyspace.
+func TestPartitionBalance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CCWorkers = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	keys := make([]txn.Key, 40000)
+	for i := range keys {
+		keys[i] = key(uint64(i))
+	}
+	for w := 0; w < 4; w++ {
+		n := e.ownedKeys(keys, w)
+		if n < 8000 || n > 12000 {
+			t.Errorf("partition %d owns %d of 40000 keys", w, n)
+		}
+	}
+}
+
+// TestWritesBlockReads: BOHM lets writes block reads (never the
+// converse). A reader after a slow writer must observe the written value,
+// demonstrating the dependency wait rather than returning stale data.
+func TestWritesBlockReads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ExecWorkers = 2
+	cfg.BatchSize = 4
+	e := newTestEngine(t, cfg, 1)
+
+	slowWrite := &txn.Proc{
+		Reads:  []txn.Key{key(0)},
+		Writes: []txn.Key{key(0)},
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(key(0))
+			if err != nil {
+				return err
+			}
+			// Burn some cycles so the dependent read queues up behind us.
+			x := txn.U64(v)
+			for i := 0; i < 10000; i++ {
+				x = x*31 + 1
+			}
+			_ = x
+			return ctx.Write(key(0), txn.Incremented(v, 1))
+		},
+	}
+	var observed uint64
+	reader := &txn.Proc{
+		Reads: []txn.Key{key(0)},
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(key(0))
+			if err != nil {
+				return err
+			}
+			observed = txn.U64(v)
+			return nil
+		},
+	}
+	res := e.ExecuteBatch([]txn.Txn{slowWrite, reader})
+	if res[0] != nil || res[1] != nil {
+		t.Fatalf("results: %v", res)
+	}
+	if observed != 1 {
+		t.Fatalf("reader observed %d, want 1 (must wait for the write)", observed)
+	}
+}
+
+// TestRandomizedStress runs a random mix with occasional aborts across
+// random configurations; sums must reconcile with committed increments.
+func TestRandomizedStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	boom := errors.New("boom")
+	for trial := 0; trial < 6; trial++ {
+		cfg := DefaultConfig()
+		cfg.CCWorkers = 1 + rng.Intn(3)
+		cfg.ExecWorkers = 1 + rng.Intn(4)
+		cfg.BatchSize = 1 << uint(rng.Intn(7))
+		cfg.GC = rng.Intn(2) == 0
+		cfg.DisableReadRefs = rng.Intn(2) == 0
+		const nkeys = 10
+		e := newTestEngine(t, cfg, nkeys)
+
+		const n = 400
+		ts := make([]txn.Txn, n)
+		incs := make([][]uint64, n)
+		aborts := make([]bool, n)
+		for i := range ts {
+			cnt := 1 + rng.Intn(3)
+			ids := make([]uint64, 0, cnt)
+			for len(ids) < cnt {
+				id := uint64(rng.Intn(nkeys))
+				dup := false
+				for _, x := range ids {
+					if x == id {
+						dup = true
+					}
+				}
+				if !dup {
+					ids = append(ids, id)
+				}
+			}
+			incs[i] = ids
+			abort := rng.Intn(10) == 0
+			aborts[i] = abort
+			ks := make([]txn.Key, len(ids))
+			for j, id := range ids {
+				ks[j] = key(id)
+			}
+			ts[i] = &txn.Proc{
+				Reads:  ks,
+				Writes: ks,
+				Body: func(ctx txn.Ctx) error {
+					for _, k := range ks {
+						v, err := ctx.Read(k)
+						if err != nil {
+							return err
+						}
+						if err := ctx.Write(k, txn.Incremented(v, 1)); err != nil {
+							return err
+						}
+					}
+					if abort {
+						return boom
+					}
+					return nil
+				},
+			}
+		}
+		res := e.ExecuteBatch(ts)
+		want := map[uint64]uint64{}
+		for i, err := range res {
+			if aborts[i] {
+				if !errors.Is(err, boom) {
+					t.Fatalf("trial %d txn %d: expected abort, got %v", trial, i, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d txn %d: %v", trial, i, err)
+			}
+			for _, id := range incs[i] {
+				want[id]++
+			}
+		}
+		for id := uint64(0); id < nkeys; id++ {
+			if got := readCounter(t, e, id); got != want[id] {
+				t.Fatalf("trial %d (cfg %+v): key %d = %d, want %d", trial, cfg, id, got, want[id])
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"bohm/internal/storage"
+	"bohm/internal/txn"
+)
+
+// errDepBusy is the internal signal that a read dependency is currently
+// being produced by another worker: the attempt is suspended, the
+// transaction goes back to Unprocessed, and it is retried later (§3.3.1).
+var errDepBusy = errors.New("bohm: read dependency busy")
+
+// execWorker is one transaction execution thread. Worker w is responsible
+// for nodes w, w+n, w+2n, … of every batch (§3.3.1); it may also execute
+// other workers' transactions while chasing read dependencies, and other
+// workers may execute its. It moves to the next batch only when all the
+// transactions it is responsible for are Complete, then publishes the
+// batch sequence as its garbage collection watermark contribution.
+func (e *Engine) execWorker(w int) {
+	defer e.execWG.Done()
+	st := &e.execStats[w]
+	n := e.cfg.ExecWorkers
+	for b := range e.execIn[w] {
+		for {
+			incomplete := false
+			for i := w; i < len(b.nodes); i += n {
+				nd := b.nodes[i]
+				if nd.state.Load() == stComplete {
+					continue
+				}
+				if nd.state.CompareAndSwap(stUnprocessed, stExecuting) {
+					e.execute(nd, st)
+				}
+				if nd.state.Load() != stComplete {
+					incomplete = true
+				}
+			}
+			if !incomplete {
+				break
+			}
+			// All remaining responsibilities are blocked on other
+			// workers' progress; park briefly instead of spinning.
+			time.Sleep(5 * time.Microsecond)
+		}
+		e.execBatch[w].Store(b.seq)
+	}
+}
+
+// execute runs one attempt of nd. The caller must have won the
+// Unprocessed→Executing CAS. Returns true when the transaction reached
+// Complete, false when it was suspended on a busy dependency.
+func (e *Engine) execute(nd *node, st *workerStats) bool {
+	err := e.runOnce(nd, st)
+	if err == errDepBusy {
+		nd.state.Store(stUnprocessed)
+		atomic.AddUint64(&st.requeues, 1)
+		return false
+	}
+	nd.err = err
+	nd.state.Store(stComplete)
+	if err != nil {
+		atomic.AddUint64(&st.userAborts, 1)
+	} else {
+		atomic.AddUint64(&st.committed, 1)
+	}
+	nd.sub.complete(nd)
+	return true
+}
+
+// runOnce performs a single evaluation attempt of nd's logic and, on
+// success, installs the produced data into the placeholder versions the CC
+// phase created. Nothing is installed until every input the finalization
+// needs is available, so a suspended attempt leaves no partial state.
+func (e *Engine) runOnce(nd *node, st *workerStats) error {
+	c := &execCtx{e: e, nd: nd, st: st}
+	if n := len(nd.writes); n > 0 {
+		c.vals = make([][]byte, n)
+		c.wrote = make([]bool, n)
+		c.del = make([]bool, n)
+	}
+	err := txn.RunSafely(nd.t, c)
+	if c.busy {
+		return errDepBusy
+	}
+	if err == nil && c.writeErr != nil {
+		err = c.writeErr
+	}
+
+	// Copy-forward pass: placeholder slots the body did not fill — every
+	// slot on abort, undeclared-but-unwritten slots on commit — take the
+	// preceding version's data so later readers observe the pre-state
+	// (§3.3.1, write dependencies). Resolve all inputs before installing
+	// anything, so a busy dependency suspends the attempt cleanly.
+	aborted := err != nil
+	for i := range nd.writes {
+		if aborted || !c.wrote[i] {
+			v := nd.writeVers[i]
+			prev := v.Prev()
+			if prev == nil {
+				c.vals[i] = nil
+				c.del[i] = true
+				continue
+			}
+			data, tomb, rerr := c.resolve(prev)
+			if rerr != nil {
+				return errDepBusy
+			}
+			c.vals[i] = data
+			c.del[i] = tomb
+		}
+	}
+	for i := range nd.writes {
+		nd.writeVers[i].Install(c.vals[i], c.del[i])
+	}
+	return err
+}
+
+// execCtx implements txn.Ctx for one execution attempt. Writes are
+// buffered and installed at commit; reads resolve versions through the
+// dependency machinery.
+type execCtx struct {
+	e  *Engine
+	nd *node
+	st *workerStats
+
+	vals  [][]byte
+	wrote []bool
+	del   []bool
+
+	// busy poisons the attempt when a read hit an in-flight dependency;
+	// checked by runOnce even if the transaction body swallowed the error.
+	busy bool
+	// writeErr records an access-set violation, turning into an abort.
+	writeErr error
+	// readCursor makes annotated-reference lookup O(1) for bodies that
+	// read their declared read-set in order (the common stored-procedure
+	// shape); out-of-order reads fall back to a linear scan.
+	readCursor int
+}
+
+var _ txn.Ctx = (*execCtx)(nil)
+
+// Read implements txn.Ctx: it returns nd's own buffered write if the
+// transaction already wrote k, otherwise the value of the version visible
+// at nd.ts — the newest version with Begin < ts (a transaction observes
+// exactly the database state preceding its own timestamp).
+func (c *execCtx) Read(k txn.Key) ([]byte, error) {
+	for i, wk := range c.nd.writes {
+		if wk == k && c.wrote[i] {
+			if c.del[i] {
+				return nil, txn.ErrNotFound
+			}
+			return c.vals[i], nil
+		}
+	}
+	v := c.annotatedRef(k)
+	if v == nil {
+		chain := c.e.chainFor(k)
+		if chain == nil {
+			return nil, txn.ErrNotFound
+		}
+		for w := chain.Head(); w != nil; w = w.Prev() {
+			atomic.AddUint64(&c.st.chainSteps, 1)
+			if w.Begin < c.nd.ts {
+				v = w
+				break
+			}
+		}
+		if v == nil {
+			return nil, txn.ErrNotFound
+		}
+	}
+	data, tomb, err := c.resolve(v)
+	if err != nil {
+		c.busy = true
+		return nil, err
+	}
+	if tomb {
+		return nil, txn.ErrNotFound
+	}
+	return data, nil
+}
+
+// annotatedRef returns the version reference the CC phase attached for k,
+// if the read-reference optimization is on and k was in the declared
+// read-set of a record that existed at CC time.
+func (c *execCtx) annotatedRef(k txn.Key) *storage.Version {
+	if c.nd.readRefs == nil {
+		return nil
+	}
+	if cur := c.readCursor; cur < len(c.nd.reads) && c.nd.reads[cur] == k {
+		c.readCursor++
+		if v := c.nd.readRefs[cur]; v != nil {
+			atomic.AddUint64(&c.st.readRefHits, 1)
+			return v
+		}
+		return nil
+	}
+	for i, rk := range c.nd.reads {
+		if rk == k {
+			c.readCursor = i + 1
+			if v := c.nd.readRefs[i]; v != nil {
+				atomic.AddUint64(&c.st.readRefHits, 1)
+				return v
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// resolve waits for v's data, recursively executing the producing
+// transaction when it has not started. When another worker is
+// mid-execution of the producer, resolve spin-waits briefly — the wait is
+// deadlock-free because dependencies always point to strictly older
+// timestamps, so the globally oldest executing transaction never waits —
+// and suspends the attempt (errDepBusy) only if the producer stays busy,
+// handing the transaction back to the scheduler per §3.3.1.
+func (c *execCtx) resolve(v *storage.Version) (data []byte, tombstone bool, err error) {
+	spins := 0
+	for !v.Ready() {
+		p, _ := v.Producer.(*node)
+		if p == nil {
+			// Loaded versions are born ready; an unready version always
+			// has a producer. Yield and re-check.
+			runtime.Gosched()
+			continue
+		}
+		switch p.state.Load() {
+		case stComplete:
+			// Install precedes Complete; the next Ready check sees it.
+			continue
+		case stUnprocessed:
+			if p.state.CompareAndSwap(stUnprocessed, stExecuting) {
+				atomic.AddUint64(&c.st.recursiveExecs, 1)
+				c.e.execute(p, c.st)
+			}
+		default: // stExecuting on another worker
+			spins++
+			switch {
+			case spins > 512:
+				return nil, false, errDepBusy
+			case spins > 32:
+				// Oversubscribed hosts: a parked sleep releases the OS
+				// thread, letting the producer's goroutine run instead of
+				// burning a scheduler quantum on Gosched ping-pong.
+				time.Sleep(5 * time.Microsecond)
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+	data, tombstone = v.Data()
+	return data, tombstone, nil
+}
+
+// Write implements txn.Ctx, buffering v as the new value of k. The engine
+// takes ownership of v.
+func (c *execCtx) Write(k txn.Key, v []byte) error {
+	return c.stage(k, v, false)
+}
+
+// Delete implements txn.Ctx, buffering a tombstone for k.
+func (c *execCtx) Delete(k txn.Key) error {
+	return c.stage(k, nil, true)
+}
+
+func (c *execCtx) stage(k txn.Key, v []byte, del bool) error {
+	for i, wk := range c.nd.writes {
+		if wk == k {
+			c.vals[i] = v
+			c.del[i] = del
+			c.wrote[i] = true
+			return nil
+		}
+	}
+	err := fmt.Errorf("bohm: write to key %+v outside declared write-set", k)
+	if c.writeErr == nil {
+		c.writeErr = err
+	}
+	return err
+}

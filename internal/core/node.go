@@ -1,0 +1,106 @@
+// Package core implements BOHM, the concurrency control protocol of
+// Faleiro & Abadi, "Rethinking serializable multiversion concurrency
+// control" (VLDB 2015).
+//
+// A transaction flows through two phases run by two disjoint sets of
+// goroutines (§3):
+//
+//  1. Concurrency control: a single sequencer assigns each transaction a
+//     timestamp (its position in the transaction log), then m CC workers —
+//     each owning a hash partition of the keyspace — insert uninitialized
+//     placeholder versions for every write and annotate reads with direct
+//     version references. CC workers never coordinate except at batch
+//     boundaries.
+//  2. Execution: n execution workers evaluate transaction logic, filling
+//     in placeholder data. Read dependencies on unproduced versions are
+//     resolved by recursively executing the producing transaction, or by
+//     suspending and retrying when another worker holds it.
+//
+// Reads never block writes; no reads are tracked; no global counter is
+// touched on the transaction execution path.
+package core
+
+import (
+	"sync/atomic"
+
+	"bohm/internal/storage"
+	"bohm/internal/txn"
+)
+
+// Transaction execution states (§3.3.1).
+const (
+	stUnprocessed int32 = iota
+	stExecuting
+	stComplete
+)
+
+// node is the engine's per-transaction record: the user transaction plus
+// everything the two phases attach to it.
+type node struct {
+	t  txn.Txn
+	ts uint64
+
+	// Cached access sets (Txn implementations may rebuild slices per
+	// call; the engine reads them many times).
+	reads  []txn.Key
+	writes []txn.Key
+
+	// writeVers[i] is the placeholder version the CC phase inserted for
+	// writes[i]. Written by exactly one CC worker per slot, read by
+	// execution workers after the batch barrier.
+	writeVers []*storage.Version
+
+	// readRefs[i] is the version reads[i] must observe, annotated by the
+	// CC phase when the read-reference optimization is enabled (§3.2.3).
+	// nil slots fall back to version-chain traversal.
+	readRefs []*storage.Version
+
+	// state is the Unprocessed → Executing → Complete machine. The
+	// worker that CASes Unprocessed→Executing owns the attempt; it either
+	// finalizes to Complete or restores Unprocessed when suspended on a
+	// busy dependency.
+	state atomic.Int32
+
+	// err is the transaction's outcome, written before state flips to
+	// Complete.
+	err error
+
+	// sub points back to the submission this transaction arrived in, and
+	// idx is its slot in the submission's result slice.
+	sub *submission
+	idx int
+}
+
+// submission is one ExecuteBatch call: a slice of transactions awaiting
+// results.
+type submission struct {
+	txns      []txn.Txn
+	res       []error
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+// complete records the outcome of node nd and, if it is the submission's
+// last outstanding transaction, wakes the submitter.
+func (s *submission) complete(nd *node) {
+	s.res[nd.idx] = nd.err
+	if s.remaining.Add(-1) == 0 {
+		close(s.done)
+	}
+}
+
+// batch is the unit of coordination between phases (§3.2.4): CC workers
+// synchronize once per batch; a forwarder goroutine implements the batch
+// barrier and hands batches to the execution phase in sequence order.
+type batch struct {
+	seq   uint64
+	nodes []*node
+	// plans, when pre-processing is enabled (§3.2.2), holds per-CC-worker
+	// work lists: plans[cc][pp] is the sequence of items preprocessing
+	// worker pp extracted for CC worker cc, in timestamp order.
+	plans [][][]planItem
+}
+
+func newBatch(seq uint64, capacity int) *batch {
+	return &batch{seq: seq, nodes: make([]*node, 0, capacity)}
+}

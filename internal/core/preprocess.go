@@ -1,0 +1,94 @@
+package core
+
+// Pre-processing (§3.2.2): with many CC threads, the fact that *every* CC
+// thread examines *every* transaction becomes a serial component (Amdahl's
+// law). The paper's remedy is a pre-processing layer that analyzes each
+// transaction once and forwards per-partition work lists to the CC
+// threads, and notes that the analysis is embarrassingly parallel.
+//
+// When Config.Preprocess is on, a pool of preprocessing workers sits
+// between the sequencer and the CC stage. Worker j handles a contiguous
+// stripe of each batch's transactions, appending one planItem per owned
+// key to plans[cc][j]; a CC worker then walks plans[cc][0..P-1] in order,
+// which preserves timestamp order because the stripes are contiguous and
+// ascending.
+
+// planItem is one unit of CC work: annotate a read or insert a write
+// placeholder for key index keyIdx of node nd.
+type planItem struct {
+	nd     *node
+	keyIdx int32
+	read   bool
+}
+
+// preprocWorker analyzes its stripe of every batch.
+func (e *Engine) preprocWorker(j int) {
+	p := e.cfg.PreprocessWorkers
+	m := len(e.parts)
+	for b := range e.ppIn[j] {
+		stripe := len(b.nodes) / p
+		lo := j * stripe
+		hi := lo + stripe
+		if j == p-1 {
+			hi = len(b.nodes)
+		}
+		for _, nd := range b.nodes[lo:hi] {
+			if nd.readRefs != nil {
+				for i, k := range nd.reads {
+					part := int((k.Hash() >> 40) % uint64(m))
+					b.plans[part][j] = append(b.plans[part][j], planItem{nd: nd, keyIdx: int32(i), read: true})
+				}
+			}
+			for i, k := range nd.writes {
+				part := int((k.Hash() >> 40) % uint64(m))
+				b.plans[part][j] = append(b.plans[part][j], planItem{nd: nd, keyIdx: int32(i)})
+			}
+		}
+		e.ppDone[j] <- b
+	}
+	close(e.ppDone[j])
+}
+
+// ppForwarder is the order-preserving barrier between preprocessing and
+// concurrency control, mirroring the CC→execution forwarder.
+func (e *Engine) ppForwarder() {
+	for {
+		var b *batch
+		for j := range e.ppDone {
+			bj, ok := <-e.ppDone[j]
+			if !ok {
+				for _, ch := range e.ccIn {
+					close(ch)
+				}
+				return
+			}
+			if b == nil {
+				b = bj
+			} else if b != bj {
+				panic("bohm: preprocessing workers emitted batches out of order")
+			}
+		}
+		for _, ch := range e.ccIn {
+			ch <- b
+		}
+	}
+}
+
+// runPlanned is the CC worker's fast path over a preprocessed plan: only
+// the keys this partition owns are visited, in timestamp order.
+func (e *Engine) runPlanned(w int, b *batch, wmLookup func() uint64) {
+	part := e.parts[w]
+	st := &e.ccStats[w]
+	for _, items := range b.plans[w] {
+		for _, it := range items {
+			nd := it.nd
+			if it.read {
+				if c := part.Get(nd.reads[it.keyIdx]); c != nil {
+					nd.readRefs[it.keyIdx] = c.Head()
+				}
+				continue
+			}
+			e.insertPlaceholder(part, st, nd, int(it.keyIdx), b.seq, wmLookup)
+		}
+	}
+}

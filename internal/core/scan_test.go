@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"bohm/internal/txn"
+)
+
+// TestLongScanUsesAnnotations: a 5,000-key read-only transaction must be
+// served almost entirely from read references (§3.2.3 — the optimization
+// behind the paper's Figure 8/9 win), and must observe a consistent
+// snapshot while updates run before and after it in the same batch.
+func TestLongScanUsesAnnotations(t *testing.T) {
+	const nkeys = 5000
+	cfg := DefaultConfig()
+	cfg.BatchSize = 64
+	cfg.Capacity = nkeys
+	e := newTestEngine(t, cfg, nkeys)
+
+	keys := make([]txn.Key, nkeys)
+	for i := range keys {
+		keys[i] = key(uint64(i))
+	}
+	// Updates move one unit between adjacent keys (sum invariant 0).
+	mkUpdate := func(i int) txn.Txn {
+		a, b := keys[i%nkeys], keys[(i+1)%nkeys]
+		return &txn.Proc{
+			Reads:  []txn.Key{a, b},
+			Writes: []txn.Key{a, b},
+			Body: func(ctx txn.Ctx) error {
+				va, err := ctx.Read(a)
+				if err != nil {
+					return err
+				}
+				vb, err := ctx.Read(b)
+				if err != nil {
+					return err
+				}
+				if err := ctx.Write(a, txn.NewValue(8, txn.U64(va)+1)); err != nil {
+					return err
+				}
+				return ctx.Write(b, txn.NewValue(8, txn.U64(vb)-1))
+			},
+		}
+	}
+	var sum uint64
+	scan := &txn.Proc{
+		Reads: keys,
+		Body: func(ctx txn.Ctx) error {
+			s := uint64(0)
+			for _, k := range keys {
+				v, err := ctx.Read(k)
+				if err != nil {
+					return err
+				}
+				s += txn.U64(v)
+			}
+			sum = s
+			return nil
+		},
+	}
+	batch := make([]txn.Txn, 0, 201)
+	for i := 0; i < 100; i++ {
+		batch = append(batch, mkUpdate(i))
+	}
+	batch = append(batch, scan)
+	for i := 100; i < 200; i++ {
+		batch = append(batch, mkUpdate(i))
+	}
+	before := e.Stats()
+	for i, err := range e.ExecuteBatch(batch) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	if sum != 0 {
+		t.Fatalf("scan sum = %d, want 0 (inconsistent snapshot)", int64(sum))
+	}
+	d := e.Stats().Sub(before)
+	if d.ReadRefHits < nkeys {
+		t.Errorf("readRefHits = %d, want >= %d (scan should be annotation-served)", d.ReadRefHits, nkeys)
+	}
+}
+
+// TestOutOfOrderReads: a body that reads its declared read-set in reverse
+// order still gets correct annotated versions (cursor fallback path).
+func TestOutOfOrderReads(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 8)
+	// Give each key a distinct value.
+	seed := make([]txn.Txn, 8)
+	for i := range seed {
+		i := i
+		seed[i] = &txn.Proc{Writes: []txn.Key{key(uint64(i))}, Body: func(ctx txn.Ctx) error {
+			return ctx.Write(key(uint64(i)), txn.NewValue(8, uint64(i)*7+1))
+		}}
+	}
+	for _, err := range e.ExecuteBatch(seed) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := make([]txn.Key, 8)
+	for i := range keys {
+		keys[i] = key(uint64(i))
+	}
+	var got [8]uint64
+	reverse := &txn.Proc{
+		Reads: keys,
+		Body: func(ctx txn.Ctx) error {
+			for i := 7; i >= 0; i-- {
+				v, err := ctx.Read(keys[i])
+				if err != nil {
+					return err
+				}
+				got[i] = txn.U64(v)
+			}
+			// Read a key twice (stale cursor) for good measure.
+			v, err := ctx.Read(keys[3])
+			if err != nil {
+				return err
+			}
+			if txn.U64(v) != got[3] {
+				t.Error("repeated read differs")
+			}
+			return nil
+		},
+	}
+	if res := e.ExecuteBatch([]txn.Txn{reverse}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	for i, v := range got {
+		if v != uint64(i)*7+1 {
+			t.Errorf("key %d = %d, want %d", i, v, uint64(i)*7+1)
+		}
+	}
+}
+
+// TestUndeclaredReadFallsBackToChain: reading a key outside the declared
+// read-set is legal in BOHM (only write-sets are mandatory) and traverses
+// the version chain.
+func TestUndeclaredReadFallsBackToChain(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 2)
+	if res := e.ExecuteBatch([]txn.Txn{incTxn(1)}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	var got uint64
+	p := &txn.Proc{
+		// Read-set declares only key 0; the body also reads key 1.
+		Reads: []txn.Key{key(0)},
+		Body: func(ctx txn.Ctx) error {
+			if _, err := ctx.Read(key(0)); err != nil {
+				return err
+			}
+			v, err := ctx.Read(key(1))
+			if err != nil {
+				return err
+			}
+			got = txn.U64(v)
+			return nil
+		},
+	}
+	before := e.Stats()
+	if res := e.ExecuteBatch([]txn.Txn{p}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	if got != 1 {
+		t.Fatalf("undeclared read = %d, want 1", got)
+	}
+	if d := e.Stats().Sub(before); d.ChainSteps == 0 {
+		t.Error("expected chain traversal for the undeclared read")
+	}
+}

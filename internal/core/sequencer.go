@@ -1,0 +1,94 @@
+package core
+
+import "bohm/internal/storage"
+
+// The sequencer is BOHM's timestamp-assignment stage (§3.2.1): a single
+// goroutine appends every incoming transaction to the logical transaction
+// log. A transaction's timestamp is its position in the log, so timestamp
+// assignment is an uncontended, counter-free operation.
+
+// sequencer consumes submissions, wraps their transactions into nodes with
+// consecutive timestamps, groups them into batches of cfg.BatchSize, and
+// fans each batch out to every CC worker. Partial batches flush as soon as
+// no submission is waiting, so small workloads are never stuck behind the
+// batch size.
+func (e *Engine) sequencer() {
+	defer e.seqWG.Done()
+	defer func() {
+		for _, ch := range e.seqOut {
+			close(ch)
+		}
+	}()
+
+	// Timestamps start at 1: timestamp 0 is reserved for loaded data,
+	// and batch sequence 0 is the "nothing executed yet" GC watermark.
+	nextTS := uint64(1)
+	nextBatch := uint64(1)
+	cur := newBatch(nextBatch, e.cfg.BatchSize)
+
+	flush := func() {
+		if len(cur.nodes) == 0 {
+			return
+		}
+		e.batches.Add(1)
+		if e.cfg.Preprocess {
+			cur.plans = make([][][]planItem, e.cfg.CCWorkers)
+			for c := range cur.plans {
+				cur.plans[c] = make([][]planItem, e.cfg.PreprocessWorkers)
+			}
+		}
+		for _, ch := range e.seqOut {
+			ch <- cur
+		}
+		nextBatch++
+		cur = newBatch(nextBatch, e.cfg.BatchSize)
+	}
+
+	enqueue := func(sub *submission) {
+		for i, t := range sub.txns {
+			nd := &node{
+				t:      t,
+				ts:     nextTS,
+				reads:  t.ReadSet(),
+				writes: t.WriteSet(),
+				sub:    sub,
+				idx:    i,
+			}
+			nextTS++
+			// Slots are allocated here, before fan-out, because several
+			// CC workers fill disjoint entries of the same slice
+			// concurrently (intra-transaction parallelism, §3.2.2).
+			if len(nd.writes) > 0 {
+				nd.writeVers = make([]*storage.Version, len(nd.writes))
+			}
+			if len(nd.reads) > 0 && !e.cfg.DisableReadRefs {
+				nd.readRefs = make([]*storage.Version, len(nd.reads))
+			}
+			cur.nodes = append(cur.nodes, nd)
+			if len(cur.nodes) == e.cfg.BatchSize {
+				flush()
+			}
+		}
+	}
+
+	for sub := range e.subCh {
+		enqueue(sub)
+		// Opportunistically drain whatever else is already queued, then
+		// flush the partial batch so waiting submitters make progress.
+	drain:
+		for {
+			select {
+			case more, ok := <-e.subCh:
+				if !ok {
+					flush()
+					return
+				}
+				enqueue(more)
+			default:
+				break drain
+			}
+		}
+		flush()
+	}
+	flush()
+}

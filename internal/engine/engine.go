@@ -1,0 +1,74 @@
+// Package engine defines the interface every concurrency control engine in
+// this repository implements, plus the statistics snapshot they report.
+// The benchmark harness and the public facade program against this
+// interface, so BOHM and the four baselines (Hekaton, SI, OCC, 2PL) are
+// interchangeable.
+package engine
+
+import "bohm/internal/txn"
+
+// Engine is a transaction processing engine over an in-memory store.
+//
+// Load populates the database before transaction processing starts; it is
+// not safe to call concurrently with ExecuteBatch. ExecuteBatch submits a
+// set of transactions and blocks until all of them have committed or
+// aborted, returning one error slot per transaction (nil = committed).
+// Engines with internal retry (the optimistic ones) retry concurrency-
+// control-induced aborts internally and only surface user aborts.
+type Engine interface {
+	Load(k txn.Key, v []byte) error
+	ExecuteBatch(ts []txn.Txn) []error
+	Stats() Stats
+	Close()
+}
+
+// Stats is a point-in-time snapshot of an engine's counters. Fields not
+// meaningful for a given engine are zero.
+type Stats struct {
+	// Committed counts transactions that committed.
+	Committed uint64
+	// UserAborts counts transactions whose logic returned an error.
+	UserAborts uint64
+	// CCAborts counts concurrency-control-induced aborts (validation
+	// failures, write-write conflicts). Retried executions count once per
+	// abort.
+	CCAborts uint64
+	// VersionsCreated counts multiversion placeholder/version allocations.
+	VersionsCreated uint64
+	// VersionsCollected counts versions reclaimed by garbage collection.
+	VersionsCollected uint64
+	// ReadRefHits counts reads served through BOHM's read-reference
+	// annotation without traversing the version chain.
+	ReadRefHits uint64
+	// ChainSteps counts version-chain hops performed by reads.
+	ChainSteps uint64
+	// Requeues counts BOHM executions suspended because a read dependency
+	// was being produced by another thread.
+	Requeues uint64
+	// RecursiveExecs counts transactions executed by a thread other than
+	// the one responsible for them (BOHM's cooperative execution).
+	RecursiveExecs uint64
+	// Batches counts concurrency-control batches processed.
+	Batches uint64
+	// TimestampFetches counts atomic fetch-and-increment operations on a
+	// global timestamp counter (Hekaton/SI; zero for BOHM by design).
+	TimestampFetches uint64
+}
+
+// Sub returns the element-wise difference s - o, for measuring an
+// interval between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Committed:         s.Committed - o.Committed,
+		UserAborts:        s.UserAborts - o.UserAborts,
+		CCAborts:          s.CCAborts - o.CCAborts,
+		VersionsCreated:   s.VersionsCreated - o.VersionsCreated,
+		VersionsCollected: s.VersionsCollected - o.VersionsCollected,
+		ReadRefHits:       s.ReadRefHits - o.ReadRefHits,
+		ChainSteps:        s.ChainSteps - o.ChainSteps,
+		Requeues:          s.Requeues - o.Requeues,
+		RecursiveExecs:    s.RecursiveExecs - o.RecursiveExecs,
+		Batches:           s.Batches - o.Batches,
+		TimestampFetches:  s.TimestampFetches - o.TimestampFetches,
+	}
+}

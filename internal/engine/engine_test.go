@@ -1,0 +1,36 @@
+package engine
+
+import "testing"
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{
+		Committed: 100, UserAborts: 10, CCAborts: 5, VersionsCreated: 1000,
+		VersionsCollected: 900, ReadRefHits: 50, ChainSteps: 25, Requeues: 3,
+		RecursiveExecs: 2, Batches: 7, TimestampFetches: 222,
+	}
+	b := Stats{
+		Committed: 40, UserAborts: 4, CCAborts: 1, VersionsCreated: 300,
+		VersionsCollected: 200, ReadRefHits: 20, ChainSteps: 5, Requeues: 1,
+		RecursiveExecs: 1, Batches: 2, TimestampFetches: 22,
+	}
+	d := a.Sub(b)
+	want := Stats{
+		Committed: 60, UserAborts: 6, CCAborts: 4, VersionsCreated: 700,
+		VersionsCollected: 700, ReadRefHits: 30, ChainSteps: 20, Requeues: 2,
+		RecursiveExecs: 1, Batches: 5, TimestampFetches: 200,
+	}
+	if d != want {
+		t.Errorf("Sub = %+v, want %+v", d, want)
+	}
+}
+
+func TestStatsSubZero(t *testing.T) {
+	var z Stats
+	s := Stats{Committed: 5}
+	if s.Sub(z) != s {
+		t.Error("Sub of zero changed the value")
+	}
+	if z.Sub(z) != (Stats{}) {
+		t.Error("zero minus zero not zero")
+	}
+}

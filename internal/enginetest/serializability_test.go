@@ -1,0 +1,117 @@
+package enginetest
+
+import (
+	"testing"
+
+	"bohm/internal/engine"
+	"bohm/internal/txn"
+)
+
+// foldTxn performs v' = v*31 + tag on the hot key: non-commutative, so
+// the final value identifies the exact serialization order of the
+// committed transactions.
+func foldTxn(tag uint64) txn.Txn {
+	k := key(0)
+	return &txn.Proc{
+		Reads:  []txn.Key{k},
+		Writes: []txn.Key{k},
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(k)
+			if err != nil {
+				return err
+			}
+			return ctx.Write(k, txn.NewValue(8, txn.U64(v)*31+tag))
+		},
+	}
+}
+
+// allPermutationFolds enumerates fold results of every permutation of
+// tags 1..n (n! results; keep n small).
+func allPermutationFolds(n int) map[uint64]bool {
+	out := map[uint64]bool{}
+	tags := make([]uint64, n)
+	for i := range tags {
+		tags[i] = uint64(i + 1)
+	}
+	var rec func(remaining []uint64, acc uint64)
+	rec = func(remaining []uint64, acc uint64) {
+		if len(remaining) == 0 {
+			out[acc] = true
+			return
+		}
+		for i := range remaining {
+			next := make([]uint64, 0, len(remaining)-1)
+			next = append(next, remaining[:i]...)
+			next = append(next, remaining[i+1:]...)
+			rec(next, acc*31+remaining[i])
+		}
+	}
+	rec(tags, 0)
+	return out
+}
+
+// TestSomeSerialOrderExists: n concurrent non-commutative updates of one
+// key must fold to the result of SOME permutation — the definition of
+// serializability for this workload. This holds for every engine
+// including SI (single-key read-modify-writes have no write-skew).
+func TestSomeSerialOrderExists(t *testing.T) {
+	const n = 6
+	valid := allPermutationFolds(n)
+	forEachEngine(t, func(t *testing.T, name string, _ bool, e engine.Engine) {
+		load(t, e, 1, 0)
+		for trial := 0; trial < 10; trial++ {
+			// Reset the key.
+			reset := &txn.Proc{Writes: []txn.Key{key(0)}, Body: func(ctx txn.Ctx) error {
+				return ctx.Write(key(0), txn.NewValue(8, 0))
+			}}
+			if res := e.ExecuteBatch([]txn.Txn{reset}); res[0] != nil {
+				t.Fatal(res[0])
+			}
+			ts := make([]txn.Txn, n)
+			for i := range ts {
+				ts[i] = foldTxn(uint64(i + 1))
+			}
+			for i, err := range e.ExecuteBatch(ts) {
+				if err != nil {
+					t.Fatalf("%s trial %d txn %d: %v", name, trial, i, err)
+				}
+			}
+			got, err := readVal(t, e, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !valid[got] {
+				t.Fatalf("%s trial %d: fold %d matches no serial order of %d transactions", name, trial, got, n)
+			}
+		}
+	})
+}
+
+// TestBohmSerialOrderIsSubmissionOrder: on BOHM specifically, the serial
+// order is not just "some" order — it is exactly the submission order.
+// (The baselines make no such promise.)
+func TestBohmSerialOrderIsSubmissionOrder(t *testing.T) {
+	e := factories[0].make(t) // bohm
+	t.Cleanup(e.Close)
+	load(t, e, 1, 0)
+	const n = 64
+	ts := make([]txn.Txn, n)
+	want := uint64(0)
+	for i := range ts {
+		tag := uint64(i + 1)
+		ts[i] = foldTxn(tag)
+		want = want*31 + tag
+	}
+	for i, err := range e.ExecuteBatch(ts) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	got, err := readVal(t, e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fold = %d, want submission order %d", got, want)
+	}
+}

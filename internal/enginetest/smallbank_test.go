@@ -1,0 +1,123 @@
+package enginetest
+
+import (
+	"errors"
+	"testing"
+
+	"bohm/internal/engine"
+	"bohm/internal/txn"
+	"bohm/internal/workload"
+)
+
+// TestSmallBankConservation runs the real SmallBank mix on every engine
+// and audits the books: the total money in the bank must equal the
+// initial funds plus the net effect of every *committed* deposit,
+// withdrawal and write-check (transfers and balance checks are neutral).
+func TestSmallBankConservation(t *testing.T) {
+	const customers = 40 // small enough to contend hard
+	sb := workload.SmallBank{Customers: customers}
+
+	forEachEngine(t, func(t *testing.T, name string, _ bool, e engine.Engine) {
+		if err := sb.LoadInto(e); err != nil {
+			t.Fatal(err)
+		}
+		src := sb.NewSource(1234)
+		const n = 1500
+		ts := make([]txn.Txn, n)
+		for i := range ts {
+			ts[i] = src.Next()
+		}
+		res := e.ExecuteBatch(ts)
+
+		var delta int64
+		for i, err := range res {
+			if err != nil {
+				if errors.Is(err, workload.ErrInsufficientFunds) {
+					continue // legitimate business abort
+				}
+				t.Fatalf("%s: txn %d (%T): %v", name, i, ts[i], err)
+			}
+			switch tx := ts[i].(type) {
+			case *workload.DepositTxn:
+				delta += tx.Amount
+			case *workload.TransactSavingsTxn:
+				delta += tx.Amount
+			case *workload.WriteCheckTxn:
+				// Amalgamates empty accounts, so overdraft penalties do
+				// occur; the transaction reports the one it committed.
+				delta -= tx.Amount + tx.Penalty
+			}
+		}
+
+		var total int64
+		for c := uint64(0); c < customers; c++ {
+			for _, table := range []uint32{workload.SBSavings, workload.SBChecking} {
+				k := txn.Key{Table: table, ID: c}
+				var v int64
+				r := e.ExecuteBatch([]txn.Txn{&txn.Proc{
+					Reads: []txn.Key{k},
+					Body: func(ctx txn.Ctx) error {
+						b, err := ctx.Read(k)
+						if err != nil {
+							return err
+						}
+						v = int64(txn.U64(b))
+						return nil
+					},
+				}})
+				if r[0] != nil {
+					t.Fatal(r[0])
+				}
+				total += v
+			}
+		}
+		want := int64(customers)*2*workload.InitialBalance + delta
+		if total != want {
+			t.Errorf("%s: bank total = %d, want %d (money not conserved)", name, total, want)
+		}
+	})
+}
+
+// TestSmallBankBalanceReadsConsistent: Balance transactions interleaved
+// with Amalgamates must never observe a state where funds are mid-flight
+// (a torn read of the two balances), for the serializable engines.
+func TestSmallBankBalanceSnapshot(t *testing.T) {
+	const customers = 4
+	sb := workload.SmallBank{Customers: customers}
+	forEachEngine(t, func(t *testing.T, name string, serializable bool, e engine.Engine) {
+		if err := sb.LoadInto(e); err != nil {
+			t.Fatal(err)
+		}
+		// Amalgamate(0→1) zeroes customer 0; Balance(0) must read either
+		// the full pre-state (2 * InitialBalance) or zero — never a
+		// partial move. This holds under SI too (snapshot reads).
+		var ts []txn.Txn
+		balances := make([]*workload.BalanceTxn, 0, 50)
+		for i := 0; i < 50; i++ {
+			if i%2 == 0 {
+				if i%4 == 0 {
+					ts = append(ts, &workload.AmalgamateTxn{SB: sb, From: 0, To: 1})
+				} else {
+					ts = append(ts, &workload.DepositTxn{SB: sb, Customer: 0, Amount: 1000})
+				}
+			} else {
+				b := &workload.BalanceTxn{SB: sb, Customer: 0}
+				balances = append(balances, b)
+				ts = append(ts, b)
+			}
+		}
+		for i, err := range e.ExecuteBatch(ts) {
+			if err != nil {
+				t.Fatalf("%s: txn %d: %v", name, i, err)
+			}
+		}
+		for i, b := range balances {
+			// Valid observations: 0 (just amalgamated), or any multiple
+			// of 1000 up to the initial 2M plus deposits. A torn read
+			// would surface as a value that is not a multiple of 1000.
+			if b.Total%1000 != 0 {
+				t.Errorf("%s: balance %d observed torn total %d", name, i, b.Total)
+			}
+		}
+	})
+}

@@ -1,0 +1,277 @@
+package hekaton
+
+import (
+	"sync"
+	"testing"
+
+	"bohm/internal/storage"
+	"bohm/internal/txn"
+)
+
+func TestDefaultConfigUsable(t *testing.T) {
+	cfg := DefaultConfig()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close() // exercise the no-op Close too
+}
+
+// TestClaimTargetConflictBranches drives claimTarget through its
+// first-writer-wins branches over hand-built chains.
+func TestClaimTargetConflictBranches(t *testing.T) {
+	e := newEngine(t, Serializable, 1)
+
+	// Branch: head written by an active transaction → conflict.
+	ch := &chain{}
+	base := committedVersion(10, 1)
+	ch.head.Store(base)
+	other := mkTxn(30, 0, txActive)
+	inflight := &version{owner: ch, data: []byte{2}}
+	inflight.end.Store(storage.TsInfinity)
+	inflight.writer.Store(other)
+	inflight.prev.Store(base)
+	base.endTxn.Store(other)
+	ch.head.Store(inflight)
+
+	me := mkTxn(40, 0, txActive)
+	c := &hCtx{e: e, r: me}
+	if got := c.claimTarget(ch); got != nil || !c.conflict {
+		t.Errorf("active writer: target=%v conflict=%v, want nil/true", got, c.conflict)
+	}
+
+	// Branch: committed version newer than our begin timestamp.
+	ch2 := &chain{}
+	newer := committedVersion(50, 3)
+	ch2.head.Store(newer)
+	me2 := mkTxn(40, 0, txActive)
+	c2 := &hCtx{e: e, r: me2}
+	if got := c2.claimTarget(ch2); got != nil || !c2.conflict {
+		t.Errorf("newer committed: target=%v conflict=%v, want nil/true", got, c2.conflict)
+	}
+
+	// Branch: committed version already claimed by another transaction.
+	ch3 := &chain{}
+	claimed := committedVersion(10, 1)
+	claimed.endTxn.Store(other)
+	ch3.head.Store(claimed)
+	me3 := mkTxn(40, 0, txActive)
+	c3 := &hCtx{e: e, r: me3}
+	if got := c3.claimTarget(ch3); got != nil || !c3.conflict {
+		t.Errorf("claimed: target=%v conflict=%v, want nil/true", got, c3.conflict)
+	}
+
+	// Branch: clean claim succeeds.
+	ch4 := &chain{}
+	clean := committedVersion(10, 1)
+	ch4.head.Store(clean)
+	me4 := mkTxn(40, 0, txActive)
+	c4 := &hCtx{e: e, r: me4}
+	if got := c4.claimTarget(ch4); got != clean || c4.conflict {
+		t.Errorf("clean: target=%v conflict=%v, want clean/false", got, c4.conflict)
+	}
+
+	// Branch: aborted garbage above a committed version is skipped.
+	ch5 := &chain{}
+	base5 := committedVersion(10, 1)
+	dead := &version{owner: ch5, data: []byte{9}}
+	dead.end.Store(storage.TsInfinity)
+	dead.writer.Store(mkTxn(30, 0, txAborted))
+	dead.prev.Store(base5)
+	ch5.head.Store(dead)
+	me5 := mkTxn(40, 0, txActive)
+	c5 := &hCtx{e: e, r: me5}
+	if got := c5.claimTarget(ch5); got != base5 || c5.conflict {
+		t.Errorf("aborted garbage: target=%v conflict=%v, want base/false", got, c5.conflict)
+	}
+}
+
+// TestEndVisibleBranches exercises the end-field visibility rules.
+func TestEndVisibleBranches(t *testing.T) {
+	e := newEngine(t, Serializable, 1)
+	r := mkTxn(40, 0, txActive)
+
+	// Committed end timestamp: visible strictly before it.
+	v := committedVersion(10, 1)
+	v.end.Store(30)
+	if e.endVisible(v, 25, r) != true {
+		t.Error("ts 25 < end 30 should be visible")
+	}
+	if e.endVisible(v, 30, r) != false {
+		t.Error("ts 30 == end 30 should be invisible (end exclusive)")
+	}
+
+	// Claim by self: visible.
+	v2 := committedVersion(10, 1)
+	v2.endTxn.Store(r)
+	if !e.endVisible(v2, 40, r) {
+		t.Error("own claim should stay visible")
+	}
+
+	// Claim by an active transaction: still visible.
+	v3 := committedVersion(10, 1)
+	v3.endTxn.Store(mkTxn(20, 0, txActive))
+	if !e.endVisible(v3, 40, r) {
+		t.Error("active claimer should not hide the version")
+	}
+
+	// Claim by a committed transaction: end = its end timestamp.
+	v4 := committedVersion(10, 1)
+	v4.endTxn.Store(mkTxn(20, 35, txCommitted))
+	if e.endVisible(v4, 40, r) {
+		t.Error("ts 40 >= committed end 35 should be invisible")
+	}
+	if !e.endVisible(v4, 30, r) {
+		t.Error("ts 30 < committed end 35 should be visible")
+	}
+
+	// Claim by an aborted transaction: the claim is void.
+	v5 := committedVersion(10, 1)
+	v5.endTxn.Store(mkTxn(20, 35, txAborted))
+	if !e.endVisible(v5, 40, r) {
+		t.Error("aborted claim should keep the version visible")
+	}
+
+	// Preparing claimer, reader before its end timestamp: visible, no dep.
+	v6 := committedVersion(10, 1)
+	v6.endTxn.Store(mkTxn(20, 60, txPreparing))
+	if !e.endVisible(v6, 40, r) {
+		t.Error("reader before preparing end should see the version")
+	}
+	if r.depCount.Load() != 0 {
+		t.Error("no dependency expected for reader before preparing end")
+	}
+
+	// Preparing claimer, reader after its end timestamp: speculatively
+	// superseded, dependency registered.
+	r2 := mkTxn(70, 0, txActive)
+	w := mkTxn(20, 60, txPreparing)
+	v7 := committedVersion(10, 1)
+	v7.endTxn.Store(w)
+	if e.endVisible(v7, 70, r2) {
+		t.Error("reader after preparing end should speculatively skip")
+	}
+	if r2.depCount.Load() != 1 {
+		t.Errorf("depCount = %d, want 1", r2.depCount.Load())
+	}
+	w.releaseDependents(false)
+}
+
+// TestSlotExhaustionDisablesTrim: more concurrent transactions than
+// active slots must disable trimming rather than corrupt it.
+func TestSlotExhaustionDisablesTrim(t *testing.T) {
+	e, err := New(Config{Workers: 1, Capacity: 64, TrimChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	// Advance the timestamp counter past the slot timestamps used below,
+	// since minActive is bounded by the counter as well.
+	for e.counter.Load() < 500 {
+		e.nextTS()
+	}
+	// Claim every slot by hand.
+	var claimed []int
+	for i := 0; i < len(e.active); i++ {
+		claimed = append(claimed, e.claimSlot(uint64(100+i)))
+	}
+	// Next claim is slotless; minActive must return 0 (nothing trimmable).
+	s := e.claimSlot(999)
+	if s != -1 {
+		t.Fatalf("claimSlot = %d, want -1 when exhausted", s)
+	}
+	if got := e.minActive(); got != 0 {
+		t.Fatalf("minActive = %d with slotless txns, want 0", got)
+	}
+	e.releaseSlot(s)
+	if got := e.minActive(); got != 100 {
+		t.Fatalf("minActive = %d, want 100", got)
+	}
+	for _, c := range claimed {
+		e.releaseSlot(c)
+	}
+}
+
+// TestRepeatedWriteSameKey: a transaction writing the same key twice
+// updates its in-flight version in place.
+func TestRepeatedWriteSameKey(t *testing.T) {
+	e := newEngine(t, Serializable, 1)
+	load(t, e, 1, 0)
+	p := &txn.Proc{
+		Writes: []txn.Key{key(0)},
+		Body: func(ctx txn.Ctx) error {
+			if err := ctx.Write(key(0), txn.NewValue(8, 1)); err != nil {
+				return err
+			}
+			return ctx.Write(key(0), txn.NewValue(8, 2))
+		},
+	}
+	if res := e.ExecuteBatch([]txn.Txn{p}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	got, err := readVal(t, e, 0)
+	if err != nil || got != 2 {
+		t.Fatalf("value = %d (%v), want 2", got, err)
+	}
+	s := e.Stats()
+	if s.VersionsCreated != 1 {
+		t.Errorf("versions created = %d, want 1 (second write updates in place)", s.VersionsCreated)
+	}
+}
+
+// TestWriteOutsideWriteSet surfaces the declared-set violation.
+func TestWriteOutsideWriteSet(t *testing.T) {
+	e := newEngine(t, Serializable, 1)
+	load(t, e, 2, 0)
+	p := &txn.Proc{
+		Writes: []txn.Key{key(0)},
+		Body:   func(ctx txn.Ctx) error { return ctx.Write(key(1), txn.NewValue(8, 1)) },
+	}
+	if res := e.ExecuteBatch([]txn.Txn{p}); res[0] == nil {
+		t.Fatal("undeclared write committed")
+	}
+	got, err := readVal(t, e, 1)
+	if err != nil || got != 0 {
+		t.Fatalf("key 1 = %d (%v), want 0", got, err)
+	}
+}
+
+// TestStressMixedLevels hammers both isolation levels concurrently with
+// conflicting increments to exercise abort/cascade paths.
+func TestStressMixedLevels(t *testing.T) {
+	for _, level := range []Level{Serializable, Snapshot} {
+		e := newEngine(t, level, 4)
+		load(t, e, 4, 0)
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				for round := 0; round < 20; round++ {
+					ts := make([]txn.Txn, 10)
+					for i := range ts {
+						ts[i] = incTxn(uint64((seed + i) % 4))
+					}
+					for _, err := range e.ExecuteBatch(ts) {
+						if err != nil {
+							t.Errorf("level %d: %v", level, err)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		var sum uint64
+		for i := uint64(0); i < 4; i++ {
+			v, err := readVal(t, e, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		if sum != 600 {
+			t.Fatalf("level %d: sum = %d, want 600", level, sum)
+		}
+	}
+}

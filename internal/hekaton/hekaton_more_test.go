@@ -1,0 +1,231 @@
+package hekaton
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bohm/internal/txn"
+)
+
+// TestConcurrentInsertsSameKey: two transactions inserting the same
+// previously nonexistent key overlap; the chain-level insert claim must
+// serialize them (one retries), and exactly one final value survives.
+func TestConcurrentInsertsSameKey(t *testing.T) {
+	e := newEngine(t, Snapshot, 2)
+	load(t, e, 1, 0) // unrelated key so the table is not empty
+	k := key(500)
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	mk := func(val uint64) txn.Txn {
+		return &rendezvousTxn{
+			reads:         []txn.Key{k},
+			writes:        []txn.Key{k},
+			barrier:       &barrier,
+			ignoreMissing: true,
+			apply: func(ctx txn.Ctx, vals map[txn.Key]uint64) error {
+				return ctx.Write(k, txn.NewValue(8, val))
+			},
+		}
+	}
+	for i, err := range e.ExecuteBatch([]txn.Txn{mk(111), mk(222)}) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	got, err := readVal(t, e, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 111 && got != 222 {
+		t.Fatalf("inserted value = %d, want 111 or 222", got)
+	}
+}
+
+// TestSnapshotReadsAreStable: a transaction that reads the same key twice
+// while a concurrent writer commits in between must observe the same
+// value both times (reads as of the begin timestamp) — under both
+// Snapshot and Serializable levels.
+func TestSnapshotReadsAreStable(t *testing.T) {
+	for _, level := range []Level{Snapshot, Serializable} {
+		e := newEngine(t, level, 2)
+		load(t, e, 1, 7)
+
+		readerInFlight := make(chan struct{})
+		writerDone := make(chan struct{})
+		var first, second uint64
+		var mismatch bool
+		var once sync.Once
+		reader := &txn.Proc{
+			Reads: []txn.Key{key(0)},
+			Body: func(ctx txn.Ctx) error {
+				v, err := ctx.Read(key(0))
+				if err != nil {
+					return err
+				}
+				f := txn.U64(v)
+				once.Do(func() {
+					close(readerInFlight)
+					select {
+					case <-writerDone:
+					case <-time.After(time.Second):
+					}
+				})
+				v, err = ctx.Read(key(0))
+				if err != nil {
+					return err
+				}
+				s := txn.U64(v)
+				first, second = f, s
+				if f != s {
+					mismatch = true
+				}
+				return nil
+			},
+		}
+		writer := &txn.Proc{
+			Reads:  []txn.Key{key(0)},
+			Writes: []txn.Key{key(0)},
+			Body: func(ctx txn.Ctx) error {
+				<-readerInFlight
+				v, err := ctx.Read(key(0))
+				if err != nil {
+					return err
+				}
+				return ctx.Write(key(0), txn.Incremented(v, 100))
+			},
+		}
+		done := make(chan []error, 1)
+		go func() {
+			res := e.ExecuteBatch([]txn.Txn{writer})
+			close(writerDone)
+			done <- res
+		}()
+		rres := e.ExecuteBatch([]txn.Txn{reader})
+		wres := <-done
+		if rres[0] != nil || wres[0] != nil {
+			t.Fatalf("level %d: reader %v writer %v", level, rres[0], wres[0])
+		}
+		if mismatch {
+			t.Fatalf("level %d: snapshot violated: first read %d, second read %d", level, first, second)
+		}
+	}
+}
+
+// TestReadOnlyNeverAborts: read-only transactions under Snapshot commit
+// without validation even when everything they read is concurrently
+// overwritten.
+func TestReadOnlyNeverAborts(t *testing.T) {
+	e := newEngine(t, Snapshot, 4)
+	load(t, e, 8, 1)
+	var ts []txn.Txn
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			ts = append(ts, incTxn(uint64(i%8)))
+		} else {
+			keys := make([]txn.Key, 8)
+			for j := range keys {
+				keys[j] = key(uint64(j))
+			}
+			ts = append(ts, &txn.Proc{
+				Reads: keys,
+				Body: func(ctx txn.Ctx) error {
+					for _, k := range keys {
+						if _, err := ctx.Read(k); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			})
+		}
+	}
+	for i, err := range e.ExecuteBatch(ts) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+}
+
+// TestDeleteVisibility under both levels.
+func TestDeleteVisibility(t *testing.T) {
+	for _, level := range []Level{Snapshot, Serializable} {
+		e := newEngine(t, level, 2)
+		load(t, e, 2, 9)
+		del := &txn.Proc{Writes: []txn.Key{key(0)}, Body: func(ctx txn.Ctx) error {
+			return ctx.Delete(key(0))
+		}}
+		if res := e.ExecuteBatch([]txn.Txn{del}); res[0] != nil {
+			t.Fatal(res[0])
+		}
+		if _, err := readVal(t, e, 0); err == nil {
+			t.Fatalf("level %d: deleted key still readable", level)
+		}
+		// Re-insert over the tombstone.
+		re := &txn.Proc{Writes: []txn.Key{key(0)}, Body: func(ctx txn.Ctx) error {
+			return ctx.Write(key(0), txn.NewValue(8, 4))
+		}}
+		if res := e.ExecuteBatch([]txn.Txn{re}); res[0] != nil {
+			t.Fatal(res[0])
+		}
+		got, err := readVal(t, e, 0)
+		if err != nil || got != 4 {
+			t.Fatalf("level %d: reinsert = %d (%v), want 4", level, got, err)
+		}
+	}
+}
+
+// TestConcurrentExecuteBatchWithTrim: multiple concurrent ExecuteBatch
+// calls must register their in-flight transactions independently, so
+// chain trimming never collects a version a concurrent reader still
+// needs (regression test for shared active-slot indices).
+func TestConcurrentExecuteBatchWithTrim(t *testing.T) {
+	e, err := New(Config{Workers: 2, Capacity: 256, TrimChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	load(t, e, 8, 0)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for round := 0; round < 30; round++ {
+				ts := make([]txn.Txn, 10)
+				for i := range ts {
+					if (seed+i)%3 == 0 {
+						// Reader of all keys.
+						keys := make([]txn.Key, 8)
+						for j := range keys {
+							keys[j] = key(uint64(j))
+						}
+						ts[i] = &txn.Proc{Reads: keys, Body: func(ctx txn.Ctx) error {
+							for _, k := range keys {
+								if _, err := ctx.Read(k); err != nil {
+									return err
+								}
+							}
+							return nil
+						}}
+					} else {
+						ts[i] = incTxn(uint64((seed + i) % 8))
+					}
+				}
+				for _, err := range e.ExecuteBatch(ts) {
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent batch failed: %v", err)
+	}
+}

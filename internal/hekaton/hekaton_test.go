@@ -1,0 +1,540 @@
+package hekaton
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"bohm/internal/storage"
+	"bohm/internal/txn"
+)
+
+func key(id uint64) txn.Key { return txn.Key{Table: 0, ID: id} }
+
+func newEngine(t *testing.T, level Level, workers int) *Engine {
+	t.Helper()
+	e, err := New(Config{Workers: workers, Capacity: 1 << 12, Level: level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func load(t *testing.T, e *Engine, n int, val uint64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := e.Load(key(uint64(i)), txn.NewValue(8, val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func incTxn(ids ...uint64) txn.Txn {
+	ks := make([]txn.Key, len(ids))
+	for i, id := range ids {
+		ks[i] = key(id)
+	}
+	return &txn.Proc{
+		Reads:  ks,
+		Writes: ks,
+		Body: func(ctx txn.Ctx) error {
+			for _, k := range ks {
+				v, err := ctx.Read(k)
+				if err != nil {
+					return err
+				}
+				if err := ctx.Write(k, txn.Incremented(v, 1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func readVal(t *testing.T, e *Engine, id uint64) (uint64, error) {
+	t.Helper()
+	var got uint64
+	res := e.ExecuteBatch([]txn.Txn{&txn.Proc{
+		Reads: []txn.Key{key(id)},
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(key(id))
+			if err != nil {
+				return err
+			}
+			got = txn.U64(v)
+			return nil
+		},
+	}})
+	return got, res[0]
+}
+
+// --- Unit tests of the visibility rules over hand-built chains ---
+
+func mkTxn(begin, end uint64, state int32) *hTxn {
+	h := &hTxn{beginTS: begin, endTS: end}
+	h.state.Store(state)
+	return h
+}
+
+func committedVersion(beginTS uint64, data byte) *version {
+	v := &version{data: []byte{data}}
+	v.begin.Store(beginTS)
+	v.end.Store(storage.TsInfinity)
+	return v
+}
+
+func TestVisibilityCommittedChain(t *testing.T) {
+	e := newEngine(t, Serializable, 1)
+	ch := &chain{}
+	v1 := committedVersion(10, 1)
+	ch.head.Store(v1)
+	v2 := committedVersion(20, 2)
+	v2.prev.Store(v1)
+	v1.end.Store(20)
+	ch.head.Store(v2)
+
+	r := mkTxn(25, 0, txActive)
+	if got := e.visible(ch, 25, r, false); got != v2 {
+		t.Errorf("ts 25: got %v, want v2", got)
+	}
+	r = mkTxn(15, 0, txActive)
+	if got := e.visible(ch, 15, r, false); got != v1 {
+		t.Errorf("ts 15: got %v, want v1", got)
+	}
+	r = mkTxn(5, 0, txActive)
+	if got := e.visible(ch, 5, r, false); got != nil {
+		t.Errorf("ts 5: got %v, want nil", got)
+	}
+	// Boundary: begin is inclusive.
+	r = mkTxn(20, 0, txActive)
+	if got := e.visible(ch, 20, r, false); got != v2 {
+		t.Errorf("ts 20: got %v, want v2 (begin inclusive)", got)
+	}
+}
+
+func TestVisibilityActiveWriterInvisible(t *testing.T) {
+	e := newEngine(t, Serializable, 1)
+	ch := &chain{}
+	base := committedVersion(10, 1)
+	ch.head.Store(base)
+
+	w := mkTxn(30, 0, txActive)
+	inflight := &version{data: []byte{2}}
+	inflight.end.Store(storage.TsInfinity)
+	inflight.writer.Store(w)
+	inflight.prev.Store(base)
+	base.endTxn.Store(w)
+	ch.head.Store(inflight)
+
+	r := mkTxn(40, 0, txActive)
+	if got := e.visible(ch, 40, r, false); got != base {
+		t.Errorf("active writer's version visible to another txn: got %v", got)
+	}
+	// The writer itself sees its own version.
+	if got := e.visible(ch, 30, w, false); got != inflight {
+		t.Errorf("writer does not see own write: got %v", got)
+	}
+	// skipOwn (validation mode) sees the pre-image.
+	if got := e.visible(ch, 99, w, true); got != base {
+		t.Errorf("skipOwn returned %v, want base", got)
+	}
+}
+
+func TestVisibilitySpeculativePreparing(t *testing.T) {
+	e := newEngine(t, Serializable, 1)
+	ch := &chain{}
+	base := committedVersion(10, 1)
+	ch.head.Store(base)
+
+	w := mkTxn(30, 50, txPreparing) // end timestamp 50 assigned, validating
+	inflight := &version{data: []byte{2}}
+	inflight.end.Store(storage.TsInfinity)
+	inflight.writer.Store(w)
+	inflight.prev.Store(base)
+	base.endTxn.Store(w)
+	ch.head.Store(inflight)
+
+	// Reader at ts 60 > 50: speculatively reads the preparing version and
+	// takes a commit dependency.
+	r := mkTxn(60, 0, txActive)
+	if got := e.visible(ch, 60, r, false); got != inflight {
+		t.Errorf("speculative read returned %v, want in-flight version", got)
+	}
+	if r.depCount.Load() != 1 {
+		t.Errorf("depCount = %d, want 1", r.depCount.Load())
+	}
+	if len(w.dependents) != 1 || w.dependents[0] != r {
+		t.Error("dependent not registered on the writer")
+	}
+
+	// Reader at ts 40 < 50: the preparing version cannot be visible; the
+	// base version is (its invalidation would be at 50 > 40, no dep).
+	r2 := mkTxn(40, 0, txActive)
+	if got := e.visible(ch, 40, r2, false); got != base {
+		t.Errorf("pre-prepare reader got %v, want base", got)
+	}
+	if r2.depCount.Load() != 0 {
+		t.Errorf("pre-prepare reader took %d deps, want 0", r2.depCount.Load())
+	}
+}
+
+func TestVisibilityAbortedVersionSkipped(t *testing.T) {
+	e := newEngine(t, Serializable, 1)
+	ch := &chain{}
+	base := committedVersion(10, 1)
+	ch.head.Store(base)
+
+	w := mkTxn(30, 0, txAborted)
+	dead := &version{data: []byte{2}}
+	dead.end.Store(storage.TsInfinity)
+	dead.writer.Store(w)
+	dead.prev.Store(base)
+	ch.head.Store(dead)
+
+	r := mkTxn(40, 0, txActive)
+	if got := e.visible(ch, 40, r, false); got != base {
+		t.Errorf("aborted version not skipped: got %v", got)
+	}
+}
+
+func TestReleaseDependentsCascade(t *testing.T) {
+	w := mkTxn(10, 20, txPreparing)
+	r := mkTxn(30, 0, txActive)
+	if !w.registerDependent(r) {
+		t.Fatal("registration failed while preparing")
+	}
+	w.releaseDependents(true)
+	if r.depCount.Load() != 0 {
+		t.Error("dependency not released")
+	}
+	if !r.cascade.Load() {
+		t.Error("cascade flag not set on abort")
+	}
+	// Registration after a final state must fail.
+	w2 := mkTxn(10, 20, txCommitted)
+	if w2.registerDependent(r) {
+		t.Error("registered on a committed txn")
+	}
+}
+
+// --- Engine-level behavior ---
+
+func TestHotKeySum(t *testing.T) {
+	for _, level := range []Level{Serializable, Snapshot} {
+		e := newEngine(t, level, 4)
+		load(t, e, 1, 0)
+		const n = 400
+		ts := make([]txn.Txn, n)
+		for i := range ts {
+			ts[i] = incTxn(0)
+		}
+		for i, err := range e.ExecuteBatch(ts) {
+			if err != nil {
+				t.Fatalf("level %d txn %d: %v", level, i, err)
+			}
+		}
+		got, err := readVal(t, e, 0)
+		if err != nil || got != n {
+			t.Fatalf("level %d: value = %d (%v), want %d", level, got, err, n)
+		}
+	}
+}
+
+func TestTimestampFetchesCounted(t *testing.T) {
+	e := newEngine(t, Serializable, 2)
+	load(t, e, 4, 0)
+	ts := make([]txn.Txn, 50)
+	for i := range ts {
+		ts[i] = incTxn(uint64(i % 4))
+	}
+	e.ExecuteBatch(ts)
+	s := e.Stats()
+	// Begin + end per attempt: at least two fetches per committed txn —
+	// the §2.1 bottleneck this baseline exists to demonstrate.
+	if s.TimestampFetches < 2*s.Committed {
+		t.Errorf("tsFetches = %d, want >= %d", s.TimestampFetches, 2*s.Committed)
+	}
+}
+
+// rendezvousTxn reads its keys, then waits at a barrier before writing,
+// forcing two transactions to overlap in time.
+type rendezvousTxn struct {
+	reads, writes []txn.Key
+	barrier       *sync.WaitGroup
+	apply         func(ctx txn.Ctx, vals map[txn.Key]uint64) error
+	once          sync.Once
+	// ignoreMissing lets insert transactions read a key that does not
+	// exist yet without aborting.
+	ignoreMissing bool
+}
+
+func (r *rendezvousTxn) ReadSet() []txn.Key  { return r.reads }
+func (r *rendezvousTxn) WriteSet() []txn.Key { return r.writes }
+func (r *rendezvousTxn) Run(ctx txn.Ctx) error {
+	vals := map[txn.Key]uint64{}
+	for _, k := range r.reads {
+		v, err := ctx.Read(k)
+		if err != nil {
+			if r.ignoreMissing && errors.Is(err, txn.ErrNotFound) {
+				continue
+			}
+			return err
+		}
+		vals[k] = txn.U64(v)
+	}
+	// Rendezvous only on the first attempt; retries proceed alone.
+	r.once.Do(func() {
+		r.barrier.Done()
+		waitTimeout(r.barrier, time.Second)
+	})
+	return r.apply(ctx, vals)
+}
+
+// waitTimeout waits for wg but gives up after d (so a retried partner
+// cannot deadlock the test).
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+	}
+}
+
+// writeSkewPair builds the classic anomaly: both transactions read x and
+// y, then T1 writes x := x+y and T2 writes y := x+y concurrently.
+func writeSkewPair(barrier *sync.WaitGroup) (t1, t2 txn.Txn) {
+	x, y := key(0), key(1)
+	t1 = &rendezvousTxn{
+		reads:   []txn.Key{x, y},
+		writes:  []txn.Key{x},
+		barrier: barrier,
+		apply: func(ctx txn.Ctx, vals map[txn.Key]uint64) error {
+			return ctx.Write(x, txn.NewValue(8, vals[x]+vals[y]))
+		},
+	}
+	t2 = &rendezvousTxn{
+		reads:   []txn.Key{x, y},
+		writes:  []txn.Key{y},
+		barrier: barrier,
+		apply: func(ctx txn.Ctx, vals map[txn.Key]uint64) error {
+			return ctx.Write(y, txn.NewValue(8, vals[x]+vals[y]))
+		},
+	}
+	return t1, t2
+}
+
+// serializableSkewOutcomes enumerates the two serial outcomes of the
+// write-skew pair starting from x=1, y=2: T1 first gives (3, 5); T2
+// first gives (6, 3)... computed directly here.
+func skewOutcomeOK(x, y uint64) bool {
+	// T1 then T2: x=1+2=3, y=3+2=5 → (3,5).
+	// T2 then T1: y=1+2=3, x=1+3=4 → (4,3).
+	return (x == 3 && y == 5) || (x == 4 && y == 3)
+}
+
+// TestSerializableRejectsWriteSkew: under the Serializable level the
+// overlapping pair must produce a serial outcome (one side revalidates or
+// retries).
+func TestSerializableRejectsWriteSkew(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		e := newEngine(t, Serializable, 2)
+		load(t, e, 2, 0)
+		// x=1, y=2.
+		seed := []txn.Txn{
+			&txn.Proc{Writes: []txn.Key{key(0)}, Body: func(ctx txn.Ctx) error {
+				return ctx.Write(key(0), txn.NewValue(8, 1))
+			}},
+			&txn.Proc{Writes: []txn.Key{key(1)}, Body: func(ctx txn.Ctx) error {
+				return ctx.Write(key(1), txn.NewValue(8, 2))
+			}},
+		}
+		for _, err := range e.ExecuteBatch(seed) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var barrier sync.WaitGroup
+		barrier.Add(2)
+		t1, t2 := writeSkewPair(&barrier)
+		for i, err := range e.ExecuteBatch([]txn.Txn{t1, t2}) {
+			if err != nil {
+				t.Fatalf("trial %d txn %d: %v", trial, i, err)
+			}
+		}
+		x, _ := readVal(t, e, 0)
+		y, _ := readVal(t, e, 1)
+		if !skewOutcomeOK(x, y) {
+			t.Fatalf("trial %d: non-serializable outcome x=%d y=%d", trial, x, y)
+		}
+	}
+}
+
+// TestSnapshotAllowsWriteSkew: under SI the same pair can commit with
+// both reads from the old snapshot — the anomaly the paper describes in
+// §1. We assert the anomaly occurs at least once across trials (it is
+// scheduling dependent) and that SI always reports both as committed.
+func TestSnapshotAllowsWriteSkew(t *testing.T) {
+	anomalies := 0
+	for trial := 0; trial < 20; trial++ {
+		e := newEngine(t, Snapshot, 2)
+		load(t, e, 2, 0)
+		seed := []txn.Txn{
+			&txn.Proc{Writes: []txn.Key{key(0)}, Body: func(ctx txn.Ctx) error {
+				return ctx.Write(key(0), txn.NewValue(8, 1))
+			}},
+			&txn.Proc{Writes: []txn.Key{key(1)}, Body: func(ctx txn.Ctx) error {
+				return ctx.Write(key(1), txn.NewValue(8, 2))
+			}},
+		}
+		for _, err := range e.ExecuteBatch(seed) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var barrier sync.WaitGroup
+		barrier.Add(2)
+		t1, t2 := writeSkewPair(&barrier)
+		for i, err := range e.ExecuteBatch([]txn.Txn{t1, t2}) {
+			if err != nil {
+				t.Fatalf("trial %d txn %d: %v", trial, i, err)
+			}
+		}
+		x, _ := readVal(t, e, 0)
+		y, _ := readVal(t, e, 1)
+		if x == 3 && y == 3 {
+			anomalies++ // both applied over the old snapshot
+		} else if !skewOutcomeOK(x, y) {
+			t.Fatalf("trial %d: outcome x=%d y=%d is neither serial nor write-skew", trial, x, y)
+		}
+	}
+	if anomalies == 0 {
+		t.Skip("write-skew interleaving never occurred in this run (scheduling dependent)")
+	}
+	t.Logf("write-skew anomaly observed in %d/20 trials under SI", anomalies)
+}
+
+// TestFirstWriterWins: two overlapping writers of the same key — one
+// must abort-and-retry internally (ccAborts > 0), both eventually apply.
+func TestFirstWriterWins(t *testing.T) {
+	e := newEngine(t, Snapshot, 2)
+	load(t, e, 1, 0)
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	mk := func() txn.Txn {
+		return &rendezvousTxn{
+			reads:   []txn.Key{key(0)},
+			writes:  []txn.Key{key(0)},
+			barrier: &barrier,
+			apply: func(ctx txn.Ctx, vals map[txn.Key]uint64) error {
+				return ctx.Write(key(0), txn.NewValue(8, vals[key(0)]+1))
+			},
+		}
+	}
+	for i, err := range e.ExecuteBatch([]txn.Txn{mk(), mk()}) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	got, _ := readVal(t, e, 0)
+	if got != 2 {
+		t.Fatalf("value = %d, want 2 (no lost update)", got)
+	}
+}
+
+func TestUserAbortRollsBack(t *testing.T) {
+	boom := errors.New("boom")
+	for _, level := range []Level{Serializable, Snapshot} {
+		e := newEngine(t, level, 2)
+		load(t, e, 1, 7)
+		p := &txn.Proc{
+			Reads:  []txn.Key{key(0)},
+			Writes: []txn.Key{key(0)},
+			Body: func(ctx txn.Ctx) error {
+				if err := ctx.Write(key(0), txn.NewValue(8, 100)); err != nil {
+					return err
+				}
+				return boom
+			},
+		}
+		res := e.ExecuteBatch([]txn.Txn{p})
+		if !errors.Is(res[0], boom) {
+			t.Fatalf("res = %v", res[0])
+		}
+		got, err := readVal(t, e, 0)
+		if err != nil || got != 7 {
+			t.Fatalf("level %d: after abort = %d (%v), want 7", level, got, err)
+		}
+		// A later update over the aborted garbage still works.
+		if res := e.ExecuteBatch([]txn.Txn{incTxn(0)}); res[0] != nil {
+			t.Fatal(res[0])
+		}
+		got, _ = readVal(t, e, 0)
+		if got != 8 {
+			t.Fatalf("after abort+inc = %d, want 8", got)
+		}
+	}
+}
+
+func TestTrimChainsBoundsMemory(t *testing.T) {
+	e, err := New(Config{Workers: 2, Capacity: 64, TrimChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	load(t, e, 1, 0)
+	for round := 0; round < 50; round++ {
+		ts := make([]txn.Txn, 20)
+		for i := range ts {
+			ts[i] = incTxn(0)
+		}
+		for _, err := range e.ExecuteBatch(ts) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s := e.Stats(); s.VersionsCollected == 0 {
+		t.Error("TrimChains collected nothing")
+	}
+	ch := e.idx.Get(key(0))
+	n := 0
+	for v := ch.head.Load(); v != nil; v = v.prev.Load() {
+		n++
+	}
+	if n > 100 {
+		t.Errorf("chain length %d after 1000 updates with trimming", n)
+	}
+	got, _ := readVal(t, e, 0)
+	if got != 1000 {
+		t.Fatalf("value = %d, want 1000", got)
+	}
+}
+
+func TestMaxRetriesSurfaces(t *testing.T) {
+	// With MaxRetries=1 a conflicting pair may surface ErrTooManyRetries;
+	// mostly this test checks the path compiles/behaves — conflicts are
+	// scheduling dependent, so accept both outcomes.
+	e, err := New(Config{Workers: 2, Capacity: 64, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	load(t, e, 1, 0)
+	ts := make([]txn.Txn, 100)
+	for i := range ts {
+		ts[i] = incTxn(0)
+	}
+	res := e.ExecuteBatch(ts)
+	for _, err := range res {
+		if err != nil && !errors.Is(err, ErrTooManyRetries) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package occ
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"bohm/internal/txn"
+)
+
+func key(id uint64) txn.Key { return txn.Key{Table: 0, ID: id} }
+
+func newEngine(t *testing.T, workers int) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.Capacity = 1 << 12
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func load(t *testing.T, e *Engine, n int, val uint64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := e.Load(key(uint64(i)), txn.NewValue(8, val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func incTxn(ids ...uint64) txn.Txn {
+	ks := make([]txn.Key, len(ids))
+	for i, id := range ids {
+		ks[i] = key(id)
+	}
+	return &txn.Proc{
+		Reads:  ks,
+		Writes: ks,
+		Body: func(ctx txn.Ctx) error {
+			for _, k := range ks {
+				v, err := ctx.Read(k)
+				if err != nil {
+					return err
+				}
+				if err := ctx.Write(k, txn.Incremented(v, 1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func readVal(t *testing.T, e *Engine, id uint64) (uint64, error) {
+	t.Helper()
+	var got uint64
+	res := e.ExecuteBatch([]txn.Txn{&txn.Proc{
+		Reads: []txn.Key{key(id)},
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(key(id))
+			if err != nil {
+				return err
+			}
+			got = txn.U64(v)
+			return nil
+		},
+	}})
+	return got, res[0]
+}
+
+func TestHotKeyNoLostUpdates(t *testing.T) {
+	e := newEngine(t, 4)
+	load(t, e, 1, 0)
+	const n = 500
+	ts := make([]txn.Txn, n)
+	for i := range ts {
+		ts[i] = incTxn(0)
+	}
+	for i, err := range e.ExecuteBatch(ts) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	got, err := readVal(t, e, 0)
+	if err != nil || got != n {
+		t.Fatalf("value = %d (%v), want %d", got, err, n)
+	}
+}
+
+// rendezvousTxn reads, waits at a barrier, then applies — forcing two
+// transactions to overlap.
+type rendezvousTxn struct {
+	reads, writes []txn.Key
+	barrier       *sync.WaitGroup
+	apply         func(ctx txn.Ctx, vals map[txn.Key]uint64) error
+	once          sync.Once
+}
+
+func (r *rendezvousTxn) ReadSet() []txn.Key  { return r.reads }
+func (r *rendezvousTxn) WriteSet() []txn.Key { return r.writes }
+func (r *rendezvousTxn) Run(ctx txn.Ctx) error {
+	vals := map[txn.Key]uint64{}
+	for _, k := range r.reads {
+		v, err := ctx.Read(k)
+		if err != nil {
+			return err
+		}
+		vals[k] = txn.U64(v)
+	}
+	r.once.Do(func() {
+		r.barrier.Done()
+		done := make(chan struct{})
+		go func() { defer close(done); r.barrier.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+		}
+	})
+	return r.apply(ctx, vals)
+}
+
+// TestValidationCatchesConflictingRead: T1 reads x and writes y while T2
+// overwrites x concurrently. T1's read validation must fail at least one
+// attempt (ccAborts > 0) and the final state must be serializable.
+func TestValidationCatchesConflictingRead(t *testing.T) {
+	e := newEngine(t, 2)
+	load(t, e, 2, 10)
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	t1 := &rendezvousTxn{
+		reads:   []txn.Key{key(0)},
+		writes:  []txn.Key{key(1)},
+		barrier: &barrier,
+		apply: func(ctx txn.Ctx, vals map[txn.Key]uint64) error {
+			return ctx.Write(key(1), txn.NewValue(8, vals[key(0)]*100))
+		},
+	}
+	t2 := &rendezvousTxn{
+		reads:   []txn.Key{key(0)},
+		writes:  []txn.Key{key(0)},
+		barrier: &barrier,
+		apply: func(ctx txn.Ctx, vals map[txn.Key]uint64) error {
+			return ctx.Write(key(0), txn.NewValue(8, vals[key(0)]+1))
+		},
+	}
+	for i, err := range e.ExecuteBatch([]txn.Txn{t1, t2}) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	x, _ := readVal(t, e, 0)
+	y, _ := readVal(t, e, 1)
+	// Serial outcomes: T1;T2 → y=1000, x=11. T2;T1 → x=11, y=1100.
+	if x != 11 || (y != 1000 && y != 1100) {
+		t.Fatalf("non-serializable outcome x=%d y=%d", x, y)
+	}
+}
+
+func TestWriteSkewRejected(t *testing.T) {
+	// OCC is serializable: the write-skew pair must produce a serial
+	// outcome.
+	for trial := 0; trial < 10; trial++ {
+		e := newEngine(t, 2)
+		load(t, e, 2, 0)
+		seed := []txn.Txn{
+			&txn.Proc{Writes: []txn.Key{key(0)}, Body: func(ctx txn.Ctx) error {
+				return ctx.Write(key(0), txn.NewValue(8, 1))
+			}},
+			&txn.Proc{Writes: []txn.Key{key(1)}, Body: func(ctx txn.Ctx) error {
+				return ctx.Write(key(1), txn.NewValue(8, 2))
+			}},
+		}
+		for _, err := range e.ExecuteBatch(seed) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var barrier sync.WaitGroup
+		barrier.Add(2)
+		x, y := key(0), key(1)
+		t1 := &rendezvousTxn{
+			reads: []txn.Key{x, y}, writes: []txn.Key{x}, barrier: &barrier,
+			apply: func(ctx txn.Ctx, vals map[txn.Key]uint64) error {
+				return ctx.Write(x, txn.NewValue(8, vals[x]+vals[y]))
+			},
+		}
+		t2 := &rendezvousTxn{
+			reads: []txn.Key{x, y}, writes: []txn.Key{y}, barrier: &barrier,
+			apply: func(ctx txn.Ctx, vals map[txn.Key]uint64) error {
+				return ctx.Write(y, txn.NewValue(8, vals[x]+vals[y]))
+			},
+		}
+		for i, err := range e.ExecuteBatch([]txn.Txn{t1, t2}) {
+			if err != nil {
+				t.Fatalf("trial %d txn %d: %v", trial, i, err)
+			}
+		}
+		xv, _ := readVal(t, e, 0)
+		yv, _ := readVal(t, e, 1)
+		ok := (xv == 3 && yv == 5) || (xv == 4 && yv == 3)
+		if !ok {
+			t.Fatalf("trial %d: non-serializable outcome x=%d y=%d", trial, xv, yv)
+		}
+	}
+}
+
+func TestUserAbortNoEffect(t *testing.T) {
+	e := newEngine(t, 2)
+	load(t, e, 1, 5)
+	boom := errors.New("boom")
+	p := &txn.Proc{
+		Reads:  []txn.Key{key(0)},
+		Writes: []txn.Key{key(0)},
+		Body: func(ctx txn.Ctx) error {
+			if err := ctx.Write(key(0), txn.NewValue(8, 99)); err != nil {
+				return err
+			}
+			return boom
+		},
+	}
+	res := e.ExecuteBatch([]txn.Txn{p})
+	if !errors.Is(res[0], boom) {
+		t.Fatal(res[0])
+	}
+	got, _ := readVal(t, e, 0)
+	if got != 5 {
+		t.Fatalf("after abort = %d, want 5", got)
+	}
+	if s := e.Stats(); s.UserAborts != 1 {
+		t.Errorf("userAborts = %d, want 1", s.UserAborts)
+	}
+}
+
+func TestReadsWriteNoSharedMemory(t *testing.T) {
+	// A read-only workload must not change any record TIDs (Silo's "no
+	// shared-memory writes for reads" property).
+	e := newEngine(t, 2)
+	load(t, e, 8, 1)
+	before := make([]uint64, 8)
+	for i := range before {
+		before[i] = e.store.Get(key(uint64(i))).TID()
+	}
+	ts := make([]txn.Txn, 50)
+	for i := range ts {
+		i := i
+		ts[i] = &txn.Proc{
+			Reads: []txn.Key{key(uint64(i % 8))},
+			Body: func(ctx txn.Ctx) error {
+				_, err := ctx.Read(key(uint64(i % 8)))
+				return err
+			},
+		}
+	}
+	for _, err := range e.ExecuteBatch(ts) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range before {
+		if got := e.store.Get(key(uint64(i))).TID(); got != before[i] {
+			t.Errorf("record %d TID changed by reads: %d → %d", i, before[i], got)
+		}
+	}
+}
+
+func TestScratchBufferIsolation(t *testing.T) {
+	// Multiple reads in one transaction must each get stable data even
+	// though the worker reuses buffers across reads.
+	e := newEngine(t, 1)
+	load(t, e, 3, 0)
+	// Distinct values per record.
+	seed := make([]txn.Txn, 3)
+	for i := range seed {
+		i := i
+		seed[i] = &txn.Proc{Writes: []txn.Key{key(uint64(i))}, Body: func(ctx txn.Ctx) error {
+			return ctx.Write(key(uint64(i)), txn.NewValue(8, uint64(i+1)*11))
+		}}
+	}
+	for _, err := range e.ExecuteBatch(seed) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got [3]uint64
+	p := &txn.Proc{
+		Reads: []txn.Key{key(0), key(1), key(2)},
+		Body: func(ctx txn.Ctx) error {
+			var bufs [3][]byte
+			for i := uint64(0); i < 3; i++ {
+				v, err := ctx.Read(key(i))
+				if err != nil {
+					return err
+				}
+				bufs[i] = v
+			}
+			// All three must still hold their own values (no aliasing).
+			for i := uint64(0); i < 3; i++ {
+				got[i] = txn.U64(bufs[i])
+			}
+			return nil
+		},
+	}
+	if res := e.ExecuteBatch([]txn.Txn{p}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	for i := uint64(0); i < 3; i++ {
+		if got[i] != (i+1)*11 {
+			t.Errorf("read %d = %d, want %d (scratch buffers aliased)", i, got[i], (i+1)*11)
+		}
+	}
+}
+
+func TestTransfersConserve(t *testing.T) {
+	e := newEngine(t, 4)
+	const nkeys = 8
+	load(t, e, nkeys, 100)
+	ts := make([]txn.Txn, 300)
+	for i := range ts {
+		a := uint64(i % nkeys)
+		b := uint64((i + 1) % nkeys)
+		ka, kb := key(a), key(b)
+		ts[i] = &txn.Proc{
+			Reads:  []txn.Key{ka, kb},
+			Writes: []txn.Key{ka, kb},
+			Body: func(ctx txn.Ctx) error {
+				va, err := ctx.Read(ka)
+				if err != nil {
+					return err
+				}
+				vb, err := ctx.Read(kb)
+				if err != nil {
+					return err
+				}
+				if err := ctx.Write(ka, txn.NewValue(8, txn.U64(va)-1)); err != nil {
+					return err
+				}
+				return ctx.Write(kb, txn.NewValue(8, txn.U64(vb)+1))
+			},
+		}
+	}
+	for i, err := range e.ExecuteBatch(ts) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	var sum uint64
+	for i := uint64(0); i < nkeys; i++ {
+		v, _ := readVal(t, e, i)
+		sum += v
+	}
+	if sum != nkeys*100 {
+		t.Fatalf("sum = %d, want %d", sum, nkeys*100)
+	}
+}

@@ -1,0 +1,29 @@
+// Package si exposes the paper's Snapshot Isolation baseline: the Hekaton
+// codebase (internal/hekaton) run at the Snapshot level, exactly as the
+// paper built its SI comparison point "within our Hekaton codebase" (§4).
+// Transactions read as of their begin timestamp, write-write conflicts
+// abort via first-writer-wins, and no read validation is performed — so
+// SI permits the write-skew anomaly and is not serializable.
+package si
+
+import (
+	"bohm/internal/engine"
+	"bohm/internal/hekaton"
+)
+
+// Config parameterizes the SI engine; see hekaton.Config. The Level field
+// is ignored (forced to Snapshot).
+type Config = hekaton.Config
+
+// DefaultConfig returns a small general-purpose configuration.
+func DefaultConfig() Config {
+	cfg := hekaton.DefaultConfig()
+	cfg.Level = hekaton.Snapshot
+	return cfg
+}
+
+// New creates a snapshot isolation engine.
+func New(cfg Config) (engine.Engine, error) {
+	cfg.Level = hekaton.Snapshot
+	return hekaton.New(cfg)
+}

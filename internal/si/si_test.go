@@ -1,0 +1,55 @@
+package si
+
+import (
+	"testing"
+
+	"bohm/internal/hekaton"
+	"bohm/internal/txn"
+)
+
+func TestDefaultConfigIsSnapshot(t *testing.T) {
+	if DefaultConfig().Level != hekaton.Snapshot {
+		t.Fatal("DefaultConfig is not Snapshot level")
+	}
+}
+
+// TestNewForcesSnapshotLevel: even a config asking for Serializable must
+// come out as the SI baseline.
+func TestNewForcesSnapshotLevel(t *testing.T) {
+	cfg := hekaton.DefaultConfig()
+	cfg.Level = hekaton.Serializable
+	cfg.Capacity = 64
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	k := txn.Key{ID: 1}
+	if err := e.Load(k, txn.NewValue(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	res := e.ExecuteBatch([]txn.Txn{&txn.Proc{
+		Reads:  []txn.Key{k},
+		Writes: []txn.Key{k},
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(k)
+			if err != nil {
+				return err
+			}
+			return ctx.Write(k, txn.Incremented(v, 1))
+		},
+	}})
+	if res[0] != nil {
+		t.Fatal(res[0])
+	}
+	// SI never validates reads, so a read-only transaction costs exactly
+	// two timestamp fetches and always commits.
+	s := e.Stats()
+	if s.Committed != 1 {
+		t.Fatalf("committed = %d, want 1", s.Committed)
+	}
+	if s.TimestampFetches < 2 {
+		t.Fatalf("tsFetches = %d, want >= 2", s.TimestampFetches)
+	}
+}

@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChainModel drives a Chain through long random sequences of pushes
+// and collects, cross-checking VisibleAt against a reference model (a
+// plain slice of begin timestamps) after every operation. The model
+// verifies two invariants simultaneously:
+//
+//  1. visibility — VisibleAt(ts) returns the version with the largest
+//     Begin < ts, and
+//  2. GC safety — Collect(wm) never removes a version that any
+//     transaction with a timestamp above the watermark horizon could
+//     still need.
+func TestChainModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 50; trial++ {
+		c := NewChain(NewLoadedVersion([]byte{0}))
+		type modelVersion struct {
+			begin uint64
+			batch uint64
+		}
+		model := []modelVersion{{0, 0}}
+		ts := uint64(0)
+		batch := uint64(0)
+		horizon := uint64(0) // highest watermark passed to Collect so far
+
+		for op := 0; op < 400; op++ {
+			if rng.Intn(3) != 0 {
+				// Push a new ready version.
+				ts += uint64(1 + rng.Intn(5))
+				if rng.Intn(4) == 0 {
+					batch++
+				}
+				v := NewPlaceholder(ts, batch, nil)
+				v.Install([]byte{byte(ts)}, false)
+				c.Push(v)
+				model = append(model, modelVersion{ts, batch})
+			} else {
+				// Collect at a random watermark ≤ current batch.
+				wm := uint64(rng.Intn(int(batch) + 1))
+				if wm > horizon {
+					horizon = wm
+				}
+				c.Collect(wm)
+			}
+
+			// Check visibility for readers that GC must still serve: any
+			// ts above the begin of the newest version in a batch ≤
+			// horizon (older readers have finished by the watermark
+			// protocol's definition).
+			var minSafe uint64
+			for _, mv := range model {
+				if mv.batch <= horizon && mv.begin > minSafe {
+					minSafe = mv.begin
+				}
+			}
+			for probe := 0; probe < 10; probe++ {
+				readTS := minSafe + 1 + uint64(rng.Intn(int(ts-minSafe)+2))
+				// Reference: largest begin < readTS.
+				var want *uint64
+				for i := range model {
+					b := model[i].begin
+					if b < readTS && (want == nil || b > *want) {
+						want = &b
+					}
+				}
+				got := c.VisibleAt(readTS)
+				if want == nil {
+					if got != nil {
+						t.Fatalf("trial %d op %d: VisibleAt(%d) = begin %d, want nil", trial, op, readTS, got.Begin)
+					}
+					continue
+				}
+				if got == nil {
+					t.Fatalf("trial %d op %d: VisibleAt(%d) = nil, want begin %d (GC lost a live version; horizon %d)",
+						trial, op, readTS, *want, horizon)
+				}
+				if got.Begin != *want {
+					t.Fatalf("trial %d op %d: VisibleAt(%d) = begin %d, want %d", trial, op, readTS, got.Begin, *want)
+				}
+			}
+		}
+	}
+}

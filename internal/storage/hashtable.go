@@ -1,0 +1,153 @@
+// Package storage provides the data substrates the engines are built on:
+// a latch-free insert-only hash index, BOHM-style multiversion chains, and
+// an in-place single-version record store used by the single-versioned
+// baselines (OCC, 2PL).
+//
+// The hash index follows the design the paper relies on (§3.3.1): a
+// standard latch-free hash table where structural modifications are made by
+// a single writer per partition and concurrent readers "need only spin on
+// inconsistent or stale data".
+package storage
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"bohm/internal/txn"
+)
+
+// ErrTableFull is returned by Insert when the hash table has no free slot
+// for a new key. Tables are sized at creation; this repository's engines
+// size them for the declared table capacity plus headroom.
+var ErrTableFull = errors.New("storage: hash table full")
+
+// Slot states for the latch-free hash table. A slot moves empty→busy→ready
+// exactly once; readers that observe busy spin briefly, readers that
+// observe empty stop probing (insert-only table, so an empty slot
+// terminates every probe sequence that could contain the key).
+const (
+	slotEmpty uint32 = iota
+	slotBusy
+	slotReady
+)
+
+type slot[V any] struct {
+	state atomic.Uint32
+	table uint32
+	id    uint64
+	val   atomic.Pointer[V]
+}
+
+// Map is a fixed-capacity, insert-only, latch-free hash table from txn.Key
+// to *V. Concurrent readers never block writers and never take latches;
+// inserts synchronize with a single CAS per slot claim. Get is wait-free
+// except when racing the two-word key publication of an in-flight insert,
+// where it spins (the paper's "readers spin on inconsistent data").
+type Map[V any] struct {
+	slots []slot[V]
+	mask  uint64
+	used  atomic.Int64
+	limit int64
+}
+
+// NewMap creates a table with capacity for at least n entries. The slot
+// array is sized to the next power of two of 2n so probe sequences stay
+// short; inserts beyond n still succeed until the array is 7/8 full.
+func NewMap[V any](n int) *Map[V] {
+	if n < 1 {
+		n = 1
+	}
+	size := 1
+	for size < 2*n {
+		size <<= 1
+	}
+	return &Map[V]{
+		slots: make([]slot[V], size),
+		mask:  uint64(size - 1),
+		limit: int64(size) * 7 / 8,
+	}
+}
+
+// Len returns the number of keys inserted so far.
+func (m *Map[V]) Len() int { return int(m.used.Load()) }
+
+// Cap returns the insert limit of the table.
+func (m *Map[V]) Cap() int { return int(m.limit) }
+
+// Get returns the value for k, or nil if k has not been inserted.
+func (m *Map[V]) Get(k txn.Key) *V {
+	i := k.Hash() & m.mask
+	for {
+		s := &m.slots[i]
+		switch s.state.Load() {
+		case slotEmpty:
+			return nil
+		case slotReady:
+			if s.table == k.Table && s.id == k.ID {
+				return s.val.Load()
+			}
+		default: // slotBusy: key words mid-publication; spin on this slot.
+			continue
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Insert associates v with k. If k is already present the existing value
+// pointer is returned along with false; otherwise (nil recorded as v's
+// predecessor) v is installed and Insert returns v and true. Insert is safe
+// for concurrent use by multiple writers, although the BOHM engine only
+// ever has one writer per partition.
+func (m *Map[V]) Insert(k txn.Key, v *V) (*V, bool, error) {
+	if m.used.Load() >= m.limit {
+		return nil, false, ErrTableFull
+	}
+	i := k.Hash() & m.mask
+	for {
+		s := &m.slots[i]
+		switch s.state.Load() {
+		case slotEmpty:
+			if s.state.CompareAndSwap(slotEmpty, slotBusy) {
+				s.table = k.Table
+				s.id = k.ID
+				s.val.Store(v)
+				s.state.Store(slotReady)
+				m.used.Add(1)
+				return v, true, nil
+			}
+			continue // lost the race for this slot; re-inspect it
+		case slotReady:
+			if s.table == k.Table && s.id == k.ID {
+				return s.val.Load(), false, nil
+			}
+		default:
+			continue // publication in flight
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// GetOrInsert returns the existing value for k, or installs the value
+// produced by mk (called at most once) if k is absent.
+func (m *Map[V]) GetOrInsert(k txn.Key, mk func() *V) (*V, error) {
+	if v := m.Get(k); v != nil {
+		return v, nil
+	}
+	v, _, err := m.Insert(k, mk())
+	return v, err
+}
+
+// Range calls f for every entry currently in the table, stopping early if
+// f returns false. It observes entries that were fully inserted before the
+// call; entries inserted concurrently may or may not be visited.
+func (m *Map[V]) Range(f func(k txn.Key, v *V) bool) {
+	for i := range m.slots {
+		s := &m.slots[i]
+		if s.state.Load() != slotReady {
+			continue
+		}
+		if !f(txn.Key{Table: s.table, ID: s.id}, s.val.Load()) {
+			return
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"bohm/internal/txn"
+)
+
+func TestMapInsertGet(t *testing.T) {
+	m := NewMap[int](16)
+	for i := 0; i < 16; i++ {
+		v := i * 10
+		got, fresh, err := m.Insert(txn.Key{Table: 1, ID: uint64(i)}, &v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fresh || got == nil || *got != v {
+			t.Fatalf("Insert(%d) = (%v, %v)", i, got, fresh)
+		}
+	}
+	if m.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", m.Len())
+	}
+	for i := 0; i < 16; i++ {
+		got := m.Get(txn.Key{Table: 1, ID: uint64(i)})
+		if got == nil || *got != i*10 {
+			t.Fatalf("Get(%d) = %v", i, got)
+		}
+	}
+}
+
+func TestMapGetMissing(t *testing.T) {
+	m := NewMap[int](8)
+	v := 1
+	if _, _, err := m.Insert(txn.Key{ID: 1}, &v); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(txn.Key{ID: 2}) != nil {
+		t.Error("Get of absent key returned a value")
+	}
+	if m.Get(txn.Key{Table: 1, ID: 1}) != nil {
+		t.Error("Get with wrong table returned a value")
+	}
+}
+
+func TestMapDuplicateInsert(t *testing.T) {
+	m := NewMap[int](8)
+	a, b := 1, 2
+	if _, fresh, _ := m.Insert(txn.Key{ID: 7}, &a); !fresh {
+		t.Fatal("first insert not fresh")
+	}
+	got, fresh, err := m.Insert(txn.Key{ID: 7}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh {
+		t.Fatal("duplicate insert reported fresh")
+	}
+	if got != &a {
+		t.Fatal("duplicate insert did not return the existing value")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate insert, want 1", m.Len())
+	}
+}
+
+func TestMapGetOrInsert(t *testing.T) {
+	m := NewMap[int](8)
+	calls := 0
+	mk := func() *int { calls++; v := 5; return &v }
+	v1, err := m.GetOrInsert(txn.Key{ID: 1}, mk)
+	if err != nil || *v1 != 5 || calls != 1 {
+		t.Fatalf("first GetOrInsert: v=%v calls=%d err=%v", v1, calls, err)
+	}
+	v2, err := m.GetOrInsert(txn.Key{ID: 1}, mk)
+	if err != nil || v2 != v1 || calls != 1 {
+		t.Fatalf("second GetOrInsert: v=%v calls=%d err=%v", v2, calls, err)
+	}
+}
+
+func TestMapFull(t *testing.T) {
+	m := NewMap[int](1) // slots=2, limit=1
+	v := 1
+	var err error
+	inserted := 0
+	for i := 0; ; i++ {
+		_, _, err = m.Insert(txn.Key{ID: uint64(i)}, &v)
+		if err != nil {
+			break
+		}
+		inserted++
+		if inserted > 1<<20 {
+			t.Fatal("table never filled")
+		}
+	}
+	if !errors.Is(err, ErrTableFull) {
+		t.Fatalf("err = %v, want ErrTableFull", err)
+	}
+	// Existing entries must still be readable.
+	if m.Get(txn.Key{ID: 0}) == nil {
+		t.Error("existing key unreadable after table filled")
+	}
+}
+
+func TestMapCapacityHolds(t *testing.T) {
+	// NewMap(n) must accept at least n inserts.
+	const n = 1000
+	m := NewMap[int](n)
+	v := 0
+	for i := 0; i < n; i++ {
+		if _, _, err := m.Insert(txn.Key{ID: uint64(i)}, &v); err != nil {
+			t.Fatalf("insert %d of %d failed: %v", i, n, err)
+		}
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	m := NewMap[int](32)
+	want := map[txn.Key]int{}
+	for i := 0; i < 20; i++ {
+		v := i
+		k := txn.Key{Table: uint32(i % 3), ID: uint64(i)}
+		want[k] = i
+		if _, _, err := m.Insert(k, &v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[txn.Key]int{}
+	m.Range(func(k txn.Key, v *int) bool {
+		got[k] = *v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Range[%v] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestMapRangeEarlyStop(t *testing.T) {
+	m := NewMap[int](32)
+	v := 0
+	for i := 0; i < 10; i++ {
+		if _, _, err := m.Insert(txn.Key{ID: uint64(i)}, &v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	visited := 0
+	m.Range(func(txn.Key, *int) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("Range visited %d after early stop, want 3", visited)
+	}
+}
+
+// TestMapModel cross-checks the table against a builtin map over random
+// operation sequences.
+func TestMapModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewMap[uint16](64)
+		model := map[txn.Key]*uint16{}
+		for _, op := range ops {
+			k := txn.Key{Table: uint32(op % 3), ID: uint64(op % 41)}
+			if op%2 == 0 {
+				v := op
+				got, _, err := m.Insert(k, &v)
+				if err != nil {
+					return false
+				}
+				if prev, ok := model[k]; ok {
+					if got != prev {
+						return false
+					}
+				} else {
+					model[k] = got
+				}
+			} else {
+				got := m.Get(k)
+				want, ok := model[k]
+				if ok != (got != nil) {
+					return false
+				}
+				if ok && got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMapConcurrentReadersAndWriters exercises the latch-free protocol:
+// several writers insert disjoint key ranges while readers probe
+// continuously; once a writer's Insert returns, the key must be readable.
+func TestMapConcurrentReadersAndWriters(t *testing.T) {
+	const perWriter = 2000
+	const writers = 4
+	m := NewMap[uint64](writers * perWriter)
+	var writerWG, readerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w*perWriter + i)
+				v := id * 2
+				if _, _, err := m.Insert(txn.Key{ID: id}, &v); err != nil {
+					t.Errorf("insert %d: %v", id, err)
+					return
+				}
+				// Read-your-write.
+				if got := m.Get(txn.Key{ID: id}); got == nil || *got != v {
+					t.Errorf("read-own-insert %d failed", id)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		readerWG.Add(1)
+		go func(seed int64) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uint64(rng.Intn(writers * perWriter))
+				if got := m.Get(txn.Key{ID: id}); got != nil && *got != id*2 {
+					t.Errorf("reader saw wrong value for %d: %d", id, *got)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if m.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", m.Len(), writers*perWriter)
+	}
+}
+
+func TestNewMapTinySizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		m := NewMap[int](n)
+		v := 1
+		if _, _, err := m.Insert(txn.Key{ID: 9}, &v); err != nil {
+			t.Errorf("NewMap(%d): insert failed: %v", n, err)
+		}
+		if m.Get(txn.Key{ID: 9}) == nil {
+			t.Errorf("NewMap(%d): get failed", n)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"bohm/internal/txn"
+)
+
+// TID word layout for single-version records (Silo-style): the top bit is
+// the write lock, the remainder a version counter that changes on every
+// update. Readers validate by observing the same unlocked TID before and
+// after copying the record.
+const (
+	TIDLockBit = uint64(1) << 63
+	TIDMask    = TIDLockBit - 1
+)
+
+// metaDeleted marks a tombstone in the record's meta word; the low 32
+// bits of meta hold the value length.
+const (
+	metaDeleted = uint64(1) << 63
+	metaLenMask = uint64(1)<<32 - 1
+)
+
+// wordArr is a record's payload as 64-bit words. Payload bytes are stored
+// in atomic words so the Silo seqlock read — which intentionally races
+// with in-place writers and validates via the TID afterwards — is
+// expressible without undefined behaviour: a torn read can return stale
+// or mixed *values*, never corrupt memory, and the TID re-check discards
+// it. This mirrors Silo's word-versioned record layout.
+type wordArr struct {
+	words []atomic.Uint64
+}
+
+// SVRecord is an update-in-place record used by the single-versioned
+// engines. Writers mutate the payload under the TID lock (OCC) or an
+// external lock manager (2PL); concurrent seqlock readers are allowed and
+// validate against the TID.
+type SVRecord struct {
+	tid  atomic.Uint64
+	meta atomic.Uint64 // deleted flag + payload length
+	arr  atomic.Pointer[wordArr]
+}
+
+// NewSVRecord builds a record holding a private copy of data.
+func NewSVRecord(data []byte) *SVRecord {
+	r := &SVRecord{}
+	r.storeBytes(data)
+	return r
+}
+
+func wordsFor(n int) int { return (n + 7) / 8 }
+
+// storeBytes writes data into the record's word array, growing it if
+// needed, and publishes the new length.
+func (r *SVRecord) storeBytes(data []byte) {
+	need := wordsFor(len(data))
+	a := r.arr.Load()
+	if a == nil || len(a.words) < need {
+		a = &wordArr{words: make([]atomic.Uint64, need)}
+		r.arr.Store(a)
+	}
+	var tail [8]byte
+	for i := 0; i < need; i++ {
+		lo := i * 8
+		hi := lo + 8
+		if hi <= len(data) {
+			a.words[i].Store(binary.LittleEndian.Uint64(data[lo:hi]))
+		} else {
+			copy(tail[:], data[lo:])
+			for j := len(data) - lo; j < 8; j++ {
+				tail[j] = 0
+			}
+			a.words[i].Store(binary.LittleEndian.Uint64(tail[:]))
+		}
+	}
+	r.meta.Store(uint64(len(data)))
+}
+
+// loadBytes materializes the payload into buf (re-sliced or grown),
+// returning the bytes and the tombstone flag. The read is NOT atomic as a
+// whole; callers either hold a lock excluding writers (2PL) or run it
+// inside the seqlock loop (OCC).
+func (r *SVRecord) loadBytes(buf []byte) ([]byte, bool) {
+	meta := r.meta.Load()
+	n := int(meta & metaLenMask)
+	del := meta&metaDeleted != 0
+	if cap(buf) >= n {
+		buf = buf[:n]
+	} else {
+		buf = make([]byte, n)
+	}
+	a := r.arr.Load()
+	if a == nil {
+		return buf[:0], del
+	}
+	var tail [8]byte
+	for i := 0; i < wordsFor(n) && i < len(a.words); i++ {
+		w := a.words[i].Load()
+		lo := i * 8
+		if lo+8 <= n {
+			binary.LittleEndian.PutUint64(buf[lo:lo+8], w)
+		} else {
+			binary.LittleEndian.PutUint64(tail[:], w)
+			copy(buf[lo:n], tail[:n-lo])
+		}
+	}
+	return buf, del
+}
+
+// TID returns the record's current TID word (lock bit included).
+func (r *SVRecord) TID() uint64 { return r.tid.Load() }
+
+// Lock spins until it acquires the record's write lock, returning the TID
+// observed at acquisition (without the lock bit).
+func (r *SVRecord) Lock() uint64 {
+	for {
+		t := r.tid.Load()
+		if t&TIDLockBit == 0 && r.tid.CompareAndSwap(t, t|TIDLockBit) {
+			return t
+		}
+	}
+}
+
+// TryLock attempts a single lock acquisition, reporting success.
+func (r *SVRecord) TryLock() (uint64, bool) {
+	t := r.tid.Load()
+	if t&TIDLockBit != 0 {
+		return 0, false
+	}
+	if r.tid.CompareAndSwap(t, t|TIDLockBit) {
+		return t, true
+	}
+	return 0, false
+}
+
+// Unlock releases the write lock, publishing newTID as the record's
+// version number. newTID must not have the lock bit set and must differ
+// from the pre-lock TID if the data changed.
+func (r *SVRecord) Unlock(newTID uint64) { r.tid.Store(newTID & TIDMask) }
+
+// UnlockUnchanged releases the lock restoring the TID observed by Lock.
+func (r *SVRecord) UnlockUnchanged(oldTID uint64) { r.tid.Store(oldTID & TIDMask) }
+
+// Data materializes the record's payload into a fresh slice. Callers must
+// exclude writers (hold the TID lock, or a 2PL lock that conflicts with
+// writers).
+func (r *SVRecord) Data() []byte {
+	b, _ := r.loadBytes(nil)
+	return b
+}
+
+// DataInto is Data with a reusable buffer.
+func (r *SVRecord) DataInto(buf []byte) []byte {
+	b, _ := r.loadBytes(buf)
+	return b
+}
+
+// Deleted reports the tombstone flag. Guarded like Data.
+func (r *SVRecord) Deleted() bool { return r.meta.Load()&metaDeleted != 0 }
+
+// Set overwrites the record in place, growing the word array only if the
+// new value is larger (single-version systems "write to the same set of
+// memory words", §4.2.1). Callers must hold the write lock.
+func (r *SVRecord) Set(v []byte) { r.storeBytes(v) }
+
+// SetDeleted marks the record as a tombstone. Callers must hold the lock.
+func (r *SVRecord) SetDeleted() { r.meta.Store(r.meta.Load() | metaDeleted) }
+
+// StableRead copies the record into buf using a seqlock: it loops until
+// it observes the same unlocked TID before and after the copy, so the
+// returned bytes are a consistent snapshot even while writers update the
+// record in place. It returns the buffer (re-sliced or grown), the
+// observed TID, and the tombstone flag.
+func (r *SVRecord) StableRead(buf []byte) ([]byte, uint64, bool) {
+	for {
+		t1 := r.tid.Load()
+		if t1&TIDLockBit != 0 {
+			continue
+		}
+		var del bool
+		buf, del = r.loadBytes(buf)
+		if r.tid.Load() == t1 {
+			return buf, t1, del
+		}
+	}
+}
+
+// SVStore is the single-version database: a latch-free hash index per
+// table mapping keys to in-place records.
+type SVStore struct {
+	idx *Map[SVRecord]
+}
+
+// NewSVStore creates a store sized for n records.
+func NewSVStore(n int) *SVStore {
+	return &SVStore{idx: NewMap[SVRecord](n)}
+}
+
+// Load inserts a record during initial database population (not thread
+// safe with respect to running transactions; engines load before serving).
+func (s *SVStore) Load(k txn.Key, v []byte) error {
+	_, _, err := s.idx.Insert(k, NewSVRecord(v))
+	return err
+}
+
+// Get returns the record for k, or nil.
+func (s *SVStore) Get(k txn.Key) *SVRecord { return s.idx.Get(k) }
+
+// GetOrCreate returns the record for k, inserting an empty tombstone
+// record if absent (used by inserting transactions: the record springs
+// into existence deleted, then the writer fills it under its lock).
+func (s *SVStore) GetOrCreate(k txn.Key) (*SVRecord, error) {
+	return s.idx.GetOrInsert(k, func() *SVRecord {
+		r := &SVRecord{}
+		r.meta.Store(metaDeleted)
+		return r
+	})
+}
+
+// Range iterates all records; see Map.Range.
+func (s *SVStore) Range(f func(k txn.Key, r *SVRecord) bool) { s.idx.Range(f) }
+
+// Len returns the number of records.
+func (s *SVStore) Len() int { return s.idx.Len() }

@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"bohm/internal/txn"
+)
+
+func TestSVRecordLockUnlock(t *testing.T) {
+	r := NewSVRecord([]byte{1, 2, 3})
+	old := r.Lock()
+	if r.TID()&TIDLockBit == 0 {
+		t.Fatal("lock bit not set")
+	}
+	if _, ok := r.TryLock(); ok {
+		t.Fatal("TryLock succeeded on a locked record")
+	}
+	r.Unlock(old + 1)
+	if r.TID() != old+1 {
+		t.Fatalf("TID = %d, want %d", r.TID(), old+1)
+	}
+	if _, ok := r.TryLock(); !ok {
+		t.Fatal("TryLock failed on an unlocked record")
+	}
+	r.UnlockUnchanged(old + 1)
+	if r.TID() != old+1 {
+		t.Fatal("UnlockUnchanged altered the TID")
+	}
+}
+
+func TestSVRecordSetGrowsAndShrinks(t *testing.T) {
+	r := NewSVRecord([]byte{1, 2, 3, 4})
+	r.Lock()
+	r.Set([]byte{9})
+	if !bytes.Equal(r.Data(), []byte{9}) {
+		t.Fatalf("Data = %v", r.Data())
+	}
+	r.Set([]byte{1, 2, 3, 4, 5, 6})
+	if !bytes.Equal(r.Data(), []byte{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("Data = %v", r.Data())
+	}
+	r.Unlock(1)
+}
+
+func TestSVRecordDeleteRestore(t *testing.T) {
+	r := NewSVRecord([]byte{1})
+	r.Lock()
+	r.SetDeleted()
+	if !r.Deleted() {
+		t.Fatal("not deleted")
+	}
+	r.Set([]byte{2})
+	if r.Deleted() {
+		t.Fatal("Set did not clear the tombstone")
+	}
+	r.Unlock(1)
+}
+
+// TestStableReadConsistency hammers a record with in-place writes while
+// readers take seqlock snapshots; every snapshot must be internally
+// consistent (all bytes from the same write).
+func TestStableReadConsistency(t *testing.T) {
+	r := NewSVRecord(make([]byte, 64))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64)
+		for i := byte(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for j := range buf {
+				buf[j] = i
+			}
+			tid := r.Lock()
+			r.Set(buf)
+			r.Unlock(tid + 1)
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var buf []byte
+			for n := 0; n < 3000; n++ {
+				var tid uint64
+				buf, tid, _ = r.StableRead(buf)
+				if tid&TIDLockBit != 0 {
+					t.Error("StableRead returned a locked TID")
+					return
+				}
+				for j := 1; j < len(buf); j++ {
+					if buf[j] != buf[0] {
+						t.Errorf("torn read: buf[0]=%d buf[%d]=%d", buf[0], j, buf[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+func TestSVStoreLoadGet(t *testing.T) {
+	s := NewSVStore(16)
+	if err := s.Load(txn.Key{ID: 1}, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Get(txn.Key{ID: 1})
+	if r == nil || r.Data()[0] != 42 {
+		t.Fatal("loaded record not readable")
+	}
+	if s.Get(txn.Key{ID: 2}) != nil {
+		t.Fatal("absent key returned a record")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestSVStoreLoadCopies(t *testing.T) {
+	s := NewSVStore(4)
+	src := []byte{1, 2, 3}
+	if err := s.Load(txn.Key{ID: 1}, src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	if s.Get(txn.Key{ID: 1}).Data()[0] != 1 {
+		t.Fatal("Load did not copy the value")
+	}
+}
+
+func TestSVStoreGetOrCreate(t *testing.T) {
+	s := NewSVStore(4)
+	r, err := s.GetOrCreate(txn.Key{ID: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Deleted() {
+		t.Fatal("created record should start as a tombstone")
+	}
+	r2, err := s.GetOrCreate(txn.Key{ID: 5})
+	if err != nil || r2 != r {
+		t.Fatal("GetOrCreate not idempotent")
+	}
+}
+
+func TestSVStoreRange(t *testing.T) {
+	s := NewSVStore(16)
+	for i := 0; i < 5; i++ {
+		if err := s.Load(txn.Key{ID: uint64(i)}, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	s.Range(func(k txn.Key, r *SVRecord) bool {
+		n++
+		return true
+	})
+	if n != 5 {
+		t.Fatalf("Range visited %d, want 5", n)
+	}
+}

@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// TsInfinity is the end timestamp of a version that has not been
+// superseded: the version is visible to every transaction at or after its
+// begin timestamp.
+const TsInfinity = math.MaxUint64
+
+// Version is one entry in a record's version chain, laid out exactly as
+// the paper's Figure 3: begin timestamp, end timestamp, a reference to the
+// producing transaction, the data, and a pointer to the preceding version.
+//
+// Field ownership follows BOHM's phase separation:
+//
+//   - Begin, Batch, Producer and the initial Prev are written by the
+//     concurrency control thread that owns the record's partition, before
+//     the version is published; they are immutable afterwards.
+//   - End is written only by that same CC thread (when a later transaction
+//     supersedes the version) and read by execution threads, so it is
+//     atomic.
+//   - data/tombstone are written by the execution thread that runs the
+//     producing transaction and become readable when ready flips to 1;
+//     the atomic store/load pair orders the data writes.
+//   - Prev is additionally cleared (never re-pointed) by the garbage
+//     collector, hence atomic.
+type Version struct {
+	Begin uint64
+	Batch uint64
+	// Producer is the engine-specific handle of the transaction that must
+	// run before this version's data exists (BOHM's "Txn Pointer"). It is
+	// set before publication and never mutated; nil for versions created
+	// by the initial load.
+	Producer any
+
+	end   atomic.Uint64
+	prev  atomic.Pointer[Version]
+	ready atomic.Uint32
+
+	data      []byte
+	tombstone bool
+}
+
+// NewLoadedVersion builds a ready version holding initially loaded data,
+// visible from timestamp 0 onward.
+func NewLoadedVersion(data []byte) *Version {
+	v := &Version{}
+	v.end.Store(TsInfinity)
+	v.data = data
+	v.ready.Store(1)
+	return v
+}
+
+// NewPlaceholder builds the uninitialized version a CC thread inserts for
+// a transaction's write (§3.2.3): begin = the transaction's timestamp,
+// end = infinity, data unset.
+func NewPlaceholder(begin, batch uint64, producer any) *Version {
+	v := &Version{Begin: begin, Batch: batch, Producer: producer}
+	v.end.Store(TsInfinity)
+	return v
+}
+
+// End returns the version's end timestamp.
+func (v *Version) End() uint64 { return v.end.Load() }
+
+// SetEnd invalidates the version as of timestamp ts. Only the CC thread
+// owning the record's partition calls this.
+func (v *Version) SetEnd(ts uint64) { v.end.Store(ts) }
+
+// Prev returns the preceding version, or nil at the tail (or once the
+// garbage collector has unlinked older versions).
+func (v *Version) Prev() *Version { return v.prev.Load() }
+
+// SetPrev links the preceding version. Called once, before publication.
+func (v *Version) SetPrev(p *Version) { v.prev.Store(p) }
+
+// Ready reports whether the version's data has been produced.
+func (v *Version) Ready() bool { return v.ready.Load() == 1 }
+
+// Install publishes the version's data. tombstone marks a deletion. The
+// atomic ready flip orders the data write before any reader's load.
+func (v *Version) Install(data []byte, tombstone bool) {
+	v.data = data
+	v.tombstone = tombstone
+	v.ready.Store(1)
+}
+
+// Data returns the version's value and whether the version is a tombstone.
+// It must only be called after Ready reports true.
+func (v *Version) Data() (data []byte, tombstone bool) {
+	return v.data, v.tombstone
+}
+
+// Chain is a record's version list, newest first. BOHM's partitioning
+// guarantees a single writer (the owning CC thread); readers (execution
+// threads) traverse concurrently, so the head is published atomically.
+type Chain struct {
+	head atomic.Pointer[Version]
+}
+
+// NewChain creates a chain whose first version is head (may be nil for a
+// record that is created by a future transaction's insert).
+func NewChain(head *Version) *Chain {
+	c := &Chain{}
+	if head != nil {
+		c.head.Store(head)
+	}
+	return c
+}
+
+// Head returns the newest version, or nil for an empty chain.
+func (c *Chain) Head() *Version { return c.head.Load() }
+
+// Push appends v as the newest version: the previous head's end timestamp
+// becomes v.Begin and v becomes the head. Single-writer: only the owning
+// CC thread calls Push for a given chain.
+func (c *Chain) Push(v *Version) {
+	old := c.head.Load()
+	v.SetPrev(old)
+	if old != nil {
+		old.SetEnd(v.Begin)
+	}
+	c.head.Store(v)
+}
+
+// VisibleAt returns the version a transaction with timestamp ts must read:
+// the newest version with Begin < ts (its end timestamp is then ≥ ts by
+// construction). A transaction never reads its own write through
+// VisibleAt — BOHM gives each transaction a single timestamp at which it
+// atomically reads its pre-state and installs its post-state. Returns nil
+// if no version is visible (record created later, or the needed version
+// was garbage collected, which the engine's watermark rules out for live
+// readers).
+func (c *Chain) VisibleAt(ts uint64) *Version {
+	for v := c.head.Load(); v != nil; v = v.Prev() {
+		if v.Begin < ts {
+			return v
+		}
+	}
+	return nil
+}
+
+// Len counts the versions currently linked. Intended for tests and stats.
+func (c *Chain) Len() int {
+	n := 0
+	for v := c.head.Load(); v != nil; v = v.Prev() {
+		n++
+	}
+	return n
+}
+
+// Collect applies the paper's GC Condition 3: every version superseded by
+// a version created in a batch ≤ watermark is unreachable by any live or
+// future reader and is unlinked. Returns the number of versions collected.
+//
+// Batches are monotonically nondecreasing from tail to head, so it
+// suffices to examine the newest superseded version s (the head's
+// predecessor): once s.Batch ≤ watermark, every version below s has a
+// superseding version of batch ≤ watermark too, and the whole tail below
+// s can be cut in one step. This makes Collect O(1) per call plus O(freed)
+// for accounting, amortizing to O(1) per version ever created.
+//
+// Only the owning CC thread calls Collect, concurrently with readers
+// (RCU-style: readers already traversing the old sublist still see
+// consistent immutable data; new traversals stop at the cut).
+func (c *Chain) Collect(watermark uint64) int {
+	h := c.head.Load()
+	if h == nil {
+		return 0
+	}
+	s := h.Prev() // newest superseded version; must itself stay visible
+	if s == nil || s.Batch > watermark || !s.Ready() {
+		return 0
+	}
+	n := 0
+	for w := s.Prev(); w != nil; w = w.Prev() {
+		n++
+	}
+	if n > 0 {
+		s.prev.Store(nil)
+	}
+	return n
+}

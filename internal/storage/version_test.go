@@ -1,0 +1,246 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildChain constructs a chain with a loaded version followed by ready
+// versions at the given begin timestamps (ascending), each carrying its
+// index as batch and a one-byte payload.
+func buildChain(begins ...uint64) *Chain {
+	c := NewChain(NewLoadedVersion([]byte{0}))
+	for i, ts := range begins {
+		v := NewPlaceholder(ts, uint64(i+1), nil)
+		v.Install([]byte{byte(ts)}, false)
+		c.Push(v)
+	}
+	return c
+}
+
+func TestLoadedVersionIsReady(t *testing.T) {
+	v := NewLoadedVersion([]byte{7})
+	if !v.Ready() {
+		t.Fatal("loaded version not ready")
+	}
+	if v.Begin != 0 || v.End() != TsInfinity {
+		t.Fatalf("loaded version window = [%d, %d]", v.Begin, v.End())
+	}
+	d, tomb := v.Data()
+	if tomb || d[0] != 7 {
+		t.Fatalf("Data = (%v, %v)", d, tomb)
+	}
+}
+
+func TestPlaceholderLifecycle(t *testing.T) {
+	producer := "txn-handle"
+	v := NewPlaceholder(10, 3, producer)
+	if v.Ready() {
+		t.Fatal("placeholder born ready")
+	}
+	if v.Begin != 10 || v.Batch != 3 || v.End() != TsInfinity {
+		t.Fatalf("placeholder fields: begin=%d batch=%d end=%d", v.Begin, v.Batch, v.End())
+	}
+	if v.Producer != producer {
+		t.Fatal("producer not retained")
+	}
+	v.Install([]byte{1}, false)
+	if !v.Ready() {
+		t.Fatal("Install did not mark ready")
+	}
+}
+
+func TestTombstoneInstall(t *testing.T) {
+	v := NewPlaceholder(5, 1, nil)
+	v.Install(nil, true)
+	d, tomb := v.Data()
+	if !tomb || d != nil {
+		t.Fatalf("tombstone Data = (%v, %v)", d, tomb)
+	}
+}
+
+func TestChainPushLinksAndInvalidates(t *testing.T) {
+	c := NewChain(NewLoadedVersion([]byte{0}))
+	first := c.Head()
+	v := NewPlaceholder(10, 1, nil)
+	c.Push(v)
+	if c.Head() != v {
+		t.Fatal("head not updated")
+	}
+	if v.Prev() != first {
+		t.Fatal("prev not linked")
+	}
+	if first.End() != 10 {
+		t.Fatalf("superseded end = %d, want 10", first.End())
+	}
+	if v.End() != TsInfinity {
+		t.Fatalf("new head end = %d, want infinity", v.End())
+	}
+}
+
+func TestVisibleAt(t *testing.T) {
+	c := buildChain(10, 20, 30)
+	cases := []struct {
+		ts   uint64
+		want uint64 // Begin of expected version
+	}{
+		{1, 0},   // before any update: the loaded version
+		{10, 0},  // the writer at ts=10 reads its pre-state
+		{11, 10}, // just after the first update
+		{20, 10}, // writer at 20 reads pre-state
+		{25, 20},
+		{30, 20},
+		{31, 30},
+		{1000, 30},
+	}
+	for _, tc := range cases {
+		v := c.VisibleAt(tc.ts)
+		if v == nil {
+			t.Fatalf("VisibleAt(%d) = nil", tc.ts)
+		}
+		if v.Begin != tc.want {
+			t.Errorf("VisibleAt(%d).Begin = %d, want %d", tc.ts, v.Begin, tc.want)
+		}
+	}
+}
+
+func TestVisibleAtEmptyAndFuture(t *testing.T) {
+	c := NewChain(nil)
+	if c.VisibleAt(100) != nil {
+		t.Error("empty chain returned a version")
+	}
+	v := NewPlaceholder(50, 1, nil)
+	c.Push(v)
+	if c.VisibleAt(50) != nil {
+		t.Error("reader at the insert's own ts must not see it")
+	}
+	if got := c.VisibleAt(51); got != v {
+		t.Error("reader after insert must see it")
+	}
+}
+
+// TestVisibleAtMatchesReference cross-checks VisibleAt against a direct
+// specification: the version with the largest Begin < ts.
+func TestVisibleAtMatchesReference(t *testing.T) {
+	f := func(rawBegins []uint64, ts uint64) bool {
+		// Build strictly increasing begins in (0, ..) from the raw input.
+		begins := make([]uint64, 0, len(rawBegins))
+		last := uint64(0)
+		for _, b := range rawBegins {
+			last += b%100 + 1
+			begins = append(begins, last)
+		}
+		c := buildChain(begins...)
+		got := c.VisibleAt(ts)
+		// Reference: max Begin < ts over {0} ∪ begins.
+		want := uint64(0)
+		found := ts > 0
+		for _, b := range begins {
+			if b < ts && b > want {
+				want = b
+			}
+		}
+		if !found {
+			return got == nil
+		}
+		return got != nil && got.Begin == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainLen(t *testing.T) {
+	c := buildChain(10, 20, 30)
+	if got := c.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := NewChain(nil).Len(); got != 0 {
+		t.Fatalf("empty Len = %d, want 0", got)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	// Chain: loaded(batch 0) ← v1(batch 1) ← v2(batch 2) ← v3(batch 3).
+	c := buildChain(10, 20, 30)
+
+	// Watermark 0: v2 (head's prev) has batch 2 > 0; nothing collectable.
+	if n := c.Collect(0); n != 0 {
+		t.Fatalf("Collect(0) = %d, want 0", n)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len after no-op collect = %d", c.Len())
+	}
+
+	// Watermark 2: v2 (batch 2) ≤ wm, so everything below v2 (v1 and the
+	// loaded version) is unreachable.
+	if n := c.Collect(2); n != 2 {
+		t.Fatalf("Collect(2) = %d, want 2", n)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len after collect = %d, want 2", c.Len())
+	}
+	// The survivors are head (v3) and its predecessor (v2) — exactly what
+	// future readers can still need.
+	if c.Head().Begin != 30 || c.Head().Prev().Begin != 20 {
+		t.Fatal("wrong survivors after collect")
+	}
+	// Idempotent.
+	if n := c.Collect(2); n != 0 {
+		t.Fatalf("second Collect(2) = %d, want 0", n)
+	}
+}
+
+func TestCollectKeepsUnreadySuccessors(t *testing.T) {
+	c := NewChain(NewLoadedVersion([]byte{0}))
+	v1 := NewPlaceholder(10, 1, nil) // never installed
+	c.Push(v1)
+	v2 := NewPlaceholder(20, 2, nil)
+	v2.Install([]byte{2}, false)
+	c.Push(v2)
+	// v1 is head's prev but not ready: must not cut below it even at a
+	// high watermark (defensive; the watermark protocol already implies
+	// readiness).
+	if n := c.Collect(99); n != 0 {
+		t.Fatalf("Collect past unready version = %d, want 0", n)
+	}
+}
+
+func TestCollectSingleVersionChain(t *testing.T) {
+	c := NewChain(NewLoadedVersion([]byte{0}))
+	if n := c.Collect(100); n != 0 {
+		t.Fatalf("Collect on 1-version chain = %d, want 0", n)
+	}
+	c2 := NewChain(nil)
+	if n := c2.Collect(100); n != 0 {
+		t.Fatalf("Collect on empty chain = %d, want 0", n)
+	}
+}
+
+// TestCollectPreservesVisibility: after any Collect(wm), every reader
+// with a timestamp greater than all versions in batches ≤ wm still finds
+// its correct version.
+func TestCollectPreservesVisibility(t *testing.T) {
+	begins := []uint64{10, 20, 30, 40, 50}
+	for wm := uint64(0); wm <= 6; wm++ {
+		c := buildChain(begins...)
+		c.Collect(wm)
+		// Readers after the newest version are always safe.
+		if got := c.VisibleAt(1000); got == nil || got.Begin != 50 {
+			t.Fatalf("wm=%d: VisibleAt(1000) wrong", wm)
+		}
+		// A reader between two surviving versions still resolves. The
+		// oldest guaranteed-visible timestamp after collecting at wm is
+		// the begin of the newest version with batch ≤ wm (the "s" that
+		// stays).
+		for i, b := range begins {
+			batch := uint64(i + 1)
+			if batch > wm {
+				// Readers needing this version still find it.
+				if got := c.VisibleAt(b + 1); got == nil || got.Begin != b {
+					t.Fatalf("wm=%d: VisibleAt(%d) lost version %d", wm, b+1, b)
+				}
+			}
+		}
+	}
+}

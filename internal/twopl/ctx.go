@@ -1,0 +1,90 @@
+package twopl
+
+import (
+	"fmt"
+
+	"bohm/internal/storage"
+	"bohm/internal/txn"
+)
+
+// svCtx implements txn.Ctx over the single-version store for a
+// transaction that already holds all of its locks. Writes are buffered
+// and applied at commit so a logic abort leaves the database untouched.
+type svCtx struct {
+	store  *storage.SVStore
+	writes []txn.Key
+	vals   [][]byte
+	del    []bool
+	wrote  []bool
+}
+
+func newSVCtx(store *storage.SVStore, writes []txn.Key) *svCtx {
+	n := len(writes)
+	return &svCtx{
+		store:  store,
+		writes: writes,
+		vals:   make([][]byte, n),
+		del:    make([]bool, n),
+		wrote:  make([]bool, n),
+	}
+}
+
+var _ txn.Ctx = (*svCtx)(nil)
+
+// Read implements txn.Ctx. The caller holds at least a read lock on k, so
+// the record buffer is stable for the duration of the transaction.
+func (c *svCtx) Read(k txn.Key) ([]byte, error) {
+	for i, wk := range c.writes {
+		if wk == k && c.wrote[i] {
+			if c.del[i] {
+				return nil, txn.ErrNotFound
+			}
+			return c.vals[i], nil
+		}
+	}
+	rec := c.store.Get(k)
+	if rec == nil || rec.Deleted() {
+		return nil, txn.ErrNotFound
+	}
+	// Record payloads live in atomic words (see storage.SVRecord), so a
+	// read materializes a fresh byte view.
+	return rec.Data(), nil
+}
+
+// Write implements txn.Ctx, buffering the new value.
+func (c *svCtx) Write(k txn.Key, v []byte) error { return c.stage(k, v, false) }
+
+// Delete implements txn.Ctx, buffering a tombstone.
+func (c *svCtx) Delete(k txn.Key) error { return c.stage(k, nil, true) }
+
+func (c *svCtx) stage(k txn.Key, v []byte, del bool) error {
+	for i, wk := range c.writes {
+		if wk == k {
+			c.vals[i] = v
+			c.del[i] = del
+			c.wrote[i] = true
+			return nil
+		}
+	}
+	return fmt.Errorf("twopl: write to key %+v outside declared write-set", k)
+}
+
+// commit applies the buffered writes in place. The caller holds write
+// locks on every written key.
+func (c *svCtx) commit() error {
+	for i, wk := range c.writes {
+		if !c.wrote[i] {
+			continue
+		}
+		rec, err := c.store.GetOrCreate(wk)
+		if err != nil {
+			return err
+		}
+		if c.del[i] {
+			rec.SetDeleted()
+		} else {
+			rec.Set(c.vals[i])
+		}
+	}
+	return nil
+}

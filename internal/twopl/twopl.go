@@ -1,0 +1,265 @@
+// Package twopl implements the paper's two-phase locking baseline (§4): a
+// single-version engine with a per-bucket-latched lock table, deadlock
+// freedom via lexicographic lock acquisition, and lock-table entries
+// pre-allocated before a transaction is submitted. Because access sets are
+// known in advance, no deadlock detection is needed: every transaction
+// acquires all of its locks in global key order, holds them for the
+// duration of its logic, and releases them after commit (strict 2PL).
+package twopl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bohm/internal/engine"
+	"bohm/internal/storage"
+	"bohm/internal/txn"
+)
+
+// Config parameterizes the 2PL engine.
+type Config struct {
+	// Workers is the number of transaction execution threads.
+	Workers int
+	// Capacity sizes the record store and the lock table.
+	Capacity int
+}
+
+// DefaultConfig returns a small general-purpose configuration.
+func DefaultConfig() Config { return Config{Workers: 2, Capacity: 1 << 20} }
+
+// rwLock is a spinning reader-writer lock sized for short OLTP critical
+// sections. Writers set a pending bit that blocks new readers, so writers
+// are not starved under read storms.
+type rwLock struct {
+	// state: bit 31 = writer held; bits 30..16 = writers waiting;
+	// bits 15..0 = reader count.
+	state atomic.Uint64
+}
+
+const (
+	rwWriter     = uint64(1) << 63
+	rwWaiterUnit = uint64(1) << 32
+	rwWaiterMask = rwWriter - rwWaiterUnit
+	rwReaderMask = rwWaiterUnit - 1
+)
+
+// RLock acquires the lock in shared mode, waiting out held or pending
+// writers.
+func (l *rwLock) RLock() {
+	for spins := 0; ; spins++ {
+		s := l.state.Load()
+		if s&(rwWriter|rwWaiterMask) == 0 {
+			if l.state.CompareAndSwap(s, s+1) {
+				return
+			}
+			continue
+		}
+		lockPause(spins)
+	}
+}
+
+// RUnlock releases a shared acquisition.
+func (l *rwLock) RUnlock() { l.state.Add(^uint64(0)) }
+
+// Lock acquires the lock exclusively; its pending bit holds off new
+// readers so writers are not starved.
+func (l *rwLock) Lock() {
+	l.state.Add(rwWaiterUnit)
+	for spins := 0; ; spins++ {
+		s := l.state.Load()
+		if s&(rwWriter|rwReaderMask) == 0 {
+			if l.state.CompareAndSwap(s, (s-rwWaiterUnit)|rwWriter) {
+				return
+			}
+			continue
+		}
+		lockPause(spins)
+	}
+}
+
+// Unlock releases an exclusive acquisition.
+func (l *rwLock) Unlock() { l.state.And(^rwWriter) }
+
+// lockPause backs a contended lock acquisition off: brief Gosched yields
+// first, then parked sleeps so oversubscribed hosts hand the CPU to the
+// lock holder instead of burning scheduler quanta.
+func lockPause(spins int) {
+	switch {
+	case spins < 64:
+		// busy spin
+	case spins < 512:
+		runtime.Gosched()
+	default:
+		time.Sleep(5 * time.Microsecond)
+	}
+}
+
+// lockEntry is one pre-allocated lock-table entry.
+type lockEntry struct{ l rwLock }
+
+// Engine is the 2PL engine.
+type Engine struct {
+	cfg   Config
+	store *storage.SVStore
+	locks *storage.Map[lockEntry]
+
+	committed  atomic.Uint64
+	userAborts atomic.Uint64
+}
+
+// New creates a 2PL engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("twopl: need at least one worker")
+	}
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1 << 20
+	}
+	return &Engine{
+		cfg:   cfg,
+		store: storage.NewSVStore(cfg.Capacity),
+		locks: storage.NewMap[lockEntry](cfg.Capacity),
+	}, nil
+}
+
+// Load implements engine.Engine, pre-allocating the record and its lock
+// table entry.
+func (e *Engine) Load(k txn.Key, v []byte) error {
+	if err := e.store.Load(k, v); err != nil {
+		return err
+	}
+	_, _, err := e.locks.Insert(k, &lockEntry{})
+	return err
+}
+
+// lockFor returns k's pre-allocated lock entry, creating one on demand for
+// keys that spring into existence at run time (inserts).
+func (e *Engine) lockFor(k txn.Key) (*lockEntry, error) {
+	if le := e.locks.Get(k); le != nil {
+		return le, nil
+	}
+	return e.locks.GetOrInsert(k, func() *lockEntry { return &lockEntry{} })
+}
+
+// lockPlan is a transaction's sorted lock acquisition schedule.
+type lockPlan struct {
+	keys  []txn.Key
+	write []bool
+	locks []*lockEntry
+}
+
+// plan builds the deadlock-free acquisition order: the union of the read-
+// and write-sets sorted lexicographically, write mode winning when a key
+// appears in both.
+func (e *Engine) plan(t txn.Txn) (lockPlan, error) {
+	reads, writes := t.ReadSet(), t.WriteSet()
+	p := lockPlan{
+		keys:  make([]txn.Key, 0, len(reads)+len(writes)),
+		write: make([]bool, 0, len(reads)+len(writes)),
+	}
+	all := make([]txn.Key, 0, len(reads)+len(writes))
+	all = append(all, reads...)
+	all = append(all, writes...)
+	all = txn.Normalize(all)
+	wsorted := make([]txn.Key, len(writes))
+	copy(wsorted, writes)
+	wsorted = txn.Normalize(wsorted)
+	for _, k := range all {
+		p.keys = append(p.keys, k)
+		p.write = append(p.write, txn.Contains(wsorted, k))
+	}
+	p.locks = make([]*lockEntry, len(p.keys))
+	for i, k := range p.keys {
+		le, err := e.lockFor(k)
+		if err != nil {
+			return lockPlan{}, err
+		}
+		p.locks[i] = le
+	}
+	return p, nil
+}
+
+func (p *lockPlan) acquire() {
+	for i, le := range p.locks {
+		if p.write[i] {
+			le.l.Lock()
+		} else {
+			le.l.RLock()
+		}
+	}
+}
+
+func (p *lockPlan) release() {
+	for i := len(p.locks) - 1; i >= 0; i-- {
+		if p.write[i] {
+			p.locks[i].l.Unlock()
+		} else {
+			p.locks[i].l.RUnlock()
+		}
+	}
+}
+
+// ExecuteBatch implements engine.Engine: transactions are spread across
+// cfg.Workers goroutines; each acquires its locks in global order, runs
+// the logic, applies buffered writes on commit, and releases.
+func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
+	res := make([]error, len(ts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := e.cfg.Workers
+	if workers > len(ts) {
+		workers = len(ts)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ts) {
+					return
+				}
+				res[i] = e.runOne(ts[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+func (e *Engine) runOne(t txn.Txn) error {
+	p, err := e.plan(t)
+	if err != nil {
+		e.userAborts.Add(1)
+		return err
+	}
+	p.acquire()
+	defer p.release()
+
+	c := newSVCtx(e.store, t.WriteSet())
+	err = txn.RunSafely(t, c)
+	if err == nil {
+		err = c.commit()
+	}
+	if err != nil {
+		e.userAborts.Add(1)
+		return err
+	}
+	e.committed.Add(1)
+	return nil
+}
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() engine.Stats {
+	return engine.Stats{
+		Committed:  e.committed.Load(),
+		UserAborts: e.userAborts.Load(),
+	}
+}
+
+// Close implements engine.Engine. The 2PL engine has no background
+// goroutines, so Close is a no-op.
+func (e *Engine) Close() {}

@@ -1,0 +1,441 @@
+package twopl
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bohm/internal/txn"
+)
+
+func key(id uint64) txn.Key { return txn.Key{Table: 0, ID: id} }
+
+func newEngine(t *testing.T, workers int) *Engine {
+	t.Helper()
+	e, err := New(Config{Workers: workers, Capacity: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func load(t *testing.T, e *Engine, n int, val uint64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := e.Load(key(uint64(i)), txn.NewValue(8, val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func incTxn(ids ...uint64) txn.Txn {
+	ks := make([]txn.Key, len(ids))
+	for i, id := range ids {
+		ks[i] = key(id)
+	}
+	return &txn.Proc{
+		Reads:  ks,
+		Writes: ks,
+		Body: func(ctx txn.Ctx) error {
+			for _, k := range ks {
+				v, err := ctx.Read(k)
+				if err != nil {
+					return err
+				}
+				if err := ctx.Write(k, txn.Incremented(v, 1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func readVal(t *testing.T, e *Engine, id uint64) (uint64, error) {
+	t.Helper()
+	var got uint64
+	res := e.ExecuteBatch([]txn.Txn{&txn.Proc{
+		Reads: []txn.Key{key(id)},
+		Body: func(ctx txn.Ctx) error {
+			v, err := ctx.Read(key(id))
+			if err != nil {
+				return err
+			}
+			got = txn.U64(v)
+			return nil
+		},
+	}})
+	return got, res[0]
+}
+
+// --- rwLock unit tests ---
+
+func TestRWLockExclusive(t *testing.T) {
+	var l rwLock
+	l.Lock()
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second writer acquired a held lock")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Unlock()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second writer never acquired after release")
+	}
+	l.Unlock()
+}
+
+func TestRWLockSharedReaders(t *testing.T) {
+	var l rwLock
+	l.RLock()
+	l.RLock() // two concurrent readers are fine
+	done := make(chan struct{})
+	go func() {
+		l.Lock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("writer acquired while readers held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.RUnlock()
+	l.RUnlock()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer starved after readers left")
+	}
+	l.Unlock()
+}
+
+func TestRWLockWriterBlocksNewReaders(t *testing.T) {
+	var l rwLock
+	l.RLock()
+	writerIn := make(chan struct{})
+	go func() {
+		l.Lock() // waits; sets the pending bit
+		close(writerIn)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the writer register
+	readerIn := make(chan struct{})
+	go func() {
+		l.RLock() // must wait behind the pending writer
+		close(readerIn)
+	}()
+	select {
+	case <-readerIn:
+		t.Fatal("new reader overtook a pending writer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.RUnlock() // writer goes first
+	<-writerIn
+	l.Unlock()
+	select {
+	case <-readerIn:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader starved")
+	}
+	l.RUnlock()
+}
+
+func TestRWLockStress(t *testing.T) {
+	var l rwLock
+	var shared int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Lock()
+				shared++
+				l.Unlock()
+			}
+		}()
+	}
+	var violations atomic.Int64
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.RLock()
+				v1 := shared
+				v2 := shared
+				if v1 != v2 {
+					violations.Add(1)
+				}
+				l.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != 8000 {
+		t.Fatalf("shared = %d, want 8000 (writer mutual exclusion broken)", shared)
+	}
+	if violations.Load() != 0 {
+		t.Fatalf("%d read-side violations", violations.Load())
+	}
+}
+
+// --- lock plan tests ---
+
+func TestPlanWriteModeWins(t *testing.T) {
+	e := newEngine(t, 1)
+	load(t, e, 3, 0)
+	p, err := e.plan(&txn.Proc{
+		Reads:  []txn.Key{key(0), key(1)},
+		Writes: []txn.Key{key(1), key(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]bool{0: false, 1: true, 2: true}
+	if len(p.keys) != 3 {
+		t.Fatalf("plan has %d keys, want 3", len(p.keys))
+	}
+	for i, k := range p.keys {
+		if p.write[i] != want[k.ID] {
+			t.Errorf("key %d write mode = %v, want %v", k.ID, p.write[i], want[k.ID])
+		}
+		if i > 0 && !p.keys[i-1].Less(k) {
+			t.Error("plan keys not sorted")
+		}
+	}
+}
+
+func TestPlanDeduplicates(t *testing.T) {
+	e := newEngine(t, 1)
+	load(t, e, 1, 0)
+	p, err := e.plan(&txn.Proc{
+		Reads:  []txn.Key{key(0), key(0)},
+		Writes: []txn.Key{key(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.keys) != 1 || !p.write[0] {
+		t.Fatalf("plan = %+v, want single write-mode key", p)
+	}
+}
+
+// --- engine behavior ---
+
+func TestHotKeySum(t *testing.T) {
+	e := newEngine(t, 4)
+	load(t, e, 1, 0)
+	const n = 500
+	ts := make([]txn.Txn, n)
+	for i := range ts {
+		ts[i] = incTxn(0)
+	}
+	for i, err := range e.ExecuteBatch(ts) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	got, err := readVal(t, e, 0)
+	if err != nil || got != n {
+		t.Fatalf("value = %d (%v), want %d", got, err, n)
+	}
+}
+
+// TestNoDeadlockOnReversedAccessOrder: transactions declaring keys in
+// opposite orders must not deadlock (lexicographic acquisition).
+func TestNoDeadlockOnReversedAccessOrder(t *testing.T) {
+	e := newEngine(t, 4)
+	load(t, e, 2, 0)
+	const n = 400
+	ts := make([]txn.Txn, n)
+	for i := range ts {
+		if i%2 == 0 {
+			ts[i] = incTxn(0, 1)
+		} else {
+			ts[i] = incTxn(1, 0)
+		}
+	}
+	done := make(chan []error, 1)
+	go func() { done <- e.ExecuteBatch(ts) }()
+	select {
+	case res := <-done:
+		for i, err := range res {
+			if err != nil {
+				t.Fatalf("txn %d: %v", i, err)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: batch did not complete")
+	}
+	a, _ := readVal(t, e, 0)
+	b, _ := readVal(t, e, 1)
+	if a != n || b != n {
+		t.Fatalf("counts = %d,%d want %d", a, b, n)
+	}
+}
+
+// TestConcurrentReadersOverlap: two read-only transactions on the same
+// key must be able to hold their read locks simultaneously.
+func TestConcurrentReadersOverlap(t *testing.T) {
+	e := newEngine(t, 2)
+	load(t, e, 1, 0)
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	overlapped := make(chan bool, 2)
+	mk := func() txn.Txn {
+		return &txn.Proc{
+			Reads: []txn.Key{key(0)},
+			Body: func(ctx txn.Ctx) error {
+				if _, err := ctx.Read(key(0)); err != nil {
+					return err
+				}
+				barrier.Done()
+				done := make(chan struct{})
+				go func() { defer close(done); barrier.Wait() }()
+				select {
+				case <-done:
+					overlapped <- true
+				case <-time.After(time.Second):
+					overlapped <- false
+				}
+				return nil
+			},
+		}
+	}
+	for i, err := range e.ExecuteBatch([]txn.Txn{mk(), mk()}) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	if !<-overlapped || !<-overlapped {
+		t.Fatal("read-only transactions failed to overlap (readers block readers?)")
+	}
+}
+
+func TestAbortRollsBackAllWrites(t *testing.T) {
+	e := newEngine(t, 2)
+	load(t, e, 3, 7)
+	boom := errors.New("boom")
+	p := &txn.Proc{
+		Reads:  []txn.Key{key(0), key(1), key(2)},
+		Writes: []txn.Key{key(0), key(1), key(2)},
+		Body: func(ctx txn.Ctx) error {
+			for i := uint64(0); i < 3; i++ {
+				if err := ctx.Write(key(i), txn.NewValue(8, 100+i)); err != nil {
+					return err
+				}
+			}
+			return boom
+		},
+	}
+	res := e.ExecuteBatch([]txn.Txn{p})
+	if !errors.Is(res[0], boom) {
+		t.Fatal(res[0])
+	}
+	for i := uint64(0); i < 3; i++ {
+		if got, _ := readVal(t, e, i); got != 7 {
+			t.Errorf("key %d = %d after abort, want 7", i, got)
+		}
+	}
+}
+
+func TestWriteSkewPrevented(t *testing.T) {
+	// 2PL serializes the write-skew pair via read-lock/write-lock
+	// conflicts; run the contended pair repeatedly and verify serial
+	// outcomes.
+	for trial := 0; trial < 10; trial++ {
+		e := newEngine(t, 2)
+		load(t, e, 2, 0)
+		seed := []txn.Txn{
+			&txn.Proc{Writes: []txn.Key{key(0)}, Body: func(ctx txn.Ctx) error {
+				return ctx.Write(key(0), txn.NewValue(8, 1))
+			}},
+			&txn.Proc{Writes: []txn.Key{key(1)}, Body: func(ctx txn.Ctx) error {
+				return ctx.Write(key(1), txn.NewValue(8, 2))
+			}},
+		}
+		for _, err := range e.ExecuteBatch(seed) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		x, y := key(0), key(1)
+		t1 := &txn.Proc{
+			Reads: []txn.Key{x, y}, Writes: []txn.Key{x},
+			Body: func(ctx txn.Ctx) error {
+				vx, err := ctx.Read(x)
+				if err != nil {
+					return err
+				}
+				vy, err := ctx.Read(y)
+				if err != nil {
+					return err
+				}
+				return ctx.Write(x, txn.NewValue(8, txn.U64(vx)+txn.U64(vy)))
+			},
+		}
+		t2 := &txn.Proc{
+			Reads: []txn.Key{x, y}, Writes: []txn.Key{y},
+			Body: func(ctx txn.Ctx) error {
+				vx, err := ctx.Read(x)
+				if err != nil {
+					return err
+				}
+				vy, err := ctx.Read(y)
+				if err != nil {
+					return err
+				}
+				return ctx.Write(y, txn.NewValue(8, txn.U64(vx)+txn.U64(vy)))
+			},
+		}
+		for i, err := range e.ExecuteBatch([]txn.Txn{t1, t2}) {
+			if err != nil {
+				t.Fatalf("trial %d txn %d: %v", trial, i, err)
+			}
+		}
+		xv, _ := readVal(t, e, 0)
+		yv, _ := readVal(t, e, 1)
+		ok := (xv == 3 && yv == 5) || (xv == 4 && yv == 3)
+		if !ok {
+			t.Fatalf("trial %d: non-serializable outcome x=%d y=%d", trial, xv, yv)
+		}
+	}
+}
+
+func TestLockEntriesPreallocated(t *testing.T) {
+	e := newEngine(t, 1)
+	load(t, e, 5, 0)
+	for i := uint64(0); i < 5; i++ {
+		if e.locks.Get(key(i)) == nil {
+			t.Errorf("no pre-allocated lock entry for key %d", i)
+		}
+	}
+}
+
+func TestInsertCreatesLockEntry(t *testing.T) {
+	e := newEngine(t, 1)
+	load(t, e, 1, 0)
+	k := key(42)
+	ins := &txn.Proc{Writes: []txn.Key{k}, Body: func(ctx txn.Ctx) error {
+		return ctx.Write(k, txn.NewValue(8, 9))
+	}}
+	if res := e.ExecuteBatch([]txn.Txn{ins}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	if got, _ := readVal(t, e, 42); got != 9 {
+		t.Fatalf("inserted = %d, want 9", got)
+	}
+	if e.locks.Get(k) == nil {
+		t.Error("insert did not create a lock entry")
+	}
+}

@@ -1,0 +1,71 @@
+package txn
+
+import "sort"
+
+// SortKeys orders ks lexicographically in place. Deterministic global key
+// order is what makes 2PL lock acquisition deadlock-free and OCC write-set
+// locking livelock-free.
+func SortKeys(ks []Key) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Less(ks[j]) })
+}
+
+// Normalize sorts ks and removes duplicates in place, returning the
+// (possibly shorter) normalized slice.
+func Normalize(ks []Key) []Key {
+	if len(ks) < 2 {
+		return ks
+	}
+	SortKeys(ks)
+	out := ks[:1]
+	for _, k := range ks[1:] {
+		if k != out[len(out)-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Contains reports whether sorted set ks contains k. ks must be sorted
+// (e.g. by Normalize); lookup is a binary search.
+func Contains(ks []Key, k Key) bool {
+	i := sort.Search(len(ks), func(i int) bool { return !ks[i].Less(k) })
+	return i < len(ks) && ks[i] == k
+}
+
+// ContainsLinear reports whether ks (in any order) contains k. Engines use
+// it for the short unsorted access sets typical of OLTP transactions, where
+// a linear scan beats a sort.
+func ContainsLinear(ks []Key, k Key) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns the sorted, deduplicated union of two access sets. Neither
+// input is modified; inputs need not be sorted.
+func Union(a, b []Key) []Key {
+	out := make([]Key, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return Normalize(out)
+}
+
+// Intersect reports whether two normalized (sorted, deduplicated) access
+// sets share at least one key. It runs in O(len(a)+len(b)).
+func Intersect(a, b []Key) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Less(b[j]):
+			i++
+		case b[j].Less(a[i]):
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}

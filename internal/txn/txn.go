@@ -1,0 +1,138 @@
+// Package txn defines the transaction model shared by every concurrency
+// control engine in this repository: stored-procedure transactions with
+// declared read- and write-sets, the data-access context handed to a
+// transaction's logic, and utilities for manipulating access sets.
+//
+// The model follows the BOHM paper (Faleiro & Abadi, VLDB 2015): a
+// transaction is submitted to the system in its entirety, and its write-set
+// must be known before execution begins. Read-sets are optional for
+// correctness but enable BOHM's read-reference optimization (§3.2.3).
+package txn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is returned by Ctx.Read when no version of the record is
+// visible to the transaction (the record was never inserted, or was deleted
+// as of the transaction's snapshot).
+var ErrNotFound = errors.New("txn: record not found")
+
+// ErrAbort is a convenience sentinel a transaction body may return to
+// request a rollback without describing a reason.
+var ErrAbort = errors.New("txn: aborted by transaction logic")
+
+// PanicError is the abort reason reported when a transaction's logic
+// panics: the engine recovers the panic, rolls the transaction back, and
+// returns a PanicError in the result slot instead of crashing a worker.
+type PanicError struct {
+	// Value is the value the transaction panicked with.
+	Value any
+}
+
+// Error implements the error interface.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("txn: transaction logic panicked: %v", p.Value)
+}
+
+// RunSafely invokes t.Run(ctx), converting a panic in the transaction
+// body into a *PanicError. Engines use it so one faulty stored procedure
+// cannot take down a worker thread.
+func RunSafely(t Txn, ctx Ctx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r}
+		}
+	}()
+	return t.Run(ctx)
+}
+
+// Key identifies a record: a table number plus a 64-bit row identifier.
+// Keys are value types and are ordered lexicographically by (Table, ID).
+type Key struct {
+	Table uint32
+	ID    uint64
+}
+
+// Less reports whether k orders before o in the global lexicographic key
+// order used for deadlock-free lock acquisition.
+func (k Key) Less(o Key) bool {
+	if k.Table != o.Table {
+		return k.Table < o.Table
+	}
+	return k.ID < o.ID
+}
+
+// Hash returns a well-mixed 64-bit hash of the key, suitable for
+// partitioning records across concurrency control threads and for hash
+// index placement. It is a Fibonacci-style multiplicative mix of both
+// fields (splitmix64 finalizer).
+func (k Key) Hash() uint64 {
+	x := k.ID ^ (uint64(k.Table)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Ctx is the data-access interface an engine hands to a transaction's
+// logic. Implementations are engine-specific; the contract is shared:
+//
+//   - Read returns the record's value as of the transaction's logical
+//     time. The returned slice is owned by the engine and MUST NOT be
+//     modified or retained beyond the call to Run.
+//   - Write installs a new value for a key that appears in the
+//     transaction's declared write-set. The engine takes ownership of the
+//     slice; the caller must not modify it afterwards. Writing a key
+//     outside the declared write-set returns an error from Run.
+//   - Delete removes the record (installs a tombstone in multiversion
+//     engines). Like Write, the key must be in the declared write-set.
+type Ctx interface {
+	Read(k Key) ([]byte, error)
+	Write(k Key, v []byte) error
+	Delete(k Key) error
+}
+
+// Txn is a transaction: a stored procedure with declared access sets.
+//
+// ReadSet and WriteSet must return the same contents every time they are
+// called for a given transaction instance, and must cover every key the
+// body touches; Run must be safe to invoke more than once (optimistic
+// engines re-run aborted transactions, and BOHM may restart a transaction
+// whose read dependency was being produced by another thread).
+type Txn interface {
+	// ReadSet returns the keys the transaction may read. Engines other
+	// than BOHM ignore it unless they need it for lock pre-acquisition.
+	ReadSet() []Key
+	// WriteSet returns the keys the transaction may write or delete.
+	WriteSet() []Key
+	// Run executes the transaction's logic against ctx. Returning a
+	// non-nil error aborts the transaction: none of its writes become
+	// visible and the error is reported to the submitter.
+	Run(ctx Ctx) error
+}
+
+// Proc is a ready-made Txn built from closures, convenient for tests,
+// examples, and ad-hoc workloads.
+type Proc struct {
+	Reads  []Key
+	Writes []Key
+	Body   func(ctx Ctx) error
+}
+
+// ReadSet implements Txn.
+func (p *Proc) ReadSet() []Key { return p.Reads }
+
+// WriteSet implements Txn.
+func (p *Proc) WriteSet() []Key { return p.Writes }
+
+// Run implements Txn.
+func (p *Proc) Run(ctx Ctx) error {
+	if p.Body == nil {
+		return nil
+	}
+	return p.Body(ctx)
+}

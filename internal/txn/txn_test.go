@@ -1,0 +1,353 @@
+package txn
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyLess(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want bool
+	}{
+		{Key{0, 1}, Key{0, 2}, true},
+		{Key{0, 2}, Key{0, 1}, false},
+		{Key{0, 5}, Key{1, 0}, true},
+		{Key{1, 0}, Key{0, 5}, false},
+		{Key{1, 1}, Key{1, 1}, false},
+		{Key{0, 0}, Key{0, 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("(%v).Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestKeyLessIsStrictWeakOrder(t *testing.T) {
+	f := func(a, b Key) bool {
+		switch {
+		case a == b:
+			return !a.Less(b) && !b.Less(a)
+		default:
+			return a.Less(b) != b.Less(a) // exactly one direction for distinct keys
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyHashDeterministic(t *testing.T) {
+	k := Key{Table: 3, ID: 123456}
+	if k.Hash() != k.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestKeyHashTableSeparation(t *testing.T) {
+	// Same ID in different tables must hash differently (tables share the
+	// partitioned index space).
+	a := Key{Table: 0, ID: 42}.Hash()
+	b := Key{Table: 1, ID: 42}.Hash()
+	if a == b {
+		t.Fatal("table number does not affect hash")
+	}
+}
+
+func TestKeyHashSpreadsLowBits(t *testing.T) {
+	// Sequential IDs (the common dense-table layout) must spread across
+	// low bits — the hash index probes with them.
+	buckets := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		buckets[Key{ID: uint64(i)}.Hash()&15]++
+	}
+	for b, n := range buckets {
+		if n < 500 || n > 1500 {
+			t.Errorf("bucket %d has %d of 16000 keys; distribution too skewed", b, n)
+		}
+	}
+}
+
+func TestKeyHashSpreadsHighBits(t *testing.T) {
+	// Partition selection uses the high bits; sequential IDs must spread
+	// there too.
+	buckets := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		buckets[(Key{ID: uint64(i)}.Hash()>>40)%16]++
+	}
+	for b, n := range buckets {
+		if n < 500 || n > 1500 {
+			t.Errorf("high-bit bucket %d has %d of 16000 keys", b, n)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ks := []Key{{1, 5}, {0, 9}, {1, 5}, {0, 1}, {0, 9}}
+	got := Normalize(ks)
+	want := []Key{{0, 1}, {0, 9}, {1, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("Normalize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Normalize = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNormalizeEmptyAndSingle(t *testing.T) {
+	if got := Normalize(nil); len(got) != 0 {
+		t.Errorf("Normalize(nil) = %v", got)
+	}
+	one := []Key{{2, 2}}
+	if got := Normalize(one); len(got) != 1 || got[0] != one[0] {
+		t.Errorf("Normalize(single) = %v", got)
+	}
+}
+
+func TestNormalizeProperties(t *testing.T) {
+	f := func(ks []Key) bool {
+		orig := map[Key]bool{}
+		for _, k := range ks {
+			orig[k] = true
+		}
+		cp := make([]Key, len(ks))
+		copy(cp, ks)
+		out := Normalize(cp)
+		// Sorted, unique, same key set.
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].Less(out[j]) }) {
+			return false
+		}
+		if len(out) != len(orig) {
+			return false
+		}
+		for _, k := range out {
+			if !orig[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	ks := Normalize([]Key{{0, 1}, {0, 5}, {2, 3}})
+	for _, k := range ks {
+		if !Contains(ks, k) {
+			t.Errorf("Contains(%v) = false for member", k)
+		}
+	}
+	for _, k := range []Key{{0, 0}, {0, 2}, {1, 3}, {2, 4}, {3, 0}} {
+		if Contains(ks, k) {
+			t.Errorf("Contains(%v) = true for non-member", k)
+		}
+	}
+}
+
+func TestContainsMatchesLinear(t *testing.T) {
+	f := func(ks []Key, probe Key) bool {
+		cp := Normalize(append([]Key(nil), ks...))
+		return Contains(cp, probe) == ContainsLinear(cp, probe)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := []Key{{0, 1}, {0, 2}}
+	b := []Key{{0, 2}, {1, 1}}
+	got := Union(a, b)
+	want := []Key{{0, 1}, {0, 2}, {1, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Union = %v, want %v", got, want)
+		}
+	}
+	// Inputs unmodified.
+	if a[0] != (Key{0, 1}) || b[0] != (Key{0, 2}) {
+		t.Error("Union modified its inputs")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b []Key
+		want bool
+	}{
+		{nil, nil, false},
+		{[]Key{{0, 1}}, nil, false},
+		{[]Key{{0, 1}}, []Key{{0, 1}}, true},
+		{[]Key{{0, 1}, {0, 3}}, []Key{{0, 2}, {0, 4}}, false},
+		{[]Key{{0, 1}, {0, 3}}, []Key{{0, 3}}, true},
+		{[]Key{{0, 1}, {1, 1}}, []Key{{0, 2}, {1, 1}}, true},
+	}
+	for _, c := range cases {
+		if got := Intersect(c.a, c.b); got != c.want {
+			t.Errorf("Intersect(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntersectMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		mk := func() []Key {
+			n := rng.Intn(8)
+			ks := make([]Key, n)
+			for i := range ks {
+				ks[i] = Key{Table: uint32(rng.Intn(2)), ID: uint64(rng.Intn(10))}
+			}
+			return Normalize(ks)
+		}
+		a, b := mk(), mk()
+		brute := false
+		for _, x := range a {
+			for _, y := range b {
+				if x == y {
+					brute = true
+				}
+			}
+		}
+		if got := Intersect(a, b); got != brute {
+			t.Fatalf("Intersect(%v, %v) = %v, want %v", a, b, got, brute)
+		}
+	}
+}
+
+func TestSortKeysMatchesLess(t *testing.T) {
+	f := func(ks []Key) bool {
+		cp := make([]Key, len(ks))
+		copy(cp, ks)
+		SortKeys(cp)
+		return sort.SliceIsSorted(cp, func(i, j int) bool { return cp[i].Less(cp[j]) })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	v := NewValue(16, 42)
+	if len(v) != 16 {
+		t.Fatalf("NewValue length = %d, want 16", len(v))
+	}
+	if U64(v) != 42 {
+		t.Fatalf("U64 = %d, want 42", U64(v))
+	}
+	PutU64(v, 7)
+	if U64(v) != 7 {
+		t.Fatalf("after PutU64, U64 = %d, want 7", U64(v))
+	}
+}
+
+func TestNewValueClampsSize(t *testing.T) {
+	v := NewValue(3, 9)
+	if len(v) != 8 {
+		t.Fatalf("NewValue(3) length = %d, want clamped to 8", len(v))
+	}
+	if U64(v) != 9 {
+		t.Fatalf("U64 = %d, want 9", U64(v))
+	}
+}
+
+func TestU64ShortValue(t *testing.T) {
+	if U64([]byte{1, 2}) != 0 {
+		t.Error("U64 of short slice should be 0")
+	}
+	if U64(nil) != 0 {
+		t.Error("U64(nil) should be 0")
+	}
+}
+
+func TestIncremented(t *testing.T) {
+	v := NewValue(12, 10)
+	v[11] = 0xAB // payload byte beyond the counter must survive
+	w := Incremented(v, 5)
+	if U64(w) != 15 {
+		t.Fatalf("Incremented counter = %d, want 15", U64(w))
+	}
+	if w[11] != 0xAB {
+		t.Error("Incremented lost payload bytes")
+	}
+	if U64(v) != 10 {
+		t.Error("Incremented modified its input")
+	}
+	if &v[0] == &w[0] {
+		t.Error("Incremented aliases its input")
+	}
+}
+
+func TestIncrementedShortInput(t *testing.T) {
+	w := Incremented([]byte{1, 2}, 3)
+	if U64(w) != 3 {
+		t.Fatalf("Incremented(short) = %d, want 3", U64(w))
+	}
+}
+
+func TestProc(t *testing.T) {
+	reads := []Key{{0, 1}}
+	writes := []Key{{0, 2}}
+	ran := false
+	p := &Proc{Reads: reads, Writes: writes, Body: func(Ctx) error { ran = true; return nil }}
+	if got := p.ReadSet(); len(got) != 1 || got[0] != reads[0] {
+		t.Error("ReadSet mismatch")
+	}
+	if got := p.WriteSet(); len(got) != 1 || got[0] != writes[0] {
+		t.Error("WriteSet mismatch")
+	}
+	if err := p.Run(nil); err != nil || !ran {
+		t.Error("Run did not invoke Body")
+	}
+}
+
+func TestProcNilBody(t *testing.T) {
+	p := &Proc{}
+	if err := p.Run(nil); err != nil {
+		t.Errorf("nil body Run = %v, want nil", err)
+	}
+}
+
+func TestProcPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	p := &Proc{Body: func(Ctx) error { return boom }}
+	if err := p.Run(nil); !errors.Is(err, boom) {
+		t.Errorf("Run = %v, want boom", err)
+	}
+}
+
+func TestRunSafelyRecoversPanic(t *testing.T) {
+	p := &Proc{Body: func(Ctx) error { panic(42) }}
+	err := RunSafely(p, nil)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != 42 {
+		t.Errorf("panic value = %v, want 42", pe.Value)
+	}
+	if pe.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestRunSafelyPassesThrough(t *testing.T) {
+	boom := errors.New("boom")
+	if err := RunSafely(&Proc{Body: func(Ctx) error { return boom }}, nil); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if err := RunSafely(&Proc{}, nil); err != nil {
+		t.Errorf("err = %v, want nil", err)
+	}
+}

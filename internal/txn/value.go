@@ -1,0 +1,49 @@
+package txn
+
+import "encoding/binary"
+
+// Value helpers shared by workloads and examples. Records in this
+// repository are opaque byte slices; benchmarks that perform read-modify-
+// write increments store a little-endian uint64 counter in the first eight
+// bytes of the record, mirroring the single-integer-attribute records of
+// the paper's microbenchmarks (§4.1).
+
+// U64 decodes the counter at the front of a record value. Values shorter
+// than eight bytes decode as zero.
+func U64(v []byte) uint64 {
+	if len(v) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+// PutU64 encodes x into the first eight bytes of v, which must be at least
+// eight bytes long.
+func PutU64(v []byte, x uint64) {
+	binary.LittleEndian.PutUint64(v, x)
+}
+
+// NewValue allocates a record value of the given size holding counter x.
+// Size is clamped up to eight bytes so the counter always fits.
+func NewValue(size int, x uint64) []byte {
+	if size < 8 {
+		size = 8
+	}
+	v := make([]byte, size)
+	binary.LittleEndian.PutUint64(v, x)
+	return v
+}
+
+// Incremented returns a fresh copy of v with the leading counter
+// incremented by delta. It never aliases v, so it is safe to pass the
+// result to Ctx.Write while v came from Ctx.Read.
+func Incremented(v []byte, delta uint64) []byte {
+	out := make([]byte, len(v))
+	copy(out, v)
+	if len(out) < 8 {
+		out = NewValue(8, delta)
+		return out
+	}
+	PutU64(out, U64(out)+delta)
+	return out
+}

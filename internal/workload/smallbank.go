@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"bohm/internal/engine"
+	"bohm/internal/txn"
+)
+
+// SmallBank table numbers (§4.3): Customer maps a customer to their
+// identifier; Savings and Checking hold <customer id, balance> rows.
+const (
+	SBCustomer uint32 = 1
+	SBSavings  uint32 = 2
+	SBChecking uint32 = 3
+)
+
+// ErrInsufficientFunds aborts a TransactSavings that would drive a savings
+// balance negative.
+var ErrInsufficientFunds = errors.New("smallbank: insufficient funds")
+
+// SmallBank describes the paper's SmallBank configuration: Customers rows
+// per table (8-byte balances), and an optional per-transaction busy spin —
+// 50µs in the paper — that makes the tiny transactions "slightly less
+// trivial in size".
+type SmallBank struct {
+	Customers int
+	Spin      time.Duration
+}
+
+// InitialBalance is the balance every savings and checking account starts
+// with. It is large enough that the standard mix virtually never hits
+// ErrInsufficientFunds.
+const InitialBalance = 1_000_000
+
+// LoadInto populates e with the three SmallBank tables.
+func (sb SmallBank) LoadInto(e engine.Engine) error {
+	for i := 0; i < sb.Customers; i++ {
+		id := uint64(i)
+		if err := e.Load(txn.Key{Table: SBCustomer, ID: id}, txn.NewValue(8, id)); err != nil {
+			return err
+		}
+		if err := e.Load(txn.Key{Table: SBSavings, ID: id}, txn.NewValue(8, InitialBalance)); err != nil {
+			return err
+		}
+		if err := e.Load(txn.Key{Table: SBChecking, ID: id}, txn.NewValue(8, InitialBalance)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spin busy-waits for the configured duration, standing in for the paper's
+// 50µs of transaction logic.
+func (sb SmallBank) spin() {
+	if sb.Spin <= 0 {
+		return
+	}
+	deadline := time.Now().Add(sb.Spin)
+	for time.Now().Before(deadline) {
+	}
+}
+
+func custKey(c uint64) txn.Key  { return txn.Key{Table: SBCustomer, ID: c} }
+func savKey(c uint64) txn.Key   { return txn.Key{Table: SBSavings, ID: c} }
+func checkKey(c uint64) txn.Key { return txn.Key{Table: SBChecking, ID: c} }
+
+// BalanceTxn is the read-only Balance transaction: it looks up the
+// customer and reads both account balances.
+type BalanceTxn struct {
+	SB       SmallBank
+	Customer uint64
+	Total    int64
+}
+
+// ReadSet implements txn.Txn.
+func (t *BalanceTxn) ReadSet() []txn.Key {
+	return []txn.Key{custKey(t.Customer), savKey(t.Customer), checkKey(t.Customer)}
+}
+
+// WriteSet implements txn.Txn.
+func (t *BalanceTxn) WriteSet() []txn.Key { return nil }
+
+// Run implements txn.Txn.
+func (t *BalanceTxn) Run(ctx txn.Ctx) error {
+	if _, err := ctx.Read(custKey(t.Customer)); err != nil {
+		return err
+	}
+	s, err := ctx.Read(savKey(t.Customer))
+	if err != nil {
+		return err
+	}
+	c, err := ctx.Read(checkKey(t.Customer))
+	if err != nil {
+		return err
+	}
+	t.SB.spin()
+	t.Total = int64(txn.U64(s)) + int64(txn.U64(c))
+	return nil
+}
+
+// DepositTxn is Deposit(Checking): it adds Amount to the customer's
+// checking balance.
+type DepositTxn struct {
+	SB       SmallBank
+	Customer uint64
+	Amount   int64
+}
+
+// ReadSet implements txn.Txn.
+func (t *DepositTxn) ReadSet() []txn.Key {
+	return []txn.Key{custKey(t.Customer), checkKey(t.Customer)}
+}
+
+// WriteSet implements txn.Txn.
+func (t *DepositTxn) WriteSet() []txn.Key { return []txn.Key{checkKey(t.Customer)} }
+
+// Run implements txn.Txn.
+func (t *DepositTxn) Run(ctx txn.Ctx) error {
+	if _, err := ctx.Read(custKey(t.Customer)); err != nil {
+		return err
+	}
+	v, err := ctx.Read(checkKey(t.Customer))
+	if err != nil {
+		return err
+	}
+	t.SB.spin()
+	return ctx.Write(checkKey(t.Customer), txn.NewValue(8, uint64(int64(txn.U64(v))+t.Amount)))
+}
+
+// TransactSavingsTxn makes a deposit into or withdrawal from the savings
+// account, aborting on insufficient funds.
+type TransactSavingsTxn struct {
+	SB       SmallBank
+	Customer uint64
+	Amount   int64
+}
+
+// ReadSet implements txn.Txn.
+func (t *TransactSavingsTxn) ReadSet() []txn.Key {
+	return []txn.Key{custKey(t.Customer), savKey(t.Customer)}
+}
+
+// WriteSet implements txn.Txn.
+func (t *TransactSavingsTxn) WriteSet() []txn.Key { return []txn.Key{savKey(t.Customer)} }
+
+// Run implements txn.Txn.
+func (t *TransactSavingsTxn) Run(ctx txn.Ctx) error {
+	if _, err := ctx.Read(custKey(t.Customer)); err != nil {
+		return err
+	}
+	v, err := ctx.Read(savKey(t.Customer))
+	if err != nil {
+		return err
+	}
+	t.SB.spin()
+	balance := int64(txn.U64(v)) + t.Amount
+	if balance < 0 {
+		return ErrInsufficientFunds
+	}
+	return ctx.Write(savKey(t.Customer), txn.NewValue(8, uint64(balance)))
+}
+
+// AmalgamateTxn moves all funds of customer From into customer To's
+// checking account.
+type AmalgamateTxn struct {
+	SB       SmallBank
+	From, To uint64
+}
+
+// ReadSet implements txn.Txn.
+func (t *AmalgamateTxn) ReadSet() []txn.Key {
+	return []txn.Key{
+		custKey(t.From), custKey(t.To),
+		savKey(t.From), checkKey(t.From), checkKey(t.To),
+	}
+}
+
+// WriteSet implements txn.Txn.
+func (t *AmalgamateTxn) WriteSet() []txn.Key {
+	return []txn.Key{savKey(t.From), checkKey(t.From), checkKey(t.To)}
+}
+
+// Run implements txn.Txn.
+func (t *AmalgamateTxn) Run(ctx txn.Ctx) error {
+	if _, err := ctx.Read(custKey(t.From)); err != nil {
+		return err
+	}
+	if _, err := ctx.Read(custKey(t.To)); err != nil {
+		return err
+	}
+	s, err := ctx.Read(savKey(t.From))
+	if err != nil {
+		return err
+	}
+	c, err := ctx.Read(checkKey(t.From))
+	if err != nil {
+		return err
+	}
+	dst, err := ctx.Read(checkKey(t.To))
+	if err != nil {
+		return err
+	}
+	t.SB.spin()
+	moved := int64(txn.U64(s)) + int64(txn.U64(c))
+	if err := ctx.Write(savKey(t.From), txn.NewValue(8, 0)); err != nil {
+		return err
+	}
+	if err := ctx.Write(checkKey(t.From), txn.NewValue(8, 0)); err != nil {
+		return err
+	}
+	return ctx.Write(checkKey(t.To), txn.NewValue(8, uint64(int64(txn.U64(dst))+moved)))
+}
+
+// WriteCheckTxn writes a check against the customer's account: it reads
+// both balances and deducts the amount from checking, with a $1 overdraft
+// penalty when the total balance cannot cover the check.
+type WriteCheckTxn struct {
+	SB       SmallBank
+	Customer uint64
+	Amount   int64
+	// Penalty reports whether the committed execution applied the $1
+	// overdraft penalty (set on every run; after the engine reports the
+	// transaction committed it reflects the committed execution).
+	Penalty int64
+}
+
+// ReadSet implements txn.Txn.
+func (t *WriteCheckTxn) ReadSet() []txn.Key {
+	return []txn.Key{custKey(t.Customer), savKey(t.Customer), checkKey(t.Customer)}
+}
+
+// WriteSet implements txn.Txn.
+func (t *WriteCheckTxn) WriteSet() []txn.Key { return []txn.Key{checkKey(t.Customer)} }
+
+// Run implements txn.Txn.
+func (t *WriteCheckTxn) Run(ctx txn.Ctx) error {
+	if _, err := ctx.Read(custKey(t.Customer)); err != nil {
+		return err
+	}
+	s, err := ctx.Read(savKey(t.Customer))
+	if err != nil {
+		return err
+	}
+	c, err := ctx.Read(checkKey(t.Customer))
+	if err != nil {
+		return err
+	}
+	t.SB.spin()
+	total := int64(txn.U64(s)) + int64(txn.U64(c))
+	amount := t.Amount
+	t.Penalty = 0
+	if amount > total {
+		amount++ // overdraft penalty
+		t.Penalty = 1
+	}
+	return ctx.Write(checkKey(t.Customer), txn.NewValue(8, uint64(int64(txn.U64(c))-amount)))
+}
+
+// SBSource generates the uniform SmallBank transaction mix (20% each of
+// the five procedures, hence 20% read-only, §4.3) for one worker stream.
+// Not safe for concurrent use.
+type SBSource struct {
+	sb  SmallBank
+	rng *rand.Rand
+}
+
+// NewSource creates a SmallBank transaction source.
+func (sb SmallBank) NewSource(seed int64) *SBSource {
+	return &SBSource{sb: sb, rng: rand.New(rand.NewSource(seed))}
+}
+
+// customer draws a uniformly random customer.
+func (s *SBSource) customer() uint64 { return uint64(s.rng.Int63n(int64(s.sb.Customers))) }
+
+// Next returns the next transaction of the mix.
+func (s *SBSource) Next() txn.Txn {
+	switch s.rng.Intn(5) {
+	case 0:
+		return &BalanceTxn{SB: s.sb, Customer: s.customer()}
+	case 1:
+		return &DepositTxn{SB: s.sb, Customer: s.customer(), Amount: int64(1 + s.rng.Intn(100))}
+	case 2:
+		amt := int64(1 + s.rng.Intn(100))
+		if s.rng.Intn(2) == 0 {
+			amt = -amt
+		}
+		return &TransactSavingsTxn{SB: s.sb, Customer: s.customer(), Amount: amt}
+	case 3:
+		if s.sb.Customers < 2 {
+			// Amalgamate needs two distinct customers; degrade to a
+			// deposit on degenerate configurations.
+			return &DepositTxn{SB: s.sb, Customer: s.customer(), Amount: 1}
+		}
+		from := s.customer()
+		to := s.customer()
+		for to == from {
+			to = s.customer()
+		}
+		return &AmalgamateTxn{SB: s.sb, From: from, To: to}
+	default:
+		return &WriteCheckTxn{SB: s.sb, Customer: s.customer(), Amount: int64(1 + s.rng.Intn(100))}
+	}
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"math/rand"
+
+	"bohm/internal/engine"
+	"bohm/internal/txn"
+)
+
+// YCSBTable is the table number of the YCSB table.
+const YCSBTable uint32 = 0
+
+// YCSB describes the paper's YCSB configuration (§4.2): a single table of
+// Records rows, each RecordSize bytes (1,000 in the paper), with
+// transactions drawing keys from a zipfian distribution.
+type YCSB struct {
+	Records    int
+	RecordSize int
+}
+
+// DefaultYCSB returns the paper's configuration scaled to the given number
+// of records.
+func DefaultYCSB(records int) YCSB { return YCSB{Records: records, RecordSize: 1000} }
+
+// LoadInto populates e with the YCSB table. Every record starts with a
+// zero counter in its first eight bytes.
+func (y YCSB) LoadInto(e engine.Engine) error {
+	v := txn.NewValue(y.RecordSize, 0)
+	for i := 0; i < y.Records; i++ {
+		if err := e.Load(txn.Key{Table: YCSBTable, ID: uint64(i)}, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RMWTxn performs a read-modify-write increment on each of its keys: the
+// paper's 10RMW transaction (§4.2.1) with len(Keys) == 10.
+type RMWTxn struct {
+	Keys []txn.Key
+	// Size is the record size; the new value written is a fresh buffer of
+	// this size, mirroring the paper's full-record writes.
+	Size int
+}
+
+// ReadSet implements txn.Txn.
+func (t *RMWTxn) ReadSet() []txn.Key { return t.Keys }
+
+// WriteSet implements txn.Txn.
+func (t *RMWTxn) WriteSet() []txn.Key { return t.Keys }
+
+// Run implements txn.Txn.
+func (t *RMWTxn) Run(ctx txn.Ctx) error {
+	for _, k := range t.Keys {
+		v, err := ctx.Read(k)
+		if err != nil {
+			return err
+		}
+		nv := make([]byte, t.Size)
+		copy(nv, v)
+		txn.PutU64(nv, txn.U64(nv)+1)
+		if err := ctx.Write(k, nv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MixedTxn performs read-modify-writes on RMWKeys and plain reads on
+// ReadKeys: the paper's 2RMW-8R transaction (§4.2.2) with 2 and 8 keys
+// respectively. Sum publishes the read values so the reads cannot be
+// optimized away.
+type MixedTxn struct {
+	RMWKeys  []txn.Key
+	ReadKeys []txn.Key
+	Size     int
+	Sum      uint64
+}
+
+// ReadSet implements txn.Txn: both the RMW keys and the read-only keys.
+func (t *MixedTxn) ReadSet() []txn.Key {
+	ks := make([]txn.Key, 0, len(t.RMWKeys)+len(t.ReadKeys))
+	ks = append(ks, t.RMWKeys...)
+	ks = append(ks, t.ReadKeys...)
+	return ks
+}
+
+// WriteSet implements txn.Txn.
+func (t *MixedTxn) WriteSet() []txn.Key { return t.RMWKeys }
+
+// Run implements txn.Txn.
+func (t *MixedTxn) Run(ctx txn.Ctx) error {
+	sum := uint64(0)
+	for _, k := range t.ReadKeys {
+		v, err := ctx.Read(k)
+		if err != nil {
+			return err
+		}
+		sum += txn.U64(v)
+	}
+	for _, k := range t.RMWKeys {
+		v, err := ctx.Read(k)
+		if err != nil {
+			return err
+		}
+		nv := make([]byte, t.Size)
+		copy(nv, v)
+		txn.PutU64(nv, txn.U64(nv)+1)
+		if err := ctx.Write(k, nv); err != nil {
+			return err
+		}
+	}
+	t.Sum = sum
+	return nil
+}
+
+// ScanTxn is the paper's long read-only transaction (§4.2.3): it reads
+// Count records chosen uniformly at random and sums their counters.
+type ScanTxn struct {
+	Keys []txn.Key
+	Sum  uint64
+}
+
+// ReadSet implements txn.Txn.
+func (t *ScanTxn) ReadSet() []txn.Key { return t.Keys }
+
+// WriteSet implements txn.Txn: read-only.
+func (t *ScanTxn) WriteSet() []txn.Key { return nil }
+
+// Run implements txn.Txn.
+func (t *ScanTxn) Run(ctx txn.Ctx) error {
+	sum := uint64(0)
+	for _, k := range t.Keys {
+		v, err := ctx.Read(k)
+		if err != nil {
+			return err
+		}
+		sum += txn.U64(v)
+	}
+	t.Sum = sum
+	return nil
+}
+
+// YCSBSource generates YCSB transactions for one worker stream. Not safe
+// for concurrent use; create one per stream.
+type YCSBSource struct {
+	y   YCSB
+	zip *Zipfian
+	rng *rand.Rand
+	ids []uint64
+}
+
+// NewSource creates a transaction source drawing keys zipfian(theta) over
+// the table.
+func (y YCSB) NewSource(seed int64, theta float64) *YCSBSource {
+	rng := rand.New(rand.NewSource(seed))
+	return &YCSBSource{
+		y:   y,
+		zip: NewZipfian(rng, uint64(y.Records), theta),
+		rng: rng,
+		ids: make([]uint64, 16),
+	}
+}
+
+func (s *YCSBSource) keys(n int) []txn.Key {
+	s.zip.NextDistinct(s.ids[:n])
+	ks := make([]txn.Key, n)
+	for i, id := range s.ids[:n] {
+		ks[i] = txn.Key{Table: YCSBTable, ID: id}
+	}
+	return ks
+}
+
+// RMW10 returns a fresh 10RMW transaction.
+func (s *YCSBSource) RMW10() txn.Txn {
+	return &RMWTxn{Keys: s.keys(10), Size: s.y.RecordSize}
+}
+
+// RMW2Read8 returns a fresh 2RMW-8R transaction.
+func (s *YCSBSource) RMW2Read8() txn.Txn {
+	ks := s.keys(10)
+	return &MixedTxn{RMWKeys: ks[:2], ReadKeys: ks[2:], Size: s.y.RecordSize}
+}
+
+// ReadOnly returns a long read-only transaction over count uniformly
+// chosen records (duplicates permitted, as in a scan with repeats the
+// paper's 10,000-record read-only transactions allow).
+func (s *YCSBSource) ReadOnly(count int) txn.Txn {
+	ks := make([]txn.Key, count)
+	for i := range ks {
+		ks[i] = txn.Key{Table: YCSBTable, ID: uint64(s.rng.Int63n(int64(s.y.Records)))}
+	}
+	return &ScanTxn{Keys: ks}
+}

@@ -1,0 +1,96 @@
+// Package workload provides the paper's benchmark workloads: the zipfian
+// key-distribution generator of Gray et al. ("Quickly generating
+// billion-record synthetic databases", SIGMOD 1994), the YCSB table and
+// transaction mixes of §4.2, and the SmallBank benchmark of §4.3.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws keys in [0, N) with a zipfian distribution of skew theta,
+// following Gray et al.'s algorithm (the same construction YCSB uses, and
+// the one the paper cites for its contention knob, §4.2.1). theta = 0
+// degenerates to the uniform distribution; the paper's high-contention
+// setting is theta = 0.9.
+//
+// Item 0 is the most popular. A Zipfian is not safe for concurrent use;
+// create one per worker stream.
+type Zipfian struct {
+	rng   *rand.Rand
+	n     uint64
+	theta float64
+
+	alpha, zetan, eta float64
+	uniform           bool
+}
+
+// NewZipfian creates a generator over [0, n) with skew theta in [0, 1).
+func NewZipfian(rng *rand.Rand, n uint64, theta float64) *Zipfian {
+	if n == 0 {
+		panic("workload: zipfian over empty domain")
+	}
+	z := &Zipfian{rng: rng, n: n, theta: theta}
+	if theta == 0 {
+		z.uniform = true
+		return z
+	}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+// O(n); computed once per generator. For the repository's domain sizes
+// (≤ a few million) this is inexpensive next to a benchmark run.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// N returns the domain size.
+func (z *Zipfian) N() uint64 { return z.n }
+
+// Theta returns the skew parameter.
+func (z *Zipfian) Theta() float64 { return z.theta }
+
+// Next draws the next key.
+func (z *Zipfian) Next() uint64 {
+	if z.uniform {
+		return uint64(z.rng.Int63n(int64(z.n)))
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// NextDistinct draws k distinct keys into dst (which must have length k
+// and small k relative to N), resampling on collision. Used to build
+// transaction access sets whose elements the paper requires to be unique
+// (§4.2.1).
+func (z *Zipfian) NextDistinct(dst []uint64) {
+	for i := range dst {
+	draw:
+		for {
+			v := z.Next()
+			for j := 0; j < i; j++ {
+				if dst[j] == v {
+					continue draw
+				}
+			}
+			dst[i] = v
+			break
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfianBounds(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 0.9, 0.99} {
+		z := NewZipfian(rand.New(rand.NewSource(1)), 1000, theta)
+		for i := 0; i < 20000; i++ {
+			v := z.Next()
+			if v >= 1000 {
+				t.Fatalf("theta=%v: Next() = %d out of range", theta, v)
+			}
+		}
+	}
+}
+
+func TestZipfianBoundsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, thetaRaw uint8) bool {
+		n := uint64(nRaw)%5000 + 1
+		theta := float64(thetaRaw%100) / 100.0
+		z := NewZipfian(rand.New(rand.NewSource(seed)), n, theta)
+		for i := 0; i < 50; i++ {
+			if z.Next() >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfianUniformWhenThetaZero(t *testing.T) {
+	const n = 10
+	const draws = 100000
+	z := NewZipfian(rand.New(rand.NewSource(7)), n, 0)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for k, c := range counts {
+		// Expect draws/n = 10000 each; allow ±10%.
+		if c < 9000 || c > 11000 {
+			t.Errorf("uniform: key %d drawn %d times, want ≈10000", k, c)
+		}
+	}
+}
+
+func TestZipfianSkewIncreasesWithTheta(t *testing.T) {
+	const n = 1000
+	const draws = 50000
+	freq0 := func(theta float64) float64 {
+		z := NewZipfian(rand.New(rand.NewSource(3)), n, theta)
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() == 0 {
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+	p0 := freq0(0)
+	p6 := freq0(0.6)
+	p9 := freq0(0.9)
+	if !(p0 < p6 && p6 < p9) {
+		t.Fatalf("P(key 0) not increasing with theta: %.4f, %.4f, %.4f", p0, p6, p9)
+	}
+	if p9 < 0.01 {
+		t.Errorf("theta=0.9: hottest key probability %.4f, expected noticeable skew", p9)
+	}
+}
+
+func TestZipfianMatchesTheory(t *testing.T) {
+	// For theta=0.9 and n=100, P(key 0) = 1/zeta(100, 0.9).
+	const n = 100
+	const theta = 0.9
+	const draws = 200000
+	want := 1.0 / zeta(n, theta)
+	z := NewZipfian(rand.New(rand.NewSource(11)), n, theta)
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if z.Next() == 0 {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-want) > 0.05*want+0.01 {
+		t.Errorf("P(key 0) = %.4f, theory %.4f", got, want)
+	}
+}
+
+func TestZeta(t *testing.T) {
+	// zeta(3, 1) = 1 + 1/2 + 1/3.
+	want := 1.0 + 0.5 + 1.0/3.0
+	if got := zeta(3, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("zeta(3,1) = %v, want %v", got, want)
+	}
+	// theta=0 degenerates to n.
+	if got := zeta(7, 0); math.Abs(got-7) > 1e-12 {
+		t.Errorf("zeta(7,0) = %v, want 7", got)
+	}
+}
+
+func TestNextDistinct(t *testing.T) {
+	z := NewZipfian(rand.New(rand.NewSource(5)), 50, 0.9)
+	dst := make([]uint64, 10)
+	for trial := 0; trial < 200; trial++ {
+		z.NextDistinct(dst)
+		seen := map[uint64]bool{}
+		for _, v := range dst {
+			if v >= 50 {
+				t.Fatalf("out of range: %d", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate key %d in %v", v, dst)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestZipfianDeterministicPerSeed(t *testing.T) {
+	a := NewZipfian(rand.New(rand.NewSource(9)), 100, 0.9)
+	b := NewZipfian(rand.New(rand.NewSource(9)), 100, 0.9)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestZipfianAccessors(t *testing.T) {
+	z := NewZipfian(rand.New(rand.NewSource(1)), 42, 0.5)
+	if z.N() != 42 || z.Theta() != 0.5 {
+		t.Errorf("accessors: N=%d Theta=%v", z.N(), z.Theta())
+	}
+}
+
+func TestZipfianPanicsOnEmptyDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for empty domain")
+		}
+	}()
+	NewZipfian(rand.New(rand.NewSource(1)), 0, 0.5)
+}
