@@ -38,6 +38,48 @@
 // New creates a BOHM engine (the paper's contribution); NewHekaton,
 // NewSnapshotIsolation, NewOCC and New2PL create the baselines. All five
 // implement Engine and are interchangeable.
+//
+// # Durability
+//
+// The BOHM engine optionally persists its state with Calvin-style command
+// logging. The determinism argument: BOHM's equivalent serial order is
+// exactly the submission order (timestamps are log positions assigned by
+// a single sequencer), and transaction logic is required to be
+// deterministic given its reads — so the database state after any prefix
+// of the transaction log is a pure function of that prefix. Logging the
+// inputs (one record per batch: each transaction's procedure id, argument
+// bytes and access sets) and re-executing them in order therefore
+// reproduces the lost state exactly, with no per-version redo/undo and no
+// read/write logging on the execution path.
+//
+// Closures cannot be serialized, so durable engines require transactions
+// built through a Registry, which binds a procedure id to a factory and
+// yields Loggable transactions:
+//
+//	reg := bohm.NewRegistry()
+//	reg.Register("transfer", func(args []byte) (bohm.Txn, error) { ... })
+//
+//	cfg := bohm.DefaultConfig()
+//	cfg.LogDir = "data"
+//	cfg.CheckpointEveryBatches = 1024
+//	eng, _ := bohm.Recover(cfg, reg) // opens or creates the database
+//	eng.Load(...)                    // first run only
+//	eng.CheckpointNow()              // seal bulk loads into a checkpoint
+//	eng.ExecuteBatch([]bohm.Txn{reg.MustCall("transfer", args)})
+//
+// ExecuteBatch acknowledges only durable batches: under the default
+// wal.SyncEveryBatch policy the sequencer fsyncs each batch before it
+// enters concurrency control (group commit comes free, since all waiting
+// submissions coalesce into one batch); wal.SyncByInterval bounds the
+// fsync rate instead and completions wait for the covering sync.
+//
+// A background checkpointer (Config.CheckpointEveryBatches) exploits the
+// multiversion store to snapshot the database at a batch watermark while
+// execution continues — chains are simply read at the watermark's
+// timestamp boundary — then truncates the log below the checkpoint.
+// Recover loads the newest checkpoint, deterministically replays the
+// remaining log (discarding a torn tail left by a crash mid-append), and
+// resumes logging.
 package bohm
 
 import (
@@ -48,6 +90,7 @@ import (
 	"bohm/internal/si"
 	"bohm/internal/twopl"
 	"bohm/internal/txn"
+	"bohm/internal/wal"
 )
 
 // Key identifies a record: a table number and a 64-bit row id.
@@ -83,6 +126,43 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 
 // New starts a BOHM engine.
 func New(cfg Config) (*core.Engine, error) { return core.New(cfg) }
+
+// Durability API: command logging, checkpoints and crash recovery for the
+// BOHM engine. See the package documentation's Durability section.
+
+// Registry maps procedure ids to transaction factories; durable engines
+// require registry-built (Loggable) transactions.
+type Registry = txn.Registry
+
+// NewRegistry creates an empty procedure registry.
+func NewRegistry() *Registry { return txn.NewRegistry() }
+
+// Loggable is a transaction that can be recorded in the command log.
+type Loggable = txn.Loggable
+
+// SyncPolicy selects when the command log is fsynced.
+type SyncPolicy = wal.SyncPolicy
+
+// The available log sync policies.
+const (
+	// SyncEveryBatch (the default) fsyncs before acknowledging each batch.
+	SyncEveryBatch = wal.SyncEveryBatch
+	// SyncByInterval group-commits on Config.SyncInterval.
+	SyncByInterval = wal.SyncByInterval
+	// SyncNever leaves flushing to the OS page cache.
+	SyncNever = wal.SyncNever
+)
+
+// ErrNotLoggable is reported when a durable engine is handed a
+// transaction that was not built through a Registry.
+var ErrNotLoggable = core.ErrNotLoggable
+
+// Recover rebuilds a BOHM engine from the durable state in cfg.LogDir:
+// newest checkpoint plus deterministic replay of the logged batches above
+// it. On an empty directory it degenerates to New, so applications can
+// call it unconditionally at startup. reg must hold every procedure id
+// that appears in the log.
+func Recover(cfg Config, reg *Registry) (*core.Engine, error) { return core.Recover(cfg, reg) }
 
 // HekatonConfig parameterizes the Hekaton and Snapshot Isolation engines.
 type HekatonConfig = hekaton.Config

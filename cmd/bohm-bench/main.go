@@ -25,12 +25,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		scale   = flag.String("scale", "quick", "experiment scale: quick, ref or paper")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		procs   = flag.Int("procs", 0, "GOMAXPROCS override (0 = runtime default)")
-		records = flag.Int("records", 0, "override the YCSB table size")
-		txns    = flag.Int("txns", 0, "override the per-point transaction count")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale    = flag.String("scale", "quick", "experiment scale: quick, ref or paper")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		procs    = flag.Int("procs", 0, "GOMAXPROCS override (0 = runtime default)")
+		records  = flag.Int("records", 0, "override the YCSB table size")
+		txns     = flag.Int("txns", 0, "override the per-point transaction count")
+		jsonPath = flag.String("json", "", "also write machine-readable results (throughput, abort rate, p50/p99) to this file, e.g. BENCH_quick.json")
 	)
 	flag.Parse()
 
@@ -66,11 +67,20 @@ func main() {
 	fmt.Printf("bohm-bench: scale=%s records=%d txns/point=%d GOMAXPROCS=%d\n\n",
 		s.Name, s.Records, s.Txns, runtime.GOMAXPROCS(0))
 
+	if *jsonPath != "" {
+		bench.StartCollecting()
+	}
+	var (
+		tables []*bench.Table
+		ran    []string
+	)
 	run := func(ex bench.Experiment) {
 		start := time.Now()
 		for _, t := range ex.Run(s) {
 			fmt.Println(t.Format())
+			tables = append(tables, t)
 		}
+		ran = append(ran, ex.ID)
 		fmt.Printf("(%s took %s)\n\n", ex.ID, time.Since(start).Round(time.Millisecond))
 	}
 
@@ -78,14 +88,32 @@ func main() {
 		for _, ex := range bench.Experiments {
 			run(ex)
 		}
-		return
-	}
-	for _, id := range strings.Split(*exp, ",") {
-		ex, ok := bench.ExperimentByID(strings.TrimSpace(id))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
-			os.Exit(2)
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ex, ok := bench.ExperimentByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			run(ex)
 		}
-		run(ex)
+	}
+
+	if *jsonPath != "" {
+		rep := &bench.Report{
+			GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+			Scale:        s.Name,
+			GoMaxProcs:   runtime.GOMAXPROCS(0),
+			Records:      s.Records,
+			TxnsPerPoint: s.Txns,
+			Experiments:  ran,
+			Tables:       tables,
+			Runs:         bench.CollectedRuns(),
+		}
+		if err := bench.WriteReport(*jsonPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d runs)\n", *jsonPath, len(rep.Runs))
 	}
 }

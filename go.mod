@@ -1,0 +1,3 @@
+module bohm
+
+go 1.23

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"os"
+	"time"
+
+	"bohm/internal/core"
+	"bohm/internal/txn"
+	"bohm/internal/wal"
+	"bohm/internal/workload"
+)
+
+// AblationDurability measures the cost of the durability subsystem on
+// BOHM: the uniform 10RMW workload with logging off, then with command
+// logging under each sync policy, then with periodic checkpointing on
+// top. Uniform keys keep concurrency control cheap, so the delta is
+// dominated by the logging path itself — the logged-vs-unlogged
+// comparison the paper's "logging disabled" setup leaves open.
+func AblationDurability(s Scale) []*Table {
+	t := &Table{
+		ID:     "durability",
+		Title:  "command logging overhead (10RMW, theta=0)",
+		Param:  "config",
+		Series: []string{"txns/sec"},
+		Notes: []string{
+			"log written to a temp dir on local disk; sync=batch pays one fsync per sequencer batch",
+		},
+	}
+	cc, exec := bohmSplit(s.MaxThreads)
+	base := core.Config{CCWorkers: cc, ExecWorkers: exec, BatchSize: 1024, GC: true}
+	for _, row := range []struct {
+		label   string
+		durable bool
+		policy  wal.SyncPolicy
+		ckpt    int
+	}{
+		{"off", false, 0, 0},
+		{"log sync=never", true, wal.SyncNever, 0},
+		{"log sync=2ms", true, wal.SyncByInterval, 0},
+		{"log sync=batch", true, wal.SyncEveryBatch, 0},
+		{"log+ckpt/64 sync=2ms", true, wal.SyncByInterval, 64},
+	} {
+		cfg := base
+		if row.durable {
+			cfg.SyncPolicy = row.policy
+			cfg.SyncInterval = 2 * time.Millisecond
+			cfg.CheckpointEveryBatches = row.ckpt
+		}
+		t.AddRow(row.label, measureDurability(s, cfg, row.durable))
+	}
+	return []*Table{t}
+}
+
+// measureDurability runs the uniform 10RMW workload through one BOHM
+// configuration, with the command log (when enabled) in a temp dir that
+// is removed afterwards. Durable and non-durable runs use the same
+// registry-built transactions, so the measured delta is the durability
+// subsystem, not the transaction representation.
+func measureDurability(s Scale, cfg core.Config, durable bool) float64 {
+	reg := txn.NewRegistry()
+	workload.RegisterYCSB(reg, s.RecordSize)
+	y := workload.YCSB{Records: s.Records, RecordSize: s.RecordSize}
+	cfg.Capacity = s.Records
+	if durable {
+		dir, err := os.MkdirTemp("", "bohm-bench-wal-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		cfg.LogDir = dir
+	}
+	e, err := core.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer e.Close()
+	if err := y.LoadInto(e); err != nil {
+		panic(err)
+	}
+	if durable {
+		// Seal the bulk load into the first checkpoint (see Load).
+		if err := e.CheckpointNow(); err != nil {
+			panic(err)
+		}
+	}
+	gen := func(stream int) func() txn.Txn {
+		src := y.NewSource(int64(1234+stream*7919), 0)
+		return func() txn.Txn { return src.RMW10Call(reg) }
+	}
+	r := Run(Bohm, e, Options{Txns: s.Txns, Procs: cfg.CCWorkers + cfg.ExecWorkers}, gen)
+	return r.Throughput
+}

@@ -114,6 +114,7 @@ var Experiments = []Experiment{
 	{"ablation-gc", "BOHM garbage collection on/off", AblationGC},
 	{"ablation-batch", "BOHM batch size sweep (barrier amortization)", AblationBatch},
 	{"ablation-preprocess", "BOHM pre-processing layer on/off", AblationPreprocess},
+	{"durability", "BOHM command logging overhead (sync policy sweep)", AblationDurability},
 }
 
 // ExperimentByID returns the experiment with the given id.

@@ -219,7 +219,7 @@ func Run(kind EngineKind, e engine.Engine, o Options, gen func(stream int) func(
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
-	return Result{
+	res := Result{
 		Txns:       o.Txns,
 		Elapsed:    elapsed,
 		Throughput: float64(stats.Committed) / elapsed.Seconds(),
@@ -227,4 +227,6 @@ func Run(kind EngineKind, e engine.Engine, o Options, gen func(stream int) func(
 		P50:        percentile(all, 0.50),
 		P99:        percentile(all, 0.99),
 	}
+	recordRun(kind, res)
+	return res
 }

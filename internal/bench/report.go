@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"bohm/internal/engine"
+)
+
+// Machine-readable benchmark output: alongside the human-oriented tables,
+// the harness can record every measured run — throughput, abort rate,
+// latency percentiles and the full counter snapshot — so successive PRs
+// can track the performance trajectory from committed BENCH_*.json files.
+
+// RunRecord is one measured run in a machine-readable report.
+type RunRecord struct {
+	// Engine is the engine kind ("Bohm", "OCC", ...).
+	Engine string `json:"engine"`
+	// Txns is the number of measured transactions.
+	Txns int `json:"txns"`
+	// ElapsedMS is the measured interval in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// ThroughputTPS is committed transactions per second.
+	ThroughputTPS float64 `json:"throughput_tps"`
+	// AbortRate is user aborts over attempted transactions (0..1).
+	AbortRate float64 `json:"abort_rate"`
+	// P50Micros and P99Micros are per-transaction submission latency
+	// percentiles in microseconds.
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// Stats is the engine's counter delta over the measured interval.
+	Stats engine.Stats `json:"stats"`
+}
+
+var collector struct {
+	mu   sync.Mutex
+	on   bool
+	runs []RunRecord
+}
+
+// StartCollecting makes every subsequent Run append a RunRecord to the
+// collector (until CollectedRuns drains it). The bench command turns this
+// on when asked for JSON output.
+func StartCollecting() {
+	collector.mu.Lock()
+	collector.on = true
+	collector.runs = nil
+	collector.mu.Unlock()
+}
+
+// CollectedRuns returns and clears the runs recorded since
+// StartCollecting.
+func CollectedRuns() []RunRecord {
+	collector.mu.Lock()
+	defer collector.mu.Unlock()
+	runs := collector.runs
+	collector.runs = nil
+	return runs
+}
+
+// recordRun appends one run to the collector if it is on.
+func recordRun(kind EngineKind, r Result) {
+	collector.mu.Lock()
+	defer collector.mu.Unlock()
+	if !collector.on {
+		return
+	}
+	attempted := r.Stats.Committed + r.Stats.UserAborts
+	rate := 0.0
+	if attempted > 0 {
+		rate = float64(r.Stats.UserAborts) / float64(attempted)
+	}
+	collector.runs = append(collector.runs, RunRecord{
+		Engine:        string(kind),
+		Txns:          r.Txns,
+		ElapsedMS:     float64(r.Elapsed.Microseconds()) / 1e3,
+		ThroughputTPS: r.Throughput,
+		AbortRate:     rate,
+		P50Micros:     float64(r.P50.Nanoseconds()) / 1e3,
+		P99Micros:     float64(r.P99.Nanoseconds()) / 1e3,
+		Stats:         r.Stats,
+	})
+}
+
+// Report is the top-level JSON document bohm-bench emits.
+type Report struct {
+	// GeneratedAt is an RFC 3339 timestamp.
+	GeneratedAt string `json:"generated_at"`
+	// Scale names the experiment scale ("quick", "ref", "paper").
+	Scale string `json:"scale"`
+	// GoMaxProcs is the GOMAXPROCS the experiments ran under.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Records and TxnsPerPoint echo the scale's table size and measured
+	// transaction count after command-line overrides.
+	Records      int `json:"records"`
+	TxnsPerPoint int `json:"txns_per_point"`
+	// Experiments lists the experiment ids that ran.
+	Experiments []string `json:"experiments"`
+	// Tables are the per-figure grids, as printed.
+	Tables []*Table `json:"tables"`
+	// Runs are the individual measurements behind the tables, in
+	// execution order.
+	Runs []RunRecord `json:"runs"`
+}
+
+// WriteReport marshals rep and writes it to path.
+func WriteReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshaling report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,386 @@
+package core
+
+// Durability integration: BOHM's deterministic pipeline makes command
+// logging sufficient for recovery. The serial order of the system is the
+// submission order, transaction logic is deterministic given its reads,
+// and the sequencer is a single goroutine — so appending each batch's
+// inputs to a log (wal package) and re-submitting them in order after a
+// crash reproduces the lost state exactly. No per-version redo or undo
+// exists anywhere in the system.
+//
+// The moving parts, all owned by this file:
+//
+//   - logBatch: sequencer hook that appends a batch to the command log.
+//   - acker: closes each submission's done channel only once its newest
+//     batch is durable, so ExecuteBatch never acknowledges volatile state.
+//   - checkpointer/checkpointOnce: consistent snapshots at a batch
+//     watermark, taken from the multiversion store while execution
+//     continues, followed by log truncation.
+//   - Recover: checkpoint load + ordered replay of the logged batches.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bohm/internal/storage"
+	"bohm/internal/txn"
+	"bohm/internal/wal"
+)
+
+// ErrNotLoggable is reported (wrapped, for every transaction in the
+// submission) when a batch submitted to a durable engine contains a
+// transaction that does not implement txn.Loggable. Build transactions
+// with txn.Registry.Call to make them loggable.
+var ErrNotLoggable = errors.New("bohm: durability requires registry-built (txn.Loggable) transactions")
+
+// startDurability opens the command log and launches the acknowledgement
+// and checkpoint goroutines. The pipeline must be quiescent (not yet
+// started, or drained by Recover's replay).
+func (e *Engine) startDurability() error {
+	w, err := wal.OpenWriter(wal.WriterOptions{
+		Dir:          e.cfg.LogDir,
+		Policy:       e.cfg.SyncPolicy,
+		Interval:     e.cfg.SyncInterval,
+		SegmentBytes: e.cfg.SegmentBytes,
+	})
+	if err != nil {
+		return err
+	}
+	e.wal = w
+	if e.ackCh == nil {
+		e.ackCh = make(chan *submission, 256)
+		e.ackWG.Add(1)
+		go e.acker()
+	}
+	if e.cfg.pinActive() && e.ckptStop == nil {
+		e.ckptStop = make(chan struct{})
+		e.ckptWG.Add(1)
+		go e.checkpointer()
+	}
+	e.logOn.Store(true)
+	return nil
+}
+
+// logBatch encodes one sequencer batch as a wal record and appends it.
+// Called from the sequencer goroutine only. Append or sync errors poison
+// the writer; they surface on the acknowledgement path as non-durable
+// commits rather than crashing the pipeline.
+func (e *Engine) logBatch(b *batch) {
+	rec := wal.Batch{Seq: b.seq, Txns: make([]wal.TxnRecord, len(b.nodes))}
+	for i, nd := range b.nodes {
+		lg, ok := nd.t.(txn.Loggable)
+		if !ok {
+			// ExecuteBatch rejects non-loggable transactions while logging
+			// is on, and logging only toggles while the pipeline is
+			// quiescent; reaching here is a bug worth failing loudly over.
+			panic(fmt.Sprintf("bohm: non-loggable %T reached the sequencer with logging enabled", nd.t))
+		}
+		id, args := lg.Procedure()
+		rec.Txns[i] = wal.TxnRecord{Proc: id, Args: args, Reads: nd.reads, Writes: nd.writes}
+	}
+	_ = e.wal.Append(&rec)
+}
+
+// acker is the durability gate: submissions whose transactions have all
+// completed arrive here, wait until their newest batch is durable, and
+// only then wake the submitter. Durability advances monotonically, so
+// waiting in arrival order never blocks a submission behind a newer one
+// for longer than its own batch's sync.
+func (e *Engine) acker() {
+	defer e.ackWG.Done()
+	for sub := range e.ackCh {
+		if err := e.wal.WaitDurable(sub.lastBatch); err != nil {
+			// The log failed: these transactions executed but would not
+			// survive a crash. Surface that on every committed slot.
+			derr := fmt.Errorf("bohm: commit not durable: %w", err)
+			for i, r := range sub.res {
+				if r == nil {
+					sub.res[i] = derr
+				}
+			}
+		}
+		close(sub.done)
+	}
+}
+
+// batchTSKeep bounds the batch-boundary map: the sequencer remembers the
+// timestamp boundary of this many recent batches. Checkpoints always
+// target a watermark within the pipeline's depth of the newest batch, far
+// inside this window.
+const batchTSKeep = 4096
+
+// recordBatchTS notes that batch seq ends just below ts (ts is the first
+// timestamp of the next batch). Called from the sequencer.
+func (e *Engine) recordBatchTS(seq, ts uint64) {
+	e.batchTSMu.Lock()
+	e.batchTS[seq] = ts
+	delete(e.batchTS, seq-batchTSKeep)
+	e.batchTSMu.Unlock()
+}
+
+// batchBoundary returns the snapshot timestamp for a checkpoint at batch
+// seq: reading every chain at this timestamp observes exactly the state
+// after every batch up to seq. Watermark seqBase (nothing executed this
+// epoch) is timestamp 1, which sees only loaded or restored records.
+func (e *Engine) batchBoundary(seq uint64) (uint64, bool) {
+	if seq == e.seqBase {
+		return 1, true
+	}
+	e.batchTSMu.Lock()
+	ts, ok := e.batchTS[seq]
+	e.batchTSMu.Unlock()
+	return ts, ok
+}
+
+// checkpointer wakes periodically and checkpoints once
+// CheckpointEveryBatches batches have executed since the last checkpoint.
+func (e *Engine) checkpointer() {
+	defer e.ckptWG.Done()
+	every := uint64(e.cfg.CheckpointEveryBatches)
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.ckptStop:
+			return
+		case <-t.C:
+			if e.execWatermark() >= e.lastCkpt.Load()+every {
+				// A failed attempt (e.g. transient IO error) is retried on
+				// a later tick; the log retains everything meanwhile. The
+				// failure counter makes persistent trouble observable —
+				// while checkpoints fail, the GC pin cannot advance and
+				// superseded versions accumulate.
+				if err := e.checkpointOnce(); err != nil {
+					e.ckptFailed.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// CheckpointNow synchronously takes a consistent checkpoint at the current
+// execution watermark and truncates the log below it.
+//
+// The command log records only ExecuteBatch inputs, so records installed
+// with Load are durable from the first checkpoint onward — an application
+// that bulk-loads its initial state must call CheckpointNow after loading
+// (and before submitting transactions) to seal the loads; a recovery
+// without any checkpoint replays the log against an empty database.
+//
+// Outside that quiescent post-load window, CheckpointNow requires
+// periodic checkpointing to be active (Config.CheckpointEveryBatches > 0)
+// or garbage collection to be off: the GC pin that makes snapshot scans
+// safe against concurrent chain truncation only exists in those modes.
+func (e *Engine) CheckpointNow() error {
+	if e.wal == nil {
+		return errors.New("bohm: CheckpointNow without durability enabled")
+	}
+	if !e.cfg.pinActive() && e.cfg.GC && e.batches.Load() > 0 {
+		return errors.New("bohm: CheckpointNow requires CheckpointEveryBatches > 0 or GC disabled")
+	}
+	return e.checkpointOnce()
+}
+
+// checkpointOnce snapshots the database at the current execution watermark
+// and, on success, truncates log segments and checkpoints below it.
+// Execution continues concurrently: the snapshot reads every chain at the
+// watermark's timestamp boundary, which the multiversion store serves
+// without blocking writers, and the GC pin (see watermark) keeps those
+// versions linked until the next checkpoint moves the pin forward.
+func (e *Engine) checkpointOnce() error {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+
+	w := e.execWatermark()
+	if e.hasCkpt && w <= e.lastCkpt.Load() {
+		return nil // a checkpoint already covers everything executed
+	}
+	boundary, ok := e.batchBoundary(w)
+	if !ok {
+		return fmt.Errorf("bohm: no timestamp boundary recorded for batch %d", w)
+	}
+	if err := wal.WriteCheckpoint(e.cfg.LogDir, w, e.snapshotScan(boundary)); err != nil {
+		return err
+	}
+	e.lastCkpt.Store(w)
+	e.hasCkpt = true
+	if e.cfg.pinActive() {
+		e.ckptPin.Store(w)
+	}
+	e.ckptCount.Add(1)
+	// Cleanup failures are harmless (stale files are re-deleted by the
+	// next checkpoint; recovery ignores batches below the watermark), so
+	// they do not fail the checkpoint.
+	if e.wal != nil {
+		_ = e.wal.TruncateBelow(w + 1)
+	}
+	_ = wal.RemoveCheckpointsBelow(e.cfg.LogDir, w)
+	return nil
+}
+
+// snapshotScan emits every record live at the given timestamp boundary.
+func (e *Engine) snapshotScan(boundary uint64) func(emit func(k txn.Key, v []byte) error) error {
+	return func(emit func(k txn.Key, v []byte) error) error {
+		for _, part := range e.parts {
+			var ferr error
+			part.Range(func(k txn.Key, c *storage.Chain) bool {
+				v := c.VisibleAt(boundary)
+				if v == nil {
+					return true // created after the snapshot point
+				}
+				if !v.Ready() {
+					// Every version below the boundary belongs to an
+					// executed batch; an unready one means the snapshot
+					// invariant broke. Fail the checkpoint, keep the log.
+					ferr = fmt.Errorf("bohm: unready version below checkpoint boundary (key %+v)", k)
+					return false
+				}
+				data, tomb := v.Data()
+				if tomb {
+					return true
+				}
+				if err := emit(k, data); err != nil {
+					ferr = err
+					return false
+				}
+				return true
+			})
+			if ferr != nil {
+				return ferr
+			}
+		}
+		return nil
+	}
+}
+
+// waitQuiesce blocks until every flushed batch has fully executed. Only
+// used on the recovery path, where the caller guarantees no new
+// submissions arrive.
+func (e *Engine) waitQuiesce() {
+	for e.execWatermark() < e.seqBase+e.batches.Load() {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// replayTxn wraps a registry-rebuilt transaction with the access sets
+// recorded in the log, so replay matches the original run even if a
+// factory were to compute access sets differently across versions.
+type replayTxn struct {
+	t      txn.Txn
+	reads  []txn.Key
+	writes []txn.Key
+}
+
+func (r *replayTxn) ReadSet() []txn.Key  { return r.reads }
+func (r *replayTxn) WriteSet() []txn.Key { return r.writes }
+func (r *replayTxn) Run(c txn.Ctx) error { return r.t.Run(c) }
+
+// Recover rebuilds an engine from the durable state in cfg.LogDir: it
+// loads the newest checkpoint, re-executes the logged batches above it in
+// order — BOHM's serial order is its submission order, so replay is
+// deterministic — then re-establishes durability by writing a fresh
+// checkpoint of the recovered state, clearing the old log, and resuming
+// logging. A torn final record (crash mid-append) is discarded, matching
+// the guarantee that only unacknowledged work can be affected.
+//
+// reg must hold every procedure id that appears in the log; recovery
+// fails otherwise. On an empty or absent directory Recover degenerates to
+// New, so applications can use it unconditionally at startup.
+func Recover(cfg Config, reg *txn.Registry) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.LogDir == "" {
+		return nil, errors.New("bohm: Recover requires Config.LogDir")
+	}
+	if reg == nil {
+		return nil, errors.New("bohm: Recover requires a procedure registry")
+	}
+
+	ckWM, ckRecs, ckFound, err := wal.LoadCheckpoint(cfg.LogDir)
+	if err != nil {
+		return nil, err
+	}
+	var replay []*wal.Batch
+	_, _, err = wal.ReadLog(cfg.LogDir, ckWM, func(b *wal.Batch) error {
+		replay = append(replay, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	e := build(cfg)
+	// Continue the previous epoch's batch numbering so the post-recovery
+	// checkpoint's watermark sorts above every pre-crash checkpoint, and
+	// leftover pre-crash segments (all below it) are skipped, not treated
+	// as gaps, if a crash interrupts the cleanup below.
+	e.seqBase = ckWM
+	for i := range e.execBatch {
+		e.execBatch[i].Store(ckWM)
+	}
+	e.start()
+	fail := func(err error) (*Engine, error) {
+		e.Close()
+		return nil, err
+	}
+
+	for _, r := range ckRecs {
+		if err := e.Load(r.Key, r.Val); err != nil {
+			return fail(fmt.Errorf("bohm: restoring checkpoint: %w", err))
+		}
+	}
+
+	expected := ckWM + 1
+	for _, b := range replay {
+		if b.Seq != expected {
+			return fail(fmt.Errorf("%w: log resumes at batch %d, checkpoint covers %d", wal.ErrCorrupt, b.Seq, expected-1))
+		}
+		expected++
+		ts := make([]txn.Txn, len(b.Txns))
+		for i := range b.Txns {
+			r := &b.Txns[i]
+			body, err := reg.Build(r.Proc, r.Args)
+			if err != nil {
+				return fail(fmt.Errorf("bohm: replaying batch %d: %w", b.Seq, err))
+			}
+			ts[i] = &replayTxn{t: body, reads: r.Reads, writes: r.Writes}
+		}
+		// Transaction errors here are user aborts re-occurring exactly as
+		// they did originally; they are part of a faithful replay.
+		e.ExecuteBatch(ts)
+	}
+
+	// Re-establish durability: make sure one checkpoint covers the
+	// recovered state, clear everything else, and resume logging above
+	// it. When the replay was empty the loaded checkpoint already equals
+	// the in-memory state, so a clean restart skips the O(database)
+	// checkpoint rewrite and only removes stale segments.
+	if ckFound || len(replay) > 0 {
+		e.waitQuiesce()
+		w := e.seqBase + e.batches.Load()
+		if len(replay) > 0 || !ckFound {
+			boundary, ok := e.batchBoundary(w)
+			if !ok {
+				return fail(fmt.Errorf("bohm: no timestamp boundary for recovered batch %d", w))
+			}
+			if err := wal.WriteCheckpoint(cfg.LogDir, w, e.snapshotScan(boundary)); err != nil {
+				return fail(err)
+			}
+			e.ckptCount.Add(1)
+		}
+		if err := wal.RemoveAllState(cfg.LogDir, w); err != nil {
+			return fail(err)
+		}
+		e.lastCkpt.Store(w)
+		e.hasCkpt = true
+		if cfg.pinActive() {
+			e.ckptPin.Store(w)
+		}
+	}
+	if err := e.startDurability(); err != nil {
+		return fail(err)
+	}
+	return e, nil
+}

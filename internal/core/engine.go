@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bohm/internal/engine"
 	"bohm/internal/storage"
 	"bohm/internal/txn"
+	"bohm/internal/wal"
 )
 
 // ErrClosed is returned by ExecuteBatch after Close.
@@ -43,6 +45,31 @@ type Config struct {
 	// analysis is embarrassingly parallel; each worker handles a
 	// contiguous stripe of every batch.
 	PreprocessWorkers int
+
+	// LogDir, when non-empty, enables the durability subsystem: every
+	// batch is appended to a command log in LogDir before execution and
+	// ExecuteBatch acknowledges a transaction only once its batch is
+	// durable under SyncPolicy. Durability requires every submitted
+	// transaction to implement txn.Loggable (see txn.Registry). New
+	// demands an empty directory; Recover reopens an existing one.
+	LogDir string
+	// SyncPolicy selects when the command log is fsynced; the default,
+	// wal.SyncEveryBatch, never loses an acknowledged transaction.
+	SyncPolicy wal.SyncPolicy
+	// SyncInterval is the group-commit period for wal.SyncByInterval
+	// (default 2ms). Ignored under other policies.
+	SyncInterval time.Duration
+	// SegmentBytes caps a log segment file before rotation (default 16
+	// MiB). Smaller segments truncate at finer grain after checkpoints.
+	SegmentBytes int64
+	// CheckpointEveryBatches, when > 0 with durability enabled, runs a
+	// background checkpointer: every time that many batches have executed
+	// it snapshots the database at a fixed batch watermark — concurrently
+	// with execution, courtesy of the multiversion store — then truncates
+	// the log below the checkpoint. While checkpointing is enabled the
+	// garbage collector trails the newest checkpoint instead of the
+	// execution watermark, so snapshot reads stay safe.
+	CheckpointEveryBatches int
 }
 
 // DefaultConfig returns a small general-purpose configuration.
@@ -69,7 +96,17 @@ func (c *Config) normalize() error {
 	if c.Preprocess && c.PreprocessWorkers < 1 {
 		c.PreprocessWorkers = 1
 	}
+	if c.CheckpointEveryBatches < 0 {
+		c.CheckpointEveryBatches = 0
+	}
 	return nil
+}
+
+// pinActive reports whether the checkpoint GC pin is in force: with
+// periodic checkpointing enabled, garbage collection is capped at the
+// newest checkpoint so snapshot scans never race a chain truncation.
+func (c *Config) pinActive() bool {
+	return c.LogDir != "" && c.CheckpointEveryBatches > 0
 }
 
 // stats holds the engine's counters; padded alignment is not needed since
@@ -108,21 +145,79 @@ type Engine struct {
 	closed  atomic.Bool
 	batches atomic.Uint64
 
+	// seqBase offsets batch numbering: the first batch is seqBase+1.
+	// Zero on a fresh engine; Recover sets it to the loaded checkpoint's
+	// watermark so batch sequences — and therefore checkpoint watermarks
+	// and log record numbering — stay monotone across crash epochs. A
+	// checkpoint written after recovery can then never sort below a
+	// stale pre-crash checkpoint left behind by an interrupted cleanup.
+	seqBase uint64
+
 	// execBatch[i] is the newest batch sequence fully handled by
 	// execution worker i; the minimum over workers is the GC watermark.
+	// Workers that have not yet finished a batch of this epoch read as
+	// seqBase, not zero.
 	execBatch []atomic.Uint64
 
 	ccStats   []workerStats // one per CC worker, owner-written
 	execStats []workerStats // one per execution worker
+
+	// Durability state; see durability.go. wal and ackCh are nil when
+	// Config.LogDir is empty. logOn flips on only while the pipeline is
+	// quiescent (at New, or at the end of Recover's replay).
+	wal     *wal.Writer
+	logOn   atomic.Bool
+	ackCh   chan *submission
+	ackWG   sync.WaitGroup
+	trackTS bool // sequencer records batch-end timestamp boundaries
+
+	ckptStop chan struct{}
+	ckptWG   sync.WaitGroup
+	ckptMu   sync.Mutex    // serializes checkpoint writers
+	ckptPin  atomic.Uint64 // GC cap (newest checkpoint); ^0 when inactive
+	lastCkpt atomic.Uint64 // newest checkpointed batch watermark
+	// hasCkpt records that a checkpoint covering lastCkpt exists on disk
+	// (written by this engine, or restored by Recover). Written under
+	// ckptMu or before the engine's goroutines start.
+	hasCkpt    bool
+	ckptCount  atomic.Uint64
+	ckptFailed atomic.Uint64
+
+	batchTSMu sync.Mutex
+	batchTS   map[uint64]uint64 // batch seq -> first timestamp after it
 }
 
 // New starts a BOHM engine with the given configuration: one sequencer
 // goroutine, cfg.CCWorkers concurrency control goroutines and
-// cfg.ExecWorkers execution goroutines.
+// cfg.ExecWorkers execution goroutines. With cfg.LogDir set, New demands a
+// directory without prior durable state — reopening an existing database
+// goes through Recover.
 func New(cfg Config) (*Engine, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	if cfg.LogDir != "" {
+		has, err := wal.HasState(cfg.LogDir)
+		if err != nil {
+			return nil, err
+		}
+		if has {
+			return nil, fmt.Errorf("bohm: %s holds an existing log or checkpoint; use Recover", cfg.LogDir)
+		}
+	}
+	e := build(cfg)
+	if cfg.LogDir != "" {
+		if err := e.startDurability(); err != nil {
+			return nil, err
+		}
+	}
+	e.start()
+	return e, nil
+}
+
+// build allocates an engine's passive state: partitions, channels and
+// counters, but no goroutines and no durability wiring.
+func build(cfg Config) *Engine {
 	e := &Engine{
 		cfg:       cfg,
 		parts:     make([]*storage.Map[storage.Chain], cfg.CCWorkers),
@@ -154,24 +249,40 @@ func New(cfg Config) (*Engine, error) {
 			e.ppDone[i] = make(chan *batch, 2)
 		}
 		e.seqOut = e.ppIn
-		for j := 0; j < cfg.PreprocessWorkers; j++ {
+	}
+	e.ckptPin.Store(^uint64(0))
+	if cfg.LogDir != "" {
+		e.trackTS = true
+		e.batchTS = make(map[uint64]uint64)
+		if cfg.pinActive() {
+			// GC trails the newest checkpoint; until the first one lands,
+			// nothing is collected (bounded by the checkpoint interval).
+			e.ckptPin.Store(0)
+		}
+	}
+	return e
+}
+
+// start launches the pipeline goroutines. Durability wiring, when any,
+// must be in place first: the sequencer reads e.wal.
+func (e *Engine) start() {
+	if e.cfg.Preprocess {
+		for j := 0; j < e.cfg.PreprocessWorkers; j++ {
 			go e.preprocWorker(j)
 		}
 		go e.ppForwarder()
 	}
-
 	e.seqWG.Add(1)
 	go e.sequencer()
-	for w := 0; w < cfg.CCWorkers; w++ {
+	for w := 0; w < e.cfg.CCWorkers; w++ {
 		e.ccWG.Add(1)
 		go e.ccWorker(w)
 	}
 	go e.forwarder()
-	for w := 0; w < cfg.ExecWorkers; w++ {
+	for w := 0; w < e.cfg.ExecWorkers; w++ {
 		e.execWG.Add(1)
 		go e.execWorker(w)
 	}
-	return e, nil
 }
 
 // forwarder implements the batch barrier between the phases: it collects
@@ -216,7 +327,9 @@ func (e *Engine) chainFor(k txn.Key) *storage.Chain {
 
 // Load inserts an initial record visible to every transaction. It must be
 // called before any ExecuteBatch and is not safe for concurrent use with
-// transaction processing.
+// transaction processing. Loads bypass the command log; with durability
+// enabled, call CheckpointNow after the last Load to seal them into the
+// first checkpoint, or recovery will replay against an empty database.
 func (e *Engine) Load(k txn.Key, v []byte) error {
 	data := make([]byte, len(v))
 	copy(data, v)
@@ -248,21 +361,66 @@ func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
 		return res
 	}
 	sub := &submission{txns: ts, res: res, done: make(chan struct{})}
+	if e.logOn.Load() {
+		for _, t := range ts {
+			if _, ok := t.(txn.Loggable); !ok {
+				// Reject the whole submission: a half-logged batch could
+				// not be replayed in order.
+				err := fmt.Errorf("%w (got %T)", ErrNotLoggable, t)
+				for i := range res {
+					res[i] = err
+				}
+				return res
+			}
+		}
+		sub.ackCh = e.ackCh
+	}
 	sub.remaining.Store(int64(len(ts)))
 	e.subCh <- sub
 	<-sub.done
 	return res
 }
 
-// Close drains the pipeline and stops all goroutines. ExecuteBatch must
-// not be called concurrently with or after Close.
+// Close drains the pipeline, makes the log durable, and stops all
+// goroutines. ExecuteBatch must not be called concurrently with or after
+// Close.
 func (e *Engine) Close() {
+	e.shutdown(false)
+}
+
+// Kill simulates a crash for durability testing: it stops the engine like
+// Close but abandons the command log without flushing, so bytes the
+// writer had buffered past the last sync are dropped — the data-loss
+// profile of a process crash. Acknowledged transactions survive under
+// wal.SyncEveryBatch and wal.SyncByInterval; everything else is at the
+// mercy of the sync policy, exactly as it would be for a real crash.
+// Like Close, it must not run concurrently with ExecuteBatch.
+func (e *Engine) Kill() {
+	e.shutdown(true)
+}
+
+func (e *Engine) shutdown(kill bool) {
 	if e.closed.Swap(true) {
 		return
 	}
 	close(e.subCh)
 	e.seqWG.Wait()
 	e.execWG.Wait()
+	if e.ckptStop != nil {
+		close(e.ckptStop)
+		e.ckptWG.Wait()
+	}
+	if e.ackCh != nil {
+		close(e.ackCh)
+		e.ackWG.Wait()
+	}
+	if e.wal != nil {
+		if kill {
+			e.wal.Kill()
+		} else {
+			_ = e.wal.Close()
+		}
+	}
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -283,17 +441,39 @@ func (e *Engine) Stats() engine.Stats {
 		s.RecursiveExecs += atomic.LoadUint64(&w.recursiveExecs)
 	}
 	s.Batches = e.batches.Load()
+	if e.wal != nil {
+		ws := e.wal.Stats()
+		s.LogBatches = ws.Batches
+		s.LogBytes = ws.Bytes
+		s.LogSyncs = ws.Syncs
+	}
+	s.Checkpoints = e.ckptCount.Load()
+	s.CheckpointFailures = e.ckptFailed.Load()
 	return s
 }
 
-// watermark returns the newest batch sequence every execution worker has
-// finished (§3.3.2): versions superseded at or before it are collectable.
-func (e *Engine) watermark() uint64 {
+// execWatermark returns the newest batch sequence every execution worker
+// has finished (§3.3.2).
+func (e *Engine) execWatermark() uint64 {
 	wm := e.execBatch[0].Load()
 	for i := 1; i < len(e.execBatch); i++ {
 		if b := e.execBatch[i].Load(); b < wm {
 			wm = b
 		}
+	}
+	return wm
+}
+
+// watermark returns the garbage collection watermark: versions superseded
+// at or before it are collectable. Normally this is the execution
+// watermark; while periodic checkpointing is active it is capped at the
+// newest checkpoint, so a snapshot scan at the checkpoint boundary never
+// races a chain truncation (the snapshotter reads strictly above what GC
+// may cut).
+func (e *Engine) watermark() uint64 {
+	wm := e.execWatermark()
+	if pin := e.ckptPin.Load(); pin < wm {
+		wm = pin
 	}
 	return wm
 }

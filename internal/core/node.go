@@ -78,14 +78,30 @@ type submission struct {
 	res       []error
 	remaining atomic.Int64
 	done      chan struct{}
+
+	// ackCh, when non-nil (durability enabled at submit time), receives
+	// the submission once every transaction has completed; the acker
+	// goroutine closes done only after lastBatch is durable. When nil,
+	// complete closes done directly.
+	ackCh chan *submission
+	// lastBatch is the newest batch containing one of the submission's
+	// transactions. The sequencer writes it before batch fan-out; the
+	// acker reads it after execution completes, so the channel hand-offs
+	// between the phases order the accesses.
+	lastBatch uint64
 }
 
 // complete records the outcome of node nd and, if it is the submission's
-// last outstanding transaction, wakes the submitter.
+// last outstanding transaction, wakes the submitter — directly, or via
+// the durability acknowledgement queue when the engine is logging.
 func (s *submission) complete(nd *node) {
 	s.res[nd.idx] = nd.err
 	if s.remaining.Add(-1) == 0 {
-		close(s.done)
+		if s.ackCh != nil {
+			s.ackCh <- s
+		} else {
+			close(s.done)
+		}
 	}
 }
 

@@ -21,9 +21,11 @@ func (e *Engine) sequencer() {
 	}()
 
 	// Timestamps start at 1: timestamp 0 is reserved for loaded data,
-	// and batch sequence 0 is the "nothing executed yet" GC watermark.
+	// and batch sequence seqBase is the "nothing executed yet" GC
+	// watermark (seqBase is 0 on a fresh engine; after recovery it
+	// continues the previous epoch's numbering).
 	nextTS := uint64(1)
-	nextBatch := uint64(1)
+	nextBatch := e.seqBase + 1
 	cur := newBatch(nextBatch, e.cfg.BatchSize)
 
 	flush := func() {
@@ -31,6 +33,18 @@ func (e *Engine) sequencer() {
 			return
 		}
 		e.batches.Add(1)
+		// Durability hook: append the batch to the command log before
+		// fan-out. Under SyncEveryBatch this is also where the fsync
+		// happens, so a batch entering the CC phase is already durable;
+		// under the other policies the acknowledgement path waits on the
+		// writer's durable mark instead. All submissions coalesced into
+		// this batch share the one append (group commit).
+		if e.logOn.Load() {
+			e.logBatch(cur)
+		}
+		if e.trackTS {
+			e.recordBatchTS(cur.seq, nextTS)
+		}
 		if e.cfg.Preprocess {
 			cur.plans = make([][][]planItem, e.cfg.CCWorkers)
 			for c := range cur.plans {
@@ -65,6 +79,10 @@ func (e *Engine) sequencer() {
 				nd.readRefs = make([]*storage.Version, len(nd.reads))
 			}
 			cur.nodes = append(cur.nodes, nd)
+			// The newest batch holding one of the submission's
+			// transactions; the acknowledgement path waits for it to be
+			// durable. Written before fan-out, read after completion.
+			sub.lastBatch = cur.seq
 			if len(cur.nodes) == e.cfg.BatchSize {
 				flush()
 			}

@@ -53,22 +53,40 @@ type Stats struct {
 	// TimestampFetches counts atomic fetch-and-increment operations on a
 	// global timestamp counter (Hekaton/SI; zero for BOHM by design).
 	TimestampFetches uint64
+	// LogBatches counts batches appended to the command log (BOHM with
+	// durability enabled; zero otherwise).
+	LogBatches uint64
+	// LogBytes counts bytes appended to the command log.
+	LogBytes uint64
+	// LogSyncs counts fsync calls issued by the command log writer.
+	LogSyncs uint64
+	// Checkpoints counts consistent checkpoints written.
+	Checkpoints uint64
+	// CheckpointFailures counts background checkpoint attempts that
+	// failed (and will be retried). A growing value means the log is not
+	// being truncated and version garbage collection is pinned.
+	CheckpointFailures uint64
 }
 
 // Sub returns the element-wise difference s - o, for measuring an
 // interval between two snapshots.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Committed:         s.Committed - o.Committed,
-		UserAborts:        s.UserAborts - o.UserAborts,
-		CCAborts:          s.CCAborts - o.CCAborts,
-		VersionsCreated:   s.VersionsCreated - o.VersionsCreated,
-		VersionsCollected: s.VersionsCollected - o.VersionsCollected,
-		ReadRefHits:       s.ReadRefHits - o.ReadRefHits,
-		ChainSteps:        s.ChainSteps - o.ChainSteps,
-		Requeues:          s.Requeues - o.Requeues,
-		RecursiveExecs:    s.RecursiveExecs - o.RecursiveExecs,
-		Batches:           s.Batches - o.Batches,
-		TimestampFetches:  s.TimestampFetches - o.TimestampFetches,
+		Committed:          s.Committed - o.Committed,
+		UserAborts:         s.UserAborts - o.UserAborts,
+		CCAborts:           s.CCAborts - o.CCAborts,
+		VersionsCreated:    s.VersionsCreated - o.VersionsCreated,
+		VersionsCollected:  s.VersionsCollected - o.VersionsCollected,
+		ReadRefHits:        s.ReadRefHits - o.ReadRefHits,
+		ChainSteps:         s.ChainSteps - o.ChainSteps,
+		Requeues:           s.Requeues - o.Requeues,
+		RecursiveExecs:     s.RecursiveExecs - o.RecursiveExecs,
+		Batches:            s.Batches - o.Batches,
+		TimestampFetches:   s.TimestampFetches - o.TimestampFetches,
+		LogBatches:         s.LogBatches - o.LogBatches,
+		LogBytes:           s.LogBytes - o.LogBytes,
+		LogSyncs:           s.LogSyncs - o.LogSyncs,
+		Checkpoints:        s.Checkpoints - o.Checkpoints,
+		CheckpointFailures: s.CheckpointFailures - o.CheckpointFailures,
 	}
 }

@@ -1,0 +1,66 @@
+package txn
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestRegistryCallRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("incr", func(args []byte) (Txn, error) {
+		k := Key{Table: 0, ID: binary.LittleEndian.Uint64(args)}
+		return &Proc{
+			Reads:  []Key{k},
+			Writes: []Key{k},
+		}, nil
+	})
+
+	args := make([]byte, 8)
+	binary.LittleEndian.PutUint64(args, 42)
+	tx, err := reg.Call("incr", args)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	lg, ok := tx.(Loggable)
+	if !ok {
+		t.Fatalf("Call result does not implement Loggable")
+	}
+	id, gotArgs := lg.Procedure()
+	if id != "incr" || binary.LittleEndian.Uint64(gotArgs) != 42 {
+		t.Fatalf("Procedure() = %q, %v", id, gotArgs)
+	}
+	if got := tx.WriteSet(); len(got) != 1 || got[0].ID != 42 {
+		t.Fatalf("WriteSet = %v", got)
+	}
+
+	// Rebuilding through the registry must reproduce the access sets.
+	rebuilt, err := reg.Build(id, gotArgs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := rebuilt.WriteSet(); len(got) != 1 || got[0].ID != 42 {
+		t.Fatalf("rebuilt WriteSet = %v", got)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Build("missing", nil); err == nil {
+		t.Fatal("Build of unregistered procedure succeeded")
+	}
+	reg.Register("p", func([]byte) (Txn, error) { return &Proc{}, nil })
+	mustPanic(t, func() { reg.Register("p", func([]byte) (Txn, error) { return &Proc{}, nil }) })
+	mustPanic(t, func() { reg.Register("", func([]byte) (Txn, error) { return &Proc{}, nil }) })
+	mustPanic(t, func() { reg.Register("q", nil) })
+	mustPanic(t, func() { reg.MustCall("missing", nil) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -100,9 +100,11 @@ type Ctx interface {
 //
 // ReadSet and WriteSet must return the same contents every time they are
 // called for a given transaction instance, and must cover every key the
-// body touches; Run must be safe to invoke more than once (optimistic
-// engines re-run aborted transactions, and BOHM may restart a transaction
-// whose read dependency was being produced by another thread).
+// body touches; WriteSet must not contain duplicate keys (each entry
+// allocates one version). Run must be safe to invoke more than once
+// (optimistic engines re-run aborted transactions, and BOHM may restart a
+// transaction whose read dependency was being produced by another
+// thread).
 type Txn interface {
 	// ReadSet returns the keys the transaction may read. Engines other
 	// than BOHM ignore it unless they need it for lock pre-acquisition.

@@ -1,0 +1,252 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bohm/internal/txn"
+)
+
+// A checkpoint file is a consistent snapshot of every live record at a
+// batch watermark W:
+//
+//	[8]  magic "BOHMCKP1"
+//	[8]  watermark W (little endian)
+//	per record: [1]=1 tag, [4] table, [8] id, [4] value length, value
+//	[1]=0 end tag
+//	[8]  record count
+//	[4]  CRC-32C of everything above
+//
+// It is written to a temp file and renamed into place, so a crash mid-
+// checkpoint leaves the previous checkpoint intact and the partial temp
+// file ignored.
+
+// CheckpointRecord is one record restored from a checkpoint.
+type CheckpointRecord struct {
+	Key txn.Key
+	Val []byte
+}
+
+// checkpointFile is one checkpoint on disk.
+type checkpointFile struct {
+	watermark uint64
+	path      string
+}
+
+func checkpointPath(dir string, watermark uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%020d.ckpt", watermark))
+}
+
+// listCheckpoints returns dir's checkpoint files ordered by watermark.
+func listCheckpoints(dir string) ([]checkpointFile, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: listing log dir: %w", err)
+	}
+	var cks []checkpointFile
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		wm, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ckpt"), 10, 64)
+		if err != nil {
+			continue
+		}
+		cks = append(cks, checkpointFile{watermark: wm, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].watermark < cks[j].watermark })
+	return cks, nil
+}
+
+// WriteCheckpoint atomically writes a checkpoint at the given watermark.
+// scan must call emit once per live record; it runs while the snapshot is
+// streamed, so the caller is responsible for emitting a consistent view
+// (the engine reads every chain at a fixed timestamp boundary).
+func WriteCheckpoint(dir string, watermark uint64, scan func(emit func(k txn.Key, v []byte) error) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: creating log dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: creating checkpoint temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	// On any failure, leave no temp debris behind.
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+
+	crc := crc32.New(castagnoli)
+	bw := bufio.NewWriterSize(io.MultiWriter(tmp, crc), 1<<16)
+
+	var hdr [16]byte
+	copy(hdr[:8], ckptMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], watermark)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+
+	var count uint64
+	var rec []byte
+	emit := func(k txn.Key, v []byte) error {
+		rec = rec[:0]
+		rec = append(rec, 1)
+		rec = appendU32(rec, k.Table)
+		rec = appendU64(rec, k.ID)
+		rec = appendU32(rec, uint32(len(v)))
+		rec = append(rec, v...)
+		if _, err := bw.Write(rec); err != nil {
+			return fmt.Errorf("wal: writing checkpoint record: %w", err)
+		}
+		count++
+		return nil
+	}
+	if err := scan(emit); err != nil {
+		return err
+	}
+
+	var trailer [9]byte
+	trailer[0] = 0
+	binary.LittleEndian.PutUint64(trailer[1:], count)
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return fmt.Errorf("wal: writing checkpoint trailer: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("wal: flushing checkpoint: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := tmp.Write(sum[:]); err != nil {
+		return fmt.Errorf("wal: writing checkpoint checksum: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: closing checkpoint: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(tmpName, checkpointPath(dir, watermark)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: publishing checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening log dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing log dir: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint loads the newest valid checkpoint in dir, returning its
+// watermark and records. found is false when the directory holds no valid
+// checkpoint (fresh database). A damaged newer checkpoint makes it fall
+// back to an older valid one; validation failures are only returned when
+// no checkpoint loads at all.
+func LoadCheckpoint(dir string) (watermark uint64, recs []CheckpointRecord, found bool, err error) {
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	var firstErr error
+	for i := len(cks) - 1; i >= 0; i-- {
+		recs, err := readCheckpoint(cks[i].path)
+		if err == nil {
+			return cks[i].watermark, recs, true, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return 0, nil, false, firstErr
+	}
+	return 0, nil, false, nil
+}
+
+// readCheckpoint parses and validates one checkpoint file.
+func readCheckpoint(path string) ([]CheckpointRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading checkpoint: %w", err)
+	}
+	// Smallest valid file: header(16) + end tag(1) + count(8) + crc(4).
+	if len(raw) < 29 {
+		return nil, fmt.Errorf("%w: checkpoint %s too short", ErrCorrupt, path)
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, fmt.Errorf("%w: checkpoint %s checksum mismatch", ErrCorrupt, path)
+	}
+	if string(body[:8]) != ckptMagic {
+		return nil, fmt.Errorf("%w: checkpoint %s bad magic", ErrCorrupt, path)
+	}
+	d := &decoder{b: body, off: 16}
+	var recs []CheckpointRecord
+	for {
+		tag := d.bytes(1)
+		if d.err != nil {
+			return nil, fmt.Errorf("%w: checkpoint %s truncated", ErrCorrupt, path)
+		}
+		if tag[0] == 0 {
+			break
+		}
+		if tag[0] != 1 {
+			return nil, fmt.Errorf("%w: checkpoint %s bad record tag", ErrCorrupt, path)
+		}
+		k := txn.Key{Table: d.u32(), ID: d.u64()}
+		v := d.bytes(int(d.u32()))
+		if d.err != nil {
+			return nil, fmt.Errorf("%w: checkpoint %s truncated record", ErrCorrupt, path)
+		}
+		// Copy out of the file buffer: records outlive raw.
+		recs = append(recs, CheckpointRecord{Key: k, Val: append([]byte(nil), v...)})
+	}
+	count := d.u64()
+	if d.err != nil || d.off != len(body) || count != uint64(len(recs)) {
+		return nil, fmt.Errorf("%w: checkpoint %s bad trailer", ErrCorrupt, path)
+	}
+	return recs, nil
+}
+
+// RemoveCheckpointsBelow deletes checkpoints older than watermark; called
+// after a newer checkpoint is durable.
+func RemoveCheckpointsBelow(dir string, watermark uint64) error {
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	for _, c := range cks {
+		if c.watermark < watermark {
+			if err := os.Remove(c.path); err != nil {
+				return fmt.Errorf("wal: removing old checkpoint: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// segment is one log segment file on disk.
+type segment struct {
+	start uint64 // first batch seq (from the file name)
+	path  string
+}
+
+// listSegments returns the directory's segment files ordered by starting
+// batch sequence. Files that do not match the segment naming scheme are
+// ignored.
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: listing log dir: %w", err)
+	}
+	var segs []segment
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{start: seq, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	return segs, nil
+}
+
+// ReadLog scans the directory's segments in order and calls fn for every
+// intact batch with Seq > afterSeq, in sequence order. It returns the
+// highest intact sequence seen (zero if none) and whether a torn tail —
+// a partial or checksum-failing record at the end of the newest segment,
+// the signature of a crash mid-write — was detected and discarded.
+//
+// Sequences must be contiguous across the retained log; a gap, or damage
+// anywhere other than the tail of the newest segment, returns ErrCorrupt.
+func ReadLog(dir string, afterSeq uint64, fn func(*Batch) error) (lastSeq uint64, torn bool, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, false, err
+	}
+	var prev uint64 // last seq seen across segments; 0 = none yet
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		prev, torn, err = readSegment(seg, last, prev, afterSeq, fn)
+		if err != nil {
+			return prev, false, err
+		}
+		if torn && !last {
+			// readSegment only reports torn on the last segment.
+			return prev, false, fmt.Errorf("%w: internal: torn mid-log", ErrCorrupt)
+		}
+	}
+	return prev, torn, nil
+}
+
+// readSegment scans one segment. A decode failure is a torn tail if this
+// is the newest segment (isLast), otherwise corruption.
+func readSegment(seg segment, isLast bool, prev, afterSeq uint64, fn func(*Batch) error) (uint64, bool, error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return prev, false, fmt.Errorf("wal: opening segment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	fail := func(what string) (uint64, bool, error) {
+		if isLast {
+			return prev, true, nil
+		}
+		return prev, false, fmt.Errorf("%w: %s in %s", ErrCorrupt, what, seg.path)
+	}
+
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fail("short segment header")
+	}
+	if string(magic) != segMagic {
+		return fail("bad segment magic")
+	}
+
+	hdr := make([]byte, 8)
+	var payload []byte
+	first := true
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				return prev, false, nil // clean end of segment
+			}
+			return fail("short record header")
+		}
+		length := int(binary.LittleEndian.Uint32(hdr[0:]))
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if length <= 0 || length > maxRecordBytes {
+			return fail("implausible record length")
+		}
+		if cap(payload) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return fail("short record payload")
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return fail("record checksum mismatch")
+		}
+		b, err := decodeBatch(payload)
+		if err != nil {
+			return fail("undecodable record")
+		}
+		if first {
+			first = false
+			if b.Seq != seg.start {
+				return prev, false, fmt.Errorf("%w: segment %s starts at batch %d, name says %d",
+					ErrCorrupt, seg.path, b.Seq, seg.start)
+			}
+		}
+		if prev != 0 && b.Seq != prev+1 {
+			return prev, false, fmt.Errorf("%w: batch sequence jumps %d -> %d", ErrCorrupt, prev, b.Seq)
+		}
+		prev = b.Seq
+		if b.Seq > afterSeq {
+			// The batch retains payload's arg bytes; stop sharing the
+			// scratch buffer with subsequent reads.
+			payload = nil
+			if err := fn(b); err != nil {
+				return prev, false, err
+			}
+		}
+	}
+}
+
+// HasState reports whether dir contains any log segments or checkpoints —
+// i.e. whether an engine previously ran here and Recover (not a fresh New)
+// is the right way in.
+func HasState(dir string) (bool, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return false, err
+	}
+	if len(segs) > 0 {
+		return true, nil
+	}
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return false, err
+	}
+	return len(cks) > 0, nil
+}
+
+// RemoveAllState deletes every segment and checkpoint in dir except the
+// checkpoint whose watermark equals keepWatermark (when none matches,
+// everything is removed). Recovery uses it to reset the directory to
+// exactly one checkpoint before re-opening a fresh log.
+func RemoveAllState(dir string, keepWatermark uint64) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("wal: removing segment: %w", err)
+		}
+	}
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	for _, c := range cks {
+		if c.watermark == keepWatermark {
+			continue
+		}
+		if err := os.Remove(c.path); err != nil {
+			return fmt.Errorf("wal: removing checkpoint: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,386 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WriterOptions parameterizes a log writer. The zero Dir is invalid;
+// everything else has usable defaults.
+type WriterOptions struct {
+	// Dir is the log directory, created if absent.
+	Dir string
+	// Policy selects when fsync happens; see SyncPolicy.
+	Policy SyncPolicy
+	// Interval is the group-commit period for SyncByInterval (default 2ms).
+	Interval time.Duration
+	// SegmentBytes rotates to a new segment file once the current one
+	// exceeds this size (default 16 MiB).
+	SegmentBytes int64
+}
+
+func (o *WriterOptions) normalize() error {
+	if o.Dir == "" {
+		return fmt.Errorf("wal: WriterOptions.Dir is empty")
+	}
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	return nil
+}
+
+// WriterStats counts a writer's activity; retrieved via Writer.Stats.
+type WriterStats struct {
+	// Batches is the number of batches appended.
+	Batches uint64
+	// Bytes is the number of framed bytes appended (including headers).
+	Bytes uint64
+	// Syncs is the number of fsync calls issued.
+	Syncs uint64
+}
+
+// Writer is the append side of the command log. Append is called by the
+// engine's sequencer; WaitDurable is called by the acknowledgement path
+// and blocks until a batch's bytes are known to be on disk under the
+// configured policy. A Writer is safe for concurrent use.
+type Writer struct {
+	opts WriterOptions
+
+	// mu guards the current segment (file, buffer, byte counts) and the
+	// appended high-water mark. fsync is performed while holding mu: this
+	// serializes appends with syncs, which keeps segment rotation trivially
+	// safe; the sequencer is the only appender and tolerates the pause.
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	segStart uint64 // first batch seq in the current segment
+	segSize  int64
+	appended uint64 // highest batch seq appended
+	scratch  []byte
+
+	// durable is the highest batch seq guaranteed on disk; guarded by durMu
+	// and broadcast on durCond. syncErr, once set, poisons the writer:
+	// WaitDurable returns it so acknowledgements can report lost durability.
+	durMu   sync.Mutex
+	durCond *sync.Cond
+	durable uint64
+	syncErr error
+
+	batches atomic.Uint64
+	bytes   atomic.Uint64
+	syncs   atomic.Uint64
+
+	stop       chan struct{}
+	syncerDone chan struct{}
+}
+
+// OpenWriter creates (or reuses) the log directory and returns a writer.
+// The first segment file is created lazily on the first Append, named by
+// that batch's sequence number. OpenWriter does not examine existing files;
+// the engine decides whether the directory must be empty (fresh start) or
+// is being re-opened after recovery truncated it.
+func OpenWriter(o WriterOptions) (*Writer, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating log dir: %w", err)
+	}
+	w := &Writer{opts: o, stop: make(chan struct{})}
+	w.durCond = sync.NewCond(&w.durMu)
+	if o.Policy == SyncByInterval {
+		w.syncerDone = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// segmentPath names the segment whose first batch is seq.
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%020d.log", seq))
+}
+
+// Append encodes b, frames it with a CRC, and writes it to the current
+// segment, rotating first if the segment is full. Under SyncEveryBatch the
+// batch is durable when Append returns; under the other policies Append
+// only buffers and durability is tracked separately (WaitDurable).
+func (w *Writer) Append(b *Batch) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	// Fail-stop: once a write or sync has failed, the on-disk suffix is
+	// suspect (the kernel may have dropped the failed pages and cleared
+	// the fd's error state), so no later operation may advance the
+	// durable mark past the hole.
+	if err := w.failedErr(); err != nil {
+		return err
+	}
+
+	if w.f == nil || w.segSize >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(b.Seq); err != nil {
+			w.fail(err)
+			return err
+		}
+	}
+
+	w.scratch = w.scratch[:0]
+	w.scratch = appendU32(w.scratch, 0) // length, patched below
+	w.scratch = appendU32(w.scratch, 0) // crc, patched below
+	w.scratch = encodeBatch(w.scratch, b)
+	payload := w.scratch[8:]
+	if len(payload) > maxRecordBytes {
+		// The reader rejects records this large, so appending one would
+		// acknowledge a batch recovery cannot replay. Fail it instead.
+		err := fmt.Errorf("wal: batch %d encodes to %d bytes, above the %d-byte record limit",
+			b.Seq, len(payload), maxRecordBytes)
+		w.fail(err)
+		return err
+	}
+	putU32(w.scratch[0:], uint32(len(payload)))
+	putU32(w.scratch[4:], crc32.Checksum(payload, castagnoli))
+
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		w.fail(err)
+		return fmt.Errorf("wal: appending batch %d: %w", b.Seq, err)
+	}
+	w.segSize += int64(len(w.scratch))
+	w.appended = b.Seq
+	w.batches.Add(1)
+	w.bytes.Add(uint64(len(w.scratch)))
+
+	switch w.opts.Policy {
+	case SyncEveryBatch:
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+	case SyncNever:
+		// No durability promise: acknowledge immediately.
+		w.advance(w.appended)
+	}
+	return nil
+}
+
+// rotateLocked syncs and closes the current segment (if any) and opens a
+// fresh one whose name records firstSeq. Called with mu held.
+func (w *Writer) rotateLocked(firstSeq uint64) error {
+	if w.f != nil {
+		// Make the old segment fully durable before moving on, so the
+		// durable high-water mark never points into an unsynced file that
+		// later records sort after.
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("wal: closing segment: %w", err)
+		}
+		w.f = nil
+	}
+	f, err := os.OpenFile(segmentPath(w.opts.Dir, firstSeq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	// Persist the directory entry: fsyncing the file later covers its
+	// data and inode, but not the dirent — without this, a power failure
+	// could make the whole acknowledged segment vanish.
+	if err := syncDir(w.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.segStart = firstSeq
+	w.segSize = 0
+	if _, err := w.bw.WriteString(segMagic); err != nil {
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	w.segSize += int64(len(segMagic))
+	return nil
+}
+
+// syncLocked flushes the buffer, fsyncs the segment, and advances the
+// durable mark to everything appended so far. Called with mu held. Once
+// the writer has failed it refuses: a "successful" fsync after an EIO
+// proves nothing (the kernel reports a writeback error once, then drops
+// the pages), so advancing would acknowledge lost data.
+func (w *Writer) syncLocked() error {
+	if err := w.failedErr(); err != nil {
+		return err
+	}
+	if w.f == nil {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.fail(err)
+		return fmt.Errorf("wal: flushing segment: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.fail(err)
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	w.syncs.Add(1)
+	w.advance(w.appended)
+	return nil
+}
+
+// Sync forces everything appended so far to disk regardless of policy.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+// syncLoop is the SyncByInterval group-commit goroutine.
+func (w *Writer) syncLoop() {
+	defer close(w.syncerDone)
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.f != nil && w.appended > w.durableMark() {
+				_ = w.syncLocked() // error is recorded and surfaces via WaitDurable
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// advance publishes seq as durable and wakes waiters. A failed writer
+// never advances: the durable mark must not move past a write hole.
+func (w *Writer) advance(seq uint64) {
+	w.durMu.Lock()
+	if w.syncErr == nil && seq > w.durable {
+		w.durable = seq
+		w.durCond.Broadcast()
+	}
+	w.durMu.Unlock()
+}
+
+// fail poisons the writer with err and wakes waiters so acknowledgements
+// can report the durability loss instead of blocking forever.
+func (w *Writer) fail(err error) {
+	w.durMu.Lock()
+	if w.syncErr == nil {
+		w.syncErr = err
+	}
+	w.durCond.Broadcast()
+	w.durMu.Unlock()
+}
+
+// durableMark reads the durable high-water mark.
+func (w *Writer) durableMark() uint64 {
+	w.durMu.Lock()
+	defer w.durMu.Unlock()
+	return w.durable
+}
+
+// failedErr returns the recorded write/sync error, if any.
+func (w *Writer) failedErr() error {
+	w.durMu.Lock()
+	defer w.durMu.Unlock()
+	return w.syncErr
+}
+
+// WaitDurable blocks until batch seq is durable under the configured
+// policy, returning nil, or until the writer has failed, returning the
+// write/sync error.
+func (w *Writer) WaitDurable(seq uint64) error {
+	w.durMu.Lock()
+	defer w.durMu.Unlock()
+	for w.durable < seq && w.syncErr == nil {
+		w.durCond.Wait()
+	}
+	if w.durable >= seq {
+		return nil
+	}
+	return w.syncErr
+}
+
+// Stats returns the writer's counters.
+func (w *Writer) Stats() WriterStats {
+	return WriterStats{
+		Batches: w.batches.Load(),
+		Bytes:   w.bytes.Load(),
+		Syncs:   w.syncs.Load(),
+	}
+}
+
+// TruncateBelow deletes segment files every one of whose batches is below
+// seq: a segment is removable when the next segment starts at or below seq
+// (so nothing at or above seq lives in it) and it is not the open segment.
+// Called by the checkpointer after a checkpoint at seq-1 is durable.
+func (w *Writer) TruncateBelow(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := listSegments(w.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for i, s := range segs {
+		if w.f != nil && s.start == w.segStart {
+			continue
+		}
+		if i+1 < len(segs) && segs[i+1].start <= seq {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: truncating: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close syncs outstanding data and closes the segment. The writer must not
+// be used afterwards.
+func (w *Writer) Close() error {
+	w.stopSyncer()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.syncLocked()
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	return err
+}
+
+// Kill abandons the writer without flushing: buffered but unflushed bytes
+// are dropped, simulating the data loss profile of a crash (everything
+// past the last flush/sync vanishes; everything before it survives). Used
+// by crash-recovery tests; a real crash needs no call at all.
+func (w *Writer) Kill() {
+	w.stopSyncer()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		_ = w.f.Close()
+		w.f = nil
+	}
+	w.fail(fmt.Errorf("wal: writer killed"))
+}
+
+func (w *Writer) stopSyncer() {
+	w.mu.Lock()
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	w.mu.Unlock()
+	if w.syncerDone != nil {
+		<-w.syncerDone
+	}
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bohm/internal/txn"
+)
+
+// Registered-procedure forms of the YCSB transactions, for running the
+// workloads against an engine with durability enabled: a command log
+// records transactions as (procedure id, args), so the keys a transaction
+// touches must round-trip through bytes.
+
+// ProcRMW is the registry id of the YCSB read-modify-write transaction;
+// its args are EncodeKeys of the keys to increment.
+const ProcRMW = "ycsb.rmw"
+
+// RegisterYCSB registers the YCSB procedures with reg. recordSize is the
+// record size rebuilt transactions write, and must match the loaded table.
+func RegisterYCSB(reg *txn.Registry, recordSize int) {
+	reg.Register(ProcRMW, func(args []byte) (txn.Txn, error) {
+		ks, err := DecodeKeys(args)
+		if err != nil {
+			return nil, err
+		}
+		return &RMWTxn{Keys: ks, Size: recordSize}, nil
+	})
+}
+
+// EncodeKeys serializes keys for use as procedure arguments.
+func EncodeKeys(ks []txn.Key) []byte {
+	b := make([]byte, 0, 12*len(ks))
+	for _, k := range ks {
+		b = binary.LittleEndian.AppendUint32(b, k.Table)
+		b = binary.LittleEndian.AppendUint64(b, k.ID)
+	}
+	return b
+}
+
+// DecodeKeys reverses EncodeKeys.
+func DecodeKeys(b []byte) ([]txn.Key, error) {
+	if len(b)%12 != 0 {
+		return nil, fmt.Errorf("workload: key blob of %d bytes is not a multiple of 12", len(b))
+	}
+	ks := make([]txn.Key, len(b)/12)
+	for i := range ks {
+		ks[i] = txn.Key{
+			Table: binary.LittleEndian.Uint32(b[12*i:]),
+			ID:    binary.LittleEndian.Uint64(b[12*i+4:]),
+		}
+	}
+	return ks, nil
+}
+
+// RMW10Call returns the source's next 10RMW transaction as a loggable
+// registry call, suitable for engines with durability enabled. reg must
+// have been set up with RegisterYCSB.
+func (s *YCSBSource) RMW10Call(reg *txn.Registry) txn.Txn {
+	return reg.MustCall(ProcRMW, EncodeKeys(s.keys(10)))
+}
