@@ -33,6 +33,28 @@
 // ExecuteBatch is serializable on every engine; on BOHM the equivalent
 // serial order is exactly the submission order.
 //
+// # Range scans
+//
+// The store is a two-tier index: a per-partition hash map for point access
+// plus an ordered key directory maintained by the concurrency control
+// phase. A transaction may declare KeyRanges (Txn.RangeSet) and scan them
+// with Ctx.ReadRange; on BOHM the scan is phantom-free by construction —
+// every key any earlier transaction will ever write has its placeholder
+// and directory entry inserted before execution begins — and a declared
+// range is annotated at CC time with resolved version references, so the
+// scan touches no version chains at all. The baselines implement ReadRange
+// with their own idioms (2PL: planned table locks; OCC and Hekaton:
+// commit-time range revalidation; SI: snapshot reads), so all five engines
+// are comparable on scan workloads:
+//
+//	scan := &bohm.Proc{
+//		Ranges: []bohm.KeyRange{{Table: 0, Lo: 100, Hi: 200}},
+//		Body: func(ctx bohm.Ctx) error {
+//			return ctx.ReadRange(bohm.KeyRange{Table: 0, Lo: 100, Hi: 200},
+//				func(k bohm.Key, v []byte) error { sum += bohm.U64(v); return nil })
+//		},
+//	}
+//
 // # Engines
 //
 // New creates a BOHM engine (the paper's contribution); NewHekaton,
@@ -96,6 +118,10 @@ import (
 // Key identifies a record: a table number and a 64-bit row id.
 type Key = txn.Key
 
+// KeyRange identifies a half-open interval [Lo, Hi) of row ids within one
+// table, the unit of declaration for serializable range scans.
+type KeyRange = txn.KeyRange
+
 // Txn is a stored-procedure transaction with declared access sets.
 type Txn = txn.Txn
 
@@ -116,6 +142,11 @@ var ErrNotFound = txn.ErrNotFound
 
 // ErrAbort is a convenience sentinel for aborting a transaction.
 var ErrAbort = txn.ErrAbort
+
+// ErrDuplicateWriteKey is reported for a transaction whose declared
+// write-set repeats a key; BOHM rejects it at submission (each write-set
+// entry allocates one version, and a duplicate would deadlock on itself).
+var ErrDuplicateWriteKey = core.ErrDuplicateWriteKey
 
 // Config parameterizes the BOHM engine; see the field documentation in
 // the internal core package.

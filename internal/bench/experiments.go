@@ -24,6 +24,9 @@ type Scale struct {
 	ScanSize    int       // reads per long read-only transaction (paper: 10,000)
 	ReadOnlyPct []int     // read-only mix sweep for Figure 8
 
+	ScanMaxLen  int   // max rows per YCSB-E range scan
+	ScanMixPcts []int // range-scan percentage sweep for the scans experiment
+
 	Fig4CC   []int // CC thread counts (paper: 1, 2, 4, 8)
 	Fig4Exec []int // execution thread counts (paper: 1..10)
 
@@ -43,6 +46,8 @@ var Quick = Scale{
 	Thetas:      []float64{0, 0.6, 0.9, 0.99},
 	ScanSize:    1_000,
 	ReadOnlyPct: []int{0, 1, 10, 100},
+	ScanMaxLen:  64,
+	ScanMixPcts: []int{50, 95, 100},
 	Fig4CC:      []int{1, 2},
 	Fig4Exec:    []int{1, 2, 4},
 
@@ -64,6 +69,8 @@ var Ref = Scale{
 	Thetas:      []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99},
 	ScanSize:    10_000,
 	ReadOnlyPct: []int{0, 1, 10, 100},
+	ScanMaxLen:  100,
+	ScanMixPcts: []int{50, 95, 100},
 	Fig4CC:      []int{1, 2, 4},
 	Fig4Exec:    []int{1, 2, 4, 8},
 
@@ -85,6 +92,8 @@ var Paper = Scale{
 	Thetas:      []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99},
 	ScanSize:    10_000,
 	ReadOnlyPct: []int{0, 1, 10, 100},
+	ScanMaxLen:  100,
+	ScanMixPcts: []int{50, 95, 100},
 	Fig4CC:      []int{1, 2, 4, 8},
 	Fig4Exec:    []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
 
@@ -110,6 +119,7 @@ var Experiments = []Experiment{
 	{"fig8", "YCSB throughput with long read-only transactions", Fig8},
 	{"fig9", "YCSB throughput at 1% long read-only transactions", Fig9},
 	{"fig10", "SmallBank throughput (high and low contention)", Fig10},
+	{"scans", "YCSB-E range-scan mix (zipfian start keys, 5-50% inserts)", Scans},
 	{"ablation-readrefs", "BOHM read-reference annotation on/off", AblationReadRefs},
 	{"ablation-gc", "BOHM garbage collection on/off", AblationGC},
 	{"ablation-batch", "BOHM batch size sweep (barrier amortization)", AblationBatch},

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bohm/internal/txn"
+	"bohm/internal/workload"
+)
+
+// Scans is the YCSB-E style scan-mix experiment the two-tier index opens
+// up: short range scans over zipfian start keys mixed with inserts of
+// fresh records, swept over the scan percentage, one series per engine.
+// The paper's evaluation stops at multi-point reads; this experiment is
+// the natural extension once range scans are first-class, and the second
+// table verifies BOHM's claim to fame here — declared scans are served
+// from CC-time annotations (resolved version references), not chain
+// traversals.
+func Scans(s Scale) []*Table {
+	mix := &Table{
+		ID:    "scans",
+		Title: fmt.Sprintf("YCSB-E scan mix at %d threads (theta=0.9, scans of 1..%d rows)", s.MaxThreads, s.ScanMaxLen),
+		Param: "% scans",
+		Notes: []string{
+			hostNote(),
+			"non-scan transactions insert fresh records (YCSB-E), so every scan is exposed to phantoms",
+		},
+	}
+	for _, k := range AllEngines {
+		mix.Series = append(mix.Series, string(k))
+	}
+	anno := &Table{
+		ID:     "scans-annotation",
+		Title:  "BOHM scan service: CC-annotated range entries vs chain steps",
+		Param:  "% scans",
+		Series: []string{"range entries (annotated)", "chain steps"},
+	}
+	for _, pct := range s.ScanMixPcts {
+		var vals []float64
+		for _, k := range AllEngines {
+			tput, st := scanPoint(k, s, pct)
+			vals = append(vals, tput)
+			if k == Bohm {
+				anno.AddRow(fmt.Sprintf("%d%%", pct), float64(st.Stats.RangeRefHits), float64(st.Stats.ChainSteps))
+			}
+		}
+		mix.AddRow(fmt.Sprintf("%d%%", pct), vals...)
+	}
+	return []*Table{mix, anno}
+}
+
+// scanPoint measures one engine at one scan percentage, returning
+// throughput and the run's counter delta.
+func scanPoint(kind EngineKind, s Scale, pct int) (float64, Result) {
+	y := workload.YCSB{Records: s.Records, RecordSize: s.RecordSize}
+	// Scale the transaction count so each point does comparable row work
+	// regardless of the scan share.
+	avgOps := 1.0 + float64(pct)/100.0*float64(s.ScanMaxLen)/2.0
+	txns := int(float64(s.Txns) * 10.0 / avgOps)
+	if txns < 500 {
+		txns = 500
+	}
+	// Capacity covers the loaded table plus every possible insert.
+	e, err := MakeEngine(kind, s.MaxThreads, s.Records+txns)
+	if err != nil {
+		panic(err)
+	}
+	defer e.Close()
+	if err := y.LoadInto(e); err != nil {
+		panic(err)
+	}
+	gen := func(stream int) func() txn.Txn {
+		src := y.NewSource(int64(7000+stream*31337), 0.9)
+		rng := rand.New(rand.NewSource(int64(59 + stream)))
+		return func() txn.Txn {
+			if rng.Intn(100) < pct {
+				return src.ScanE(s.ScanMaxLen)
+			}
+			return src.InsertE()
+		}
+	}
+	r := Run(kind, e, Options{Txns: txns, Procs: s.MaxThreads}, gen)
+	return r.Throughput, r
+}

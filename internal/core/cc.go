@@ -39,10 +39,10 @@ func (e *Engine) ccWorker(w int) {
 			e.runPlanned(w, b, wmLookup)
 		} else {
 			for _, nd := range b.nodes {
-				// Reads first: a read-modify-write must observe the
-				// version preceding the transaction's own write, so the
-				// annotation must happen before this transaction's
-				// placeholder lands.
+				// Reads and range annotations first: a read-modify-write
+				// must observe the version preceding the transaction's
+				// own write, so annotations must happen before this
+				// transaction's placeholders land.
 				if nd.readRefs != nil {
 					for i, k := range nd.reads {
 						if e.partitionOf(k) != w {
@@ -54,6 +54,11 @@ func (e *Engine) ccWorker(w int) {
 							// Begin < nd.ts.
 							nd.readRefs[i] = c.Head()
 						}
+					}
+				}
+				if nd.rangeRefs != nil {
+					for r := range nd.ranges {
+						e.annotateRange(w, nd, r)
 					}
 				}
 				for i, k := range nd.writes {
@@ -73,13 +78,14 @@ func (e *Engine) ccWorker(w int) {
 }
 
 // insertPlaceholder creates the uninitialized version for write slot i of
-// nd, links it into the record's chain, and opportunistically garbage
-// collects the chain's tail below the execution watermark.
+// nd, links it into the record's chain, registers first-ever keys in the
+// partition's ordered directory, and opportunistically garbage collects
+// the chain's tail below the execution watermark.
 func (e *Engine) insertPlaceholder(part *storage.Map[storage.Chain], st *workerStats,
 	nd *node, i int, batchSeq uint64, wmLookup func() uint64) {
 	k := nd.writes[i]
 	v := storage.NewPlaceholder(nd.ts, batchSeq, nd)
-	chain, err := part.GetOrInsert(k, func() *storage.Chain {
+	chain, created, err := part.GetOrInsert(k, func() *storage.Chain {
 		return storage.NewChain(nil)
 	})
 	if err != nil {
@@ -90,6 +96,15 @@ func (e *Engine) insertPlaceholder(part *storage.Map[storage.Chain], st *workerS
 		return
 	}
 	chain.Push(v)
+	if created {
+		// Directory maintenance happens here — at placeholder-insertion
+		// time — which is what makes range scans phantom-free: the key
+		// becomes scannable in the same pipeline step that fixes its
+		// version's place in the serial order. The push above precedes
+		// the directory insert, so a directory key always has a chain
+		// head within this partition.
+		e.dirs[e.partitionOf(k)].Insert(k)
+	}
 	nd.writeVers[i] = v
 	atomic.AddUint64(&st.versionsCreated, 1)
 	if e.cfg.GC {
@@ -97,6 +112,28 @@ func (e *Engine) insertPlaceholder(part *storage.Map[storage.Chain], st *workerS
 			atomic.AddUint64(&st.versionsCollected, uint64(n))
 		}
 	}
+}
+
+// annotateRange fills nd.rangeRefs[r][w]: partition w's keys inside
+// declared range r, each with its chain head at this point of the CC
+// stream. Because worker w processes transactions in timestamp order and
+// annotates before inserting nd's own placeholders, the head is exactly
+// the newest version with Begin < nd.ts — the version a serializable scan
+// at nd.ts must observe. Keys created by later-timestamped transactions
+// are not yet in the directory, and keys created by earlier ones all are:
+// the annotation is a phantom-free snapshot of the range by construction.
+func (e *Engine) annotateRange(w int, nd *node, r int) {
+	part := e.parts[w]
+	var ents []rangeEntry
+	e.dirs[w].AscendRange(nd.ranges[r], func(k txn.Key) bool {
+		if c := part.Get(k); c != nil {
+			if h := c.Head(); h != nil {
+				ents = append(ents, rangeEntry{k: k, v: h})
+			}
+		}
+		return true
+	})
+	nd.rangeRefs[r][w] = ents
 }
 
 // ownedKeys reports how many of ks belong to partition w; used by tests to

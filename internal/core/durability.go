@@ -77,7 +77,7 @@ func (e *Engine) logBatch(b *batch) {
 			panic(fmt.Sprintf("bohm: non-loggable %T reached the sequencer with logging enabled", nd.t))
 		}
 		id, args := lg.Procedure()
-		rec.Txns[i] = wal.TxnRecord{Proc: id, Args: args, Reads: nd.reads, Writes: nd.writes}
+		rec.Txns[i] = wal.TxnRecord{Proc: id, Args: args, Reads: nd.reads, Writes: nd.writes, Ranges: nd.ranges}
 	}
 	_ = e.wal.Append(&rec)
 }
@@ -270,11 +270,13 @@ type replayTxn struct {
 	t      txn.Txn
 	reads  []txn.Key
 	writes []txn.Key
+	ranges []txn.KeyRange
 }
 
-func (r *replayTxn) ReadSet() []txn.Key  { return r.reads }
-func (r *replayTxn) WriteSet() []txn.Key { return r.writes }
-func (r *replayTxn) Run(c txn.Ctx) error { return r.t.Run(c) }
+func (r *replayTxn) ReadSet() []txn.Key       { return r.reads }
+func (r *replayTxn) WriteSet() []txn.Key      { return r.writes }
+func (r *replayTxn) RangeSet() []txn.KeyRange { return r.ranges }
+func (r *replayTxn) Run(c txn.Ctx) error      { return r.t.Run(c) }
 
 // Recover rebuilds an engine from the durable state in cfg.LogDir: it
 // loads the newest checkpoint, re-executes the logged batches above it in
@@ -345,7 +347,7 @@ func Recover(cfg Config, reg *txn.Registry) (*Engine, error) {
 			if err != nil {
 				return fail(fmt.Errorf("bohm: replaying batch %d: %w", b.Seq, err))
 			}
-			ts[i] = &replayTxn{t: body, reads: r.Reads, writes: r.Writes}
+			ts[i] = &replayTxn{t: body, reads: r.Reads, writes: r.Writes, ranges: r.Ranges}
 		}
 		// Transaction errors here are user aborts re-occurring exactly as
 		// they did originally; they are part of a faithful replay.

@@ -16,6 +16,15 @@ import (
 // ErrClosed is returned by ExecuteBatch after Close.
 var ErrClosed = errors.New("bohm: engine closed")
 
+// ErrDuplicateWriteKey is reported (wrapped, with the offending key) for a
+// transaction whose declared write-set contains the same key twice. Each
+// write-set entry allocates one placeholder version; duplicates would make
+// the later placeholder's predecessor the earlier one — an intra-
+// transaction dependency the executor can never satisfy (it would wait on
+// its own unfinished attempt, livelocking the batch). ExecuteBatch rejects
+// such transactions at submission; the rest of the batch runs normally.
+var ErrDuplicateWriteKey = errors.New("bohm: duplicate key in declared write-set")
+
 // Config parameterizes a BOHM engine. The zero value is not usable; use
 // DefaultConfig as a starting point.
 type Config struct {
@@ -115,6 +124,7 @@ type workerStats struct {
 	committed         uint64
 	userAborts        uint64
 	readRefHits       uint64
+	rangeRefHits      uint64
 	chainSteps        uint64
 	requeues          uint64
 	recursiveExecs    uint64
@@ -131,6 +141,14 @@ type Engine struct {
 	// parts[p] is the version-chain index owned by CC worker p. Only
 	// worker p inserts; execution workers read concurrently.
 	parts []*storage.Map[storage.Chain]
+
+	// dirs[p] is partition p's ordered key directory — the second tier of
+	// the two-tier index. Worker p registers every first-ever key at
+	// placeholder-insertion time, so when a batch reaches execution the
+	// directory already names every key any earlier-timestamped
+	// transaction will ever write; a range scan that walks it and
+	// resolves visible versions is phantom-free by construction.
+	dirs []*storage.Directory
 
 	subCh   chan *submission
 	seqOut  []chan *batch // sequencer's output stage: ppIn or ccIn
@@ -221,6 +239,7 @@ func build(cfg Config) *Engine {
 	e := &Engine{
 		cfg:       cfg,
 		parts:     make([]*storage.Map[storage.Chain], cfg.CCWorkers),
+		dirs:      make([]*storage.Directory, cfg.CCWorkers),
 		subCh:     make(chan *submission, 64),
 		ccIn:      make([]chan *batch, cfg.CCWorkers),
 		ccDone:    make([]chan *batch, cfg.CCWorkers),
@@ -232,6 +251,7 @@ func build(cfg Config) *Engine {
 	perPart := cfg.Capacity/cfg.CCWorkers + cfg.Capacity/(4*cfg.CCWorkers) + 64
 	for p := range e.parts {
 		e.parts[p] = storage.NewMap[storage.Chain](perPart)
+		e.dirs[p] = storage.NewDirectory()
 	}
 	for i := range e.ccIn {
 		e.ccIn[i] = make(chan *batch, 2)
@@ -334,13 +354,15 @@ func (e *Engine) Load(k txn.Key, v []byte) error {
 	data := make([]byte, len(v))
 	copy(data, v)
 	chain := storage.NewChain(storage.NewLoadedVersion(data))
-	_, ok, err := e.parts[e.partitionOf(k)].Insert(k, chain)
+	p := e.partitionOf(k)
+	_, ok, err := e.parts[p].Insert(k, chain)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return fmt.Errorf("bohm: duplicate load of key %+v", k)
 	}
+	e.dirs[p].Insert(k)
 	return nil
 }
 
@@ -360,22 +382,53 @@ func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
 		}
 		return res
 	}
-	sub := &submission{txns: ts, res: res, done: make(chan struct{})}
+
+	// Reject transactions whose write-set repeats a key before they can
+	// reach the pipeline: a duplicate would chain a placeholder onto the
+	// transaction's own earlier placeholder and livelock the executor.
+	// Only the offending transactions are refused; the rest proceed.
+	valid := ts
+	var orig []int
+	for i, t := range ts {
+		if k, dup := txn.FindDuplicateKey(t.WriteSet()); dup {
+			if orig == nil {
+				orig = make([]int, 0, len(ts)-1)
+				valid = make([]txn.Txn, 0, len(ts)-1)
+				for j := 0; j < i; j++ {
+					orig = append(orig, j)
+					valid = append(valid, ts[j])
+				}
+			}
+			res[i] = fmt.Errorf("%w: key %+v", ErrDuplicateWriteKey, k)
+			continue
+		}
+		if orig != nil {
+			orig = append(orig, i)
+			valid = append(valid, t)
+		}
+	}
+	if len(valid) == 0 {
+		return res
+	}
+
+	sub := &submission{txns: valid, res: res, orig: orig, done: make(chan struct{})}
 	if e.logOn.Load() {
-		for _, t := range ts {
+		for _, t := range valid {
 			if _, ok := t.(txn.Loggable); !ok {
 				// Reject the whole submission: a half-logged batch could
 				// not be replayed in order.
 				err := fmt.Errorf("%w (got %T)", ErrNotLoggable, t)
 				for i := range res {
-					res[i] = err
+					if res[i] == nil {
+						res[i] = err
+					}
 				}
 				return res
 			}
 		}
 		sub.ackCh = e.ackCh
 	}
-	sub.remaining.Store(int64(len(ts)))
+	sub.remaining.Store(int64(len(valid)))
 	e.subCh <- sub
 	<-sub.done
 	return res
@@ -436,6 +489,7 @@ func (e *Engine) Stats() engine.Stats {
 		s.Committed += atomic.LoadUint64(&w.committed)
 		s.UserAborts += atomic.LoadUint64(&w.userAborts)
 		s.ReadRefHits += atomic.LoadUint64(&w.readRefHits)
+		s.RangeRefHits += atomic.LoadUint64(&w.rangeRefHits)
 		s.ChainSteps += atomic.LoadUint64(&w.chainSteps)
 		s.Requeues += atomic.LoadUint64(&w.requeues)
 		s.RecursiveExecs += atomic.LoadUint64(&w.recursiveExecs)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -258,6 +259,146 @@ func (c *execCtx) resolve(v *storage.Version) (data []byte, tombstone bool, err 
 	}
 	data, tombstone = v.Data()
 	return data, tombstone, nil
+}
+
+// ReadRange implements txn.Ctx: a serializable scan of r at nd.ts. The
+// scan is phantom-free by construction — every key any earlier-timestamped
+// transaction will ever write was registered in the partition directories
+// before this batch reached execution — so no read tracking and no
+// revalidation exist here, mirroring BOHM's point-read design. When the
+// range was declared (and read references are enabled), the CC phase has
+// already resolved every key's visible version and the scan touches no
+// chains at all; otherwise it walks the partition directories live and
+// traverses chains. Keys created by later-timestamped transactions may
+// appear in the directories but have no version below nd.ts and are
+// skipped. The transaction's own buffered writes inside r are merged in.
+func (c *execCtx) ReadRange(r txn.KeyRange, fn func(k txn.Key, v []byte) error) error {
+	if r.Empty() {
+		return nil
+	}
+	own := c.stagedInRange(r)
+	if ri := c.annotatedRangeIndex(r); ri >= 0 {
+		sources := make([][]rangeEntry, 0, len(c.nd.rangeRefs[ri]))
+		for _, ents := range c.nd.rangeRefs[ri] {
+			// The annotation covers the declared range; narrow each
+			// partition's sorted slice to the requested sub-range.
+			lo := sort.Search(len(ents), func(i int) bool { return !ents[i].k.Less(r.FirstKey()) })
+			hi := sort.Search(len(ents), func(i int) bool { return !ents[i].k.Less(r.LimitKey()) })
+			if lo < hi {
+				sources = append(sources, ents[lo:hi])
+			}
+		}
+		return c.mergeScan(sources, own, true, fn)
+	}
+	// Fallback (undeclared range, or DisableReadRefs): walk the partition
+	// directories at execution time and resolve visibility per chain.
+	sources := make([][]rangeEntry, 0, len(c.e.parts))
+	for p := range c.e.parts {
+		part := c.e.parts[p]
+		var ents []rangeEntry
+		c.e.dirs[p].AscendRange(r, func(k txn.Key) bool {
+			if ch := part.Get(k); ch != nil {
+				for w := ch.Head(); w != nil; w = w.Prev() {
+					atomic.AddUint64(&c.st.chainSteps, 1)
+					if w.Begin < c.nd.ts {
+						ents = append(ents, rangeEntry{k: k, v: w})
+						break
+					}
+				}
+			}
+			return true
+		})
+		if len(ents) > 0 {
+			sources = append(sources, ents)
+		}
+	}
+	return c.mergeScan(sources, own, false, fn)
+}
+
+// stagedInRange returns the indices of nd.writes the body has already
+// staged (written or deleted) that fall inside r, in key order; the scan
+// overlays them so a transaction sees its own writes.
+func (c *execCtx) stagedInRange(r txn.KeyRange) []int {
+	var idxs []int
+	for i, k := range c.nd.writes {
+		if c.wrote[i] && r.Contains(k) {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Slice(idxs, func(a, b int) bool {
+		return c.nd.writes[idxs[a]].Less(c.nd.writes[idxs[b]])
+	})
+	return idxs
+}
+
+// annotatedRangeIndex returns the index of a declared range covering r, or
+// -1 when the scan must fall back to live directory traversal.
+func (c *execCtx) annotatedRangeIndex(r txn.KeyRange) int {
+	if c.nd.rangeRefs == nil {
+		return -1
+	}
+	for i, d := range c.nd.ranges {
+		if d.ContainsRange(r) {
+			return i
+		}
+	}
+	return -1
+}
+
+// mergeScan merges the per-partition sorted entry lists with the
+// transaction's own staged writes (which shadow annotated entries for the
+// same key) and emits live records in ascending key order. Versions
+// resolve through the same dependency machinery as point reads, so a busy
+// producer suspends the attempt cleanly.
+func (c *execCtx) mergeScan(sources [][]rangeEntry, own []int, annotated bool,
+	fn func(k txn.Key, v []byte) error) error {
+	oi := 0
+	for {
+		best := -1
+		for p := range sources {
+			if len(sources[p]) == 0 {
+				continue
+			}
+			if best < 0 || sources[p][0].k.Less(sources[best][0].k) {
+				best = p
+			}
+		}
+		if oi < len(own) {
+			k := c.nd.writes[own[oi]]
+			if best < 0 || !sources[best][0].k.Less(k) {
+				if best >= 0 && sources[best][0].k == k {
+					sources[best] = sources[best][1:] // shadowed by own write
+				}
+				i := own[oi]
+				oi++
+				if !c.del[i] {
+					if err := fn(k, c.vals[i]); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		ent := sources[best][0]
+		sources[best] = sources[best][1:]
+		data, tomb, err := c.resolve(ent.v)
+		if err != nil {
+			c.busy = true
+			return err
+		}
+		if annotated {
+			atomic.AddUint64(&c.st.rangeRefHits, 1)
+		}
+		if tomb {
+			continue
+		}
+		if err := fn(ent.k, data); err != nil {
+			return err
+		}
+	}
 }
 
 // Write implements txn.Ctx, buffering v as the new value of k. The engine

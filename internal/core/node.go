@@ -44,6 +44,7 @@ type node struct {
 	// call; the engine reads them many times).
 	reads  []txn.Key
 	writes []txn.Key
+	ranges []txn.KeyRange
 
 	// writeVers[i] is the placeholder version the CC phase inserted for
 	// writes[i]. Written by exactly one CC worker per slot, read by
@@ -54,6 +55,16 @@ type node struct {
 	// CC phase when the read-reference optimization is enabled (§3.2.3).
 	// nil slots fall back to version-chain traversal.
 	readRefs []*storage.Version
+
+	// rangeRefs[r][p] is CC worker p's annotation of declared range
+	// ranges[r]: the keys of partition p inside the range, in key order,
+	// each with the version visible at nd.ts (the partition head at the
+	// moment worker p processed this transaction — exactly the newest
+	// version below nd.ts, by the same in-timestamp-order argument as
+	// readRefs). Each [r][p] slot is written by exactly one CC worker and
+	// read by execution workers after the batch barrier. nil when range
+	// annotation is disabled; scans then walk the directories live.
+	rangeRefs [][][]rangeEntry
 
 	// state is the Unprocessed → Executing → Complete machine. The
 	// worker that CASes Unprocessed→Executing owns the attempt; it either
@@ -71,6 +82,13 @@ type node struct {
 	idx int
 }
 
+// rangeEntry is one key of a CC-time range annotation: the key and the
+// version a scan at the annotated transaction's timestamp must observe.
+type rangeEntry struct {
+	k txn.Key
+	v *storage.Version
+}
+
 // submission is one ExecuteBatch call: a slice of transactions awaiting
 // results.
 type submission struct {
@@ -78,6 +96,11 @@ type submission struct {
 	res       []error
 	remaining atomic.Int64
 	done      chan struct{}
+
+	// orig maps txns indices back to result slots when ExecuteBatch
+	// rejected some transactions before submission (duplicate write-set
+	// keys); nil means the identity mapping.
+	orig []int
 
 	// ackCh, when non-nil (durability enabled at submit time), receives
 	// the submission once every transaction has completed; the acker
@@ -89,6 +112,14 @@ type submission struct {
 	// acker reads it after execution completes, so the channel hand-offs
 	// between the phases order the accesses.
 	lastBatch uint64
+}
+
+// origIdx returns the result slot for txns[i].
+func (s *submission) origIdx(i int) int {
+	if s.orig == nil {
+		return i
+	}
+	return s.orig[i]
 }
 
 // complete records the outcome of node nd and, if it is the submission's

@@ -13,12 +13,20 @@ package core
 // which preserves timestamp order because the stripes are contiguous and
 // ascending.
 
-// planItem is one unit of CC work: annotate a read or insert a write
-// placeholder for key index keyIdx of node nd.
+// planItem kinds: insert a write placeholder, annotate a read reference,
+// or annotate a declared range over the partition's directory.
+const (
+	itemWrite uint8 = iota
+	itemRead
+	itemRange
+)
+
+// planItem is one unit of CC work: annotate a read or a range, or insert
+// a write placeholder, for key/range index keyIdx of node nd.
 type planItem struct {
 	nd     *node
 	keyIdx int32
-	read   bool
+	kind   uint8
 }
 
 // preprocWorker analyzes its stripe of every batch.
@@ -36,12 +44,21 @@ func (e *Engine) preprocWorker(j int) {
 			if nd.readRefs != nil {
 				for i, k := range nd.reads {
 					part := int((k.Hash() >> 40) % uint64(m))
-					b.plans[part][j] = append(b.plans[part][j], planItem{nd: nd, keyIdx: int32(i), read: true})
+					b.plans[part][j] = append(b.plans[part][j], planItem{nd: nd, keyIdx: int32(i), kind: itemRead})
+				}
+			}
+			if nd.rangeRefs != nil {
+				// Keys are hash-partitioned, so a range overlaps every
+				// partition: each CC worker annotates its own slice.
+				for r := range nd.ranges {
+					for part := 0; part < m; part++ {
+						b.plans[part][j] = append(b.plans[part][j], planItem{nd: nd, keyIdx: int32(r), kind: itemRange})
+					}
 				}
 			}
 			for i, k := range nd.writes {
 				part := int((k.Hash() >> 40) % uint64(m))
-				b.plans[part][j] = append(b.plans[part][j], planItem{nd: nd, keyIdx: int32(i)})
+				b.plans[part][j] = append(b.plans[part][j], planItem{nd: nd, keyIdx: int32(i), kind: itemWrite})
 			}
 		}
 		e.ppDone[j] <- b
@@ -82,13 +99,16 @@ func (e *Engine) runPlanned(w int, b *batch, wmLookup func() uint64) {
 	for _, items := range b.plans[w] {
 		for _, it := range items {
 			nd := it.nd
-			if it.read {
+			switch it.kind {
+			case itemRead:
 				if c := part.Get(nd.reads[it.keyIdx]); c != nil {
 					nd.readRefs[it.keyIdx] = c.Head()
 				}
-				continue
+			case itemRange:
+				e.annotateRange(w, nd, int(it.keyIdx))
+			default:
+				e.insertPlaceholder(part, st, nd, int(it.keyIdx), b.seq, wmLookup)
 			}
-			e.insertPlaceholder(part, st, nd, int(it.keyIdx), b.seq, wmLookup)
 		}
 	}
 }

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"bohm/internal/txn"
+)
+
+// scanRange builds a read-only transaction scanning [lo, hi) on table 0,
+// declaring the range, and reporting the rows and counter sum it saw.
+type scanResult struct {
+	rows int
+	sum  uint64
+}
+
+func scanTxn(lo, hi uint64, out *scanResult) txn.Txn {
+	r := txn.KeyRange{Table: 0, Lo: lo, Hi: hi}
+	return &txn.Proc{
+		Ranges: []txn.KeyRange{r},
+		Body: func(ctx txn.Ctx) error {
+			rows, sum := 0, uint64(0)
+			err := ctx.ReadRange(r, func(_ txn.Key, v []byte) error {
+				rows++
+				sum += txn.U64(v)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			*out = scanResult{rows: rows, sum: sum}
+			return nil
+		},
+	}
+}
+
+// TestDeclaredScanAnnotationServed: a declared range scan inside a batch
+// of conflicting updates observes a consistent snapshot and is served from
+// CC-time range annotations — zero chain traversals for the scan itself.
+func TestDeclaredScanAnnotationServed(t *testing.T) {
+	const nkeys = 600
+	cfg := DefaultConfig()
+	cfg.BatchSize = 64
+	e := newTestEngine(t, cfg, nkeys)
+
+	// Updates move one unit between adjacent keys (sum invariant 0).
+	mkUpdate := func(i int) txn.Txn {
+		a, b := key(uint64(i%nkeys)), key(uint64((i+1)%nkeys))
+		return &txn.Proc{
+			Reads:  []txn.Key{a, b},
+			Writes: []txn.Key{a, b},
+			Body: func(ctx txn.Ctx) error {
+				va, err := ctx.Read(a)
+				if err != nil {
+					return err
+				}
+				vb, err := ctx.Read(b)
+				if err != nil {
+					return err
+				}
+				if err := ctx.Write(a, txn.NewValue(8, txn.U64(va)+1)); err != nil {
+					return err
+				}
+				return ctx.Write(b, txn.NewValue(8, txn.U64(vb)-1))
+			},
+		}
+	}
+	var sc scanResult
+	batch := make([]txn.Txn, 0, 161)
+	for i := 0; i < 80; i++ {
+		batch = append(batch, mkUpdate(i))
+	}
+	batch = append(batch, scanTxn(0, nkeys, &sc))
+	for i := 80; i < 160; i++ {
+		batch = append(batch, mkUpdate(i))
+	}
+	before := e.Stats()
+	for i, err := range e.ExecuteBatch(batch) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	if sc.rows != nkeys {
+		t.Fatalf("scan rows = %d, want %d", sc.rows, nkeys)
+	}
+	if sc.sum != 0 {
+		t.Fatalf("scan sum = %d, want 0 (inconsistent snapshot)", int64(sc.sum))
+	}
+	d := e.Stats().Sub(before)
+	if d.RangeRefHits < nkeys {
+		t.Errorf("rangeRefHits = %d, want >= %d (declared scan should be annotation-served)", d.RangeRefHits, nkeys)
+	}
+}
+
+// TestScanSeesEarlierInsertsNotLater: within one batch, a scan observes
+// exactly the keys inserted by earlier-submitted transactions — the
+// phantom-freedom-by-construction property.
+func TestScanSeesEarlierInsertsNotLater(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 256
+	e := newTestEngine(t, cfg, 0)
+
+	const base = 10_000
+	ins := func(id uint64) txn.Txn {
+		k := key(base + id)
+		return &txn.Proc{
+			Writes: []txn.Key{k},
+			Body:   func(ctx txn.Ctx) error { return ctx.Write(k, txn.NewValue(8, 1)) },
+		}
+	}
+	const waves = 20
+	var scans [waves + 1]scanResult
+	var batch []txn.Txn
+	batch = append(batch, scanTxn(base, base+1000, &scans[0]))
+	for w := 0; w < waves; w++ {
+		batch = append(batch, ins(uint64(3*w)), ins(uint64(3*w+1)), ins(uint64(3*w+2)))
+		batch = append(batch, scanTxn(base, base+1000, &scans[w+1]))
+	}
+	for i, err := range e.ExecuteBatch(batch) {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	for w := 0; w <= waves; w++ {
+		if scans[w].rows != 3*w {
+			t.Errorf("scan %d saw %d rows, want exactly %d (submission-order phantoms)", w, scans[w].rows, 3*w)
+		}
+	}
+}
+
+// TestScanFallbackWithoutAnnotations: with read references disabled the
+// scan walks the directories and chains live — same results, no
+// annotation hits.
+func TestScanFallbackWithoutAnnotations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableReadRefs = true
+	e := newTestEngine(t, cfg, 50)
+	for _, err := range e.ExecuteBatch([]txn.Txn{incTxn(7), incTxn(7), incTxn(12)}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sc scanResult
+	if res := e.ExecuteBatch([]txn.Txn{scanTxn(0, 50, &sc)}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	if sc.rows != 50 || sc.sum != 3 {
+		t.Fatalf("fallback scan = %d rows sum %d, want 50 rows sum 3", sc.rows, sc.sum)
+	}
+	if d := e.Stats(); d.RangeRefHits != 0 {
+		t.Errorf("rangeRefHits = %d, want 0 with DisableReadRefs", d.RangeRefHits)
+	}
+}
+
+// TestUndeclaredScanFallsBack: scanning a range outside the declaration is
+// legal (like undeclared point reads) and still serializable via the live
+// directory walk.
+func TestUndeclaredScanFallsBack(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 20)
+	var rows int
+	p := &txn.Proc{ // no Ranges declared
+		Body: func(ctx txn.Ctx) error {
+			return ctx.ReadRange(txn.KeyRange{Table: 0, Lo: 5, Hi: 15}, func(txn.Key, []byte) error {
+				rows++
+				return nil
+			})
+		},
+	}
+	if res := e.ExecuteBatch([]txn.Txn{p}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	if rows != 10 {
+		t.Fatalf("undeclared scan rows = %d, want 10", rows)
+	}
+}
+
+// TestScanSubrangeOfDeclared: a body may scan any sub-interval of a
+// declared range and still ride the annotation.
+func TestScanSubrangeOfDeclared(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 100)
+	full := txn.KeyRange{Table: 0, Lo: 0, Hi: 100}
+	var rows int
+	p := &txn.Proc{
+		Ranges: []txn.KeyRange{full},
+		Body: func(ctx txn.Ctx) error {
+			return ctx.ReadRange(txn.KeyRange{Table: 0, Lo: 30, Hi: 40}, func(txn.Key, []byte) error {
+				rows++
+				return nil
+			})
+		},
+	}
+	before := e.Stats()
+	if res := e.ExecuteBatch([]txn.Txn{p}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	if rows != 10 {
+		t.Fatalf("subrange rows = %d, want 10", rows)
+	}
+	if d := e.Stats().Sub(before); d.RangeRefHits != 10 {
+		t.Errorf("rangeRefHits = %d, want 10", d.RangeRefHits)
+	}
+}
+
+// TestScanSeesOwnWrites: a transaction's scan observes its own staged
+// writes — updates, inserts, and deletes — overlaid on the snapshot.
+func TestScanSeesOwnWrites(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 10)
+	r := txn.KeyRange{Table: 0, Lo: 0, Hi: 20}
+	kNew, kUpd, kDel := key(15), key(3), key(7)
+	var rows int
+	var sum uint64
+	p := &txn.Proc{
+		Reads:  []txn.Key{kUpd},
+		Writes: []txn.Key{kNew, kUpd, kDel},
+		Ranges: []txn.KeyRange{r},
+		Body: func(ctx txn.Ctx) error {
+			if err := ctx.Write(kNew, txn.NewValue(8, 100)); err != nil {
+				return err
+			}
+			if err := ctx.Write(kUpd, txn.NewValue(8, 50)); err != nil {
+				return err
+			}
+			if err := ctx.Delete(kDel); err != nil {
+				return err
+			}
+			return ctx.ReadRange(r, func(_ txn.Key, v []byte) error {
+				rows++
+				sum += txn.U64(v)
+				return nil
+			})
+		},
+	}
+	if res := e.ExecuteBatch([]txn.Txn{p}); res[0] != nil {
+		t.Fatal(res[0])
+	}
+	// 10 loaded - 1 deleted + 1 inserted = 10 rows; sum = 100 + 50.
+	if rows != 10 || sum != 150 {
+		t.Fatalf("own-write scan = %d rows sum %d, want 10 rows sum 150", rows, sum)
+	}
+}
+
+// TestDuplicateWriteSetRejected: a write-set repeating a key is refused
+// with ErrDuplicateWriteKey at submission (it used to livelock the
+// executor); the rest of the batch commits normally.
+func TestDuplicateWriteSetRejected(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig(), 4)
+	dup := &txn.Proc{
+		Writes: []txn.Key{key(1), key(2), key(1)},
+		Body:   func(ctx txn.Ctx) error { return ctx.Write(key(1), txn.NewValue(8, 9)) },
+	}
+	res := e.ExecuteBatch([]txn.Txn{incTxn(0), dup, incTxn(0)})
+	if res[0] != nil || res[2] != nil {
+		t.Fatalf("healthy txns failed: %v / %v", res[0], res[2])
+	}
+	if !errors.Is(res[1], ErrDuplicateWriteKey) {
+		t.Fatalf("duplicate write-set result = %v, want ErrDuplicateWriteKey", res[1])
+	}
+	if got := readCounter(t, e, 0); got != 2 {
+		t.Fatalf("key 0 = %d, want 2", got)
+	}
+	if got := readCounter(t, e, 1); got != 0 {
+		t.Fatalf("key 1 = %d, want 0 (rejected txn must not run)", got)
+	}
+}

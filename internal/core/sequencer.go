@@ -65,8 +65,9 @@ func (e *Engine) sequencer() {
 				ts:     nextTS,
 				reads:  t.ReadSet(),
 				writes: t.WriteSet(),
+				ranges: t.RangeSet(),
 				sub:    sub,
-				idx:    i,
+				idx:    sub.origIdx(i),
 			}
 			nextTS++
 			// Slots are allocated here, before fan-out, because several
@@ -77,6 +78,14 @@ func (e *Engine) sequencer() {
 			}
 			if len(nd.reads) > 0 && !e.cfg.DisableReadRefs {
 				nd.readRefs = make([]*storage.Version, len(nd.reads))
+			}
+			if len(nd.ranges) > 0 && !e.cfg.DisableReadRefs {
+				// rangeRefs[r][p]: every CC worker annotates its own
+				// partition's slice of every declared range.
+				nd.rangeRefs = make([][][]rangeEntry, len(nd.ranges))
+				for r := range nd.rangeRefs {
+					nd.rangeRefs[r] = make([][]rangeEntry, e.cfg.CCWorkers)
+				}
 			}
 			cur.nodes = append(cur.nodes, nd)
 			// The newest batch holding one of the submission's

@@ -40,6 +40,10 @@ type Stats struct {
 	// ReadRefHits counts reads served through BOHM's read-reference
 	// annotation without traversing the version chain.
 	ReadRefHits uint64
+	// RangeRefHits counts range-scan entries served through BOHM's
+	// CC-time range annotation: the version was resolved directly, with
+	// no chain traversal.
+	RangeRefHits uint64
 	// ChainSteps counts version-chain hops performed by reads.
 	ChainSteps uint64
 	// Requeues counts BOHM executions suspended because a read dependency
@@ -78,6 +82,7 @@ func (s Stats) Sub(o Stats) Stats {
 		VersionsCreated:    s.VersionsCreated - o.VersionsCreated,
 		VersionsCollected:  s.VersionsCollected - o.VersionsCollected,
 		ReadRefHits:        s.ReadRefHits - o.ReadRefHits,
+		RangeRefHits:       s.RangeRefHits - o.RangeRefHits,
 		ChainSteps:         s.ChainSteps - o.ChainSteps,
 		Requeues:           s.Requeues - o.Requeues,
 		RecursiveExecs:     s.RecursiveExecs - o.RecursiveExecs,

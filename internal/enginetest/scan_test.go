@@ -1,0 +1,244 @@
+package enginetest
+
+import (
+	"sync"
+	"testing"
+
+	"bohm/internal/engine"
+	"bohm/internal/txn"
+)
+
+// scanCount builds a read-only transaction that counts live rows and sums
+// counters in [lo, hi), declaring the range.
+func scanCount(lo, hi uint64, rows *int, sum *uint64) txn.Txn {
+	r := txn.KeyRange{Table: 0, Lo: lo, Hi: hi}
+	return &txn.Proc{
+		Ranges: []txn.KeyRange{r},
+		Body: func(ctx txn.Ctx) error {
+			n, s := 0, uint64(0)
+			err := ctx.ReadRange(r, func(_ txn.Key, v []byte) error {
+				n++
+				s += txn.U64(v)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			*rows = n
+			*sum = s
+			return nil
+		},
+	}
+}
+
+// insertN builds a transaction inserting k fresh rows (value 1 each) at
+// base, base+1, ... — the all-or-nothing unit of the phantom test.
+func insertN(base uint64, k int) txn.Txn {
+	ks := make([]txn.Key, k)
+	for i := range ks {
+		ks[i] = key(base + uint64(i))
+	}
+	return &txn.Proc{
+		Writes: ks,
+		Body: func(ctx txn.Ctx) error {
+			for _, kk := range ks {
+				if err := ctx.Write(kk, txn.NewValue(8, 1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// TestPhantomScanAllOrNothing: scans interleaved with multi-row inserters
+// into the scanned range must observe each inserter entirely or not at
+// all — a torn count is a phantom. On BOHM the serial order is the
+// submission order, so each scan's count is checked exactly; on the other
+// serializable engines (and SI, whose snapshots are also atomic) any
+// multiple of the insert width up to the scan's position is legal... but
+// serializability still demands the count be SOME multiple of the width.
+func TestPhantomScanAllOrNothing(t *testing.T) {
+	const (
+		base  = 50_000
+		width = 3 // rows per inserter
+		waves = 24
+	)
+	forEachEngine(t, func(t *testing.T, name string, _ bool, e engine.Engine) {
+		load(t, e, 1, 0) // unrelated key so the table exists
+		rows := make([]int, waves+1)
+		sums := make([]uint64, waves+1)
+		var batch []txn.Txn
+		batch = append(batch, scanCount(base, base+10_000, &rows[0], &sums[0]))
+		for w := 0; w < waves; w++ {
+			batch = append(batch, insertN(base+uint64(width*w), width))
+			batch = append(batch, scanCount(base, base+10_000, &rows[w+1], &sums[w+1]))
+		}
+		for i, err := range e.ExecuteBatch(batch) {
+			if err != nil {
+				t.Fatalf("%s: txn %d: %v", name, i, err)
+			}
+		}
+		for i, n := range rows {
+			if n%width != 0 {
+				t.Errorf("%s: scan %d saw %d rows — a torn insert (phantom)", name, i, n)
+			}
+			if n > width*waves {
+				t.Errorf("%s: scan %d saw %d rows, more than ever inserted", name, i, n)
+			}
+			if sums[i] != uint64(n) {
+				t.Errorf("%s: scan %d rows %d but sum %d", name, i, n, sums[i])
+			}
+			if name == "bohm" && n != width*i {
+				t.Errorf("bohm: scan %d saw %d rows, want exactly %d (submission order)", i, n, width*i)
+			}
+		}
+	})
+}
+
+// TestPhantomScanConcurrentStreams: inserters and scanners race from
+// separate ExecuteBatch streams; every observed count must still be a
+// multiple of the insert width. Run with -race in CI.
+func TestPhantomScanConcurrentStreams(t *testing.T) {
+	const (
+		base  = 80_000
+		width = 5
+		ins   = 40
+		scans = 60
+	)
+	forEachEngine(t, func(t *testing.T, name string, _ bool, e engine.Engine) {
+		load(t, e, 1, 0)
+		var wg sync.WaitGroup
+		errs := make(chan error, ins+scans)
+		counts := make([]int, scans)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for w := 0; w < ins; w++ {
+				res := e.ExecuteBatch([]txn.Txn{insertN(base+uint64(width*w), width)})
+				if res[0] != nil {
+					errs <- res[0]
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < scans; i++ {
+				var sum uint64
+				res := e.ExecuteBatch([]txn.Txn{scanCount(base, base+10_000, &counts[i], &sum)})
+				if res[0] != nil {
+					errs <- res[0]
+				}
+			}
+		}()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, n := range counts {
+			if n%width != 0 || n > width*ins {
+				t.Errorf("%s: concurrent scan %d saw %d rows (width %d, max %d)", name, i, n, width, width*ins)
+			}
+		}
+	})
+}
+
+// TestRangeScanSumInvariant mirrors the core scan test across every
+// engine: transfers shuffle value between keys inside the range while
+// scans run; every scan must observe the invariant total.
+func TestRangeScanSumInvariant(t *testing.T) {
+	const (
+		nkeys   = 64
+		initial = 100
+	)
+	forEachEngine(t, func(t *testing.T, name string, _ bool, e engine.Engine) {
+		load(t, e, nkeys, initial)
+		transfer := func(i int) txn.Txn {
+			a, b := key(uint64(i%nkeys)), key(uint64((i+7)%nkeys))
+			if a == b {
+				b = key(uint64((i + 8) % nkeys))
+			}
+			return &txn.Proc{
+				Reads:  []txn.Key{a, b},
+				Writes: []txn.Key{a, b},
+				Body: func(ctx txn.Ctx) error {
+					va, err := ctx.Read(a)
+					if err != nil {
+						return err
+					}
+					vb, err := ctx.Read(b)
+					if err != nil {
+						return err
+					}
+					if err := ctx.Write(a, txn.NewValue(8, txn.U64(va)-1)); err != nil {
+						return err
+					}
+					return ctx.Write(b, txn.NewValue(8, txn.U64(vb)+1))
+				},
+			}
+		}
+		const nscans = 10
+		rows := make([]int, nscans)
+		sums := make([]uint64, nscans)
+		var batch []txn.Txn
+		si := 0
+		for i := 0; i < 200; i++ {
+			batch = append(batch, transfer(i))
+			if i%20 == 10 {
+				batch = append(batch, scanCount(0, nkeys, &rows[si], &sums[si]))
+				si++
+			}
+		}
+		for i, err := range e.ExecuteBatch(batch) {
+			if err != nil {
+				t.Fatalf("%s: txn %d: %v", name, i, err)
+			}
+		}
+		for i := 0; i < si; i++ {
+			if rows[i] != nkeys {
+				t.Errorf("%s: scan %d saw %d rows, want %d", name, i, rows[i], nkeys)
+			}
+			if sums[i] != nkeys*initial {
+				t.Errorf("%s: scan %d sum = %d, want %d (torn transfers)", name, i, sums[i], nkeys*initial)
+			}
+		}
+	})
+}
+
+// TestScanOwnWritesAcrossEngines: on every engine a transaction's scan
+// observes its own earlier writes, including inserts into the range.
+func TestScanOwnWritesAcrossEngines(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, name string, _ bool, e engine.Engine) {
+		load(t, e, 4, 10) // keys 0..3, value 10
+		r := txn.KeyRange{Table: 0, Lo: 0, Hi: 100}
+		kNew, kDel := key(50), key(2)
+		var rows int
+		var sum uint64
+		p := &txn.Proc{
+			Writes: []txn.Key{kNew, kDel},
+			Ranges: []txn.KeyRange{r},
+			Body: func(ctx txn.Ctx) error {
+				if err := ctx.Write(kNew, txn.NewValue(8, 7)); err != nil {
+					return err
+				}
+				if err := ctx.Delete(kDel); err != nil {
+					return err
+				}
+				rows, sum = 0, 0
+				return ctx.ReadRange(r, func(_ txn.Key, v []byte) error {
+					rows++
+					sum += txn.U64(v)
+					return nil
+				})
+			},
+		}
+		if res := e.ExecuteBatch([]txn.Txn{p}); res[0] != nil {
+			t.Fatalf("%s: %v", name, res[0])
+		}
+		// 4 loaded - 1 deleted + 1 inserted = 4 rows; sum = 3*10 + 7.
+		if rows != 4 || sum != 37 {
+			t.Errorf("%s: own-write scan = %d rows sum %d, want 4 rows sum 37", name, rows, sum)
+		}
+	})
+}

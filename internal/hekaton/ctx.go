@@ -39,6 +39,41 @@ func (c *hCtx) Read(k txn.Key) ([]byte, error) {
 	return v.data, nil
 }
 
+// ReadRange implements txn.Ctx: it walks the ordered directory over r and
+// applies the usual visibility rules to each key's chain at the begin
+// timestamp. Own in-flight writes are installed in the chains (and the
+// directory) immediately, so a transaction's scans see its own inserts
+// without any overlay. Every examined key is recorded as a read entry for
+// serializable validation, and the range itself is recorded so validation
+// can rescan it for phantoms (keys that gained a visible version between
+// begin and end timestamps).
+func (c *hCtx) ReadRange(r txn.KeyRange, fn func(k txn.Key, v []byte) error) error {
+	if r.Empty() {
+		return nil
+	}
+	sc := hScanEntry{r: r}
+	var ferr error
+	c.e.dir.AscendRange(r, func(k txn.Key) bool {
+		ch := c.e.idx.Get(k)
+		if ch == nil {
+			return true // directory entry racing the chain insert; no version yet
+		}
+		v := c.e.visible(ch, c.r.beginTS, c.r, false)
+		c.r.reads = append(c.r.reads, hReadEntry{ch: ch, k: k, v: v})
+		sc.keys = append(sc.keys, k)
+		if v == nil || v.tomb {
+			return true
+		}
+		if err := fn(k, v.data); err != nil {
+			ferr = err
+			return false
+		}
+		return true
+	})
+	c.r.scans = append(c.r.scans, sc)
+	return ferr
+}
+
 // Write implements txn.Ctx.
 func (c *hCtx) Write(k txn.Key, v []byte) error { return c.install(k, v, false) }
 
@@ -56,12 +91,20 @@ func (c *hCtx) install(k txn.Key, val []byte, tomb bool) error {
 		}
 		return err
 	}
-	ch, err := c.e.idx.GetOrInsert(k, func() *chain { return &chain{} })
+	ch, created, err := c.e.idx.GetOrInsert(k, func() *chain { return &chain{} })
 	if err != nil {
 		if c.writeErr == nil {
 			c.writeErr = err
 		}
 		return err
+	}
+	if created {
+		// Register first-ever keys in the ordered directory immediately —
+		// before the version is even installed — so a concurrent
+		// serializable scanner's commit-time rescan can see the insert
+		// and abort. Aborted inserts leave a harmless directory entry
+		// with no visible version, like the insert-only hash index.
+		c.e.dir.Insert(k)
 	}
 
 	// Repeated write by the same transaction: update the in-flight

@@ -58,6 +58,14 @@ type Engine struct {
 	cfg Config
 	idx *storage.Map[chain]
 
+	// dir is the ordered key directory backing range scans: every key
+	// ever given a chain is registered (at Load, or when a writer creates
+	// the chain). Scans walk it in key order and apply the usual
+	// visibility rules per key; the Serializable level revalidates each
+	// scanned range at commit to catch phantoms, per Larson et al.'s
+	// "repeat the scan at end of transaction" rule.
+	dir *storage.Directory
+
 	// counter is the global timestamp counter — the contended fetch-and-
 	// increment this baseline is known for (§2.1).
 	counter atomic.Uint64
@@ -91,6 +99,7 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg: cfg,
 		idx: storage.NewMap[chain](cfg.Capacity),
+		dir: storage.NewDirectory(),
 		// 8x headroom so several concurrent ExecuteBatch calls can all
 		// register their in-flight transactions.
 		active: make([]atomic.Uint64, 8*cfg.Workers),
@@ -112,6 +121,7 @@ func (e *Engine) Load(k txn.Key, v []byte) error {
 	if !ok {
 		return fmt.Errorf("hekaton: duplicate load of key %+v", k)
 	}
+	e.dir.Insert(k)
 	return nil
 }
 

@@ -271,8 +271,9 @@ type rendezvousTxn struct {
 	ignoreMissing bool
 }
 
-func (r *rendezvousTxn) ReadSet() []txn.Key  { return r.reads }
-func (r *rendezvousTxn) WriteSet() []txn.Key { return r.writes }
+func (r *rendezvousTxn) ReadSet() []txn.Key       { return r.reads }
+func (r *rendezvousTxn) WriteSet() []txn.Key      { return r.writes }
+func (r *rendezvousTxn) RangeSet() []txn.KeyRange { return nil }
 func (r *rendezvousTxn) Run(ctx txn.Ctx) error {
 	vals := map[txn.Key]uint64{}
 	for _, k := range r.reads {

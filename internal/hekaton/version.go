@@ -90,10 +90,20 @@ type hTxn struct {
 	dependents []*hTxn
 
 	reads     []hReadEntry
-	written   []*version // versions this transaction pushed
-	claimed   []*version // predecessor versions whose end this txn claimed
-	chains    []*chain   // chains where this txn holds the insert claim
-	specReads bool       // whether any read was speculative
+	scans     []hScanEntry // ranges scanned, for phantom revalidation
+	written   []*version   // versions this transaction pushed
+	claimed   []*version   // predecessor versions whose end this txn claimed
+	chains    []*chain     // chains where this txn holds the insert claim
+	specReads bool         // whether any read was speculative
+}
+
+// hScanEntry records one range scan for serializable validation: the range
+// and the directory keys the scan examined (in key order). Validation
+// rescans the directory; a key absent from keys whose chain has a visible
+// version at the end timestamp is a phantom.
+type hScanEntry struct {
+	r    txn.KeyRange
+	keys []txn.Key
 }
 
 // hReadEntry records a read for serializable validation: the key, the

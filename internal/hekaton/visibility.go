@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"bohm/internal/storage"
+	"bohm/internal/txn"
 )
 
 // visible walks ch newest-first and returns the version a transaction r
@@ -125,9 +126,22 @@ func (e *Engine) endVisible(v *version, ts uint64, r *hTxn) bool {
 // validate implements serializable read validation: every read must
 // observe the same version at the end timestamp as it did at the begin
 // timestamp (read stability; with point accesses this also covers the
-// repeatable "not found" case).
+// repeatable "not found" case), and every scanned range must contain no
+// phantom — no key outside the scan's observed key set may have a version
+// visible at the end timestamp (Larson et al.'s repeat-the-scan rule,
+// restricted to the keys the original scan did not already cover, which
+// the per-key read entries revalidate above).
 func (e *Engine) validate(r *hTxn) bool {
 	for _, re := range r.reads {
+		if re.v != nil && re.v.writer.Load() == r {
+			// The transaction read its own in-flight write (a scan over a
+			// range it inserted into, or a read after write). Own writes
+			// are private until commit and cannot be invalidated; they
+			// are not reads of committed state and need no validation —
+			// comparing them against the skipOwn visibility below would
+			// spuriously (and permanently) fail.
+			continue
+		}
 		ch := re.ch
 		if ch == nil {
 			// The record had no chain at read time; an insert may have
@@ -139,6 +153,28 @@ func (e *Engine) validate(r *hTxn) bool {
 		}
 		v := e.visible(ch, r.endTS, r, true)
 		if v != re.v && !(re.v == nil && v != nil && v.tomb) {
+			return false
+		}
+	}
+	for _, sc := range r.scans {
+		ok := true
+		e.dir.AscendRange(sc.r, func(k txn.Key) bool {
+			if txn.Contains(sc.keys, k) {
+				return true // revalidated by its read entry
+			}
+			ch := e.idx.Get(k)
+			if ch == nil {
+				return true
+			}
+			// skipOwn: our own insert into a range we scanned is not a
+			// phantom — we see our writes, others serialize around us.
+			if v := e.visible(ch, r.endTS, r, true); v != nil && !v.tomb {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
 			return false
 		}
 	}

@@ -7,6 +7,12 @@
 // the next TID from the TIDs it observed, so there is no global counter.
 // Aborted transactions retry after an exponential back-off, which is what
 // lets Silo degrade gracefully under write contention (§4.2.1).
+//
+// Range scans follow Silo's node-set validation, with the ordered key
+// directory playing the B-tree node's role: a scan records the key set
+// the directory returned for the range, and commit revalidates that the
+// set is unchanged (the directory is insert-only, so only phantom
+// inserts can invalidate it) on top of the usual per-record TID checks.
 package occ
 
 import (
@@ -42,6 +48,12 @@ type Engine struct {
 	cfg   Config
 	store *storage.SVStore
 
+	// dir orders every key a record has ever been created for; range
+	// scans walk it and revalidate at commit that no key appeared inside
+	// a scanned range since the scan (Silo's node-set validation, with
+	// the directory playing the tree-node role).
+	dir *storage.Directory
+
 	committed  atomic.Uint64
 	userAborts atomic.Uint64
 	ccAborts   atomic.Uint64
@@ -58,11 +70,17 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxBackoffSpins < 1 {
 		cfg.MaxBackoffSpins = 1 << 12
 	}
-	return &Engine{cfg: cfg, store: storage.NewSVStore(cfg.Capacity)}, nil
+	return &Engine{cfg: cfg, store: storage.NewSVStore(cfg.Capacity), dir: storage.NewDirectory()}, nil
 }
 
 // Load implements engine.Engine.
-func (e *Engine) Load(k txn.Key, v []byte) error { return e.store.Load(k, v) }
+func (e *Engine) Load(k txn.Key, v []byte) error {
+	if err := e.store.Load(k, v); err != nil {
+		return err
+	}
+	e.dir.Insert(k)
+	return nil
+}
 
 // Close implements engine.Engine; the OCC engine has no background work.
 func (e *Engine) Close() {}
@@ -96,6 +114,15 @@ type worker struct {
 	nextBuf int
 }
 
+// occScan records one range scan for commit-time revalidation: the range
+// and the directory keys observed, in key order. At validation the
+// directory is rescanned; any key now in the range that was not observed
+// (and is not the transaction's own insert) is a phantom.
+type occScan struct {
+	r    txn.KeyRange
+	keys []txn.Key
+}
+
 // occCtx implements txn.Ctx for one execution attempt.
 type occCtx struct {
 	w      *worker
@@ -104,6 +131,7 @@ type occCtx struct {
 	vals   [][]byte
 	del    []bool
 	wrote  []bool
+	scans  []occScan
 }
 
 var _ txn.Ctx = (*occCtx)(nil)
@@ -157,6 +185,85 @@ func (c *occCtx) Read(k txn.Key) ([]byte, error) {
 	return buf, nil
 }
 
+// ReadRange implements txn.Ctx: an ordered directory walk over r with
+// seqlock-stable reads of each record, every record added to the read-set
+// for TID validation and the observed key set recorded for phantom
+// revalidation at commit. The transaction's own buffered writes inside r
+// are overlaid (they are not in the directory until commit).
+func (c *occCtx) ReadRange(r txn.KeyRange, fn func(k txn.Key, v []byte) error) error {
+	if r.Empty() {
+		return nil
+	}
+	sc := occScan{r: r}
+	c.w.e.dir.AscendRange(r, func(k txn.Key) bool {
+		sc.keys = append(sc.keys, k)
+		return true
+	})
+	c.scans = append(c.scans, sc)
+
+	own := c.stagedInRange(r)
+	oi := 0
+	emitOwn := func() error {
+		k := own[oi]
+		oi++
+		for i, wk := range c.writes {
+			if wk == k {
+				if c.del[i] {
+					return nil
+				}
+				return fn(k, c.vals[i])
+			}
+		}
+		return nil
+	}
+	for _, k := range sc.keys {
+		for oi < len(own) && own[oi].Less(k) {
+			if err := emitOwn(); err != nil {
+				return err
+			}
+		}
+		if oi < len(own) && own[oi] == k {
+			if err := emitOwn(); err != nil {
+				return err
+			}
+			continue
+		}
+		rec := c.w.e.store.Get(k)
+		if rec == nil {
+			continue // directory racing the record insert; nothing to read
+		}
+		slot := c.w.nextBuf
+		buf, tid, deleted := rec.StableRead(c.w.buf())
+		c.w.scratch[slot] = buf
+		c.w.reads = append(c.w.reads, readEntry{rec: rec, tid: tid})
+		if deleted {
+			continue
+		}
+		if err := fn(k, buf); err != nil {
+			return err
+		}
+	}
+	for oi < len(own) {
+		if err := emitOwn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stagedInRange returns the staged (written or deleted) keys inside r,
+// sorted for the overlay merge.
+func (c *occCtx) stagedInRange(r txn.KeyRange) []txn.Key {
+	var ks []txn.Key
+	for i, k := range c.writes {
+		if c.wrote[i] && r.Contains(k) {
+			ks = append(ks, k)
+		}
+	}
+	txn.SortKeys(ks)
+	return ks
+}
+
 // Write implements txn.Ctx, buffering the new value locally.
 func (c *occCtx) Write(k txn.Key, v []byte) error { return c.stage(k, v, false) }
 
@@ -200,10 +307,17 @@ func (c *occCtx) commit() error {
 	}
 	maxTID := c.w.lastTID
 	for _, s := range slots {
-		rec, err := c.w.e.store.GetOrCreate(s.k)
+		rec, created, err := c.w.e.store.GetOrCreate(s.k)
 		if err != nil {
 			unlockAll()
 			return err
+		}
+		if created {
+			// Publish the insert in the directory before validation, so
+			// any scanner that validates after this point sees the new
+			// key in its rescan and aborts. Our own scans skip write-set
+			// keys during revalidation below.
+			c.w.e.dir.Insert(s.k)
 		}
 		c.recs[s.idx] = rec
 		t := rec.Lock()
@@ -231,6 +345,26 @@ func (c *occCtx) commit() error {
 		}
 	}
 
+	// Phase 2½: revalidate scanned ranges against the directory. A key
+	// that appeared inside a scanned range since the scan is a phantom —
+	// unless it is one of our own inserts (registered in phase 1). Keys
+	// that were present at scan time are covered by the TID checks above;
+	// the directory is insert-only, so disappearance is impossible.
+	for _, sc := range c.scans {
+		ok := true
+		c.w.e.dir.AscendRange(sc.r, func(k txn.Key) bool {
+			if txn.Contains(sc.keys, k) || c.ownsWriteKey(k) {
+				return true
+			}
+			ok = false
+			return false
+		})
+		if !ok {
+			unlockAll()
+			return errConflict
+		}
+	}
+
 	// Phase 3: install writes under the new TID.
 	newTID := maxTID + 1
 	c.w.lastTID = newTID
@@ -244,6 +378,17 @@ func (c *occCtx) commit() error {
 		rec.Unlock(newTID)
 	}
 	return nil
+}
+
+// ownsWriteKey reports whether k is one of this transaction's staged
+// writes (whose phase-1 insert must not count as a phantom).
+func (c *occCtx) ownsWriteKey(k txn.Key) bool {
+	for i, wk := range c.writes {
+		if wk == k && c.wrote[i] {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *occCtx) ownsLock(rec *storage.SVRecord) bool {

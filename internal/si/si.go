@@ -3,7 +3,11 @@
 // paper built its SI comparison point "within our Hekaton codebase" (§4).
 // Transactions read as of their begin timestamp, write-write conflicts
 // abort via first-writer-wins, and no read validation is performed — so
-// SI permits the write-skew anomaly and is not serializable.
+// SI permits the write-skew anomaly and is not serializable. Range scans
+// (Ctx.ReadRange) read the same begin-timestamp snapshot: each scan is
+// internally consistent (concurrent inserts are all-or-nothing), but
+// without the Serializable level's commit-time rescan they are only
+// snapshot-consistent, like every other SI read.
 package si
 
 import (

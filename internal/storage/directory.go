@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bohm/internal/txn"
+)
+
+// Directory is the ordered tier of the two-tier index: an insert-only
+// skiplist over txn.Key that records which keys exist, in (Table, ID)
+// order. The hash Map remains the point-access path; the Directory serves
+// range scans and next-key questions.
+//
+// Concurrency contract: writers serialize on an internal mutex (in BOHM a
+// partition's directory has a single writer — the owning CC thread — so
+// the mutex is uncontended; the baselines' shared directories take it per
+// first-ever write of a key). Readers take no locks at all: node links are
+// published with atomic stores in an order that keeps every reachable
+// suffix consistent, so a concurrent Ascend sees a key iff its insert's
+// bottom-level link landed before the reader walked past its position —
+// exactly the "single writer, readers spin on nothing" discipline of the
+// paper's hash index, transplanted to an ordered structure.
+//
+// The directory is insert-only, like the hash index: deleted records keep
+// their directory entry and are filtered by version visibility (BOHM) or
+// tombstone flags (single-version engines) at scan time.
+type Directory struct {
+	head *dirNode
+	n    atomic.Int64
+
+	mu  sync.Mutex // serializes writers; guards rnd
+	rnd uint64
+}
+
+// dirMaxLevel bounds the skiplist height: with a 1/4 level probability,
+// 20 levels comfortably cover billions of keys.
+const dirMaxLevel = 20
+
+type dirNode struct {
+	k    txn.Key
+	next []atomic.Pointer[dirNode]
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		head: &dirNode{next: make([]atomic.Pointer[dirNode], dirMaxLevel)},
+		rnd:  0x9e3779b97f4a7c15,
+	}
+}
+
+// Len returns the number of keys inserted so far.
+func (d *Directory) Len() int { return int(d.n.Load()) }
+
+// randLevel draws a tower height with P(level > l) = 4^-l. Caller holds mu.
+func (d *Directory) randLevel() int {
+	x := d.rnd
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	d.rnd = x
+	lvl := 1
+	for x&3 == 3 && lvl < dirMaxLevel {
+		lvl++
+		x >>= 2
+	}
+	return lvl
+}
+
+// Insert registers k, reporting whether it was absent. Inserting a present
+// key is a no-op. Safe for concurrent use with readers and other writers.
+func (d *Directory) Insert(k txn.Key) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	var preds [dirMaxLevel]*dirNode
+	x := d.head
+	for l := dirMaxLevel - 1; l >= 0; l-- {
+		for {
+			nxt := x.next[l].Load()
+			if nxt == nil || !nxt.k.Less(k) {
+				break
+			}
+			x = nxt
+		}
+		preds[l] = x
+	}
+	if nxt := preds[0].next[0].Load(); nxt != nil && nxt.k == k {
+		return false
+	}
+
+	lvl := d.randLevel()
+	nd := &dirNode{k: k, next: make([]atomic.Pointer[dirNode], lvl)}
+	// Set the new node's outgoing links before publishing any incoming
+	// link, then publish bottom-up: a reader that reaches nd at any level
+	// always finds consistent links below it.
+	for l := 0; l < lvl; l++ {
+		nd.next[l].Store(preds[l].next[l].Load())
+	}
+	for l := 0; l < lvl; l++ {
+		preds[l].next[l].Store(nd)
+	}
+	d.n.Add(1)
+	return true
+}
+
+// seek returns the last node whose key orders strictly before k (the head
+// sentinel when none does).
+func (d *Directory) seek(k txn.Key) *dirNode {
+	x := d.head
+	for l := dirMaxLevel - 1; l >= 0; l-- {
+		for {
+			nxt := x.next[l].Load()
+			if nxt == nil || !nxt.k.Less(k) {
+				break
+			}
+			x = nxt
+		}
+	}
+	return x
+}
+
+// Contains reports whether k has been inserted.
+func (d *Directory) Contains(k txn.Key) bool {
+	nxt := d.seek(k).next[0].Load()
+	return nxt != nil && nxt.k == k
+}
+
+// AscendRange calls fn for every key in r in ascending order, stopping
+// early if fn returns false. Safe for concurrent use with writers; keys
+// fully inserted before the call are always visited.
+func (d *Directory) AscendRange(r txn.KeyRange, fn func(k txn.Key) bool) {
+	if r.Empty() {
+		return
+	}
+	limit := r.LimitKey()
+	for x := d.seek(r.FirstKey()).next[0].Load(); x != nil && x.k.Less(limit); x = x.next[0].Load() {
+		if !fn(x.k) {
+			return
+		}
+	}
+}
+
+// Next returns the smallest key at or after k, for next-key questions.
+// The second result is false when no such key exists.
+func (d *Directory) Next(k txn.Key) (txn.Key, bool) {
+	nxt := d.seek(k).next[0].Load()
+	if nxt == nil {
+		return txn.Key{}, false
+	}
+	return nxt.k, true
+}

@@ -128,13 +128,14 @@ func (m *Map[V]) Insert(k txn.Key, v *V) (*V, bool, error) {
 }
 
 // GetOrInsert returns the existing value for k, or installs the value
-// produced by mk (called at most once) if k is absent.
-func (m *Map[V]) GetOrInsert(k txn.Key, mk func() *V) (*V, error) {
+// produced by mk (called at most once) if k is absent. The second result
+// reports whether this call inserted the key — the hook the two-tier index
+// uses to register first-ever keys in the ordered directory exactly once.
+func (m *Map[V]) GetOrInsert(k txn.Key, mk func() *V) (*V, bool, error) {
 	if v := m.Get(k); v != nil {
-		return v, nil
+		return v, false, nil
 	}
-	v, _, err := m.Insert(k, mk())
-	return v, err
+	return m.Insert(k, mk())
 }
 
 // Range calls f for every entry currently in the table, stopping early if

@@ -72,12 +72,12 @@ func TestMapGetOrInsert(t *testing.T) {
 	m := NewMap[int](8)
 	calls := 0
 	mk := func() *int { calls++; v := 5; return &v }
-	v1, err := m.GetOrInsert(txn.Key{ID: 1}, mk)
-	if err != nil || *v1 != 5 || calls != 1 {
+	v1, ins1, err := m.GetOrInsert(txn.Key{ID: 1}, mk)
+	if err != nil || *v1 != 5 || calls != 1 || !ins1 {
 		t.Fatalf("first GetOrInsert: v=%v calls=%d err=%v", v1, calls, err)
 	}
-	v2, err := m.GetOrInsert(txn.Key{ID: 1}, mk)
-	if err != nil || v2 != v1 || calls != 1 {
+	v2, ins2, err := m.GetOrInsert(txn.Key{ID: 1}, mk)
+	if err != nil || v2 != v1 || calls != 1 || ins2 {
 		t.Fatalf("second GetOrInsert: v=%v calls=%d err=%v", v2, calls, err)
 	}
 }

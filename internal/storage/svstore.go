@@ -210,8 +210,10 @@ func (s *SVStore) Get(k txn.Key) *SVRecord { return s.idx.Get(k) }
 
 // GetOrCreate returns the record for k, inserting an empty tombstone
 // record if absent (used by inserting transactions: the record springs
-// into existence deleted, then the writer fills it under its lock).
-func (s *SVStore) GetOrCreate(k txn.Key) (*SVRecord, error) {
+// into existence deleted, then the writer fills it under its lock). The
+// second result reports whether this call created the record, so engines
+// can mirror first-ever keys into their ordered directory.
+func (s *SVStore) GetOrCreate(k txn.Key) (*SVRecord, bool, error) {
 	return s.idx.GetOrInsert(k, func() *SVRecord {
 		r := &SVRecord{}
 		r.meta.Store(metaDeleted)

@@ -141,15 +141,18 @@ func TestSVStoreLoadCopies(t *testing.T) {
 
 func TestSVStoreGetOrCreate(t *testing.T) {
 	s := NewSVStore(4)
-	r, err := s.GetOrCreate(txn.Key{ID: 5})
+	r, created, err := s.GetOrCreate(txn.Key{ID: 5})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first GetOrCreate should report creation")
 	}
 	if !r.Deleted() {
 		t.Fatal("created record should start as a tombstone")
 	}
-	r2, err := s.GetOrCreate(txn.Key{ID: 5})
-	if err != nil || r2 != r {
+	r2, created2, err := s.GetOrCreate(txn.Key{ID: 5})
+	if err != nil || r2 != r || created2 {
 		t.Fatal("GetOrCreate not idempotent")
 	}
 }

@@ -3,7 +3,6 @@ package twopl
 import (
 	"fmt"
 
-	"bohm/internal/storage"
 	"bohm/internal/txn"
 )
 
@@ -11,18 +10,20 @@ import (
 // transaction that already holds all of its locks. Writes are buffered
 // and applied at commit so a logic abort leaves the database untouched.
 type svCtx struct {
-	store  *storage.SVStore
+	e      *Engine
 	writes []txn.Key
+	ranges []txn.KeyRange
 	vals   [][]byte
 	del    []bool
 	wrote  []bool
 }
 
-func newSVCtx(store *storage.SVStore, writes []txn.Key) *svCtx {
+func newSVCtx(e *Engine, writes []txn.Key, ranges []txn.KeyRange) *svCtx {
 	n := len(writes)
 	return &svCtx{
-		store:  store,
+		e:      e,
 		writes: writes,
+		ranges: ranges,
 		vals:   make([][]byte, n),
 		del:    make([]bool, n),
 		wrote:  make([]bool, n),
@@ -42,13 +43,87 @@ func (c *svCtx) Read(k txn.Key) ([]byte, error) {
 			return c.vals[i], nil
 		}
 	}
-	rec := c.store.Get(k)
+	rec := c.e.store.Get(k)
 	if rec == nil || rec.Deleted() {
 		return nil, txn.ErrNotFound
 	}
 	// Record payloads live in atomic words (see storage.SVRecord), so a
 	// read materializes a fresh byte view.
 	return rec.Data(), nil
+}
+
+// ReadRange implements txn.Ctx: an ordered walk of the key directory over
+// r, overlaid with the transaction's own buffered writes. The range must
+// lie inside a declared range — the scanner's exclusive table lock, which
+// plan acquired from the declaration, is what excludes concurrent writers
+// (and therefore phantoms) for the duration of the transaction; scanning
+// an undeclared range would read without that protection, so it is
+// refused like a write outside the write-set.
+func (c *svCtx) ReadRange(r txn.KeyRange, fn func(k txn.Key, v []byte) error) error {
+	if r.Empty() {
+		return nil
+	}
+	if !txn.CoveredBy(c.ranges, r) {
+		return fmt.Errorf("twopl: range scan of %v outside declared range-set", r)
+	}
+	var keys []txn.Key
+	c.e.dir.AscendRange(r, func(k txn.Key) bool {
+		keys = append(keys, k)
+		return true
+	})
+	own := c.stagedKeys(r)
+	oi := 0
+	emitOwn := func(k txn.Key) error {
+		oi++
+		for i, wk := range c.writes {
+			if wk == k {
+				if c.del[i] {
+					return nil
+				}
+				return fn(k, c.vals[i])
+			}
+		}
+		return nil
+	}
+	for _, k := range keys {
+		for oi < len(own) && own[oi].Less(k) {
+			if err := emitOwn(own[oi]); err != nil {
+				return err
+			}
+		}
+		if oi < len(own) && own[oi] == k {
+			if err := emitOwn(k); err != nil {
+				return err
+			}
+			continue
+		}
+		rec := c.e.store.Get(k)
+		if rec == nil || rec.Deleted() {
+			continue
+		}
+		if err := fn(k, rec.Data()); err != nil {
+			return err
+		}
+	}
+	for oi < len(own) {
+		if err := emitOwn(own[oi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stagedKeys returns the keys the body has staged (written or deleted)
+// that fall inside r, sorted for the overlay merge.
+func (c *svCtx) stagedKeys(r txn.KeyRange) []txn.Key {
+	var ks []txn.Key
+	for i, k := range c.writes {
+		if c.wrote[i] && r.Contains(k) {
+			ks = append(ks, k)
+		}
+	}
+	txn.SortKeys(ks)
+	return ks
 }
 
 // Write implements txn.Ctx, buffering the new value.
@@ -69,16 +144,20 @@ func (c *svCtx) stage(k txn.Key, v []byte, del bool) error {
 	return fmt.Errorf("twopl: write to key %+v outside declared write-set", k)
 }
 
-// commit applies the buffered writes in place. The caller holds write
-// locks on every written key.
+// commit applies the buffered writes in place, registering first-ever keys
+// in the directory. The caller holds write locks on every written key and
+// a shared table lock on every written table, so no scanner is concurrent.
 func (c *svCtx) commit() error {
 	for i, wk := range c.writes {
 		if !c.wrote[i] {
 			continue
 		}
-		rec, err := c.store.GetOrCreate(wk)
+		rec, created, err := c.e.store.GetOrCreate(wk)
 		if err != nil {
 			return err
+		}
+		if created {
+			c.e.dir.Insert(wk)
 		}
 		if c.del[i] {
 			rec.SetDeleted()

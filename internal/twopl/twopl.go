@@ -5,11 +5,20 @@
 // known in advance, no deadlock detection is needed: every transaction
 // acquires all of its locks in global key order, holds them for the
 // duration of its logic, and releases them after commit (strict 2PL).
+//
+// Range scans are phantom-protected with coarse table locks planned from
+// the declared range-set: a scanner locks each scanned table exclusively,
+// writers to a table share it among themselves, and the global acquisition
+// order (table locks by table, then key locks by key) preserves deadlock
+// freedom. This is deliberately naive — scans serialize against all
+// writes to the table — and is the comparison point BOHM's directory-based
+// design is measured against.
 package twopl
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,6 +115,16 @@ type Engine struct {
 	store *storage.SVStore
 	locks *storage.Map[lockEntry]
 
+	// dir orders every key that exists (live or tombstoned), backing
+	// range scans. tableLocks holds one lock per table for phantom
+	// protection: a scanner of any range in table T takes T's lock
+	// exclusively, while every writer to T takes it shared — writers stay
+	// concurrent with each other (key locks arbitrate them) but are
+	// excluded for the duration of a scan, so no key can spring into a
+	// scanned range. Point readers never touch table locks.
+	dir        *storage.Directory
+	tableLocks *storage.Map[lockEntry]
+
 	committed  atomic.Uint64
 	userAborts atomic.Uint64
 }
@@ -119,20 +138,35 @@ func New(cfg Config) (*Engine, error) {
 		cfg.Capacity = 1 << 20
 	}
 	return &Engine{
-		cfg:   cfg,
-		store: storage.NewSVStore(cfg.Capacity),
-		locks: storage.NewMap[lockEntry](cfg.Capacity),
+		cfg:        cfg,
+		store:      storage.NewSVStore(cfg.Capacity),
+		locks:      storage.NewMap[lockEntry](cfg.Capacity),
+		dir:        storage.NewDirectory(),
+		tableLocks: storage.NewMap[lockEntry](1 << 10),
 	}, nil
 }
 
-// Load implements engine.Engine, pre-allocating the record and its lock
-// table entry.
+// Load implements engine.Engine, pre-allocating the record, its lock
+// table entry, and its directory entry.
 func (e *Engine) Load(k txn.Key, v []byte) error {
 	if err := e.store.Load(k, v); err != nil {
 		return err
 	}
+	e.dir.Insert(k)
 	_, _, err := e.locks.Insert(k, &lockEntry{})
 	return err
+}
+
+// tableLockFor returns table t's scan lock, creating it on demand. Table
+// locks live in their own index keyed by {Table: t}, so they can never
+// collide with record keys.
+func (e *Engine) tableLockFor(t uint32) (*lockEntry, error) {
+	k := txn.Key{Table: t}
+	if le := e.tableLocks.Get(k); le != nil {
+		return le, nil
+	}
+	le, _, err := e.tableLocks.GetOrInsert(k, func() *lockEntry { return &lockEntry{} })
+	return le, err
 }
 
 // lockFor returns k's pre-allocated lock entry, creating one on demand for
@@ -141,19 +175,30 @@ func (e *Engine) lockFor(k txn.Key) (*lockEntry, error) {
 	if le := e.locks.Get(k); le != nil {
 		return le, nil
 	}
-	return e.locks.GetOrInsert(k, func() *lockEntry { return &lockEntry{} })
+	le, _, err := e.locks.GetOrInsert(k, func() *lockEntry { return &lockEntry{} })
+	return le, err
 }
 
-// lockPlan is a transaction's sorted lock acquisition schedule.
+// lockPlan is a transaction's sorted lock acquisition schedule: table
+// locks first (in table order), then key locks (in key order). The single
+// global acquisition order keeps the protocol deadlock-free with ranges in
+// the picture.
 type lockPlan struct {
 	keys  []txn.Key
 	write []bool
 	locks []*lockEntry
+
+	// tlocks are the per-table scan locks this transaction takes before
+	// any key lock; texcl[i] selects exclusive mode (the transaction
+	// scans table i) over shared mode (it only writes there).
+	tlocks []*lockEntry
+	texcl  []bool
 }
 
 // plan builds the deadlock-free acquisition order: the union of the read-
 // and write-sets sorted lexicographically, write mode winning when a key
-// appears in both.
+// appears in both, preceded by the table locks the declared ranges and
+// write tables require.
 func (e *Engine) plan(t txn.Txn) (lockPlan, error) {
 	reads, writes := t.ReadSet(), t.WriteSet()
 	p := lockPlan{
@@ -179,10 +224,46 @@ func (e *Engine) plan(t txn.Txn) (lockPlan, error) {
 		}
 		p.locks[i] = le
 	}
+
+	// Table locks: exclusive for tables the transaction scans, shared for
+	// tables it may write (insert) into. A table both scanned and written
+	// is exclusive. Tables only read point-wise need no table lock.
+	ranges := t.RangeSet()
+	if len(ranges) > 0 || len(writes) > 0 {
+		mode := map[uint32]bool{} // table -> exclusive
+		for _, k := range writes {
+			if _, ok := mode[k.Table]; !ok {
+				mode[k.Table] = false
+			}
+		}
+		for _, r := range ranges {
+			mode[r.Table] = true
+		}
+		tables := make([]uint32, 0, len(mode))
+		for tb := range mode {
+			tables = append(tables, tb)
+		}
+		sort.Slice(tables, func(i, j int) bool { return tables[i] < tables[j] })
+		for _, tb := range tables {
+			le, err := e.tableLockFor(tb)
+			if err != nil {
+				return lockPlan{}, err
+			}
+			p.tlocks = append(p.tlocks, le)
+			p.texcl = append(p.texcl, mode[tb])
+		}
+	}
 	return p, nil
 }
 
 func (p *lockPlan) acquire() {
+	for i, le := range p.tlocks {
+		if p.texcl[i] {
+			le.l.Lock()
+		} else {
+			le.l.RLock()
+		}
+	}
 	for i, le := range p.locks {
 		if p.write[i] {
 			le.l.Lock()
@@ -198,6 +279,13 @@ func (p *lockPlan) release() {
 			p.locks[i].l.Unlock()
 		} else {
 			p.locks[i].l.RUnlock()
+		}
+	}
+	for i := len(p.tlocks) - 1; i >= 0; i-- {
+		if p.texcl[i] {
+			p.tlocks[i].l.Unlock()
+		} else {
+			p.tlocks[i].l.RUnlock()
 		}
 	}
 }
@@ -239,7 +327,7 @@ func (e *Engine) runOne(t txn.Txn) error {
 	p.acquire()
 	defer p.release()
 
-	c := newSVCtx(e.store, t.WriteSet())
+	c := newSVCtx(e, t.WriteSet(), t.RangeSet())
 	err = txn.RunSafely(t, c)
 	if err == nil {
 		err = c.commit()

@@ -1,0 +1,90 @@
+package txn
+
+import "fmt"
+
+// KeyRange identifies a half-open interval of row identifiers within one
+// table: every Key k with k.Table == Table and Lo <= k.ID < Hi. Ranges are
+// the unit of declaration for range scans, mirroring how Keys are the unit
+// of declaration for point accesses.
+//
+// BOHM serves a declared range phantom-free by construction: the
+// concurrency control phase inserts a placeholder for every write before
+// execution begins and registers every new key in an ordered per-partition
+// directory at the same moment, so by the time a scan executes, every key
+// any earlier-timestamped transaction will ever create already exists to
+// be scanned. The comparison engines each bolt on their own protection
+// (table locks, commit-time range revalidation); see their package docs.
+type KeyRange struct {
+	Table uint32
+	// Lo is the first row id in the range.
+	Lo uint64
+	// Hi is the first row id past the range (exclusive).
+	Hi uint64
+}
+
+// String implements fmt.Stringer.
+func (r KeyRange) String() string {
+	return fmt.Sprintf("table %d [%d, %d)", r.Table, r.Lo, r.Hi)
+}
+
+// Empty reports whether the range contains no ids.
+func (r KeyRange) Empty() bool { return r.Hi <= r.Lo }
+
+// Contains reports whether k falls inside the range.
+func (r KeyRange) Contains(k Key) bool {
+	return k.Table == r.Table && r.Lo <= k.ID && k.ID < r.Hi
+}
+
+// ContainsRange reports whether o lies entirely within r. Engines use it to
+// match a scan request against the transaction's declared range-set: a body
+// may scan any sub-interval of a declared range.
+func (r KeyRange) ContainsRange(o KeyRange) bool {
+	return o.Table == r.Table && r.Lo <= o.Lo && o.Hi <= r.Hi
+}
+
+// FirstKey returns the smallest key in the range.
+func (r KeyRange) FirstKey() Key { return Key{Table: r.Table, ID: r.Lo} }
+
+// LimitKey returns the first key past the range: iteration covers every
+// key k with FirstKey() <= k < LimitKey() in the Less order.
+func (r KeyRange) LimitKey() Key { return Key{Table: r.Table, ID: r.Hi} }
+
+// CoveredBy reports whether r lies entirely within one of the declared
+// ranges. Engines that plan range protection from declarations (2PL locks,
+// BOHM annotations) use it to match scan requests against the declaration.
+func CoveredBy(declared []KeyRange, r KeyRange) bool {
+	for _, d := range declared {
+		if d.ContainsRange(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// FindDuplicateKey reports a key that occurs more than once in ks. Small
+// sets (the common OLTP shape) are checked quadratically without
+// allocating; larger sets sort a copy.
+func FindDuplicateKey(ks []Key) (Key, bool) {
+	if len(ks) < 2 {
+		return Key{}, false
+	}
+	if len(ks) <= 32 {
+		for i := 1; i < len(ks); i++ {
+			for j := 0; j < i; j++ {
+				if ks[i] == ks[j] {
+					return ks[i], true
+				}
+			}
+		}
+		return Key{}, false
+	}
+	sorted := make([]Key, len(ks))
+	copy(sorted, ks)
+	SortKeys(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return sorted[i], true
+		}
+	}
+	return Key{}, false
+}

@@ -90,10 +90,20 @@ func (k Key) Hash() uint64 {
 //     outside the declared write-set returns an error from Run.
 //   - Delete removes the record (installs a tombstone in multiversion
 //     engines). Like Write, the key must be in the declared write-set.
+//   - ReadRange calls fn once per live record in r, in ascending key
+//     order, at the transaction's logical time — a serializable range
+//     scan (no phantoms). fn's value slice follows the same ownership
+//     rule as Read; a non-nil error from fn stops the scan and is
+//     returned. The transaction's own buffered writes inside r are
+//     visible to its scans. Declaring the range (Txn.RangeSet) is
+//     mandatory on 2PL (locks are planned from declarations) and
+//     enables BOHM's annotation fast path; the optimistic engines
+//     revalidate scans at commit whether declared or not.
 type Ctx interface {
 	Read(k Key) ([]byte, error)
 	Write(k Key, v []byte) error
 	Delete(k Key) error
+	ReadRange(r KeyRange, fn func(k Key, v []byte) error) error
 }
 
 // Txn is a transaction: a stored procedure with declared access sets.
@@ -111,6 +121,13 @@ type Txn interface {
 	ReadSet() []Key
 	// WriteSet returns the keys the transaction may write or delete.
 	WriteSet() []Key
+	// RangeSet returns the key ranges the transaction may scan with
+	// Ctx.ReadRange. Like ReadSet it is an optimization hint for BOHM
+	// (declared ranges are annotated with version references at
+	// concurrency control time) and a requirement for 2PL (range locks
+	// are acquired from the declaration). Implementations with no scans
+	// return nil.
+	RangeSet() []KeyRange
 	// Run executes the transaction's logic against ctx. Returning a
 	// non-nil error aborts the transaction: none of its writes become
 	// visible and the error is reported to the submitter.
@@ -122,6 +139,7 @@ type Txn interface {
 type Proc struct {
 	Reads  []Key
 	Writes []Key
+	Ranges []KeyRange
 	Body   func(ctx Ctx) error
 }
 
@@ -130,6 +148,9 @@ func (p *Proc) ReadSet() []Key { return p.Reads }
 
 // WriteSet implements Txn.
 func (p *Proc) WriteSet() []Key { return p.Writes }
+
+// RangeSet implements Txn.
+func (p *Proc) RangeSet() []KeyRange { return p.Ranges }
 
 // Run implements Txn.
 func (p *Proc) Run(ctx Ctx) error {

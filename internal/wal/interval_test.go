@@ -1,0 +1,71 @@
+package wal
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestIntervalSyncDoesNotBlockAppends: with SyncByInterval, the fsync runs
+// outside the writer mutex, so the sequencer keeps appending while the
+// disk is slow. The test blocks the first fsync on a gate, appends a pile
+// of batches while it is held, and verifies they all completed before the
+// fsync was released — then releases it and checks durability still
+// advances (on a later sync covering the new appends).
+func TestIntervalSyncDoesNotBlockAppends(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(WriterOptions{Dir: dir, Policy: SyncByInterval, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	w.mu.Lock() // the syncer goroutine reads w.fsync under mu-published state
+	w.fsync = func(f *os.File) error {
+		if first {
+			first = false
+			close(started)
+			<-release
+		}
+		return f.Sync()
+	}
+	w.mu.Unlock()
+
+	if err := w.Append(mkBatch(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("interval syncer never started an fsync")
+	}
+
+	// The first fsync is now parked. Appends must still complete.
+	const extra = 50
+	appended := make(chan error, 1)
+	go func() {
+		for seq := uint64(2); seq <= 1+extra; seq++ {
+			if err := w.Append(mkBatch(seq, 1)); err != nil {
+				appended <- err
+				return
+			}
+		}
+		appended <- nil
+	}()
+	select {
+	case err := <-appended:
+		if err != nil {
+			t.Fatalf("append during slow sync: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("appends blocked behind the interval fsync")
+	}
+
+	close(release)
+	if err := w.WaitDurable(1 + extra); err != nil {
+		t.Fatalf("WaitDurable after release: %v", err)
+	}
+}

@@ -81,13 +81,15 @@ func (p SyncPolicy) String() string {
 }
 
 // TxnRecord is the logged form of one transaction: the registry-dispatched
-// procedure plus the declared access sets. The access sets are logged so
-// replay does not depend on factories recomputing them identically.
+// procedure plus the declared access sets. The access sets (point keys and
+// key ranges) are logged so replay does not depend on factories
+// recomputing them identically.
 type TxnRecord struct {
 	Proc   string
 	Args   []byte
 	Reads  []txn.Key
 	Writes []txn.Key
+	Ranges []txn.KeyRange
 }
 
 // Batch is the unit of logging and replay: one sequencer batch, identified
@@ -110,8 +112,11 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // treated as corruption rather than an allocation request.
 const maxRecordBytes = 1 << 30
 
+// The segment magic was bumped to 2 when TxnRecord gained declared key
+// ranges; version-1 logs are refused with a clear error rather than
+// misdecoded.
 const (
-	segMagic  = "BOHMWAL1"
+	segMagic  = "BOHMWAL2"
 	ckptMagic = "BOHMCKP1"
 )
 
@@ -139,6 +144,16 @@ func appendKeys(b []byte, ks []txn.Key) []byte {
 	return b
 }
 
+func appendRanges(b []byte, rs []txn.KeyRange) []byte {
+	b = appendU32(b, uint32(len(rs)))
+	for _, r := range rs {
+		b = appendU32(b, r.Table)
+		b = appendU64(b, r.Lo)
+		b = appendU64(b, r.Hi)
+	}
+	return b
+}
+
 // encodeBatch appends b's payload encoding to buf and returns it.
 func encodeBatch(buf []byte, b *Batch) []byte {
 	buf = appendU64(buf, b.Seq)
@@ -151,6 +166,7 @@ func encodeBatch(buf []byte, b *Batch) []byte {
 		buf = append(buf, r.Args...)
 		buf = appendKeys(buf, r.Reads)
 		buf = appendKeys(buf, r.Writes)
+		buf = appendRanges(buf, r.Ranges)
 	}
 	return buf
 }
@@ -205,6 +221,19 @@ func (d *decoder) keys() []txn.Key {
 	return ks
 }
 
+func (d *decoder) ranges() []txn.KeyRange {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+20*n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	rs := make([]txn.KeyRange, n)
+	for i := range rs {
+		rs[i] = txn.KeyRange{Table: d.u32(), Lo: d.u64(), Hi: d.u64()}
+	}
+	return rs
+}
+
 func (d *decoder) fail() {
 	if d.err == nil {
 		d.err = fmt.Errorf("%w: truncated payload", ErrCorrupt)
@@ -227,6 +256,7 @@ func decodeBatch(payload []byte) (*Batch, error) {
 		r.Args = d.bytes(int(d.u32()))
 		r.Reads = d.keys()
 		r.Writes = d.keys()
+		r.Ranges = d.ranges()
 		if d.err != nil {
 			return nil, d.err
 		}

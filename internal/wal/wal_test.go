@@ -20,6 +20,7 @@ func mkBatch(seq uint64, txns int) *Batch {
 			Args:   []byte(fmt.Sprintf("args-%d-%d", seq, i)),
 			Reads:  []txn.Key{{Table: 1, ID: seq*100 + uint64(i)}},
 			Writes: []txn.Key{{Table: 2, ID: seq*100 + uint64(i)}, {Table: 2, ID: seq}},
+			Ranges: []txn.KeyRange{{Table: 3, Lo: seq, Hi: seq + uint64(i) + 1}},
 		})
 	}
 	return b
@@ -51,7 +52,8 @@ func checkBatches(t *testing.T, got []*Batch, wantSeqs ...uint64) {
 			g, w := b.Txns[j], want.Txns[j]
 			if g.Proc != w.Proc || !bytes.Equal(g.Args, w.Args) ||
 				len(g.Reads) != len(w.Reads) || len(g.Writes) != len(w.Writes) ||
-				g.Reads[0] != w.Reads[0] || g.Writes[1] != w.Writes[1] {
+				g.Reads[0] != w.Reads[0] || g.Writes[1] != w.Writes[1] ||
+				len(g.Ranges) != len(w.Ranges) || g.Ranges[0] != w.Ranges[0] {
 				t.Fatalf("batch %d txn %d: got %+v want %+v", i, j, g, w)
 			}
 		}

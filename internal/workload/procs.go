@@ -38,6 +38,33 @@ func EncodeKeys(ks []txn.Key) []byte {
 	return b
 }
 
+// EncodeRanges serializes key ranges for use as procedure arguments.
+func EncodeRanges(rs []txn.KeyRange) []byte {
+	b := make([]byte, 0, 20*len(rs))
+	for _, r := range rs {
+		b = binary.LittleEndian.AppendUint32(b, r.Table)
+		b = binary.LittleEndian.AppendUint64(b, r.Lo)
+		b = binary.LittleEndian.AppendUint64(b, r.Hi)
+	}
+	return b
+}
+
+// DecodeRanges reverses EncodeRanges.
+func DecodeRanges(b []byte) ([]txn.KeyRange, error) {
+	if len(b)%20 != 0 {
+		return nil, fmt.Errorf("workload: range blob of %d bytes is not a multiple of 20", len(b))
+	}
+	rs := make([]txn.KeyRange, len(b)/20)
+	for i := range rs {
+		rs[i] = txn.KeyRange{
+			Table: binary.LittleEndian.Uint32(b[20*i:]),
+			Lo:    binary.LittleEndian.Uint64(b[20*i+4:]),
+			Hi:    binary.LittleEndian.Uint64(b[20*i+12:]),
+		}
+	}
+	return rs, nil
+}
+
 // DecodeKeys reverses EncodeKeys.
 func DecodeKeys(b []byte) ([]txn.Key, error) {
 	if len(b)%12 != 0 {

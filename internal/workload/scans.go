@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+
+	"bohm/internal/txn"
+)
+
+// YCSB-E: the scan-heavy YCSB mix — short range scans over zipfian start
+// keys, plus inserts of fresh records. This is the workload family the
+// two-tier index exists for: every engine serves it serializably, and
+// BOHM serves the scans from CC-time range annotations.
+
+// RangeScanTxn scans one declared key range with Ctx.ReadRange, summing
+// the counters of the rows it observes.
+type RangeScanTxn struct {
+	Range txn.KeyRange
+	// Rows and Sum publish the scan's observations so the work cannot be
+	// optimized away and tests can assert on it.
+	Rows int
+	Sum  uint64
+}
+
+// ReadSet implements txn.Txn: no point reads.
+func (t *RangeScanTxn) ReadSet() []txn.Key { return nil }
+
+// WriteSet implements txn.Txn: read-only.
+func (t *RangeScanTxn) WriteSet() []txn.Key { return nil }
+
+// RangeSet implements txn.Txn: the declared scan range.
+func (t *RangeScanTxn) RangeSet() []txn.KeyRange { return []txn.KeyRange{t.Range} }
+
+// Run implements txn.Txn.
+func (t *RangeScanTxn) Run(ctx txn.Ctx) error {
+	rows, sum := 0, uint64(0)
+	err := ctx.ReadRange(t.Range, func(_ txn.Key, v []byte) error {
+		rows++
+		sum += txn.U64(v)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t.Rows = rows
+	t.Sum = sum
+	return nil
+}
+
+// InsertTxn inserts one fresh record (YCSB-E's 5% insert leg).
+type InsertTxn struct {
+	K    txn.Key
+	Size int
+}
+
+// ReadSet implements txn.Txn.
+func (t *InsertTxn) ReadSet() []txn.Key { return nil }
+
+// WriteSet implements txn.Txn.
+func (t *InsertTxn) WriteSet() []txn.Key { return []txn.Key{t.K} }
+
+// RangeSet implements txn.Txn.
+func (t *InsertTxn) RangeSet() []txn.KeyRange { return nil }
+
+// Run implements txn.Txn.
+func (t *InsertTxn) Run(ctx txn.Ctx) error {
+	return ctx.Write(t.K, txn.NewValue(t.Size, 1))
+}
+
+// ScanE returns a YCSB-E style scan transaction: a zipfian start key and
+// a uniform scan length in [1, maxLen].
+func (s *YCSBSource) ScanE(maxLen int) txn.Txn {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	start := s.zip.Next()
+	n := uint64(1 + s.rng.Intn(maxLen))
+	return &RangeScanTxn{Range: txn.KeyRange{Table: YCSBTable, Lo: start, Hi: start + n}}
+}
+
+// InsertE returns a YCSB-E style insert of a fresh record. Inserted ids
+// start above the loaded table and advance per source; sources seeded
+// differently draw from offset id blocks so concurrent streams rarely
+// collide (a collision is a benign overwrite).
+func (s *YCSBSource) InsertE() txn.Txn {
+	if s.insNext == 0 {
+		s.insNext = uint64(s.y.Records) + (s.insSeed%1021)*(1<<32)
+	}
+	k := txn.Key{Table: YCSBTable, ID: s.insNext}
+	s.insNext++
+	return &InsertTxn{K: k, Size: s.y.RecordSize}
+}
+
+// ProcScanE and ProcInsertE are the registry ids of the loggable forms.
+const (
+	ProcScanE   = "ycsb.scan"
+	ProcInsertE = "ycsb.insert"
+)
+
+// RegisterYCSBE registers the scan-mix procedures with reg.
+func RegisterYCSBE(reg *txn.Registry, recordSize int) {
+	reg.Register(ProcScanE, func(args []byte) (txn.Txn, error) {
+		if len(args) != 20 {
+			return nil, fmt.Errorf("workload: scan args of %d bytes, want 20", len(args))
+		}
+		rs, err := DecodeRanges(args)
+		if err != nil {
+			return nil, err
+		}
+		return &RangeScanTxn{Range: rs[0]}, nil
+	})
+	reg.Register(ProcInsertE, func(args []byte) (txn.Txn, error) {
+		ks, err := DecodeKeys(args)
+		if err != nil || len(ks) != 1 {
+			return nil, fmt.Errorf("workload: insert args decode: %v", err)
+		}
+		return &InsertTxn{K: ks[0], Size: recordSize}, nil
+	})
+}

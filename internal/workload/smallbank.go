@@ -83,6 +83,9 @@ func (t *BalanceTxn) ReadSet() []txn.Key {
 // WriteSet implements txn.Txn.
 func (t *BalanceTxn) WriteSet() []txn.Key { return nil }
 
+// RangeSet implements txn.Txn: SmallBank performs no scans.
+func (t *BalanceTxn) RangeSet() []txn.KeyRange { return nil }
+
 // Run implements txn.Txn.
 func (t *BalanceTxn) Run(ctx txn.Ctx) error {
 	if _, err := ctx.Read(custKey(t.Customer)); err != nil {
@@ -117,6 +120,9 @@ func (t *DepositTxn) ReadSet() []txn.Key {
 // WriteSet implements txn.Txn.
 func (t *DepositTxn) WriteSet() []txn.Key { return []txn.Key{checkKey(t.Customer)} }
 
+// RangeSet implements txn.Txn: SmallBank performs no scans.
+func (t *DepositTxn) RangeSet() []txn.KeyRange { return nil }
+
 // Run implements txn.Txn.
 func (t *DepositTxn) Run(ctx txn.Ctx) error {
 	if _, err := ctx.Read(custKey(t.Customer)); err != nil {
@@ -145,6 +151,9 @@ func (t *TransactSavingsTxn) ReadSet() []txn.Key {
 
 // WriteSet implements txn.Txn.
 func (t *TransactSavingsTxn) WriteSet() []txn.Key { return []txn.Key{savKey(t.Customer)} }
+
+// RangeSet implements txn.Txn: SmallBank performs no scans.
+func (t *TransactSavingsTxn) RangeSet() []txn.KeyRange { return nil }
 
 // Run implements txn.Txn.
 func (t *TransactSavingsTxn) Run(ctx txn.Ctx) error {
@@ -182,6 +191,9 @@ func (t *AmalgamateTxn) ReadSet() []txn.Key {
 func (t *AmalgamateTxn) WriteSet() []txn.Key {
 	return []txn.Key{savKey(t.From), checkKey(t.From), checkKey(t.To)}
 }
+
+// RangeSet implements txn.Txn: SmallBank performs no scans.
+func (t *AmalgamateTxn) RangeSet() []txn.KeyRange { return nil }
 
 // Run implements txn.Txn.
 func (t *AmalgamateTxn) Run(ctx txn.Ctx) error {
@@ -234,6 +246,9 @@ func (t *WriteCheckTxn) ReadSet() []txn.Key {
 
 // WriteSet implements txn.Txn.
 func (t *WriteCheckTxn) WriteSet() []txn.Key { return []txn.Key{checkKey(t.Customer)} }
+
+// RangeSet implements txn.Txn: SmallBank performs no scans.
+func (t *WriteCheckTxn) RangeSet() []txn.KeyRange { return nil }
 
 // Run implements txn.Txn.
 func (t *WriteCheckTxn) Run(ctx txn.Ctx) error {

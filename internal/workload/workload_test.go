@@ -16,6 +16,7 @@ type recordingCtx struct {
 	data   map[txn.Key][]byte
 	reads  map[txn.Key]bool
 	writes map[txn.Key]bool
+	scans  []txn.KeyRange
 }
 
 func newRecordingCtx() *recordingCtx {
@@ -44,6 +45,23 @@ func (c *recordingCtx) Write(k txn.Key, v []byte) error {
 func (c *recordingCtx) Delete(k txn.Key) error {
 	c.writes[k] = true
 	delete(c.data, k)
+	return nil
+}
+
+func (c *recordingCtx) ReadRange(r txn.KeyRange, fn func(k txn.Key, v []byte) error) error {
+	c.scans = append(c.scans, r)
+	var ks []txn.Key
+	for k := range c.data {
+		if r.Contains(k) {
+			ks = append(ks, k)
+		}
+	}
+	txn.SortKeys(ks)
+	for _, k := range ks {
+		if err := fn(k, c.data[k]); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -49,6 +49,9 @@ func (t *RMWTxn) ReadSet() []txn.Key { return t.Keys }
 // WriteSet implements txn.Txn.
 func (t *RMWTxn) WriteSet() []txn.Key { return t.Keys }
 
+// RangeSet implements txn.Txn: no scans.
+func (t *RMWTxn) RangeSet() []txn.KeyRange { return nil }
+
 // Run implements txn.Txn.
 func (t *RMWTxn) Run(ctx txn.Ctx) error {
 	for _, k := range t.Keys {
@@ -87,6 +90,9 @@ func (t *MixedTxn) ReadSet() []txn.Key {
 
 // WriteSet implements txn.Txn.
 func (t *MixedTxn) WriteSet() []txn.Key { return t.RMWKeys }
+
+// RangeSet implements txn.Txn: no scans.
+func (t *MixedTxn) RangeSet() []txn.KeyRange { return nil }
 
 // Run implements txn.Txn.
 func (t *MixedTxn) Run(ctx txn.Ctx) error {
@@ -127,6 +133,10 @@ func (t *ScanTxn) ReadSet() []txn.Key { return t.Keys }
 // WriteSet implements txn.Txn: read-only.
 func (t *ScanTxn) WriteSet() []txn.Key { return nil }
 
+// RangeSet implements txn.Txn: point reads only (the "scan" is the
+// paper's uniform multi-point read, not a key-range scan).
+func (t *ScanTxn) RangeSet() []txn.KeyRange { return nil }
+
 // Run implements txn.Txn.
 func (t *ScanTxn) Run(ctx txn.Ctx) error {
 	sum := uint64(0)
@@ -148,6 +158,11 @@ type YCSBSource struct {
 	zip *Zipfian
 	rng *rand.Rand
 	ids []uint64
+
+	// insSeed/insNext place this stream's YCSB-E inserts in an id block
+	// above the loaded table; see InsertE.
+	insSeed uint64
+	insNext uint64
 }
 
 // NewSource creates a transaction source drawing keys zipfian(theta) over
@@ -155,10 +170,11 @@ type YCSBSource struct {
 func (y YCSB) NewSource(seed int64, theta float64) *YCSBSource {
 	rng := rand.New(rand.NewSource(seed))
 	return &YCSBSource{
-		y:   y,
-		zip: NewZipfian(rng, uint64(y.Records), theta),
-		rng: rng,
-		ids: make([]uint64, 16),
+		y:       y,
+		zip:     NewZipfian(rng, uint64(y.Records), theta),
+		rng:     rng,
+		ids:     make([]uint64, 16),
+		insSeed: uint64(seed),
 	}
 }
 

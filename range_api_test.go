@@ -1,0 +1,56 @@
+package bohm_test
+
+import (
+	"errors"
+	"testing"
+
+	"bohm"
+)
+
+// TestRangeScanPublicAPI: declared range scans work through the public
+// facade on every engine.
+func TestRangeScanPublicAPI(t *testing.T) {
+	for name, e := range newEngines(t) {
+		for i := uint64(0); i < 10; i++ {
+			if err := e.Load(bohm.Key{Table: 0, ID: i * 2}, bohm.NewValue(8, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := bohm.KeyRange{Table: 0, Lo: 4, Hi: 13}
+		var rows int
+		var sum uint64
+		res := e.ExecuteBatch([]bohm.Txn{&bohm.Proc{
+			Ranges: []bohm.KeyRange{r},
+			Body: func(ctx bohm.Ctx) error {
+				rows, sum = 0, 0
+				return ctx.ReadRange(r, func(k bohm.Key, v []byte) error {
+					rows++
+					sum += bohm.U64(v)
+					return nil
+				})
+			},
+		}})
+		if res[0] != nil {
+			t.Fatalf("%s: %v", name, res[0])
+		}
+		// Keys 4, 6, 8, 10, 12 hold counters 2..6.
+		if rows != 5 || sum != 2+3+4+5+6 {
+			t.Errorf("%s: scan = %d rows sum %d, want 5 rows sum 20", name, rows, sum)
+		}
+	}
+}
+
+// TestDuplicateWriteKeyExported: the sentinel matches what BOHM reports
+// for a write-set repeating a key.
+func TestDuplicateWriteKeyExported(t *testing.T) {
+	e, err := bohm.New(bohm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	k := bohm.Key{Table: 0, ID: 1}
+	res := e.ExecuteBatch([]bohm.Txn{&bohm.Proc{Writes: []bohm.Key{k, k}}})
+	if !errors.Is(res[0], bohm.ErrDuplicateWriteKey) {
+		t.Fatalf("result = %v, want ErrDuplicateWriteKey", res[0])
+	}
+}
