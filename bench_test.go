@@ -345,6 +345,58 @@ func BenchmarkAblationTimestampCounter(b *testing.B) {
 	})
 }
 
+// benchAllocPointWrite drives pre-built single-key write transactions
+// (bench.PointWriteWindows — the same driver the mem experiment measures
+// with) through a BOHM engine in fixed-size chunks and reports allocs/op
+// and B/op — the steady-state allocation cost of the transaction hot path
+// (sequencer, CC placeholder insertion, execution, GC). Run with
+// -benchmem; CI holds the pooled path to a committed allocs/op budget.
+func benchAllocPointWrite(b *testing.B, disablePooling bool) {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	cfg.CCWorkers, cfg.ExecWorkers = 2, 2
+	cfg.Capacity = benchRecords
+	cfg.DisablePooling = disablePooling
+	e, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if err := (workload.YCSB{Records: benchRecords, RecordSize: benchRecordSize}).LoadInto(e); err != nil {
+		b.Fatal(err)
+	}
+
+	chunks := bench.PointWriteWindows(benchRecords, benchRecordSize, 4096, 256)
+
+	// Warm the pipeline (and, when pooling, the arenas) outside the
+	// measured region.
+	for _, c := range chunks {
+		e.ExecuteBatch(c)
+	}
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		for _, c := range chunks {
+			e.ExecuteBatch(c)
+			done += len(c)
+			if done >= b.N {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkAllocYCSBPointWrite is the allocation budget benchmark CI
+// enforces: allocs/op on the pooled YCSB point-write path must stay at or
+// below ci/alloc-budget.txt.
+func BenchmarkAllocYCSBPointWrite(b *testing.B) { benchAllocPointWrite(b, false) }
+
+// BenchmarkAllocYCSBPointWriteNoPool is the ablation: the same path with
+// Config.DisablePooling, i.e. the pre-arena allocation profile.
+func BenchmarkAllocYCSBPointWriteNoPool(b *testing.B) { benchAllocPointWrite(b, true) }
+
 // BenchmarkZipfian measures the key generator.
 func BenchmarkZipfian(b *testing.B) {
 	for _, theta := range []float64{0, 0.9} {

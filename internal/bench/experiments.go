@@ -24,8 +24,9 @@ type Scale struct {
 	ScanSize    int       // reads per long read-only transaction (paper: 10,000)
 	ReadOnlyPct []int     // read-only mix sweep for Figure 8
 
-	ScanMaxLen  int   // max rows per YCSB-E range scan
-	ScanMixPcts []int // range-scan percentage sweep for the scans experiment
+	ScanMaxLen   int   // max rows per YCSB-E range scan
+	ScanMixPcts  []int // range-scan percentage sweep for the scans experiment
+	ScanLenSweep []int // max-scan-length sweep (annotation amortization curve)
 
 	Fig4CC   []int // CC thread counts (paper: 1, 2, 4, 8)
 	Fig4Exec []int // execution thread counts (paper: 1..10)
@@ -37,19 +38,20 @@ type Scale struct {
 
 // Quick is the scaled-down configuration used by `go test -bench` and CI.
 var Quick = Scale{
-	Name:        "quick",
-	Records:     20_000,
-	RecordSize:  100,
-	Txns:        4_000,
-	Threads:     []int{1, 2, 4},
-	MaxThreads:  4,
-	Thetas:      []float64{0, 0.6, 0.9, 0.99},
-	ScanSize:    1_000,
-	ReadOnlyPct: []int{0, 1, 10, 100},
-	ScanMaxLen:  64,
-	ScanMixPcts: []int{50, 95, 100},
-	Fig4CC:      []int{1, 2},
-	Fig4Exec:    []int{1, 2, 4},
+	Name:         "quick",
+	Records:      20_000,
+	RecordSize:   100,
+	Txns:         4_000,
+	Threads:      []int{1, 2, 4},
+	MaxThreads:   4,
+	Thetas:       []float64{0, 0.6, 0.9, 0.99},
+	ScanSize:     1_000,
+	ReadOnlyPct:  []int{0, 1, 10, 100},
+	ScanMaxLen:   64,
+	ScanMixPcts:  []int{50, 95, 100},
+	ScanLenSweep: []int{4, 16, 64, 256},
+	Fig4CC:       []int{1, 2},
+	Fig4Exec:     []int{1, 2, 4},
 
 	SBCustomersHigh: 50,
 	SBCustomersLow:  20_000,
@@ -60,19 +62,20 @@ var Quick = Scale{
 // the paper's table and record sizes with shorter runs and a thread sweep
 // sized for single-digit core counts.
 var Ref = Scale{
-	Name:        "ref",
-	Records:     100_000,
-	RecordSize:  1_000,
-	Txns:        20_000,
-	Threads:     []int{1, 2, 4, 8},
-	MaxThreads:  8,
-	Thetas:      []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99},
-	ScanSize:    10_000,
-	ReadOnlyPct: []int{0, 1, 10, 100},
-	ScanMaxLen:  100,
-	ScanMixPcts: []int{50, 95, 100},
-	Fig4CC:      []int{1, 2, 4},
-	Fig4Exec:    []int{1, 2, 4, 8},
+	Name:         "ref",
+	Records:      100_000,
+	RecordSize:   1_000,
+	Txns:         20_000,
+	Threads:      []int{1, 2, 4, 8},
+	MaxThreads:   8,
+	Thetas:       []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99},
+	ScanSize:     10_000,
+	ReadOnlyPct:  []int{0, 1, 10, 100},
+	ScanMaxLen:   100,
+	ScanMixPcts:  []int{50, 95, 100},
+	ScanLenSweep: []int{10, 100, 1000},
+	Fig4CC:       []int{1, 2, 4},
+	Fig4Exec:     []int{1, 2, 4, 8},
 
 	SBCustomersHigh: 50,
 	SBCustomersLow:  20_000,
@@ -83,19 +86,20 @@ var Ref = Scale{
 // paper's 40-core machine the absolute numbers shrink but the relative
 // shapes remain.
 var Paper = Scale{
-	Name:        "paper",
-	Records:     1_000_000,
-	RecordSize:  1_000,
-	Txns:        100_000,
-	Threads:     []int{4, 8, 12, 16, 20, 24, 28, 32, 36, 40},
-	MaxThreads:  40,
-	Thetas:      []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99},
-	ScanSize:    10_000,
-	ReadOnlyPct: []int{0, 1, 10, 100},
-	ScanMaxLen:  100,
-	ScanMixPcts: []int{50, 95, 100},
-	Fig4CC:      []int{1, 2, 4, 8},
-	Fig4Exec:    []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+	Name:         "paper",
+	Records:      1_000_000,
+	RecordSize:   1_000,
+	Txns:         100_000,
+	Threads:      []int{4, 8, 12, 16, 20, 24, 28, 32, 36, 40},
+	MaxThreads:   40,
+	Thetas:       []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99},
+	ScanSize:     10_000,
+	ReadOnlyPct:  []int{0, 1, 10, 100},
+	ScanMaxLen:   100,
+	ScanMixPcts:  []int{50, 95, 100},
+	ScanLenSweep: []int{10, 100, 1000, 10000},
+	Fig4CC:       []int{1, 2, 4, 8},
+	Fig4Exec:     []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
 
 	SBCustomersHigh: 50,
 	SBCustomersLow:  100_000,
@@ -120,6 +124,7 @@ var Experiments = []Experiment{
 	{"fig9", "YCSB throughput at 1% long read-only transactions", Fig9},
 	{"fig10", "SmallBank throughput (high and low contention)", Fig10},
 	{"scans", "YCSB-E range-scan mix (zipfian start keys, 5-50% inserts)", Scans},
+	{"mem", "allocation profile of the transaction hot path (allocs/txn, B/txn)", Mem},
 	{"ablation-readrefs", "BOHM read-reference annotation on/off", AblationReadRefs},
 	{"ablation-gc", "BOHM garbage collection on/off", AblationGC},
 	{"ablation-batch", "BOHM batch size sweep (barrier amortization)", AblationBatch},

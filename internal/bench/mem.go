@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"bohm/internal/core"
+	"bohm/internal/engine"
+	"bohm/internal/txn"
+	"bohm/internal/workload"
+)
+
+// Mem measures the steady-state allocation profile of the transaction hot
+// path: allocs/txn and bytes/txn on a single-key YCSB point-write
+// workload, per engine, plus the BOHM pooling ablation. The workload side
+// is allocation-free by construction — a fixed ring of pre-built
+// transactions is resubmitted in fixed windows — so the numbers isolate
+// the engines' own allocation behaviour. The committed BENCH_alloc.json
+// is generated from this experiment.
+func Mem(s Scale) []*Table {
+	t := &Table{
+		ID:    "mem",
+		Title: "allocation profile, single-key point writes",
+		Param: "engine",
+		Series: []string{
+			"allocs/txn", "B/txn", "txns/sec", "recycled B/txn",
+		},
+		Notes: []string{
+			"allocs and bytes are process-wide runtime counters over the measured interval; the driver itself allocates nothing per transaction",
+			"recycled B/txn is BOHM's estimate of memory reused through its arenas and version pools instead of reallocated",
+		},
+	}
+	for _, k := range AllEngines {
+		if k == Bohm {
+			// BOHM is measured by the explicit pooled/ablation pair below;
+			// MakeEngine's default would duplicate the pooled row.
+			continue
+		}
+		e, err := MakeEngine(k, s.MaxThreads, s.Records)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(string(k), memPoint(k, e, s)...)
+	}
+	for _, pooling := range []bool{true, false} {
+		cc, exec := bohmSplit(s.MaxThreads)
+		cfg := core.DefaultConfig()
+		cfg.CCWorkers, cfg.ExecWorkers = cc, exec
+		cfg.Capacity = s.Records
+		cfg.DisablePooling = !pooling
+		e, err := core.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		label := "Bohm"
+		if !pooling {
+			label = "Bohm (DisablePooling)"
+		}
+		t.AddRow(label, memPoint(Bohm, e, s)...)
+	}
+	return []*Table{t}
+}
+
+// pointWrite is a pre-built single-key blind write; resubmitting it
+// allocates nothing on the driver side.
+type pointWrite struct {
+	ws  []txn.Key
+	val []byte
+}
+
+func (t *pointWrite) ReadSet() []txn.Key       { return nil }
+func (t *pointWrite) WriteSet() []txn.Key      { return t.ws }
+func (t *pointWrite) RangeSet() []txn.KeyRange { return nil }
+func (t *pointWrite) Run(ctx txn.Ctx) error    { return ctx.Write(t.ws[0], t.val) }
+
+// PointWriteWindows pre-builds a ring of distinct single-key blind writes
+// over the first `records` YCSB ids (distinct within each window —
+// ExecuteBatch rejects duplicate write keys per submission) and slices it
+// into submission windows. Driving the windows through ExecuteBatch in a
+// loop allocates nothing per transaction on the caller's side, so the
+// measured numbers isolate the engine's own allocation behaviour. The
+// alloc-budget benchmark and the mem experiment share this driver so they
+// measure the same workload.
+func PointWriteWindows(records, recordSize, ring, window int) [][]txn.Txn {
+	if ring > records {
+		ring = records / window * window
+		if ring < window {
+			ring = window
+		}
+	}
+	val := txn.NewValue(recordSize, 7)
+	txns := make([]txn.Txn, ring)
+	for i := range txns {
+		txns[i] = &pointWrite{ws: []txn.Key{{Table: workload.YCSBTable, ID: uint64(i % records)}}, val: val}
+	}
+	windows := make([][]txn.Txn, 0, ring/window)
+	for i := 0; i+window <= ring; i += window {
+		windows = append(windows, txns[i:i+window])
+	}
+	return windows
+}
+
+// memPoint loads e, warms it up, then measures allocations and throughput
+// over s.Txns point writes. It closes the engine before returning so the
+// next engine's measurement starts from a quiet process.
+func memPoint(kind EngineKind, e engine.Engine, s Scale) []float64 {
+	defer e.Close()
+	y := workload.YCSB{Records: s.Records, RecordSize: s.RecordSize}
+	if err := y.LoadInto(e); err != nil {
+		panic(err)
+	}
+
+	const window = 256
+	windows := PointWriteWindows(s.Records, s.RecordSize, 4*window, window)
+
+	feed := func(total int) {
+		done := 0
+		for done < total {
+			for _, w := range windows {
+				e.ExecuteBatch(w)
+				done += len(w)
+				if done >= total {
+					break
+				}
+			}
+		}
+	}
+
+	// Warm the pipeline and, for BOHM, the arenas, then measure from a
+	// collected heap so the runtime counters cover only the interval.
+	feed(s.Txns / 4)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	before := e.Stats()
+	start := time.Now()
+	feed(s.Txns)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	st := e.Stats().Sub(before)
+
+	n := float64(s.Txns)
+	res := Result{
+		Txns:       s.Txns,
+		Elapsed:    elapsed,
+		Throughput: float64(st.Committed) / elapsed.Seconds(),
+		Stats:      st,
+	}
+	recordRun(kind, res)
+	return []float64{
+		float64(m1.Mallocs-m0.Mallocs) / n,
+		float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		res.Throughput,
+		float64(st.BytesRecycled) / n,
+	}
+}

@@ -38,7 +38,7 @@ func Scans(s Scale) []*Table {
 	for _, pct := range s.ScanMixPcts {
 		var vals []float64
 		for _, k := range AllEngines {
-			tput, st := scanPoint(k, s, pct)
+			tput, st := scanPoint(k, s, pct, s.ScanMaxLen)
 			vals = append(vals, tput)
 			if k == Bohm {
 				anno.AddRow(fmt.Sprintf("%d%%", pct), float64(st.Stats.RangeRefHits), float64(st.Stats.ChainSteps))
@@ -46,16 +46,55 @@ func Scans(s Scale) []*Table {
 		}
 		mix.AddRow(fmt.Sprintf("%d%%", pct), vals...)
 	}
-	return []*Table{mix, anno}
+	return []*Table{mix, anno, scanLengthSweep(s)}
 }
 
-// scanPoint measures one engine at one scan percentage, returning
-// throughput and the run's counter delta.
-func scanPoint(kind EngineKind, s Scale, pct int) (float64, Result) {
+// scanLengthSweep holds the scan percentage fixed and sweeps the maximum
+// scan length instead, exposing the amortization curve of BOHM's CC-time
+// range annotation: the per-scan fixed cost (directory seek, annotation
+// set-up) is spread over more rows as scans lengthen, so BOHM's per-row
+// advantage over revalidating engines grows with the length.
+func scanLengthSweep(s Scale) *Table {
+	t := &Table{
+		ID:    "scans-length",
+		Title: fmt.Sprintf("YCSB-E scan-length sweep at %d threads (95%% scans, theta=0.9)", s.MaxThreads),
+		Param: "max scan len",
+		Notes: []string{
+			hostNote(),
+			"rows/sec normalizes throughput by the expected rows per scan, isolating the per-row cost",
+		},
+	}
+	for _, k := range AllEngines {
+		t.Series = append(t.Series, string(k))
+	}
+	t.Series = append(t.Series, "Bohm rows/sec")
+	const pct = 95
+	for _, maxLen := range s.ScanLenSweep {
+		var vals []float64
+		var bohmTput float64
+		for _, k := range AllEngines {
+			tput, _ := scanPoint(k, s, pct, maxLen)
+			vals = append(vals, tput)
+			if k == Bohm {
+				bohmTput = tput
+			}
+		}
+		// Expected rows touched per transaction in the mix: pct% scans of
+		// mean (maxLen+1)/2 rows, the rest single-row inserts.
+		avgRows := float64(pct)/100.0*float64(maxLen+1)/2.0 + float64(100-pct)/100.0
+		vals = append(vals, bohmTput*avgRows)
+		t.AddRow(fmt.Sprintf("%d", maxLen), vals...)
+	}
+	return t
+}
+
+// scanPoint measures one engine at one scan percentage and maximum scan
+// length, returning throughput and the run's counter delta.
+func scanPoint(kind EngineKind, s Scale, pct, maxLen int) (float64, Result) {
 	y := workload.YCSB{Records: s.Records, RecordSize: s.RecordSize}
 	// Scale the transaction count so each point does comparable row work
 	// regardless of the scan share.
-	avgOps := 1.0 + float64(pct)/100.0*float64(s.ScanMaxLen)/2.0
+	avgOps := 1.0 + float64(pct)/100.0*float64(maxLen)/2.0
 	txns := int(float64(s.Txns) * 10.0 / avgOps)
 	if txns < 500 {
 		txns = 500
@@ -74,7 +113,7 @@ func scanPoint(kind EngineKind, s Scale, pct int) (float64, Result) {
 		rng := rand.New(rand.NewSource(int64(59 + stream)))
 		return func() txn.Txn {
 			if rng.Intn(100) < pct {
-				return src.ScanE(s.ScanMaxLen)
+				return src.ScanE(maxLen)
 			}
 			return src.InsertE()
 		}

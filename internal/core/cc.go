@@ -24,6 +24,10 @@ func (e *Engine) ccWorker(w int) {
 	defer e.ccWG.Done()
 	part := e.parts[w]
 	st := &e.ccStats[w]
+	var pool *storage.VersionPool
+	if e.vpools != nil {
+		pool = e.vpools[w]
+	}
 
 	for b := range e.ccIn[w] {
 		var wm uint64
@@ -35,8 +39,16 @@ func (e *Engine) ccWorker(w int) {
 			}
 			return wm
 		}
+		if pool != nil {
+			// Recycle versions whose retire epoch has drained: collected
+			// during the CC step of a batch the watermark has passed by
+			// retireLag (see the lifetime argument at retireLag).
+			if cwm := wmLookup(); cwm > retireLag {
+				pool.Release(cwm - retireLag)
+			}
+		}
 		if b.plans != nil {
-			e.runPlanned(w, b, wmLookup)
+			e.runPlanned(w, b, pool, wmLookup)
 		} else {
 			for _, nd := range b.nodes {
 				// Reads and range annotations first: a read-modify-write
@@ -58,14 +70,14 @@ func (e *Engine) ccWorker(w int) {
 				}
 				if nd.rangeRefs != nil {
 					for r := range nd.ranges {
-						e.annotateRange(w, nd, r)
+						e.annotateRange(w, b, nd, r)
 					}
 				}
 				for i, k := range nd.writes {
 					if e.partitionOf(k) != w {
 						continue
 					}
-					e.insertPlaceholder(part, st, nd, i, b.seq, wmLookup)
+					e.insertPlaceholder(part, st, pool, nd, i, b.seq, wmLookup)
 				}
 			}
 		}
@@ -78,13 +90,20 @@ func (e *Engine) ccWorker(w int) {
 }
 
 // insertPlaceholder creates the uninitialized version for write slot i of
-// nd, links it into the record's chain, registers first-ever keys in the
-// partition's ordered directory, and opportunistically garbage collects
-// the chain's tail below the execution watermark.
+// nd — drawn from the partition's version pool when pooling is on — links
+// it into the record's chain, registers first-ever keys in the partition's
+// ordered directory, and opportunistically garbage collects the chain's
+// tail below the execution watermark, handing collected versions back to
+// the pool.
 func (e *Engine) insertPlaceholder(part *storage.Map[storage.Chain], st *workerStats,
-	nd *node, i int, batchSeq uint64, wmLookup func() uint64) {
+	pool *storage.VersionPool, nd *node, i int, batchSeq uint64, wmLookup func() uint64) {
 	k := nd.writes[i]
-	v := storage.NewPlaceholder(nd.ts, batchSeq, nd)
+	var v *storage.Version
+	if pool != nil {
+		v = pool.NewPlaceholder(nd.ts, batchSeq, nd)
+	} else {
+		v = storage.NewPlaceholder(nd.ts, batchSeq, nd)
+	}
 	chain, created, err := part.GetOrInsert(k, func() *storage.Chain {
 		return storage.NewChain(nil)
 	})
@@ -108,8 +127,14 @@ func (e *Engine) insertPlaceholder(part *storage.Map[storage.Chain], st *workerS
 	nd.writeVers[i] = v
 	atomic.AddUint64(&st.versionsCreated, 1)
 	if e.cfg.GC {
-		if n := chain.Collect(wmLookup()); n > 0 {
+		if head, n := chain.CollectReclaim(wmLookup()); n > 0 {
 			atomic.AddUint64(&st.versionsCollected, uint64(n))
+			if pool != nil {
+				// Park the cut sublist until the retire epoch of this
+				// batch drains; without a pool the sublist is simply
+				// abandoned to the runtime's collector, as before.
+				pool.Retire(head, batchSeq)
+			}
 		}
 	}
 }
@@ -122,9 +147,23 @@ func (e *Engine) insertPlaceholder(part *storage.Map[storage.Chain], st *workerS
 // at nd.ts must observe. Keys created by later-timestamped transactions
 // are not yet in the directory, and keys created by earlier ones all are:
 // the annotation is a phantom-free snapshot of the range by construction.
-func (e *Engine) annotateRange(w int, nd *node, r int) {
+//
+// When the partition's key fence excludes the declared range outright the
+// directory walk is skipped entirely — the annotation is the empty set by
+// the same argument, since the fence only ever widens and covered every
+// key inserted before this point of the CC stream.
+func (e *Engine) annotateRange(w int, b *batch, nd *node, r int) {
+	if e.dirs[w].ExcludesRange(nd.ranges[r]) {
+		atomic.AddUint64(&e.ccStats[w].rangeFenceSkips, 1)
+		nd.rangeRefs[r][w] = nil
+		return
+	}
 	part := e.parts[w]
 	var ents []rangeEntry
+	pooled := b.ents != nil
+	if pooled {
+		ents = b.ents[w].take()
+	}
 	e.dirs[w].AscendRange(nd.ranges[r], func(k txn.Key) bool {
 		if c := part.Get(k); c != nil {
 			if h := c.Head(); h != nil {
@@ -133,6 +172,9 @@ func (e *Engine) annotateRange(w int, nd *node, r int) {
 		}
 		return true
 	})
+	if pooled {
+		ents = b.ents[w].commit(ents)
+	}
 	nd.rangeRefs[r][w] = ents
 }
 

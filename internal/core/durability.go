@@ -304,14 +304,6 @@ func Recover(cfg Config, reg *txn.Registry) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	var replay []*wal.Batch
-	_, _, err = wal.ReadLog(cfg.LogDir, ckWM, func(b *wal.Batch) error {
-		replay = append(replay, b)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
 
 	e := build(cfg)
 	// Continue the previous epoch's batch numbering so the post-recovery
@@ -334,24 +326,60 @@ func Recover(cfg Config, reg *txn.Registry) (*Engine, error) {
 		}
 	}
 
+	// Replay is pipelined: a reader goroutine streams the log — decoding
+	// records and rebuilding transactions through the registry — while
+	// this goroutine executes the previous batch. The two-slot channel is
+	// the prefetch window: decode of batch n+1 (and n+2) overlaps
+	// execution of batch n, and the log is never materialized in memory
+	// at once (the pre-pipelining replay held every batch simultaneously).
+	type replayBatch struct {
+		seq uint64
+		ts  []txn.Txn
+		err error
+	}
+	stream := make(chan replayBatch, 2)
+	go func() {
+		defer close(stream)
+		_, _, rerr := wal.ReadLog(cfg.LogDir, ckWM, func(b *wal.Batch) error {
+			ts := make([]txn.Txn, len(b.Txns))
+			for i := range b.Txns {
+				r := &b.Txns[i]
+				body, berr := reg.Build(r.Proc, r.Args)
+				if berr != nil {
+					return fmt.Errorf("bohm: replaying batch %d: %w", b.Seq, berr)
+				}
+				ts[i] = &replayTxn{t: body, reads: r.Reads, writes: r.Writes, ranges: r.Ranges}
+			}
+			stream <- replayBatch{seq: b.Seq, ts: ts}
+			return nil
+		})
+		if rerr != nil {
+			stream <- replayBatch{err: rerr}
+		}
+	}()
+	replayed := 0
+	var replayErr error
 	expected := ckWM + 1
-	for _, b := range replay {
-		if b.Seq != expected {
-			return fail(fmt.Errorf("%w: log resumes at batch %d, checkpoint covers %d", wal.ErrCorrupt, b.Seq, expected-1))
+	for rb := range stream {
+		if replayErr != nil {
+			continue // drain so the reader goroutine can exit
+		}
+		if rb.err != nil {
+			replayErr = rb.err
+			continue
+		}
+		if rb.seq != expected {
+			replayErr = fmt.Errorf("%w: log resumes at batch %d, checkpoint covers %d", wal.ErrCorrupt, rb.seq, expected-1)
+			continue
 		}
 		expected++
-		ts := make([]txn.Txn, len(b.Txns))
-		for i := range b.Txns {
-			r := &b.Txns[i]
-			body, err := reg.Build(r.Proc, r.Args)
-			if err != nil {
-				return fail(fmt.Errorf("bohm: replaying batch %d: %w", b.Seq, err))
-			}
-			ts[i] = &replayTxn{t: body, reads: r.Reads, writes: r.Writes, ranges: r.Ranges}
-		}
+		replayed++
 		// Transaction errors here are user aborts re-occurring exactly as
 		// they did originally; they are part of a faithful replay.
-		e.ExecuteBatch(ts)
+		e.ExecuteBatch(rb.ts)
+	}
+	if replayErr != nil {
+		return fail(replayErr)
 	}
 
 	// Re-establish durability: make sure one checkpoint covers the
@@ -359,10 +387,10 @@ func Recover(cfg Config, reg *txn.Registry) (*Engine, error) {
 	// it. When the replay was empty the loaded checkpoint already equals
 	// the in-memory state, so a clean restart skips the O(database)
 	// checkpoint rewrite and only removes stale segments.
-	if ckFound || len(replay) > 0 {
+	if ckFound || replayed > 0 {
 		e.waitQuiesce()
 		w := e.seqBase + e.batches.Load()
-		if len(replay) > 0 || !ckFound {
+		if replayed > 0 || !ckFound {
 			boundary, ok := e.batchBoundary(w)
 			if !ok {
 				return fail(fmt.Errorf("bohm: no timestamp boundary for recovered batch %d", w))

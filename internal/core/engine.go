@@ -45,6 +45,17 @@ type Config struct {
 	// DisableReadRefs turns off the read-reference annotation of §3.2.3,
 	// forcing reads to traverse version chains (ablation).
 	DisableReadRefs bool
+	// DisablePooling turns off the engine's memory recycling (ablation):
+	// batch, node and annotation memory is allocated per transaction and
+	// abandoned to the runtime's garbage collector, and placeholder
+	// versions are individually heap-allocated instead of drawn from
+	// per-partition blocks. With pooling on (the default) the steady-state
+	// transaction path performs no allocation: batches cycle through a
+	// retire ring gated on the execution watermark (and the checkpoint
+	// pin, when checkpointing), and versions collected by GC return to the
+	// owning partition's pool under the same epoch argument. Results are
+	// identical either way; only the allocation profile differs.
+	DisablePooling bool
 	// Preprocess enables the §3.2.2 pre-processing layer: transactions
 	// are analyzed once and per-partition work lists are forwarded to the
 	// CC workers, so a CC worker no longer examines transactions that
@@ -130,6 +141,7 @@ type workerStats struct {
 	recursiveExecs    uint64
 	versionsCreated   uint64
 	versionsCollected uint64
+	rangeFenceSkips   uint64
 	_                 [8]uint64 // pad to a cache line to avoid false sharing
 }
 
@@ -179,6 +191,16 @@ type Engine struct {
 
 	ccStats   []workerStats // one per CC worker, owner-written
 	execStats []workerStats // one per execution worker
+
+	// Pooling state (nil / unused under Config.DisablePooling). vpools[p]
+	// is CC worker p's version block allocator; retireCh carries executed
+	// batches back to the sequencer, which recycles them once the
+	// watermark gate (retireLag) passes. arenaBatches and arenaBytes are
+	// the recycling observability counters.
+	vpools       []*storage.VersionPool
+	retireCh     chan *batch
+	arenaBatches atomic.Uint64
+	arenaBytes   atomic.Uint64
 
 	// Durability state; see durability.go. wal and ackCh are nil when
 	// Config.LogDir is empty. logOn flips on only while the pipeline is
@@ -258,7 +280,19 @@ func build(cfg Config) *Engine {
 		e.ccDone[i] = make(chan *batch, 2)
 	}
 	for i := range e.execIn {
-		e.execIn[i] = make(chan *batch, 2)
+		// The buffer depth is part of the retire ring's lifetime argument;
+		// see retireLag before changing it.
+		e.execIn[i] = make(chan *batch, execQueueCap)
+	}
+	if !cfg.DisablePooling {
+		e.vpools = make([]*storage.VersionPool, cfg.CCWorkers)
+		for p := range e.vpools {
+			e.vpools[p] = storage.NewVersionPool()
+		}
+		// Sized past the free-list bound so execution workers never block
+		// on retirement; overflow batches are simply dropped to the
+		// runtime GC by the non-blocking send.
+		e.retireCh = make(chan *batch, 2*maxFreeBatches)
 	}
 	e.seqOut = e.ccIn
 	if cfg.Preprocess {
@@ -483,6 +517,7 @@ func (e *Engine) Stats() engine.Stats {
 		w := &e.ccStats[i]
 		s.VersionsCreated += atomic.LoadUint64(&w.versionsCreated)
 		s.VersionsCollected += atomic.LoadUint64(&w.versionsCollected)
+		s.RangeFenceSkips += atomic.LoadUint64(&w.rangeFenceSkips)
 	}
 	for i := range e.execStats {
 		w := &e.execStats[i]
@@ -493,8 +528,16 @@ func (e *Engine) Stats() engine.Stats {
 		s.ChainSteps += atomic.LoadUint64(&w.chainSteps)
 		s.Requeues += atomic.LoadUint64(&w.requeues)
 		s.RecursiveExecs += atomic.LoadUint64(&w.recursiveExecs)
+		s.RangeFenceSkips += atomic.LoadUint64(&w.rangeFenceSkips)
 	}
 	s.Batches = e.batches.Load()
+	s.ArenaBatchesRecycled = e.arenaBatches.Load()
+	s.BytesRecycled = e.arenaBytes.Load()
+	for _, p := range e.vpools {
+		pooled, recycled := p.Stats()
+		s.VersionsPooled += pooled
+		s.BytesRecycled += recycled * storage.VersionBytes
+	}
 	if e.wal != nil {
 		ws := e.wal.Stats()
 		s.LogBatches = ws.Batches

@@ -26,6 +26,10 @@ var errDepBusy = errors.New("bohm: read dependency busy")
 func (e *Engine) execWorker(w int) {
 	defer e.execWG.Done()
 	st := &e.execStats[w]
+	var sc *ctxPool
+	if e.retireCh != nil {
+		sc = &ctxPool{}
+	}
 	n := e.cfg.ExecWorkers
 	for b := range e.execIn[w] {
 		for {
@@ -36,7 +40,7 @@ func (e *Engine) execWorker(w int) {
 					continue
 				}
 				if nd.state.CompareAndSwap(stUnprocessed, stExecuting) {
-					e.execute(nd, st)
+					e.execute(nd, st, sc)
 				}
 				if nd.state.Load() != stComplete {
 					incomplete = true
@@ -50,14 +54,59 @@ func (e *Engine) execWorker(w int) {
 			time.Sleep(5 * time.Microsecond)
 		}
 		e.execBatch[w].Store(b.seq)
+		if e.retireCh != nil && b.execDone.Add(1) == int32(n) {
+			// Last worker out retires the batch to the sequencer's
+			// recycle ring. The send is non-blocking: if the ring is
+			// full the batch is simply left to the runtime collector.
+			select {
+			case e.retireCh <- b:
+			default:
+			}
+		}
 	}
+}
+
+// ctxPool is one execution worker's free stack of execution contexts. A
+// stack (not a single slot) because dependency resolution executes
+// producer transactions recursively, so several contexts can be live on
+// one worker at once. A nil pool allocates fresh contexts — the
+// DisablePooling ablation.
+type ctxPool struct {
+	free []*execCtx
+}
+
+func (p *ctxPool) get() *execCtx {
+	if p == nil {
+		return &execCtx{}
+	}
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return c
+	}
+	return &execCtx{}
+}
+
+// put recycles c after an attempt. The context's slices are retained at
+// capacity; get's user re-initializes lengths and contents. vals is
+// cleared through its full capacity so a context that once staged large
+// write-sets does not pin old record payloads while serving small ones.
+func (p *ctxPool) put(c *execCtx) {
+	if p == nil {
+		return
+	}
+	c.nd = nil
+	c.st = nil
+	clear(c.vals[:cap(c.vals)])
+	p.free = append(p.free, c)
 }
 
 // execute runs one attempt of nd. The caller must have won the
 // Unprocessed→Executing CAS. Returns true when the transaction reached
 // Complete, false when it was suspended on a busy dependency.
-func (e *Engine) execute(nd *node, st *workerStats) bool {
-	err := e.runOnce(nd, st)
+func (e *Engine) execute(nd *node, st *workerStats, sc *ctxPool) bool {
+	err := e.runOnce(nd, st, sc)
 	if err == errDepBusy {
 		nd.state.Store(stUnprocessed)
 		atomic.AddUint64(&st.requeues, 1)
@@ -77,13 +126,29 @@ func (e *Engine) execute(nd *node, st *workerStats) bool {
 // runOnce performs a single evaluation attempt of nd's logic and, on
 // success, installs the produced data into the placeholder versions the CC
 // phase created. Nothing is installed until every input the finalization
-// needs is available, so a suspended attempt leaves no partial state.
-func (e *Engine) runOnce(nd *node, st *workerStats) error {
-	c := &execCtx{e: e, nd: nd, st: st}
+// needs is available, so a suspended attempt leaves no partial state. The
+// execution context (and its staging slices) comes from the worker's pool
+// and returns to it on every exit path.
+func (e *Engine) runOnce(nd *node, st *workerStats, sc *ctxPool) error {
+	c := sc.get()
+	defer sc.put(c)
+	c.e, c.nd, c.st, c.sc = e, nd, st, sc
+	c.busy, c.writeErr, c.readCursor = false, nil, 0
 	if n := len(nd.writes); n > 0 {
-		c.vals = make([][]byte, n)
-		c.wrote = make([]bool, n)
-		c.del = make([]bool, n)
+		if cap(c.vals) >= n {
+			c.vals = c.vals[:n]
+			c.wrote = c.wrote[:n]
+			c.del = c.del[:n]
+			clear(c.vals)
+			clear(c.wrote)
+			clear(c.del)
+		} else {
+			c.vals = make([][]byte, n)
+			c.wrote = make([]bool, n)
+			c.del = make([]bool, n)
+		}
+	} else {
+		c.vals, c.wrote, c.del = c.vals[:0], c.wrote[:0], c.del[:0]
 	}
 	err := txn.RunSafely(nd.t, c)
 	if c.busy {
@@ -129,6 +194,9 @@ type execCtx struct {
 	e  *Engine
 	nd *node
 	st *workerStats
+	// sc is the owning worker's context pool, threaded through so that
+	// recursive dependency execution draws from the same pool.
+	sc *ctxPool
 
 	vals  [][]byte
 	wrote []bool
@@ -240,7 +308,7 @@ func (c *execCtx) resolve(v *storage.Version) (data []byte, tombstone bool, err 
 		case stUnprocessed:
 			if p.state.CompareAndSwap(stUnprocessed, stExecuting) {
 				atomic.AddUint64(&c.st.recursiveExecs, 1)
-				c.e.execute(p, c.st)
+				c.e.execute(p, c.st, c.sc)
 			}
 		default: // stExecuting on another worker
 			spins++
@@ -294,6 +362,14 @@ func (c *execCtx) ReadRange(r txn.KeyRange, fn func(k txn.Key, v []byte) error) 
 	// directories at execution time and resolve visibility per chain.
 	sources := make([][]rangeEntry, 0, len(c.e.parts))
 	for p := range c.e.parts {
+		if c.e.dirs[p].ExcludesRange(r) {
+			// The partition's key fence excludes the whole range; the
+			// walk would visit nothing. Safe for the same reason the walk
+			// is: every key an earlier-timestamped transaction will ever
+			// write was fenced in before this batch reached execution.
+			atomic.AddUint64(&c.st.rangeFenceSkips, 1)
+			continue
+		}
 		part := c.e.parts[p]
 		var ents []rangeEntry
 		c.e.dirs[p].AscendRange(r, func(k txn.Key) bool {

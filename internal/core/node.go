@@ -22,6 +22,7 @@ package core
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"bohm/internal/storage"
 	"bohm/internal/txn"
@@ -139,6 +140,12 @@ func (s *submission) complete(nd *node) {
 // batch is the unit of coordination between phases (§3.2.4): CC workers
 // synchronize once per batch; a forwarder goroutine implements the batch
 // barrier and hands batches to the execution phase in sequence order.
+//
+// With pooling enabled (the default), a batch is also the unit of memory
+// recycling: its nodes live in a slab, its per-node slices are carved from
+// per-batch arenas, and the whole object cycles back to the sequencer
+// through the engine's retire ring once the execution watermark proves no
+// reader can still touch it (see the retireLag argument below).
 type batch struct {
 	seq   uint64
 	nodes []*node
@@ -146,8 +153,199 @@ type batch struct {
 	// work lists: plans[cc][pp] is the sequence of items preprocessing
 	// worker pp extracted for CC worker cc, in timestamp order.
 	plans [][][]planItem
+
+	// Arena state, populated only when pooling is on.
+	//
+	// nodeBuf is the slab backing the batch's nodes: node i of the batch
+	// is &nodeBuf[i], so a steady-state batch allocates no node memory at
+	// all. refs backs the writeVers and readRefs slices; rangeSpines and
+	// rangeRows back the two outer levels of rangeRefs; ents[w] is CC
+	// worker w's private arena for range-annotation entries. All are
+	// reset — not freed — when the batch recycles.
+	nodeBuf     []node
+	refs        arena[*storage.Version]
+	rangeSpines arena[[][]rangeEntry]
+	rangeRows   arena[[]rangeEntry]
+	ents        []entArena
+
+	// execDone counts execution workers finished with the batch; the
+	// worker that completes it pushes the batch into the retire ring.
+	execDone atomic.Int32
 }
 
-func newBatch(seq uint64, capacity int) *batch {
-	return &batch{seq: seq, nodes: make([]*node, 0, capacity)}
+// newNode returns the next node of the batch's slab. Only the sequencer
+// calls it, and only when pooling is on.
+func (b *batch) newNode() *node {
+	if b.nodeBuf == nil {
+		b.nodeBuf = make([]node, cap(b.nodes))
+	}
+	return &b.nodeBuf[len(b.nodes)]
 }
+
+// execQueueCap is the buffer depth of each execution input channel. The
+// retire-ring lifetime argument depends on it; see retireLag.
+const execQueueCap = 2
+
+// retireLag is how far past a batch's sequence the execution watermark
+// must advance before the batch's memory (nodes, arenas) and the versions
+// superseded during its CC step may be reused.
+//
+// The hazard is a stale pointer: an execution worker resolves a read
+// dependency by loading Version.Producer — a *node — but only when the
+// version is not yet Ready, and placeholder versions of batch B all become
+// Ready before the watermark reaches B (Install precedes Complete precedes
+// the worker's watermark store). So after the watermark passes B, no NEW
+// load can reach B's nodes; the only danger is a worker that loaded the
+// pointer earlier — while some version of B was still unready — and is
+// still executing. Such a worker's current batch C was in flight while B
+// was: the forwarder releases batches to every worker in sequence order
+// through channels of capacity execQueueCap, so while any worker is still
+// executing B, the forwarder cannot have handed out any batch past
+// B + execQueueCap + 1. Once the watermark reaches B + retireLag, every
+// such C has fully drained and no stale pointer into B can exist.
+//
+// The same bound covers versions cut out of chains by GC during the CC
+// step of batch b: a reader can hold a pointer into the cut sublist only
+// if it loaded it before the cut, and at cut time execution had not
+// reached b (CC precedes execution), so every such reader is in a batch
+// ≤ b + retireLag - 1. Fresh traversals never enter a cut region at all —
+// the newest superseded version s (which always stays linked) satisfies
+// every live reader's and the checkpoint snapshotter's visibility bound,
+// so walks stop at or above s.
+//
+// While periodic checkpointing is active the gate uses watermark(), which
+// is additionally capped at the checkpoint pin, so recycling also trails
+// the newest checkpoint exactly like garbage collection does.
+const retireLag = execQueueCap + 1
+
+// maxFreeBatches bounds the sequencer's batch free list. The pipeline
+// holds only a handful of batches in flight (CC and execution queue
+// depths plus retireLag), so anything above that is workload burst that
+// should return to the runtime.
+const maxFreeBatches = 8
+
+// resetForReuse clears a retired batch for the next sequencer epoch and
+// returns an estimate of the bytes made reusable. Only the sequencer calls
+// it, and only after the watermark gate has proven the batch unreachable.
+func (b *batch) resetForReuse() uint64 {
+	bytes := uint64(len(b.nodes)) * nodeBytes
+	for _, nd := range b.nodes {
+		// Drop references eagerly so user transactions, submissions and
+		// version slices become collectable now rather than when the slot
+		// is next used.
+		nd.t = nil
+		nd.sub = nil
+		nd.reads, nd.writes, nd.ranges = nil, nil, nil
+		nd.writeVers, nd.readRefs, nd.rangeRefs = nil, nil, nil
+		nd.err = nil
+	}
+	b.nodes = b.nodes[:0]
+	b.execDone.Store(0)
+	bytes += b.refs.reset()
+	bytes += b.rangeSpines.reset()
+	bytes += b.rangeRows.reset()
+	for i := range b.ents {
+		bytes += b.ents[i].reset()
+	}
+	for c := range b.plans {
+		for j := range b.plans[c] {
+			bytes += uint64(len(b.plans[c][j])) * planItemBytes
+			b.plans[c][j] = b.plans[c][j][:0]
+		}
+	}
+	return bytes
+}
+
+// arena is a per-batch bump allocator: carve hands out fixed-size windows
+// of a backing buffer, and reset clears the used prefix for the next
+// epoch. When a batch's demand exceeds the buffer, carve falls back to a
+// fresh chunk (earlier windows keep the old chunk alive until the batch
+// retires) and reset grows the buffer to the observed demand, so a steady
+// workload converges to zero allocations per batch.
+type arena[T any] struct {
+	buf    []T
+	used   int
+	demand int
+}
+
+// arenaMinChunk is the smallest chunk an arena allocates.
+const arenaMinChunk = 1024
+
+func (a *arena[T]) carve(n int) []T {
+	a.demand += n
+	if a.used+n > len(a.buf) {
+		sz := n
+		if sz < arenaMinChunk {
+			sz = arenaMinChunk
+		}
+		a.buf = make([]T, sz)
+		a.used = 0
+	}
+	s := a.buf[a.used : a.used+n : a.used+n]
+	a.used += n
+	return s
+}
+
+// reset prepares the arena for the next batch and returns the bytes of
+// the recycled used prefix. Windows carved this epoch must be dead (the
+// retire gate): the clear below severs their contents, and the next epoch
+// reuses their memory.
+func (a *arena[T]) reset() uint64 {
+	var z T
+	bytes := uint64(a.used) * uint64(unsafe.Sizeof(z))
+	if a.demand > len(a.buf) {
+		a.buf = make([]T, a.demand)
+	} else {
+		clear(a.buf[:a.used])
+	}
+	a.used, a.demand = 0, 0
+	return bytes
+}
+
+// entArena is a per-CC-worker, per-batch arena for range-annotation
+// entries. Unlike arena, allocation size is unknown up front — annotations
+// grow by append — so the protocol is take (an empty window over the
+// buffer's free tail), append at will, then commit (adopt the window into
+// the buffer if the appends stayed in place, or record the overflow so
+// reset can grow the buffer for the next epoch).
+type entArena struct {
+	buf      []rangeEntry
+	overflow int
+}
+
+func (a *entArena) take() []rangeEntry { return a.buf[len(a.buf):] }
+
+func (a *entArena) commit(s []rangeEntry) []rangeEntry {
+	if n := len(a.buf) + len(s); n <= cap(a.buf) {
+		// The appends never outgrew the tail, so s still aliases buf.
+		a.buf = a.buf[:n]
+	} else {
+		a.overflow += len(s)
+	}
+	return s
+}
+
+func (a *entArena) reset() uint64 {
+	bytes := uint64(len(a.buf)) * entBytes
+	if a.overflow > 0 {
+		n := cap(a.buf) + a.overflow
+		if n < arenaMinChunk {
+			n = arenaMinChunk
+		}
+		a.buf = make([]rangeEntry, 0, n)
+		a.overflow = 0
+	} else {
+		// Clear through cap: an overflowing append may have written
+		// entries into the tail before escaping.
+		clear(a.buf[:cap(a.buf)])
+		a.buf = a.buf[:0]
+	}
+	return bytes
+}
+
+// Struct sizes for the bytes-recycled estimate.
+var (
+	nodeBytes     = uint64(unsafe.Sizeof(node{}))
+	entBytes      = uint64(unsafe.Sizeof(rangeEntry{}))
+	planItemBytes = uint64(unsafe.Sizeof(planItem{}))
+)

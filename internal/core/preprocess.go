@@ -13,6 +13,8 @@ package core
 // which preserves timestamp order because the stripes are contiguous and
 // ascending.
 
+import "bohm/internal/storage"
+
 // planItem kinds: insert a write placeholder, annotate a read reference,
 // or annotate a declared range over the partition's directory.
 const (
@@ -93,7 +95,7 @@ func (e *Engine) ppForwarder() {
 
 // runPlanned is the CC worker's fast path over a preprocessed plan: only
 // the keys this partition owns are visited, in timestamp order.
-func (e *Engine) runPlanned(w int, b *batch, wmLookup func() uint64) {
+func (e *Engine) runPlanned(w int, b *batch, pool *storage.VersionPool, wmLookup func() uint64) {
 	part := e.parts[w]
 	st := &e.ccStats[w]
 	for _, items := range b.plans[w] {
@@ -105,9 +107,9 @@ func (e *Engine) runPlanned(w int, b *batch, wmLookup func() uint64) {
 					nd.readRefs[it.keyIdx] = c.Head()
 				}
 			case itemRange:
-				e.annotateRange(w, nd, int(it.keyIdx))
+				e.annotateRange(w, b, nd, int(it.keyIdx))
 			default:
-				e.insertPlaceholder(part, st, nd, int(it.keyIdx), b.seq, wmLookup)
+				e.insertPlaceholder(part, st, pool, nd, int(it.keyIdx), b.seq, wmLookup)
 			}
 		}
 	}

@@ -6,6 +6,23 @@ import "bohm/internal/storage"
 // goroutine appends every incoming transaction to the logical transaction
 // log. A transaction's timestamp is its position in the log, so timestamp
 // assignment is an uncontended, counter-free operation.
+//
+// The sequencer is also the engine's allocator: with pooling on it owns
+// the batch free list, drawing nodes and per-node slices from each batch's
+// slab and arenas, and recycling retired batches once the watermark gate
+// (retireLag) proves them unreachable. Keeping allocation and recycling on
+// the one goroutine that already serializes admission makes the whole
+// scheme lock-free.
+
+// newBatch allocates a fresh batch — the cold path; pooled engines prefer
+// recycled batches.
+func (e *Engine) newBatch(seq uint64) *batch {
+	b := &batch{seq: seq, nodes: make([]*node, 0, e.cfg.BatchSize)}
+	if e.retireCh != nil {
+		b.ents = make([]entArena, e.cfg.CCWorkers)
+	}
+	return b
+}
 
 // sequencer consumes submissions, wraps their transactions into nodes with
 // consecutive timestamps, groups them into batches of cfg.BatchSize, and
@@ -20,13 +37,71 @@ func (e *Engine) sequencer() {
 		}
 	}()
 
+	pooled := e.retireCh != nil
+	// free and pending are the retire ring's sequencer side: pending holds
+	// executed batches still inside the retireLag window, free holds
+	// recycled ones ready for reuse. Plain locals — only this goroutine
+	// touches them.
+	var free, pending []*batch
+
+	// recycle drains the retire ring and moves every batch past the
+	// watermark gate onto the free list.
+	recycle := func() {
+	drain:
+		for {
+			select {
+			case b := <-e.retireCh:
+				pending = append(pending, b)
+			default:
+				break drain
+			}
+		}
+		if len(pending) == 0 {
+			return
+		}
+		wm := e.watermark()
+		if wm <= retireLag {
+			return
+		}
+		safe := wm - retireLag
+		keep := pending[:0]
+		for _, b := range pending {
+			switch {
+			case b.seq > safe:
+				keep = append(keep, b)
+			case len(free) < maxFreeBatches:
+				e.arenaBytes.Add(b.resetForReuse())
+				e.arenaBatches.Add(1)
+				free = append(free, b)
+			default:
+				// Free list full: burst memory returns to the runtime.
+			}
+		}
+		pending = keep
+	}
+
+	// acquire returns the next batch to fill, recycled when possible.
+	acquire := func(seq uint64) *batch {
+		if pooled {
+			recycle()
+			if n := len(free); n > 0 {
+				b := free[n-1]
+				free[n-1] = nil
+				free = free[:n-1]
+				b.seq = seq
+				return b
+			}
+		}
+		return e.newBatch(seq)
+	}
+
 	// Timestamps start at 1: timestamp 0 is reserved for loaded data,
 	// and batch sequence seqBase is the "nothing executed yet" GC
 	// watermark (seqBase is 0 on a fresh engine; after recovery it
 	// continues the previous epoch's numbering).
 	nextTS := uint64(1)
 	nextBatch := e.seqBase + 1
-	cur := newBatch(nextBatch, e.cfg.BatchSize)
+	cur := acquire(nextBatch)
 
 	flush := func() {
 		if len(cur.nodes) == 0 {
@@ -45,7 +120,9 @@ func (e *Engine) sequencer() {
 		if e.trackTS {
 			e.recordBatchTS(cur.seq, nextTS)
 		}
-		if e.cfg.Preprocess {
+		if e.cfg.Preprocess && cur.plans == nil {
+			// Recycled batches keep their plan structure (resetForReuse
+			// truncated the work lists); only fresh batches build it.
 			cur.plans = make([][][]planItem, e.cfg.CCWorkers)
 			for c := range cur.plans {
 				cur.plans[c] = make([][]planItem, e.cfg.PreprocessWorkers)
@@ -55,36 +132,63 @@ func (e *Engine) sequencer() {
 			ch <- cur
 		}
 		nextBatch++
-		cur = newBatch(nextBatch, e.cfg.BatchSize)
+		cur = acquire(nextBatch)
 	}
 
 	enqueue := func(sub *submission) {
 		for i, t := range sub.txns {
-			nd := &node{
-				t:      t,
-				ts:     nextTS,
-				reads:  t.ReadSet(),
-				writes: t.WriteSet(),
-				ranges: t.RangeSet(),
-				sub:    sub,
-				idx:    sub.origIdx(i),
+			var nd *node
+			if pooled {
+				nd = cur.newNode()
+				// Full re-initialization: the slot may have carried a
+				// transaction of an earlier epoch.
+				nd.err = nil
+				nd.state.Store(stUnprocessed)
+			} else {
+				nd = &node{}
 			}
+			nd.t = t
+			nd.ts = nextTS
+			nd.reads = t.ReadSet()
+			nd.writes = t.WriteSet()
+			nd.ranges = t.RangeSet()
+			nd.writeVers, nd.readRefs, nd.rangeRefs = nil, nil, nil
+			nd.sub = sub
+			nd.idx = sub.origIdx(i)
 			nextTS++
 			// Slots are allocated here, before fan-out, because several
 			// CC workers fill disjoint entries of the same slice
-			// concurrently (intra-transaction parallelism, §3.2.2).
-			if len(nd.writes) > 0 {
-				nd.writeVers = make([]*storage.Version, len(nd.writes))
+			// concurrently (intra-transaction parallelism, §3.2.2). With
+			// pooling they are carved from the batch's arenas; arena
+			// windows come back zeroed, which the CC phase relies on for
+			// readRefs slots of never-written keys.
+			if n := len(nd.writes); n > 0 {
+				if pooled {
+					nd.writeVers = cur.refs.carve(n)
+				} else {
+					nd.writeVers = make([]*storage.Version, n)
+				}
 			}
-			if len(nd.reads) > 0 && !e.cfg.DisableReadRefs {
-				nd.readRefs = make([]*storage.Version, len(nd.reads))
+			if n := len(nd.reads); n > 0 && !e.cfg.DisableReadRefs {
+				if pooled {
+					nd.readRefs = cur.refs.carve(n)
+				} else {
+					nd.readRefs = make([]*storage.Version, n)
+				}
 			}
-			if len(nd.ranges) > 0 && !e.cfg.DisableReadRefs {
+			if n := len(nd.ranges); n > 0 && !e.cfg.DisableReadRefs {
 				// rangeRefs[r][p]: every CC worker annotates its own
 				// partition's slice of every declared range.
-				nd.rangeRefs = make([][][]rangeEntry, len(nd.ranges))
-				for r := range nd.rangeRefs {
-					nd.rangeRefs[r] = make([][]rangeEntry, e.cfg.CCWorkers)
+				if pooled {
+					nd.rangeRefs = cur.rangeSpines.carve(n)
+					for r := range nd.rangeRefs {
+						nd.rangeRefs[r] = cur.rangeRows.carve(e.cfg.CCWorkers)
+					}
+				} else {
+					nd.rangeRefs = make([][][]rangeEntry, n)
+					for r := range nd.rangeRefs {
+						nd.rangeRefs[r] = make([][]rangeEntry, e.cfg.CCWorkers)
+					}
 				}
 			}
 			cur.nodes = append(cur.nodes, nd)

@@ -54,6 +54,19 @@ type Stats struct {
 	RecursiveExecs uint64
 	// Batches counts concurrency-control batches processed.
 	Batches uint64
+	// ArenaBatchesRecycled counts batch objects (node slabs plus their
+	// slice arenas) recycled through BOHM's watermark-gated retire ring
+	// instead of being handed to the runtime's garbage collector.
+	ArenaBatchesRecycled uint64
+	// VersionsPooled counts placeholder versions served from a partition's
+	// recycled-version free list rather than freshly allocated.
+	VersionsPooled uint64
+	// BytesRecycled estimates the bytes of engine memory reused through
+	// pooling (node slabs, arena windows, recycled version structs).
+	BytesRecycled uint64
+	// RangeFenceSkips counts partition range walks skipped because the
+	// partition directory's min/max key fence excluded the whole range.
+	RangeFenceSkips uint64
 	// TimestampFetches counts atomic fetch-and-increment operations on a
 	// global timestamp counter (Hekaton/SI; zero for BOHM by design).
 	TimestampFetches uint64
@@ -76,22 +89,26 @@ type Stats struct {
 // interval between two snapshots.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Committed:          s.Committed - o.Committed,
-		UserAborts:         s.UserAborts - o.UserAborts,
-		CCAborts:           s.CCAborts - o.CCAborts,
-		VersionsCreated:    s.VersionsCreated - o.VersionsCreated,
-		VersionsCollected:  s.VersionsCollected - o.VersionsCollected,
-		ReadRefHits:        s.ReadRefHits - o.ReadRefHits,
-		RangeRefHits:       s.RangeRefHits - o.RangeRefHits,
-		ChainSteps:         s.ChainSteps - o.ChainSteps,
-		Requeues:           s.Requeues - o.Requeues,
-		RecursiveExecs:     s.RecursiveExecs - o.RecursiveExecs,
-		Batches:            s.Batches - o.Batches,
-		TimestampFetches:   s.TimestampFetches - o.TimestampFetches,
-		LogBatches:         s.LogBatches - o.LogBatches,
-		LogBytes:           s.LogBytes - o.LogBytes,
-		LogSyncs:           s.LogSyncs - o.LogSyncs,
-		Checkpoints:        s.Checkpoints - o.Checkpoints,
-		CheckpointFailures: s.CheckpointFailures - o.CheckpointFailures,
+		Committed:            s.Committed - o.Committed,
+		UserAborts:           s.UserAborts - o.UserAborts,
+		CCAborts:             s.CCAborts - o.CCAborts,
+		VersionsCreated:      s.VersionsCreated - o.VersionsCreated,
+		VersionsCollected:    s.VersionsCollected - o.VersionsCollected,
+		ReadRefHits:          s.ReadRefHits - o.ReadRefHits,
+		RangeRefHits:         s.RangeRefHits - o.RangeRefHits,
+		ChainSteps:           s.ChainSteps - o.ChainSteps,
+		Requeues:             s.Requeues - o.Requeues,
+		RecursiveExecs:       s.RecursiveExecs - o.RecursiveExecs,
+		Batches:              s.Batches - o.Batches,
+		ArenaBatchesRecycled: s.ArenaBatchesRecycled - o.ArenaBatchesRecycled,
+		VersionsPooled:       s.VersionsPooled - o.VersionsPooled,
+		BytesRecycled:        s.BytesRecycled - o.BytesRecycled,
+		RangeFenceSkips:      s.RangeFenceSkips - o.RangeFenceSkips,
+		TimestampFetches:     s.TimestampFetches - o.TimestampFetches,
+		LogBatches:           s.LogBatches - o.LogBatches,
+		LogBytes:             s.LogBytes - o.LogBytes,
+		LogSyncs:             s.LogSyncs - o.LogSyncs,
+		Checkpoints:          s.Checkpoints - o.Checkpoints,
+		CheckpointFailures:   s.CheckpointFailures - o.CheckpointFailures,
 	}
 }

@@ -38,6 +38,21 @@ var factories = []struct {
 		}
 		return e
 	}},
+	{"bohm-nopool", true, func(t *testing.T) engine.Engine {
+		// The DisablePooling ablation must be observationally identical to
+		// pooled BOHM on every suite; only the allocation profile differs.
+		cfg := core.DefaultConfig()
+		cfg.CCWorkers = 2
+		cfg.ExecWorkers = 3
+		cfg.BatchSize = 32
+		cfg.Capacity = 1 << 12
+		cfg.DisablePooling = true
+		e, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}},
 	{"hekaton", true, func(t *testing.T) engine.Engine {
 		cfg := hekaton.DefaultConfig()
 		cfg.Workers = 3

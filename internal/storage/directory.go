@@ -29,6 +29,14 @@ type Directory struct {
 	head *dirNode
 	n    atomic.Int64
 
+	// min and max fence the directory's key population: nil while empty,
+	// then the smallest and largest key ever inserted. A range whose
+	// window misses [min, max] provably matches nothing, so scanners can
+	// skip the walk (and, in BOHM, skip a whole partition's annotation
+	// step). Published before the key's links so that any reader who can
+	// see a key also sees a fence admitting it.
+	min, max atomic.Pointer[txn.Key]
+
 	mu  sync.Mutex // serializes writers; guards rnd
 	rnd uint64
 }
@@ -90,6 +98,19 @@ func (d *Directory) Insert(k txn.Key) bool {
 		return false
 	}
 
+	// Widen the fence before publishing the key: a reader that finds k in
+	// the list must not be told by the fence that k cannot exist. max is
+	// stored before min so readers that observe a non-nil min (their
+	// emptiness check) always find a non-nil max too.
+	if mx := d.max.Load(); mx == nil || mx.Less(k) {
+		kc := k
+		d.max.Store(&kc)
+	}
+	if mn := d.min.Load(); mn == nil || k.Less(*mn) {
+		kc := k
+		d.min.Store(&kc)
+	}
+
 	lvl := d.randLevel()
 	nd := &dirNode{k: k, next: make([]atomic.Pointer[dirNode], lvl)}
 	// Set the new node's outgoing links before publishing any incoming
@@ -140,6 +161,36 @@ func (d *Directory) AscendRange(r txn.KeyRange, fn func(k txn.Key) bool) {
 			return
 		}
 	}
+}
+
+// Bounds returns the smallest and largest key ever inserted. ok is false
+// while the directory is empty.
+func (d *Directory) Bounds() (min, max txn.Key, ok bool) {
+	mn := d.min.Load()
+	if mn == nil {
+		return txn.Key{}, txn.Key{}, false
+	}
+	return *mn, *d.max.Load(), true
+}
+
+// ExcludesRange reports whether the directory provably holds no key in r:
+// the directory is empty, or r's window [FirstKey, LimitKey) lies entirely
+// outside the [min, max] key fence. A false result promises nothing — the
+// range may still be empty — but a true result lets scanners skip the
+// walk. Safe for concurrent use; a key fully inserted before the call is
+// never excluded by its own range.
+func (d *Directory) ExcludesRange(r txn.KeyRange) bool {
+	if r.Empty() {
+		return true
+	}
+	mn := d.min.Load()
+	if mn == nil {
+		return true
+	}
+	if !mn.Less(r.LimitKey()) { // min >= limit: whole population above r
+		return true
+	}
+	return d.max.Load().Less(r.FirstKey()) // max < first: population below r
 }
 
 // Next returns the smallest key at or after k, for next-key questions.

@@ -145,3 +145,75 @@ func TestDirectoryConcurrentReadersDuringInserts(t *testing.T) {
 		t.Fatalf("visited %d keys after quiescence, want %d", count, n)
 	}
 }
+
+// TestDirectoryFence checks the min/max key fence: exclusion must be
+// exact on an empty directory, widen with inserts, and never exclude a
+// range that holds a present key.
+func TestDirectoryFence(t *testing.T) {
+	d := NewDirectory()
+	if _, _, ok := d.Bounds(); ok {
+		t.Fatal("Bounds ok on empty directory")
+	}
+	if !d.ExcludesRange(txn.KeyRange{Table: 0, Lo: 0, Hi: 1 << 60}) {
+		t.Fatal("empty directory must exclude every range")
+	}
+
+	d.Insert(txn.Key{Table: 1, ID: 100})
+	d.Insert(txn.Key{Table: 1, ID: 200})
+	mn, mx, ok := d.Bounds()
+	if !ok || mn != (txn.Key{Table: 1, ID: 100}) || mx != (txn.Key{Table: 1, ID: 200}) {
+		t.Fatalf("Bounds = %v %v %v", mn, mx, ok)
+	}
+
+	cases := []struct {
+		r       txn.KeyRange
+		exclude bool
+	}{
+		{txn.KeyRange{Table: 1, Lo: 0, Hi: 100}, true},     // ends at min (exclusive)
+		{txn.KeyRange{Table: 1, Lo: 0, Hi: 101}, false},    // covers min
+		{txn.KeyRange{Table: 1, Lo: 201, Hi: 300}, true},   // starts past max
+		{txn.KeyRange{Table: 1, Lo: 200, Hi: 300}, false},  // covers max
+		{txn.KeyRange{Table: 1, Lo: 120, Hi: 150}, false},  // inside fence (maybe empty, still not excluded)
+		{txn.KeyRange{Table: 0, Lo: 0, Hi: 1 << 62}, true}, // whole other table below min
+		{txn.KeyRange{Table: 2, Lo: 0, Hi: 1 << 62}, true}, // whole other table above max
+		{txn.KeyRange{Table: 1, Lo: 5, Hi: 5}, true},       // empty range
+	}
+	for _, c := range cases {
+		if got := d.ExcludesRange(c.r); got != c.exclude {
+			t.Errorf("ExcludesRange(%v) = %v, want %v", c.r, got, c.exclude)
+		}
+	}
+
+	// Widening: a smaller and a larger key move the fence.
+	d.Insert(txn.Key{Table: 0, ID: 7})
+	d.Insert(txn.Key{Table: 2, ID: 9})
+	if d.ExcludesRange(txn.KeyRange{Table: 0, Lo: 7, Hi: 8}) {
+		t.Fatal("fence did not widen downward")
+	}
+	if d.ExcludesRange(txn.KeyRange{Table: 2, Lo: 9, Hi: 10}) {
+		t.Fatal("fence did not widen upward")
+	}
+}
+
+// TestDirectoryFenceNeverExcludesPresentKey cross-checks exclusion
+// against a live walk under random inserts: any range the fence excludes
+// must have an empty walk.
+func TestDirectoryFenceNeverExcludesPresentKey(t *testing.T) {
+	d := NewDirectory()
+	rng := rand.New(rand.NewSource(42))
+	present := map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		id := uint64(rng.Intn(10_000))
+		d.Insert(txn.Key{Table: 3, ID: id})
+		present[id] = true
+		lo := uint64(rng.Intn(10_000))
+		r := txn.KeyRange{Table: 3, Lo: lo, Hi: lo + uint64(rng.Intn(50))}
+		if d.ExcludesRange(r) {
+			n := 0
+			d.AscendRange(r, func(txn.Key) bool { n++; return false })
+			if n != 0 {
+				t.Fatalf("fence excluded %v but the walk found %d key(s)", r, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// VersionPool is a per-partition block allocator for Versions, in the
+// spirit of Hekaton's record allocator: versions are carved from slab
+// blocks instead of individual heap allocations, and versions reclaimed by
+// chain garbage collection are recycled once the engine's execution
+// watermark proves no reader can still be traversing them.
+//
+// Ownership contract: a pool belongs to exactly one concurrency control
+// thread — the owner of the partition whose chains the versions live in —
+// and every method except Stats must be called from that thread only.
+// This mirrors the single-writer discipline of the chains themselves and
+// makes the pool lock-free by construction.
+//
+// Reclamation is epoch-based, with batch sequence numbers as the epochs:
+// Retire(vers, seq) parks versions cut out of chains while processing
+// batch seq, and Release(safeSeq) moves every generation with seq <=
+// safeSeq onto the free list. The engine passes safeSeq = watermark -
+// retireLag, the point past which no in-flight reader loaded before the
+// cut can still exist (see core's retire-ring argument).
+type VersionPool struct {
+	// block is the current slab; next indexes its first unused slot.
+	block []Version
+	next  int
+	// blockSize is the slab length for the next block allocation.
+	blockSize int
+
+	// free holds recycled versions ready for reuse.
+	free []*Version
+
+	// limbo holds retired generations awaiting their release epoch, in
+	// ascending seq order (Retire is called with nondecreasing seqs).
+	limbo []limboGen
+
+	// pooled and recycled are observability counters: versions served
+	// from the free list, and versions moved into it. Written by the
+	// owner thread, read concurrently by Stats.
+	pooled   atomic.Uint64
+	recycled atomic.Uint64
+}
+
+// limboGen is one retired generation: versions cut from chains while the
+// owner processed batch seq. The versions form a list linked through their
+// prev pointers (the chain links they were cut with), avoiding any
+// allocation on the retire path.
+type limboGen struct {
+	seq  uint64
+	head *Version
+}
+
+// defaultVersionBlock is the initial slab size; blocks double up to
+// maxVersionBlock as demand grows so that steady state reaches one slab
+// allocation per several batches, then none once recycling catches up.
+const (
+	defaultVersionBlock = 512
+	maxVersionBlock     = 16384
+)
+
+// NewVersionPool creates an empty pool.
+func NewVersionPool() *VersionPool {
+	return &VersionPool{blockSize: defaultVersionBlock}
+}
+
+// NewPlaceholder returns an uninitialized version for a transaction's
+// write, equivalent to the package-level NewPlaceholder but served from
+// the pool: a recycled version when one is free, a slab slot otherwise.
+func (p *VersionPool) NewPlaceholder(begin, batch uint64, producer any) *Version {
+	var v *Version
+	if n := len(p.free); n > 0 {
+		v = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.pooled.Add(1)
+		// Reset every field: the version carries a dead transaction's
+		// data, producer and links. No reader can hold it — that is what
+		// Release's epoch gate established.
+		v.data = nil
+		v.tombstone = false
+		v.ready.Store(0)
+		v.prev.Store(nil)
+	} else {
+		if p.next == len(p.block) {
+			p.block = make([]Version, p.blockSize)
+			p.next = 0
+			if p.blockSize < maxVersionBlock {
+				p.blockSize *= 2
+			}
+		}
+		v = &p.block[p.next]
+		p.next++
+	}
+	v.Begin = begin
+	v.Batch = batch
+	v.Producer = producer
+	v.end.Store(TsInfinity)
+	return v
+}
+
+// Retire parks a list of versions cut out of a chain while the owner was
+// processing batch seq. head is the newest cut version; the list hangs off
+// its prev links exactly as Chain.CollectReclaim left them. Retire must be
+// called with nondecreasing seq across calls; versions retired under the
+// same seq coalesce into one generation.
+func (p *VersionPool) Retire(head *Version, seq uint64) {
+	if head == nil {
+		return
+	}
+	if n := len(p.limbo); n > 0 && p.limbo[n-1].seq == seq {
+		// Append the new list to the generation: walk to the new list's
+		// tail and hang the old head under it. Lists are short (bounded
+		// by chain churn per batch), and this keeps Retire allocation-
+		// free without a tail pointer per generation.
+		tail := head
+		for t := tail.Prev(); t != nil; t = t.Prev() {
+			tail = t
+		}
+		tail.prev.Store(p.limbo[n-1].head)
+		p.limbo[n-1].head = head
+		return
+	}
+	p.limbo = append(p.limbo, limboGen{seq: seq, head: head})
+}
+
+// Release moves every limbo generation with seq <= safeSeq onto the free
+// list. The caller guarantees no live reader can still hold a pointer into
+// those generations (the engine derives safeSeq from its execution
+// watermark and checkpoint pin).
+func (p *VersionPool) Release(safeSeq uint64) {
+	i := 0
+	for ; i < len(p.limbo) && p.limbo[i].seq <= safeSeq; i++ {
+		n := 0
+		for v := p.limbo[i].head; v != nil; {
+			next := v.Prev()
+			// Drop the data reference now so record payloads become
+			// collectable the moment their version enters the free list,
+			// not when it is eventually reused.
+			v.data = nil
+			v.Producer = nil
+			v.prev.Store(nil)
+			p.free = append(p.free, v)
+			n++
+			v = next
+		}
+		p.limbo[i] = limboGen{}
+		p.recycled.Add(uint64(n))
+	}
+	if i > 0 {
+		p.limbo = append(p.limbo[:0], p.limbo[i:]...)
+	}
+}
+
+// Stats returns the pool's counters: versions served from the free list
+// and versions recycled into it. Safe to call from any thread.
+func (p *VersionPool) Stats() (pooled, recycled uint64) {
+	return p.pooled.Load(), p.recycled.Load()
+}
+
+// VersionBytes is the in-memory size of one Version struct, for
+// bytes-recycled accounting.
+const VersionBytes = uint64(unsafe.Sizeof(Version{}))
+
+// CollectReclaim is Collect with reclamation: it applies the same GC
+// Condition 3 cut, but instead of abandoning the unlinked sublist to the
+// runtime's garbage collector it returns its head so the caller can hand
+// the versions to a VersionPool. The returned list is linked through the
+// versions' prev pointers; it is nil when nothing was collected.
+//
+// The concurrency argument for the cut itself is Collect's. The argument
+// for *reuse* is stronger and belongs to the caller: a reader that loaded
+// a pointer into the cut sublist did so before the cut, hence was
+// executing a batch older than the one being concurrency-controlled when
+// CollectReclaim ran — the caller must delay reuse until those batches
+// have drained (VersionPool.Release's epoch gate).
+func (c *Chain) CollectReclaim(watermark uint64) (head *Version, n int) {
+	h := c.head.Load()
+	if h == nil {
+		return nil, 0
+	}
+	s := h.Prev() // newest superseded version; must itself stay visible
+	if s == nil || s.Batch > watermark || !s.Ready() {
+		return nil, 0
+	}
+	head = s.Prev()
+	for w := head; w != nil; w = w.Prev() {
+		n++
+	}
+	if n > 0 {
+		s.prev.Store(nil)
+	}
+	return head, n
+}

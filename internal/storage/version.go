@@ -167,20 +167,6 @@ func (c *Chain) Len() int {
 // (RCU-style: readers already traversing the old sublist still see
 // consistent immutable data; new traversals stop at the cut).
 func (c *Chain) Collect(watermark uint64) int {
-	h := c.head.Load()
-	if h == nil {
-		return 0
-	}
-	s := h.Prev() // newest superseded version; must itself stay visible
-	if s == nil || s.Batch > watermark || !s.Ready() {
-		return 0
-	}
-	n := 0
-	for w := s.Prev(); w != nil; w = w.Prev() {
-		n++
-	}
-	if n > 0 {
-		s.prev.Store(nil)
-	}
+	_, n := c.CollectReclaim(watermark)
 	return n
 }
