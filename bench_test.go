@@ -351,12 +351,13 @@ func BenchmarkAblationTimestampCounter(b *testing.B) {
 // and B/op — the steady-state allocation cost of the transaction hot path
 // (sequencer, CC placeholder insertion, execution, GC). Run with
 // -benchmem; CI holds the pooled path to a committed allocs/op budget.
-func benchAllocPointWrite(b *testing.B, disablePooling bool) {
+// driveAllocBench loads the YCSB table into a fresh engine built from
+// cfg, warms the pipeline (and any arenas) with one full pass of the
+// pre-built windows outside the measured region, then drives b.N
+// transactions through them. All three CI-gated allocation benchmarks
+// share this protocol so their allocs/op figures stay comparable.
+func driveAllocBench(b *testing.B, cfg core.Config, chunks [][]txn.Txn) {
 	b.Helper()
-	cfg := core.DefaultConfig()
-	cfg.CCWorkers, cfg.ExecWorkers = 2, 2
-	cfg.Capacity = benchRecords
-	cfg.DisablePooling = disablePooling
 	e, err := core.New(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -365,11 +366,6 @@ func benchAllocPointWrite(b *testing.B, disablePooling bool) {
 	if err := (workload.YCSB{Records: benchRecords, RecordSize: benchRecordSize}).LoadInto(e); err != nil {
 		b.Fatal(err)
 	}
-
-	chunks := bench.PointWriteWindows(benchRecords, benchRecordSize, 4096, 256)
-
-	// Warm the pipeline (and, when pooling, the arenas) outside the
-	// measured region.
 	for _, c := range chunks {
 		e.ExecuteBatch(c)
 	}
@@ -388,6 +384,15 @@ func benchAllocPointWrite(b *testing.B, disablePooling bool) {
 	}
 }
 
+func benchAllocPointWrite(b *testing.B, disablePooling bool) {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	cfg.CCWorkers, cfg.ExecWorkers = 2, 2
+	cfg.Capacity = benchRecords
+	cfg.DisablePooling = disablePooling
+	driveAllocBench(b, cfg, bench.PointWriteWindows(benchRecords, benchRecordSize, 4096, 256))
+}
+
 // BenchmarkAllocYCSBPointWrite is the allocation budget benchmark CI
 // enforces: allocs/op on the pooled YCSB point-write path must stay at or
 // below ci/alloc-budget.txt.
@@ -396,6 +401,45 @@ func BenchmarkAllocYCSBPointWrite(b *testing.B) { benchAllocPointWrite(b, false)
 // BenchmarkAllocYCSBPointWriteNoPool is the ablation: the same path with
 // Config.DisablePooling, i.e. the pre-arena allocation profile.
 func BenchmarkAllocYCSBPointWriteNoPool(b *testing.B) { benchAllocPointWrite(b, true) }
+
+// BenchmarkAllocYCSBPointWriteDurable is the durability-on allocation
+// budget benchmark CI enforces: the same pooled point-write path with
+// command logging enabled (sync policy "never", so the numbers measure
+// the logging path's allocations, not fsync latency). The encode buffers
+// — the engine's wal record and the writer's frame scratch — are reused
+// across appends, so logging adds no per-transaction allocations.
+func BenchmarkAllocYCSBPointWriteDurable(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.CCWorkers, cfg.ExecWorkers = 2, 2
+	cfg.Capacity = benchRecords
+	cfg.LogDir = b.TempDir()
+	cfg.SyncPolicy = SyncNever
+	reg := NewRegistry()
+	workload.RegisterYCSB(reg, benchRecordSize)
+	driveAllocBench(b, cfg, bench.PointWriteCallWindows(reg, benchRecords, 4096, 256))
+}
+
+// benchAllocFastRead measures allocs/op on the single-key read-only path:
+// pre-built point-read transactions resubmitted in fixed windows, so the
+// numbers isolate the engine's read machinery. With the fast path (the
+// default) the target CI enforces is zero allocations per read; the
+// NoFast ablation shows what the full pipeline pays for the same reads.
+func benchAllocFastRead(b *testing.B, disableFastPath bool) {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	cfg.CCWorkers, cfg.ExecWorkers = 2, 2
+	cfg.Capacity = benchRecords
+	cfg.DisableReadOnlyFastPath = disableFastPath
+	driveAllocBench(b, cfg, bench.PointReadWindows(benchRecords, 4096, 256))
+}
+
+// BenchmarkAllocYCSBFastRead is the fast-path read allocation benchmark
+// CI enforces at a budget of zero allocations per read.
+func BenchmarkAllocYCSBFastRead(b *testing.B) { benchAllocFastRead(b, false) }
+
+// BenchmarkAllocYCSBFastReadNoFast is the ablation: the same reads
+// through the full pipeline.
+func BenchmarkAllocYCSBFastReadNoFast(b *testing.B) { benchAllocFastRead(b, true) }
 
 // BenchmarkZipfian measures the key generator.
 func BenchmarkZipfian(b *testing.B) {

@@ -55,6 +55,26 @@
 //		},
 //	}
 //
+// # Read-only fast path
+//
+// A transaction with an empty declared write-set never enters the
+// pipeline: ExecuteBatch diverts it to a pool of snapshot-read workers
+// that read the multiversion store at the execution watermark — a
+// boundary at which every version is final — with a reader-epoch scheme
+// keeping those versions safe from garbage collection and memory
+// recycling for the duration. The result is serializable (equivalent to
+// serializing the transaction immediately after the last completed
+// batch) and recent (every write acknowledged before the submission is
+// observed). ExecuteReadOnly validates and submits read-only batches,
+// and Engine.Read serves a single zero-allocation point read:
+//
+//	val, err := eng.Read(bohm.Key{Table: 0, ID: 1}, buf) // buf reused across calls
+//
+// Read-only transactions mixed into a writing ExecuteBatch call
+// serialize at the snapshot, before that call's writes; set
+// Config.DisableReadOnlyFastPath to pipeline them like any other
+// transaction instead.
+//
 // # Engines
 //
 // New creates a BOHM engine (the paper's contribution); NewHekaton,
@@ -147,6 +167,10 @@ var ErrAbort = txn.ErrAbort
 // write-set repeats a key; BOHM rejects it at submission (each write-set
 // entry allocates one version, and a duplicate would deadlock on itself).
 var ErrDuplicateWriteKey = core.ErrDuplicateWriteKey
+
+// ErrNotReadOnly is reported by the BOHM engine's ExecuteReadOnly for
+// transactions whose declared write-set is not empty.
+var ErrNotReadOnly = core.ErrNotReadOnly
 
 // Config parameterizes the BOHM engine; see the field documentation in
 // the internal core package.

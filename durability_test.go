@@ -69,9 +69,16 @@ func TestDurabilityPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A non-loggable transaction must be rejected.
-	if res := eng.ExecuteBatch([]bohm.Txn{&bohm.Proc{}}); !errors.Is(res[0], bohm.ErrNotLoggable) {
-		t.Fatalf("plain Proc on durable engine: %v", res[0])
+	// A non-loggable writing transaction must be rejected; a read-only one
+	// is accepted — the snapshot fast path bypasses the command log.
+	unloggable := &bohm.Proc{Writes: []bohm.Key{k}, Body: func(c bohm.Ctx) error {
+		return c.Write(k, bohm.NewValue(8, 0))
+	}}
+	if res := eng.ExecuteBatch([]bohm.Txn{unloggable}); !errors.Is(res[0], bohm.ErrNotLoggable) {
+		t.Fatalf("plain writing Proc on durable engine: %v", res[0])
+	}
+	if res := eng.ExecuteBatch([]bohm.Txn{&bohm.Proc{}}); res[0] != nil {
+		t.Fatalf("plain read-only Proc on durable engine: %v", res[0])
 	}
 
 	for i := 0; i < 5; i++ {

@@ -27,6 +27,7 @@ type Scale struct {
 	ScanMaxLen   int   // max rows per YCSB-E range scan
 	ScanMixPcts  []int // range-scan percentage sweep for the scans experiment
 	ScanLenSweep []int // max-scan-length sweep (annotation amortization curve)
+	ReadMixPcts  []int // read-percentage sweep for the reads experiment (YCSB-B/C)
 
 	Fig4CC   []int // CC thread counts (paper: 1, 2, 4, 8)
 	Fig4Exec []int // execution thread counts (paper: 1..10)
@@ -50,6 +51,7 @@ var Quick = Scale{
 	ScanMaxLen:   64,
 	ScanMixPcts:  []int{50, 95, 100},
 	ScanLenSweep: []int{4, 16, 64, 256},
+	ReadMixPcts:  []int{50, 95, 100},
 	Fig4CC:       []int{1, 2},
 	Fig4Exec:     []int{1, 2, 4},
 
@@ -74,6 +76,7 @@ var Ref = Scale{
 	ScanMaxLen:   100,
 	ScanMixPcts:  []int{50, 95, 100},
 	ScanLenSweep: []int{10, 100, 1000},
+	ReadMixPcts:  []int{0, 50, 95, 100},
 	Fig4CC:       []int{1, 2, 4},
 	Fig4Exec:     []int{1, 2, 4, 8},
 
@@ -98,6 +101,7 @@ var Paper = Scale{
 	ScanMaxLen:   100,
 	ScanMixPcts:  []int{50, 95, 100},
 	ScanLenSweep: []int{10, 100, 1000, 10000},
+	ReadMixPcts:  []int{0, 50, 95, 100},
 	Fig4CC:       []int{1, 2, 4, 8},
 	Fig4Exec:     []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
 
@@ -124,6 +128,7 @@ var Experiments = []Experiment{
 	{"fig9", "YCSB throughput at 1% long read-only transactions", Fig9},
 	{"fig10", "SmallBank throughput (high and low contention)", Fig10},
 	{"scans", "YCSB-E range-scan mix (zipfian start keys, 5-50% inserts)", Scans},
+	{"reads", "YCSB-B/C read-heavy mix (snapshot fast path vs pipeline)", Reads},
 	{"mem", "allocation profile of the transaction hot path (allocs/txn, B/txn)", Mem},
 	{"ablation-readrefs", "BOHM read-reference annotation on/off", AblationReadRefs},
 	{"ablation-gc", "BOHM garbage collection on/off", AblationGC},

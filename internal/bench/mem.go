@@ -73,31 +73,58 @@ func (t *pointWrite) WriteSet() []txn.Key      { return t.ws }
 func (t *pointWrite) RangeSet() []txn.KeyRange { return nil }
 func (t *pointWrite) Run(ctx txn.Ctx) error    { return ctx.Write(t.ws[0], t.val) }
 
-// PointWriteWindows pre-builds a ring of distinct single-key blind writes
-// over the first `records` YCSB ids (distinct within each window —
-// ExecuteBatch rejects duplicate write keys per submission) and slices it
-// into submission windows. Driving the windows through ExecuteBatch in a
-// loop allocates nothing per transaction on the caller's side, so the
-// measured numbers isolate the engine's own allocation behaviour. The
-// alloc-budget benchmark and the mem experiment share this driver so they
-// measure the same workload.
-func PointWriteWindows(records, recordSize, ring, window int) [][]txn.Txn {
+// singleKeyWindows clamps the ring to the table (keys stay distinct
+// within each window — ExecuteBatch rejects duplicate write keys per
+// submission), builds one single-key transaction per slot, and slices
+// the ring into submission windows. Driving the windows through
+// ExecuteBatch in a loop allocates nothing per transaction on the
+// caller's side, so measurements isolate the engine's own behaviour.
+func singleKeyWindows(records, ring, window int, build func(k txn.Key) txn.Txn) [][]txn.Txn {
 	if ring > records {
 		ring = records / window * window
 		if ring < window {
 			ring = window
 		}
 	}
-	val := txn.NewValue(recordSize, 7)
 	txns := make([]txn.Txn, ring)
 	for i := range txns {
-		txns[i] = &pointWrite{ws: []txn.Key{{Table: workload.YCSBTable, ID: uint64(i % records)}}, val: val}
+		txns[i] = build(txn.Key{Table: workload.YCSBTable, ID: uint64(i % records)})
 	}
 	windows := make([][]txn.Txn, 0, ring/window)
 	for i := 0; i+window <= ring; i += window {
 		windows = append(windows, txns[i:i+window])
 	}
 	return windows
+}
+
+// PointWriteWindows pre-builds a ring of single-key blind writes over the
+// first `records` YCSB ids. The alloc-budget benchmark and the mem
+// experiment share this driver so they measure the same workload.
+func PointWriteWindows(records, recordSize, ring, window int) [][]txn.Txn {
+	val := txn.NewValue(recordSize, 7)
+	return singleKeyWindows(records, ring, window, func(k txn.Key) txn.Txn {
+		return &pointWrite{ws: []txn.Key{k}, val: val}
+	})
+}
+
+// PointWriteCallWindows is PointWriteWindows with registry-built
+// (loggable) transactions, for measuring the durability-on point-write
+// allocation profile: the same blind single-key writes, expressed as
+// ProcPut calls so a durable engine accepts and logs them. reg must have
+// been set up with workload.RegisterYCSB.
+func PointWriteCallWindows(reg *txn.Registry, records, ring, window int) [][]txn.Txn {
+	return singleKeyWindows(records, ring, window, func(k txn.Key) txn.Txn {
+		return reg.MustCall(workload.ProcPut, workload.EncodeKeys([]txn.Key{k}))
+	})
+}
+
+// PointReadWindows pre-builds a ring of single-key read-only point reads
+// over the first `records` YCSB ids — on BOHM these ride the snapshot
+// fast path, whose target is zero allocations per read.
+func PointReadWindows(records, ring, window int) [][]txn.Txn {
+	return singleKeyWindows(records, ring, window, func(k txn.Key) txn.Txn {
+		return &workload.ScanTxn{Keys: []txn.Key{k}}
+	})
 }
 
 // memPoint loads e, warms it up, then measures allocations and throughput

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bohm/internal/core"
+	"bohm/internal/engine"
+	"bohm/internal/txn"
+	"bohm/internal/workload"
+)
+
+// Reads measures the read-heavy YCSB mixes the read-only fast path is
+// built for: single-key zipfian operations with the read fraction swept
+// through YCSB-B (95/5) up to YCSB-C (100/0). The first table compares
+// all five engines; the second isolates BOHM's fast path against the
+// pipelined ablation (Config.DisableReadOnlyFastPath) on identical
+// configurations — the committed BENCH_reads.json pins the speedup.
+func Reads(s Scale) []*Table {
+	engines := &Table{
+		ID:    "reads",
+		Title: fmt.Sprintf("YCSB-B/C single-key read mix at %d threads (zipfian theta=0.9)", s.MaxThreads),
+		Param: "% reads",
+		Notes: []string{
+			hostNote(),
+			"reads are single-key read-only transactions (YCSB-C = 100%); writes are single-key RMW",
+			"BOHM serves the reads on its snapshot fast path (Stats.ReadOnlyFastPath in the JSON runs)",
+		},
+	}
+	for _, k := range AllEngines {
+		engines.Series = append(engines.Series, string(k))
+	}
+	for _, pct := range s.ReadMixPcts {
+		var vals []float64
+		for _, k := range AllEngines {
+			e, err := MakeEngine(k, s.MaxThreads, s.Records)
+			if err != nil {
+				panic(err)
+			}
+			vals = append(vals, readMixPoint(k, e, s, pct))
+		}
+		engines.AddRow(fmt.Sprintf("%d%%", pct), vals...)
+	}
+
+	cc, exec := bohmSplit(s.MaxThreads)
+	ablation := &Table{
+		ID:    "reads-ablation",
+		Title: fmt.Sprintf("BOHM read-only fast path vs pipeline (%d CC + %d exec workers)", cc, exec),
+		Param: "% reads",
+		Series: []string{
+			"fast path", "pipeline", "speedup %",
+		},
+		Notes: []string{
+			"identical configurations; \"pipeline\" sets Config.DisableReadOnlyFastPath",
+			"speedup % is fast-path throughput over pipelined throughput at the same mix, in percent",
+			"transactions are pre-built and resubmitted in a ring from a single submitter stream, so the numbers isolate the engine paths from driver-side generation and scheduler oversubscription",
+			"the 100% row is YCSB-C: reads bypass the sequencer, CC partitions, batch barrier and execution scheduler entirely",
+		},
+	}
+	for _, pct := range s.ReadMixPcts {
+		once := func(disable bool) float64 {
+			cfg := core.DefaultConfig()
+			cfg.CCWorkers, cfg.ExecWorkers = cc, exec
+			cfg.Capacity = s.Records
+			cfg.DisableReadOnlyFastPath = disable
+			e, err := core.New(cfg)
+			if err != nil {
+				panic(err)
+			}
+			defer e.Close()
+			y := workload.YCSB{Records: s.Records, RecordSize: s.RecordSize}
+			if err := y.LoadInto(e); err != nil {
+				panic(err)
+			}
+			// No GOMAXPROCS override: the ablation measures the two engine
+			// paths at the host's real parallelism; oversubscription noise
+			// would swamp the per-operation delta.
+			r := Run(Bohm, e, Options{Txns: s.Txns, Streams: 1},
+				prebuiltMixGen(y, 0.9, pct, 8192))
+			return r.Throughput
+		}
+		// Best of three: scheduler interference only ever subtracts, so
+		// the maximum is the least-noisy estimate of each path's capacity.
+		point := func(disable bool) float64 {
+			best := 0.0
+			for i := 0; i < 3; i++ {
+				if v := once(disable); v > best {
+					best = v
+				}
+			}
+			return best
+		}
+		fast := point(false)
+		piped := point(true)
+		speedup := 0.0
+		if piped > 0 {
+			speedup = 100 * fast / piped
+		}
+		ablation.AddRow(fmt.Sprintf("%d%%", pct), fast, piped, speedup)
+	}
+	return []*Table{engines, ablation}
+}
+
+// readMixGen mixes single-key zipfian point reads and RMW updates at the
+// given read percentage, one independent source and rng per stream.
+func readMixGen(y workload.YCSB, theta float64, readPct int) func(stream int) func() txn.Txn {
+	return func(stream int) func() txn.Txn {
+		src := y.NewSource(int64(7000+stream*31337), theta)
+		rng := rand.New(rand.NewSource(int64(41 + stream)))
+		return func() txn.Txn {
+			if rng.Intn(100) < readPct {
+				return src.PointRead()
+			}
+			return src.RMW1()
+		}
+	}
+}
+
+// prebuiltMixGen pre-builds a per-stream ring of the read mix and cycles
+// it: resubmission costs nothing on the driver side, so ablation points
+// measure the engine paths alone. A stream never has the same transaction
+// instance in flight twice (submission is synchronous per stream).
+func prebuiltMixGen(y workload.YCSB, theta float64, readPct, ring int) func(stream int) func() txn.Txn {
+	return func(stream int) func() txn.Txn {
+		src := y.NewSource(int64(8000+stream*127), theta)
+		rng := rand.New(rand.NewSource(int64(97 + stream)))
+		txns := make([]txn.Txn, ring)
+		for i := range txns {
+			if rng.Intn(100) < readPct {
+				txns[i] = src.PointRead()
+			} else {
+				txns[i] = src.RMW1()
+			}
+		}
+		i := 0
+		return func() txn.Txn {
+			t := txns[i%ring]
+			i++
+			return t
+		}
+	}
+}
+
+// readMixPoint loads e, runs the mix, closes the engine, and returns the
+// committed throughput.
+func readMixPoint(kind EngineKind, e engine.Engine, s Scale, readPct int) float64 {
+	defer e.Close()
+	y := workload.YCSB{Records: s.Records, RecordSize: s.RecordSize}
+	if err := y.LoadInto(e); err != nil {
+		panic(err)
+	}
+	r := Run(kind, e, Options{Txns: s.Txns, Procs: s.MaxThreads}, readMixGen(y, 0.9, readPct))
+	return r.Throughput
+}

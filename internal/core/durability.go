@@ -66,9 +66,18 @@ func (e *Engine) startDurability() error {
 // Called from the sequencer goroutine only. Append or sync errors poison
 // the writer; they surface on the acknowledgement path as non-durable
 // commits rather than crashing the pipeline.
+//
+// The record and its TxnRecord slice are reused across appends (the
+// sequencer is the only caller, and Append retains nothing), so in steady
+// state the durability path allocates only inside the OS write itself;
+// the wal writer's frame buffer is likewise recycled across appends.
 func (e *Engine) logBatch(b *batch) {
-	rec := wal.Batch{Seq: b.seq, Txns: make([]wal.TxnRecord, len(b.nodes))}
-	for i, nd := range b.nodes {
+	e.logRec.Seq = b.seq
+	if cap(e.logRec.Txns) < len(b.nodes) {
+		e.logRec.Txns = make([]wal.TxnRecord, 0, cap(b.nodes))
+	}
+	e.logRec.Txns = e.logRec.Txns[:0]
+	for _, nd := range b.nodes {
 		lg, ok := nd.t.(txn.Loggable)
 		if !ok {
 			// ExecuteBatch rejects non-loggable transactions while logging
@@ -77,9 +86,16 @@ func (e *Engine) logBatch(b *batch) {
 			panic(fmt.Sprintf("bohm: non-loggable %T reached the sequencer with logging enabled", nd.t))
 		}
 		id, args := lg.Procedure()
-		rec.Txns[i] = wal.TxnRecord{Proc: id, Args: args, Reads: nd.reads, Writes: nd.writes, Ranges: nd.ranges}
+		e.logRec.Txns = append(e.logRec.Txns, wal.TxnRecord{
+			Proc: id, Args: args, Reads: nd.reads, Writes: nd.writes, Ranges: nd.ranges,
+		})
 	}
-	_ = e.wal.Append(&rec)
+	_ = e.wal.Append(&e.logRec)
+	// Drop the argument and access-set references now rather than at the
+	// next append, so a quiet log does not pin the last batch's
+	// transactions in memory.
+	clear(e.logRec.Txns)
+	e.logRec.Txns = e.logRec.Txns[:0]
 }
 
 // acker is the durability gate: submissions whose transactions have all
@@ -91,12 +107,15 @@ func (e *Engine) acker() {
 	defer e.ackWG.Done()
 	for sub := range e.ackCh {
 		if err := e.wal.WaitDurable(sub.lastBatch); err != nil {
-			// The log failed: these transactions executed but would not
-			// survive a crash. Surface that on every committed slot.
+			// The log failed: the pipelined transactions executed but
+			// would not survive a crash. Surface that on their slots —
+			// and only theirs: diverted fast-path readers in the same
+			// submission observed exclusively durable state (their own
+			// snapshot gate enforced it) and their results stand.
 			derr := fmt.Errorf("bohm: commit not durable: %w", err)
-			for i, r := range sub.res {
-				if r == nil {
-					sub.res[i] = derr
+			for i := range sub.txns {
+				if idx := sub.origIdx(i); sub.res[idx] == nil {
+					sub.res[idx] = derr
 				}
 			}
 		}

@@ -385,9 +385,43 @@ func TestDurabilityRejectsUnloggableTxns(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	res := e.ExecuteBatch([]txn.Txn{&txn.Proc{}})
+	k := key(1)
+	w := &txn.Proc{Writes: []txn.Key{k}, Body: func(c txn.Ctx) error {
+		return c.Write(k, txn.NewValue(8, 1))
+	}}
+	res := e.ExecuteBatch([]txn.Txn{w})
 	if res[0] == nil || !errors.Is(res[0], ErrNotLoggable) {
-		t.Fatalf("plain Proc accepted by durable engine: %v", res[0])
+		t.Fatalf("plain writing Proc accepted by durable engine: %v", res[0])
+	}
+	// Read-only transactions bypass the command log on the fast path —
+	// they contribute nothing to replay — so a plain Proc with no declared
+	// writes is accepted even while logging.
+	if res := e.ExecuteBatch([]txn.Txn{&txn.Proc{}}); res[0] != nil {
+		t.Fatalf("read-only Proc refused by durable engine: %v", res[0])
+	}
+	// Mixed submission: the rejection covers only the pipelined slots;
+	// diverted readers still run.
+	var got uint64
+	read := &txn.Proc{Reads: []txn.Key{k}, Body: func(c txn.Ctx) error {
+		v, err := c.Read(k)
+		if errors.Is(err, txn.ErrNotFound) {
+			return nil // the rejected writer never created k
+		}
+		if err != nil {
+			return err
+		}
+		got = txn.U64(v)
+		return nil
+	}}
+	res = e.ExecuteBatch([]txn.Txn{read, w})
+	if res[0] != nil {
+		t.Fatalf("diverted reader rejected alongside an unloggable writer: %v", res[0])
+	}
+	if !errors.Is(res[1], ErrNotLoggable) {
+		t.Fatalf("unloggable writer in mixed call: %v", res[1])
+	}
+	if got != 0 {
+		t.Fatalf("reader observed %d; the rejected writer must not have run", got)
 	}
 }
 

@@ -56,6 +56,25 @@ type Config struct {
 	// owning partition's pool under the same epoch argument. Results are
 	// identical either way; only the allocation profile differs.
 	DisablePooling bool
+	// ReadWorkers sizes the snapshot-read pool serving the read-only fast
+	// path (default: ExecWorkers). Read-only transactions never enter the
+	// sequencer → CC → execution pipeline; they run on these workers
+	// against the multiversion store at the execution watermark, where
+	// every version is final.
+	ReadWorkers int
+	// DisableReadOnlyFastPath sends read-only transactions through the
+	// full pipeline like any other transaction (ablation). The results
+	// are identical for sequential submitters either way — the fast path
+	// serializes a read-only transaction at the execution watermark,
+	// which its recency gate keeps at or above every previously
+	// acknowledged write — but concurrent submitters may observe
+	// read-only transactions of a mixed ExecuteBatch call serializing
+	// before, rather than after, that same call's writes. With the fast
+	// path off, read-only transactions submitted to a durable engine must
+	// be Loggable again (on the fast path they bypass the command log —
+	// they contribute nothing to replay). The inline Read API is
+	// unaffected: it always serves from the protected snapshot.
+	DisableReadOnlyFastPath bool
 	// Preprocess enables the §3.2.2 pre-processing layer: transactions
 	// are analyzed once and per-partition work lists are forwarded to the
 	// CC workers, so a CC worker no longer examines transactions that
@@ -116,6 +135,9 @@ func (c *Config) normalize() error {
 	if c.Preprocess && c.PreprocessWorkers < 1 {
 		c.PreprocessWorkers = 1
 	}
+	if c.ReadWorkers < 1 {
+		c.ReadWorkers = c.ExecWorkers
+	}
 	if c.CheckpointEveryBatches < 0 {
 		c.CheckpointEveryBatches = 0
 	}
@@ -142,6 +164,7 @@ type workerStats struct {
 	versionsCreated   uint64
 	versionsCollected uint64
 	rangeFenceSkips   uint64
+	roFastPath        uint64
 	_                 [8]uint64 // pad to a cache line to avoid false sharing
 }
 
@@ -189,8 +212,29 @@ type Engine struct {
 	// seqBase, not zero.
 	execBatch []atomic.Uint64
 
+	// execTS[i] is execution worker i's snapshot-boundary contribution:
+	// the limit timestamp of its newest finished batch (stored before the
+	// matching execBatch entry). The minimum over workers is a timestamp
+	// at which every version is final — the read-only fast path's
+	// snapshot point. Initialized to 1, the boundary that sees exactly
+	// the loaded (or checkpoint-restored) records.
+	execTS []atomic.Uint64
+
+	// Read-only fast path state; see readpath.go. fastCh carries chunks
+	// of read-only transactions to the snapshot-read workers; roEpochs
+	// holds one published reader epoch per worker plus inlineROSlots
+	// claimable slots for the inline Read API (inactiveEpoch when idle);
+	// ackedBatch is the newest batch sequence containing an acknowledged
+	// write, the fast path's recency floor. All nil/unused under
+	// Config.DisableReadOnlyFastPath.
+	fastCh     chan roJob
+	roEpochs   []atomic.Uint64
+	roWG       sync.WaitGroup
+	ackedBatch atomic.Uint64
+
 	ccStats   []workerStats // one per CC worker, owner-written
 	execStats []workerStats // one per execution worker
+	roStats   []workerStats // one per snapshot-read worker
 
 	// Pooling state (nil / unused under Config.DisablePooling). vpools[p]
 	// is CC worker p's version block allocator; retireCh carries executed
@@ -205,7 +249,10 @@ type Engine struct {
 	// Durability state; see durability.go. wal and ackCh are nil when
 	// Config.LogDir is empty. logOn flips on only while the pipeline is
 	// quiescent (at New, or at the end of Recover's replay).
-	wal     *wal.Writer
+	wal *wal.Writer
+	// logRec is the reusable command-log record logBatch encodes into;
+	// touched only by the sequencer goroutine.
+	logRec  wal.Batch
 	logOn   atomic.Bool
 	ackCh   chan *submission
 	ackWG   sync.WaitGroup
@@ -267,8 +314,24 @@ func build(cfg Config) *Engine {
 		ccDone:    make([]chan *batch, cfg.CCWorkers),
 		execIn:    make([]chan *batch, cfg.ExecWorkers),
 		execBatch: make([]atomic.Uint64, cfg.ExecWorkers),
+		execTS:    make([]atomic.Uint64, cfg.ExecWorkers),
 		ccStats:   make([]workerStats, cfg.CCWorkers),
 		execStats: make([]workerStats, cfg.ExecWorkers),
+	}
+	for i := range e.execTS {
+		e.execTS[i].Store(1)
+	}
+	// The epoch slots and their stats exist regardless of the ablation:
+	// the inline Read API always reads at a protected snapshot (only
+	// ExecuteBatch diversion is switched by DisableReadOnlyFastPath, via
+	// fastCh below). Idle slots cost watermark() a handful of loads.
+	e.roEpochs = make([]atomic.Uint64, cfg.ReadWorkers+inlineROSlots)
+	for i := range e.roEpochs {
+		e.roEpochs[i].Store(inactiveEpoch)
+	}
+	e.roStats = make([]workerStats, cfg.ReadWorkers+inlineROSlots)
+	if !cfg.DisableReadOnlyFastPath {
+		e.fastCh = make(chan roJob, 4*cfg.ReadWorkers)
 	}
 	perPart := cfg.Capacity/cfg.CCWorkers + cfg.Capacity/(4*cfg.CCWorkers) + 64
 	for p := range e.parts {
@@ -336,6 +399,12 @@ func (e *Engine) start() {
 	for w := 0; w < e.cfg.ExecWorkers; w++ {
 		e.execWG.Add(1)
 		go e.execWorker(w)
+	}
+	if e.fastCh != nil {
+		for w := 0; w < e.cfg.ReadWorkers; w++ {
+			e.roWG.Add(1)
+			go e.roWorker(w)
+		}
 	}
 }
 
@@ -423,8 +492,18 @@ func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
 	// Only the offending transactions are refused; the rest proceed.
 	valid := ts
 	var orig []int
+	// Fast-path classification happens in the same pass: nro counts
+	// read-only transactions, and roValid materializes their indices into
+	// valid — but only once the submission turns out to be mixed, so the
+	// pure cases (all-read or all-write, the hot ones) never pay for it
+	// and WriteSet is consulted exactly once per transaction.
+	fastOn := e.fastCh != nil
+	nro := 0
+	var roValid []int
+	mixed := false
 	for i, t := range ts {
-		if k, dup := txn.FindDuplicateKey(t.WriteSet()); dup {
+		ws := t.WriteSet()
+		if k, dup := txn.FindDuplicateKey(ws); dup {
 			if orig == nil {
 				orig = make([]int, 0, len(ts)-1)
 				valid = make([]txn.Txn, 0, len(ts)-1)
@@ -436,34 +515,107 @@ func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
 			res[i] = fmt.Errorf("%w: key %+v", ErrDuplicateWriteKey, k)
 			continue
 		}
+		vi := i
 		if orig != nil {
+			vi = len(valid)
 			orig = append(orig, i)
 			valid = append(valid, t)
+		}
+		if !fastOn {
+			continue
+		}
+		isRO := len(ws) == 0
+		if isRO {
+			nro++
+		}
+		if !mixed {
+			if isRO && nro-1 != vi {
+				mixed = true // first reader after writers
+			} else if !isRO && nro > 0 {
+				// First writer after an all-read-only prefix: backfill it.
+				mixed = true
+				roValid = make([]int, vi, len(ts))
+				for j := range roValid {
+					roValid[j] = j
+				}
+			}
+		}
+		if mixed && isRO {
+			roValid = append(roValid, vi)
 		}
 	}
 	if len(valid) == 0 {
 		return res
 	}
 
+	// The acknowledged-batch bound is maintained unconditionally (one
+	// compare-and-swap per completed submission): the inline Read API
+	// depends on it for recency even under DisableReadOnlyFastPath.
 	sub := &submission{txns: valid, res: res, orig: orig, done: make(chan struct{})}
-	if e.logOn.Load() {
-		for _, t := range valid {
-			if _, ok := t.(txn.Loggable); !ok {
-				// Reject the whole submission: a half-logged batch could
-				// not be replayed in order.
-				err := fmt.Errorf("%w (got %T)", ErrNotLoggable, t)
-				for i := range res {
-					if res[i] == nil {
-						res[i] = err
-					}
+	sub.acked = &e.ackedBatch
+	sub.recency = e.ackedBatch.Load()
+
+	// Read-only fast path: transactions with an empty write-set insert no
+	// placeholders and constrain no other transaction, so they skip the
+	// sequencer → CC → execution pipeline entirely and run on the
+	// snapshot-read pool at the execution watermark (see readpath.go). A
+	// submission mixing writers and readers splits; its read-only
+	// transactions serialize at the watermark, before the call's writes.
+	var roTxns []txn.Txn
+	var roIdx []int
+	if fastOn && nro > 0 {
+		if nro == len(valid) {
+			roTxns, roIdx = valid, orig // idxs nil means identity
+			sub.txns = nil
+		} else {
+			roTxns = make([]txn.Txn, 0, nro)
+			roIdx = make([]int, 0, nro)
+			piped := make([]txn.Txn, 0, len(valid)-nro)
+			pipedIdx := make([]int, 0, len(valid)-nro)
+			r := 0
+			for i, t := range valid {
+				if r < len(roValid) && roValid[r] == i {
+					r++
+					roTxns = append(roTxns, t)
+					roIdx = append(roIdx, sub.origIdx(i))
+				} else {
+					piped = append(piped, t)
+					pipedIdx = append(pipedIdx, sub.origIdx(i))
 				}
-				return res
+			}
+			sub.txns, sub.orig = piped, pipedIdx
+		}
+	}
+
+	if e.logOn.Load() && len(sub.txns) > 0 {
+		for _, t := range sub.txns {
+			if _, ok := t.(txn.Loggable); !ok {
+				// Reject every pipelined transaction: a half-logged batch
+				// could not be replayed in order. Diverted read-only
+				// transactions are exempt — they bypass the log — and
+				// still run below.
+				err := fmt.Errorf("%w (got %T)", ErrNotLoggable, t)
+				for i := range sub.txns {
+					res[sub.origIdx(i)] = err
+				}
+				sub.txns = nil
+				break
 			}
 		}
-		sub.ackCh = e.ackCh
+		if len(sub.txns) > 0 {
+			sub.ackCh = e.ackCh
+		}
 	}
-	sub.remaining.Store(int64(len(valid)))
-	e.subCh <- sub
+	if len(sub.txns) == 0 && len(roTxns) == 0 {
+		return res
+	}
+	sub.remaining.Store(int64(len(sub.txns) + len(roTxns)))
+	if len(sub.txns) > 0 {
+		e.subCh <- sub
+	}
+	if len(roTxns) > 0 {
+		e.enqueueReadOnly(sub, roTxns, roIdx)
+	}
 	<-sub.done
 	return res
 }
@@ -493,6 +645,12 @@ func (e *Engine) shutdown(kill bool) {
 	close(e.subCh)
 	e.seqWG.Wait()
 	e.execWG.Wait()
+	if e.fastCh != nil {
+		// After execWG the watermark is final, so any read-only jobs still
+		// queued satisfy their recency gate immediately and drain fast.
+		close(e.fastCh)
+		e.roWG.Wait()
+	}
 	if e.ckptStop != nil {
 		close(e.ckptStop)
 		e.ckptWG.Wait()
@@ -530,13 +688,22 @@ func (e *Engine) Stats() engine.Stats {
 		s.RecursiveExecs += atomic.LoadUint64(&w.recursiveExecs)
 		s.RangeFenceSkips += atomic.LoadUint64(&w.rangeFenceSkips)
 	}
+	for i := range e.roStats {
+		w := &e.roStats[i]
+		s.Committed += atomic.LoadUint64(&w.committed)
+		s.UserAborts += atomic.LoadUint64(&w.userAborts)
+		s.ChainSteps += atomic.LoadUint64(&w.chainSteps)
+		s.RangeFenceSkips += atomic.LoadUint64(&w.rangeFenceSkips)
+		s.ReadOnlyFastPath += atomic.LoadUint64(&w.roFastPath)
+	}
 	s.Batches = e.batches.Load()
 	s.ArenaBatchesRecycled = e.arenaBatches.Load()
 	s.BytesRecycled = e.arenaBytes.Load()
 	for _, p := range e.vpools {
-		pooled, recycled := p.Stats()
+		pooled, recycled, trimmed := p.Stats()
 		s.VersionsPooled += pooled
 		s.BytesRecycled += recycled * storage.VersionBytes
+		s.PoolBlocksTrimmed += trimmed
 	}
 	if e.wal != nil {
 		ws := e.wal.Stats()
@@ -566,11 +733,21 @@ func (e *Engine) execWatermark() uint64 {
 // watermark; while periodic checkpointing is active it is capped at the
 // newest checkpoint, so a snapshot scan at the checkpoint boundary never
 // races a chain truncation (the snapshotter reads strictly above what GC
-// may cut).
+// may cut). It is further capped at the oldest published reader epoch, so
+// a fast-path snapshot read keeps every version it can observe linked and
+// unrecycled for the duration of the read — the same cap also gates the
+// version-pool limbo release and the batch retire ring, which both derive
+// their safe sequence from this function. Reader epochs add loads here
+// (once per CC batch via wmLookup), never atomics to the write path.
 func (e *Engine) watermark() uint64 {
 	wm := e.execWatermark()
 	if pin := e.ckptPin.Load(); pin < wm {
 		wm = pin
+	}
+	for i := range e.roEpochs {
+		if s := e.roEpochs[i].Load(); s < wm {
+			wm = s
+		}
 	}
 	return wm
 }

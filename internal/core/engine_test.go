@@ -154,7 +154,12 @@ func TestReadOwnWrite(t *testing.T) {
 // TestDeleteInsertChain: delete then re-insert the same key across
 // batches; intermediate readers see the tombstone.
 func TestDeleteInsertChain(t *testing.T) {
-	e := newTestEngine(t, DefaultConfig(), 1)
+	// The probe's position between the same call's delete and reinsert is
+	// the property under test; the fast path would serialize it at the
+	// watermark, before both.
+	cfg := DefaultConfig()
+	cfg.DisableReadOnlyFastPath = true
+	e := newTestEngine(t, cfg, 1)
 	k := key(0)
 	del := &txn.Proc{Writes: []txn.Key{k}, Body: func(ctx txn.Ctx) error { return ctx.Delete(k) }}
 	var sawDeleted error
@@ -455,6 +460,9 @@ func TestWritesBlockReads(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ExecWorkers = 2
 	cfg.BatchSize = 4
+	// The dependency wait inside one call is the property under test; the
+	// fast path would serialize the reader before the same-call write.
+	cfg.DisableReadOnlyFastPath = true
 	e := newTestEngine(t, cfg, 1)
 
 	slowWrite := &txn.Proc{

@@ -53,6 +53,12 @@ func (e *Engine) execWorker(w int) {
 			// workers' progress; park briefly instead of spinning.
 			time.Sleep(5 * time.Microsecond)
 		}
+		// The timestamp boundary is published before the batch sequence:
+		// anyone who observes execBatch[w] >= b.seq is then guaranteed to
+		// read execTS[w] >= b.limitTS, so the fast path's snapshot
+		// timestamp (min execTS) never lags the batch watermark its
+		// reader epoch was published at.
+		e.execTS[w].Store(b.limitTS)
 		e.execBatch[w].Store(b.seq)
 		if e.retireCh != nil && b.execDone.Add(1) == int32(n) {
 			// Last worker out retires the batch to the sequencer's

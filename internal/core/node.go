@@ -111,8 +111,22 @@ type submission struct {
 	// lastBatch is the newest batch containing one of the submission's
 	// transactions. The sequencer writes it before batch fan-out; the
 	// acker reads it after execution completes, so the channel hand-offs
-	// between the phases order the accesses.
+	// between the phases order the accesses. (A completing fast-path
+	// reader may also load it, synchronized through the remaining
+	// counter: the pipelined transactions' decrements order the
+	// sequencer's store before the final decrement's load.) Zero for a
+	// submission with no pipelined transactions.
 	lastBatch uint64
+
+	// acked, when the read-only fast path is enabled, points at the
+	// engine's acknowledged-batch high-water mark; see finish.
+	acked *atomic.Uint64
+
+	// recency is the acknowledged-batch bound loaded at submission time:
+	// the fast path's snapshot must cover every batch acknowledged before
+	// this submission arrived — and deliberately nothing newer, so reads
+	// never queue behind writes acknowledged after them.
+	recency uint64
 }
 
 // origIdx returns the result slot for txns[i].
@@ -127,8 +141,31 @@ func (s *submission) origIdx(i int) int {
 // last outstanding transaction, wakes the submitter — directly, or via
 // the durability acknowledgement queue when the engine is logging.
 func (s *submission) complete(nd *node) {
-	s.res[nd.idx] = nd.err
-	if s.remaining.Add(-1) == 0 {
+	s.finish(nd.idx, nd.err)
+}
+
+// finish records err as the outcome of result slot idx.
+func (s *submission) finish(idx int, err error) {
+	s.res[idx] = err
+	s.release(1)
+}
+
+// release retires n completed transactions. The last outstanding one
+// publishes the submission's newest batch to the engine's
+// acknowledged-batch bound (the read-only fast path's recency target)
+// before waking the submitter, so a reader submitted after the wake never
+// misses these writes. Result-slot writes by the retiring workers are
+// ordered before the submitter's reads by the counter and the wake.
+func (s *submission) release(n int64) {
+	if s.remaining.Add(-n) == 0 {
+		if s.acked != nil && s.lastBatch > 0 {
+			for {
+				cur := s.acked.Load()
+				if s.lastBatch <= cur || s.acked.CompareAndSwap(cur, s.lastBatch) {
+					break
+				}
+			}
+		}
 		if s.ackCh != nil {
 			s.ackCh <- s
 		} else {
@@ -149,6 +186,13 @@ func (s *submission) complete(nd *node) {
 type batch struct {
 	seq   uint64
 	nodes []*node
+	// limitTS is the first timestamp after the batch (exclusive upper
+	// bound of its transactions' timestamps). The sequencer writes it at
+	// flush time; execution workers republish it as their snapshot
+	// boundary contribution when the batch completes, which is how the
+	// read-only fast path converts the execution watermark from batch
+	// space into timestamp space.
+	limitTS uint64
 	// plans, when pre-processing is enabled (§3.2.2), holds per-CC-worker
 	// work lists: plans[cc][pp] is the sequence of items preprocessing
 	// worker pp extracted for CC worker cc, in timestamp order.

@@ -41,6 +41,9 @@ func TestDeclaredScanAnnotationServed(t *testing.T) {
 	const nkeys = 600
 	cfg := DefaultConfig()
 	cfg.BatchSize = 64
+	// The CC-time annotation is the machinery under test; keep the
+	// read-only scan in the pipeline instead of the snapshot fast path.
+	cfg.DisableReadOnlyFastPath = true
 	e := newTestEngine(t, cfg, nkeys)
 
 	// Updates move one unit between adjacent keys (sum invariant 0).
@@ -98,6 +101,9 @@ func TestDeclaredScanAnnotationServed(t *testing.T) {
 func TestScanSeesEarlierInsertsNotLater(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.BatchSize = 256
+	// The scan's exact position between same-call inserts is the property
+	// under test — pipeline semantics, not watermark-snapshot semantics.
+	cfg.DisableReadOnlyFastPath = true
 	e := newTestEngine(t, cfg, 0)
 
 	const base = 10_000
@@ -177,7 +183,9 @@ func TestUndeclaredScanFallsBack(t *testing.T) {
 // TestScanSubrangeOfDeclared: a body may scan any sub-interval of a
 // declared range and still ride the annotation.
 func TestScanSubrangeOfDeclared(t *testing.T) {
-	e := newTestEngine(t, DefaultConfig(), 100)
+	cfg := DefaultConfig()
+	cfg.DisableReadOnlyFastPath = true // annotation riding is the point
+	e := newTestEngine(t, cfg, 100)
 	full := txn.KeyRange{Table: 0, Lo: 0, Hi: 100}
 	var rows int
 	p := &txn.Proc{

@@ -1,0 +1,545 @@
+package core
+
+// The read-only fast path: serializable snapshot reads that bypass the
+// concurrency control pipeline.
+//
+// BOHM's multiversioning means a read-only transaction constrains nothing:
+// it inserts no placeholders, supersedes no versions, and no later
+// transaction ever waits on it. Sending it through the sequencer → CC →
+// barrier → execution pipeline buys only a timestamp — which the execution
+// watermark already provides for free. The fast path therefore diverts
+// transactions with an empty declared write-set to a pool of snapshot-read
+// workers that read the multiversion store directly at the watermark's
+// timestamp boundary, a point at which every version is final:
+//
+//   - Snapshot: min over execution workers of execTS (the limit timestamp
+//     of each worker's newest finished batch). Every batch below it has
+//     fully executed, so every version with Begin < snapshot is installed
+//     and immutable — reads never block, spin, or resolve producers. The
+//     result is equivalent to serializing the transaction immediately
+//     after the last completed batch; scans over the partition directories
+//     at that boundary are phantom-free for the same reason pipeline scans
+//     are (every key an earlier transaction will ever write is already in
+//     the directory by the time its batch completes execution).
+//
+//   - Recency: before taking a snapshot, a worker waits until the
+//     execution watermark covers ackedBatch — the newest batch containing
+//     an acknowledged write. A read submitted after any ExecuteBatch
+//     returned therefore observes that call's writes: the serialization
+//     point respects real-time order across calls.
+//
+//   - Safety against reclamation: garbage collection cuts chain tails at
+//     watermark(), and PR 3's recycling reuses versions and batch memory
+//     retireLag batches later. Both derive their safe sequence from
+//     Engine.watermark(), so readers protect themselves by publishing a
+//     reader epoch — the batch sequence their snapshot was taken at — in a
+//     per-worker slot that watermark() folds in as a cap. Publication uses
+//     a store/re-check loop (see settleEpoch) so a concurrent GC pass that
+//     missed the slot provably used a watermark at or below the published
+//     epoch; versions visible at the snapshot are exactly the ones such
+//     cuts keep linked. The write path gains no atomics: CC workers
+//     already read watermark() once per batch, which now scans a handful
+//     of additional slots.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"bohm/internal/storage"
+	"bohm/internal/txn"
+)
+
+// ErrNotReadOnly is reported by ExecuteReadOnly for transactions whose
+// declared write-set is not empty.
+var ErrNotReadOnly = errors.New("bohm: ExecuteReadOnly requires an empty declared write-set")
+
+// inactiveEpoch marks an idle reader-epoch slot; watermark() ignores it.
+const inactiveEpoch = ^uint64(0)
+
+// inlineROSlots is the number of claimable reader-epoch slots serving the
+// inline Read API (callers beyond this many concurrent inline readers spin
+// briefly for a free slot). Worker slots are separate and uncontended.
+const inlineROSlots = 4
+
+// roChunk is the fan-out grain of a diverted read-only set: ExecuteBatch
+// slices its read-only transactions into chunks of this many and queues
+// each separately, so one large submission parallelizes across the whole
+// snapshot-read pool.
+const roChunk = 64
+
+// roJob is one chunk of diverted read-only transactions. It is sent by
+// value — enqueueing allocates nothing.
+type roJob struct {
+	sub  *submission
+	txns []txn.Txn
+	// idxs maps chunk positions to result slots; nil means base+i.
+	idxs []int
+	base int
+}
+
+// enqueueReadOnly queues the diverted read-only transactions of one
+// submission. The recency wait happens here, on the submitting goroutine
+// (which blocks on the submission anyway), so the snapshot workers never
+// stall: any job they pick up already has its recency bound below the
+// execution watermark, and the watermark only advances.
+//
+// The chunk size adapts to the submission: at least roChunk (so queue and
+// epoch overhead amortizes), but large submissions split into about four
+// jobs per worker rather than hundreds, trading nothing on parallelism
+// for far fewer channel hand-offs.
+func (e *Engine) enqueueReadOnly(sub *submission, ts []txn.Txn, idxs []int) {
+	e.waitRecent(sub.recency)
+	chunk := len(ts) / (4 * e.cfg.ReadWorkers)
+	if chunk < roChunk {
+		chunk = roChunk
+	}
+	for off := 0; off < len(ts); off += chunk {
+		end := off + chunk
+		if end > len(ts) {
+			end = len(ts)
+		}
+		job := roJob{sub: sub, txns: ts[off:end], base: off}
+		if idxs != nil {
+			job.idxs = idxs[off:end]
+		}
+		e.fastCh <- job
+	}
+}
+
+// waitRecent blocks until the execution watermark covers target — the
+// acknowledged-batch bound captured when the reader was submitted. Writes
+// acknowledged later carry no visibility obligation, so the wait never
+// chases an advancing ack frontier. Pure-read workloads never wait
+// (ackedBatch is behind the watermark by construction); under a mixed
+// load the wait is bounded by the same-batch stragglers of writes already
+// executed when their submitter was woken.
+func (e *Engine) waitRecent(target uint64) {
+	for spins := 0; e.execWatermark() < target; spins++ {
+		if spins > 64 {
+			time.Sleep(5 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// settleEpoch completes reader-epoch publication for a slot the caller
+// owns and has already stored wm (the execution watermark read just
+// before) into. It re-publishes until the watermark is stable across the
+// store, then returns the snapshot timestamp.
+//
+// Why the re-check makes the epoch safe: all the loads and stores involved
+// are sequentially consistent, so a GC pass whose scan of the slot missed
+// our store ordered that scan — and hence its earlier watermark read —
+// before the store, and watermarks only advance; its cut therefore used a
+// sequence at or below the wm our re-check observed unchanged. A pass that
+// saw the store is capped by it directly. Either way no cut ever uses a
+// sequence above the published epoch, and versions visible at the
+// snapshot timestamp stay linked and unrecycled until the slot clears.
+func (e *Engine) settleEpoch(slot *atomic.Uint64, wm uint64) uint64 {
+	for {
+		cur := e.execWatermark()
+		if cur == wm {
+			return e.snapshotTS()
+		}
+		wm = cur
+		slot.Store(wm)
+	}
+}
+
+// snapshotTS returns the fast path's snapshot timestamp: the minimum over
+// execution workers of their published batch limit timestamps. Every
+// version with Begin below it is installed and final. Each worker stores
+// execTS before execBatch, so this minimum never lags the batch watermark
+// an epoch was published at.
+func (e *Engine) snapshotTS() uint64 {
+	ts := e.execTS[0].Load()
+	for i := 1; i < len(e.execTS); i++ {
+		if t := e.execTS[i].Load(); t < ts {
+			ts = t
+		}
+	}
+	return ts
+}
+
+// waitSnapshotDurable gates fast-path result release on the command log:
+// a snapshot at the execution watermark can include writes that executed
+// but are not yet fsynced (SyncByInterval buffers them), and returning
+// them would externalize state a crash rolls back — the pipelined read
+// path never did (the acknowledgement gate orders every return after the
+// durability of everything it observed, since the log is sequential).
+// Must be called after the snapshot timestamp is computed: the watermark
+// read here is then at or above the snapshot's batch. Under
+// SyncEveryBatch and SyncNever the durable mark already covers every
+// executed batch and this never blocks; under SyncByInterval it waits at
+// most one group-commit interval. Returns the writer's error when the
+// log has failed — the read must surface it rather than expose
+// might-not-survive state.
+func (e *Engine) waitSnapshotDurable() error {
+	if !e.logOn.Load() {
+		return nil
+	}
+	wm := e.execWatermark()
+	// Batches at or below the newest checkpoint are durable through the
+	// checkpoint itself — the log may never mention them again (recovery
+	// starts a fresh log above the recovered state, and checkpoints
+	// truncate). Waiting on the writer for those would never return.
+	floor := e.seqBase
+	if ck := e.lastCkpt.Load(); ck > floor {
+		floor = ck
+	}
+	if wm <= floor {
+		return nil
+	}
+	return e.wal.WaitDurable(wm)
+}
+
+// roWorker is one snapshot-read worker: it takes read-only chunks off the
+// fast-path queue, establishes a protected snapshot per chunk, and runs
+// the transactions against it. No step touches the sequencer, the CC
+// partitions' write side, or the execution scheduler.
+func (e *Engine) roWorker(w int) {
+	defer e.roWG.Done()
+	st := &e.roStats[w]
+	slot := &e.roEpochs[w]
+	c := &snapCtx{e: e, st: st}
+	for job := range e.fastCh {
+		// No recency wait here: enqueueReadOnly waited on the submitter's
+		// goroutine, and the watermark only advances, so the snapshot
+		// below is already at or above the job's recency bound.
+		wm := e.execWatermark()
+		slot.Store(wm)
+		c.ts = e.settleEpoch(slot, wm)
+		aborted := uint64(0)
+		failed := false
+		if derr := e.waitSnapshotDurable(); derr != nil {
+			// The log failed: the snapshot might not survive a crash.
+			// Fail the whole chunk instead of exposing it, mirroring the
+			// write path's non-durable commit errors. An infrastructure
+			// failure, so the chunk counts neither as committed nor as
+			// user aborts.
+			failed = true
+			derr = fmt.Errorf("bohm: read snapshot not durable: %w", derr)
+			for i := range job.txns {
+				idx := job.base + i
+				if job.idxs != nil {
+					idx = job.idxs[i]
+				}
+				job.sub.res[idx] = derr
+			}
+		} else {
+			for i, t := range job.txns {
+				c.writeErr = nil
+				err := txn.RunSafely(t, c)
+				if err == nil && c.writeErr != nil {
+					err = c.writeErr
+				}
+				if err != nil {
+					aborted++
+				}
+				idx := job.base + i
+				if job.idxs != nil {
+					idx = job.idxs[i]
+				}
+				job.sub.res[idx] = err
+			}
+		}
+		slot.Store(inactiveEpoch)
+		// Accounting batches per job: one counter flush and one release
+		// cover the whole chunk, keeping the per-read path free of atomic
+		// read-modify-writes.
+		n := uint64(len(job.txns))
+		atomic.AddUint64(&st.roFastPath, n)
+		if !failed {
+			atomic.AddUint64(&st.committed, n-aborted)
+			if aborted > 0 {
+				atomic.AddUint64(&st.userAborts, aborted)
+			}
+		}
+		c.flush()
+		job.sub.release(int64(n))
+	}
+}
+
+// ExecuteReadOnly submits read-only transactions for serializable
+// execution, like ExecuteBatch but with the write-set emptiness checked up
+// front: transactions declaring writes are refused with ErrNotReadOnly
+// (the rest proceed). With the fast path enabled every accepted
+// transaction takes it; under DisableReadOnlyFastPath they run through the
+// pipeline with identical results.
+func (e *Engine) ExecuteReadOnly(ts []txn.Txn) []error {
+	ok := true
+	for _, t := range ts {
+		if len(t.WriteSet()) > 0 {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return e.ExecuteBatch(ts)
+	}
+	res := make([]error, len(ts))
+	valid := make([]txn.Txn, 0, len(ts))
+	idxs := make([]int, 0, len(ts))
+	for i, t := range ts {
+		if n := len(t.WriteSet()); n > 0 {
+			res[i] = fmt.Errorf("%w (got %d write keys)", ErrNotReadOnly, n)
+			continue
+		}
+		valid = append(valid, t)
+		idxs = append(idxs, i)
+	}
+	for i, err := range e.ExecuteBatch(valid) {
+		res[idxs[i]] = err
+	}
+	return res
+}
+
+// Read performs a single serializable snapshot point read of k, observing
+// every write acknowledged before the call. The value is copied into buf
+// (grown if needed; pass nil to allocate) and returned; callers that
+// recycle buf read with zero allocations. Returns txn.ErrNotFound if no
+// record is visible. Read always serves from the protected snapshot —
+// DisableReadOnlyFastPath switches only ExecuteBatch's diversion, so the
+// result is the same either way (and durable engines need no Loggable
+// wrapper for it: nothing here touches the command log).
+func (e *Engine) Read(k txn.Key, buf []byte) ([]byte, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	e.waitRecent(e.ackedBatch.Load())
+	slot, st := e.claimROSlot()
+	ts := e.settleEpoch(slot, slot.Load())
+	if derr := e.waitSnapshotDurable(); derr != nil {
+		slot.Store(inactiveEpoch)
+		return nil, fmt.Errorf("bohm: read snapshot not durable: %w", derr)
+	}
+	data, steps, ok := e.snapshotRead(k, ts)
+	if ok {
+		// Copy before clearing the epoch: the version (and, with a future
+		// payload arena, its bytes) is only pinned while the slot is
+		// published.
+		buf = append(buf[:0], data...)
+	}
+	slot.Store(inactiveEpoch)
+	// One counter flush per read, after the epoch clears — no per-step
+	// atomics on the shared stats line.
+	if steps > 0 {
+		atomic.AddUint64(&st.chainSteps, steps)
+	}
+	atomic.AddUint64(&st.roFastPath, 1)
+	if !ok {
+		return nil, txn.ErrNotFound
+	}
+	return buf, nil
+}
+
+// snapshotRead is the fast path's one visibility rule: the newest version
+// of k with Begin below the snapshot timestamp, resolved as final. ok is
+// false for missing records and tombstones alike. Both the inline Read
+// API and snapCtx.Read go through here.
+func (e *Engine) snapshotRead(k txn.Key, ts uint64) (data []byte, steps uint64, ok bool) {
+	chain := e.chainFor(k)
+	if chain == nil {
+		return nil, 0, false
+	}
+	for v := chain.Head(); v != nil; v = v.Prev() {
+		steps++
+		if v.Begin < ts {
+			data, tomb := resolveFinal(v)
+			return data, steps, !tomb
+		}
+	}
+	return nil, steps, false
+}
+
+// claimROSlot claims one of the inline reader-epoch slots, publishing the
+// current execution watermark into it in the same CAS (so the slot is
+// never observed claimed-but-unpublished). The caller must settleEpoch
+// before reading and store inactiveEpoch when done.
+func (e *Engine) claimROSlot() (*atomic.Uint64, *workerStats) {
+	base := e.cfg.ReadWorkers
+	for spins := 0; ; spins++ {
+		for i := base; i < len(e.roEpochs); i++ {
+			if e.roEpochs[i].CompareAndSwap(inactiveEpoch, e.execWatermark()) {
+				return &e.roEpochs[i], &e.roStats[i]
+			}
+		}
+		if spins > 64 {
+			time.Sleep(5 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// resolveFinal returns the data of a version below the snapshot boundary.
+// Such versions are always installed (their batch has fully executed); the
+// Ready load doubles as the acquire edge for the data bytes.
+func resolveFinal(v *storage.Version) (data []byte, tombstone bool) {
+	for !v.Ready() {
+		// Unreachable when the snapshot invariant holds; yielding (rather
+		// than panicking) keeps a hypothetical violation visible as a
+		// stall instead of corrupt data.
+		runtime.Gosched()
+	}
+	return v.Data()
+}
+
+// snapCtx implements txn.Ctx against a fixed snapshot timestamp. Reads
+// resolve finished versions only — no producer chasing, no suspension —
+// and writes are refused exactly as the pipeline refuses writes outside
+// the declared write-set (read-only transactions have none). The scan
+// scratch is recycled across transactions, so steady-state fast-path reads
+// allocate nothing.
+type snapCtx struct {
+	e  *Engine
+	st *workerStats
+	ts uint64
+
+	// writeErr records a write attempt; the transaction aborts with it,
+	// mirroring the pipeline's access-set enforcement bit for bit.
+	writeErr error
+
+	// chainSteps and fenceSkips tally locally; the owning worker flushes
+	// them into st once per job so the per-read path performs no atomic
+	// read-modify-writes.
+	chainSteps uint64
+	fenceSkips uint64
+
+	// scratch backs ReadRange; nil until first use, detached during a
+	// scan so nested scans fall back to fresh buffers.
+	scratch *scanScratch
+}
+
+var _ txn.Ctx = (*snapCtx)(nil)
+
+// scanScratch is a snapshot scan's reusable state: per-partition entry
+// buffers, merge cursors, and the list of non-empty partitions.
+type scanScratch struct {
+	ents [][]rangeEntry
+	pos  []int
+	src  []int
+}
+
+// Read implements txn.Ctx: the value of the version visible at the
+// snapshot timestamp.
+func (c *snapCtx) Read(k txn.Key) ([]byte, error) {
+	data, steps, ok := c.e.snapshotRead(k, c.ts)
+	c.chainSteps += steps
+	if !ok {
+		return nil, txn.ErrNotFound
+	}
+	return data, nil
+}
+
+// ReadRange implements txn.Ctx: a serializable snapshot scan. The
+// partition directories already hold every key any transaction below the
+// snapshot boundary will ever write (directory inserts precede execution),
+// so walking them at the snapshot timestamp is phantom-free by the same
+// argument as pipeline scans; keys born above the boundary resolve no
+// visible version and are skipped.
+func (c *snapCtx) ReadRange(r txn.KeyRange, fn func(k txn.Key, v []byte) error) error {
+	if r.Empty() {
+		return nil
+	}
+	sc := c.scratch
+	c.scratch = nil
+	if sc == nil {
+		sc = &scanScratch{
+			ents: make([][]rangeEntry, len(c.e.parts)),
+			pos:  make([]int, len(c.e.parts)),
+		}
+	}
+	err := c.scan(r, sc, fn)
+	for _, p := range sc.src {
+		clear(sc.ents[p]) // drop version references; the epoch is about to clear
+		sc.ents[p] = sc.ents[p][:0]
+		sc.pos[p] = 0
+	}
+	sc.src = sc.src[:0]
+	c.scratch = sc
+	return err
+}
+
+func (c *snapCtx) scan(r txn.KeyRange, sc *scanScratch, fn func(k txn.Key, v []byte) error) error {
+	for p := range c.e.parts {
+		if c.e.dirs[p].ExcludesRange(r) {
+			c.fenceSkips++
+			continue
+		}
+		part := c.e.parts[p]
+		ents := sc.ents[p][:0]
+		c.e.dirs[p].AscendRange(r, func(k txn.Key) bool {
+			if ch := part.Get(k); ch != nil {
+				for v := ch.Head(); v != nil; v = v.Prev() {
+					c.chainSteps++
+					if v.Begin < c.ts {
+						ents = append(ents, rangeEntry{k: k, v: v})
+						break
+					}
+				}
+			}
+			return true
+		})
+		sc.ents[p] = ents
+		if len(ents) > 0 {
+			sc.src = append(sc.src, p)
+		}
+	}
+	for {
+		best := -1
+		for _, p := range sc.src {
+			if sc.pos[p] == len(sc.ents[p]) {
+				continue
+			}
+			if best < 0 || sc.ents[p][sc.pos[p]].k.Less(sc.ents[best][sc.pos[best]].k) {
+				best = p
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		ent := sc.ents[best][sc.pos[best]]
+		sc.pos[best]++
+		data, tomb := resolveFinal(ent.v)
+		if tomb {
+			continue
+		}
+		if err := fn(ent.k, data); err != nil {
+			return err
+		}
+	}
+}
+
+// flush moves the context's local tallies into the worker's shared stats.
+func (c *snapCtx) flush() {
+	if c.chainSteps > 0 {
+		atomic.AddUint64(&c.st.chainSteps, c.chainSteps)
+		c.chainSteps = 0
+	}
+	if c.fenceSkips > 0 {
+		atomic.AddUint64(&c.st.rangeFenceSkips, c.fenceSkips)
+		c.fenceSkips = 0
+	}
+}
+
+// Write implements txn.Ctx: always an access-set violation on the fast
+// path (diverted transactions declared no writes). The error text matches
+// the pipeline's so the DisableReadOnlyFastPath ablation is bit-identical
+// even for misbehaving transactions.
+func (c *snapCtx) Write(k txn.Key, _ []byte) error { return c.refuseWrite(k) }
+
+// Delete implements txn.Ctx; see Write.
+func (c *snapCtx) Delete(k txn.Key) error { return c.refuseWrite(k) }
+
+func (c *snapCtx) refuseWrite(k txn.Key) error {
+	err := fmt.Errorf("bohm: write to key %+v outside declared write-set", k)
+	if c.writeErr == nil {
+		c.writeErr = err
+	}
+	return err
+}

@@ -15,6 +15,9 @@ func TestLongScanUsesAnnotations(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.BatchSize = 64
 	cfg.Capacity = nkeys
+	// The CC-time annotation is the machinery under test; keep the
+	// read-only scan in the pipeline instead of the snapshot fast path.
+	cfg.DisableReadOnlyFastPath = true
 	e := newTestEngine(t, cfg, nkeys)
 
 	keys := make([]txn.Key, nkeys)

@@ -107,6 +107,7 @@ func (e *Engine) sequencer() {
 		if len(cur.nodes) == 0 {
 			return
 		}
+		cur.limitTS = nextTS
 		e.batches.Add(1)
 		// Durability hook: append the batch to the command log before
 		// fan-out. Under SyncEveryBatch this is also where the fsync

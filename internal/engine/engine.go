@@ -67,6 +67,18 @@ type Stats struct {
 	// RangeFenceSkips counts partition range walks skipped because the
 	// partition directory's min/max key fence excluded the whole range.
 	RangeFenceSkips uint64
+	// ReadOnlyFastPath counts read-only transactions served by BOHM's
+	// snapshot-read fast path — they bypassed the sequencer → CC →
+	// execution pipeline entirely and read the multiversion store at the
+	// execution watermark. Zero for other engines; under
+	// Config.DisableReadOnlyFastPath only the inline Read API (which
+	// always serves from the snapshot) still counts here.
+	ReadOnlyFastPath uint64
+	// PoolBlocksTrimmed counts block-equivalents of surplus recycled
+	// versions released back to the runtime by the version pools'
+	// high-watermark trim, so RSS tracks the steady-state working set
+	// after a burst.
+	PoolBlocksTrimmed uint64
 	// TimestampFetches counts atomic fetch-and-increment operations on a
 	// global timestamp counter (Hekaton/SI; zero for BOHM by design).
 	TimestampFetches uint64
@@ -104,6 +116,8 @@ func (s Stats) Sub(o Stats) Stats {
 		VersionsPooled:       s.VersionsPooled - o.VersionsPooled,
 		BytesRecycled:        s.BytesRecycled - o.BytesRecycled,
 		RangeFenceSkips:      s.RangeFenceSkips - o.RangeFenceSkips,
+		ReadOnlyFastPath:     s.ReadOnlyFastPath - o.ReadOnlyFastPath,
+		PoolBlocksTrimmed:    s.PoolBlocksTrimmed - o.PoolBlocksTrimmed,
 		TimestampFetches:     s.TimestampFetches - o.TimestampFetches,
 		LogBatches:           s.LogBatches - o.LogBatches,
 		LogBytes:             s.LogBytes - o.LogBytes,

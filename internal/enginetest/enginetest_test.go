@@ -38,6 +38,23 @@ var factories = []struct {
 		}
 		return e
 	}},
+	{"bohm-nofast", true, func(t *testing.T) engine.Engine {
+		// The DisableReadOnlyFastPath ablation pipelines read-only
+		// transactions like any other; unlike default BOHM it keeps the
+		// paper's exact submission-order serialization even for read-only
+		// transactions mixed into a writing ExecuteBatch call.
+		cfg := core.DefaultConfig()
+		cfg.CCWorkers = 2
+		cfg.ExecWorkers = 3
+		cfg.BatchSize = 32
+		cfg.Capacity = 1 << 12
+		cfg.DisableReadOnlyFastPath = true
+		e, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}},
 	{"bohm-nopool", true, func(t *testing.T) engine.Engine {
 		// The DisablePooling ablation must be observationally identical to
 		// pooled BOHM on every suite; only the allocation profile differs.

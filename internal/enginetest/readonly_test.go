@@ -1,0 +1,100 @@
+// Read-only recency: on every engine, a read-only transaction submitted
+// after ExecuteBatch acknowledged a write must observe that write. For
+// default BOHM this pins down the fast path's recency bound — the
+// snapshot is taken at the execution watermark, which the recency gate
+// holds at or above every previously acknowledged batch — and the suite
+// checks the reads actually took the fast path.
+package enginetest
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bohm/internal/engine"
+	"bohm/internal/txn"
+)
+
+// TestAckedWritesVisibleToReadOnly interleaves acknowledged writes with
+// read-only transactions from the same stream: every read must observe
+// the full prefix of acknowledged increments, on every engine.
+func TestAckedWritesVisibleToReadOnly(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, name string, _ bool, e engine.Engine) {
+		load(t, e, 2, 0)
+		for i := uint64(1); i <= 100; i++ {
+			if res := e.ExecuteBatch([]txn.Txn{incTxn(0, 1)}); res[0] != nil {
+				t.Fatalf("%s: write %d: %v", name, i, res[0])
+			}
+			var got uint64
+			read := &txn.Proc{
+				Reads: []txn.Key{key(0), key(1)},
+				Body: func(ctx txn.Ctx) error {
+					a, err := ctx.Read(key(0))
+					if err != nil {
+						return err
+					}
+					b, err := ctx.Read(key(1))
+					if err != nil {
+						return err
+					}
+					got = txn.U64(a) + txn.U64(b)
+					return nil
+				},
+			}
+			if res := e.ExecuteBatch([]txn.Txn{read}); res[0] != nil {
+				t.Fatalf("%s: read %d: %v", name, i, res[0])
+			}
+			if got != 2*i {
+				t.Fatalf("%s: read after %d acknowledged increments observed %d, want %d",
+					name, i, got, 2*i)
+			}
+		}
+		if name == "bohm" {
+			if s := e.Stats(); s.ReadOnlyFastPath == 0 {
+				t.Error("bohm: reads never took the fast path")
+			}
+		}
+	})
+}
+
+// TestAckedWritesVisibleAcrossStreams checks recency across goroutines: a
+// reader that starts after a writer's ExecuteBatch returned must observe
+// at least that writer's acknowledged count, even while other writers keep
+// the engine busy.
+func TestAckedWritesVisibleAcrossStreams(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, name string, _ bool, e engine.Engine) {
+		load(t, e, 1, 0)
+		var acked atomic.Uint64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if res := e.ExecuteBatch([]txn.Txn{incTxn(0)}); res[0] != nil {
+					t.Errorf("%s: writer: %v", name, res[0])
+					return
+				}
+				acked.Add(1)
+			}
+		}()
+		for i := 0; i < 200; i++ {
+			floor := acked.Load()
+			got, err := readVal(t, e, 0)
+			if err != nil {
+				t.Fatalf("%s: reader: %v", name, err)
+			}
+			if got < floor {
+				t.Fatalf("%s: reader observed %d, want >= %d acknowledged before it started",
+					name, got, floor)
+			}
+		}
+		close(stop)
+		wg.Wait()
+	})
+}

@@ -89,8 +89,13 @@ func TestPhantomScanAllOrNothing(t *testing.T) {
 			if sums[i] != uint64(n) {
 				t.Errorf("%s: scan %d rows %d but sum %d", name, i, n, sums[i])
 			}
-			if name == "bohm" && n != width*i {
-				t.Errorf("bohm: scan %d saw %d rows, want exactly %d (submission order)", i, n, width*i)
+			// Pipelined BOHM serializes the scan at its exact submission
+			// position; default BOHM diverts it to the snapshot fast path,
+			// which serializes it at the execution watermark — some batch
+			// prefix of the call, so the generic multiple-of-width checks
+			// above still pin it to a wave boundary.
+			if name == "bohm-nofast" && n != width*i {
+				t.Errorf("bohm-nofast: scan %d saw %d rows, want exactly %d (submission order)", i, n, width*i)
 			}
 		}
 	})

@@ -37,11 +37,22 @@ type VersionPool struct {
 	// ascending seq order (Retire is called with nondecreasing seqs).
 	limbo []limboGen
 
+	// High-watermark trim state: served counts placeholders handed out
+	// since the last trim check, releases counts Release calls since
+	// then. Every trimCheckEvery releases the pool compares its free list
+	// against the window's demand and drops the surplus (in whole
+	// defaultVersionBlock multiples) so a burst's slabs can return to the
+	// runtime once their last live version drains; see maybeTrim.
+	served   int
+	releases int
+
 	// pooled and recycled are observability counters: versions served
-	// from the free list, and versions moved into it. Written by the
-	// owner thread, read concurrently by Stats.
+	// from the free list, and versions moved into it. trimmed counts
+	// block-equivalents dropped by the high-watermark trim. Written by
+	// the owner thread, read concurrently by Stats.
 	pooled   atomic.Uint64
 	recycled atomic.Uint64
+	trimmed  atomic.Uint64
 }
 
 // limboGen is one retired generation: versions cut from chains while the
@@ -71,6 +82,7 @@ func NewVersionPool() *VersionPool {
 // the pool: a recycled version when one is free, a slab slot otherwise.
 func (p *VersionPool) NewPlaceholder(begin, batch uint64, producer any) *Version {
 	var v *Version
+	p.served++
 	if n := len(p.free); n > 0 {
 		v = p.free[n-1]
 		p.free[n-1] = nil
@@ -152,12 +164,51 @@ func (p *VersionPool) Release(safeSeq uint64) {
 	if i > 0 {
 		p.limbo = append(p.limbo[:0], p.limbo[i:]...)
 	}
+	p.releases++
+	if p.releases >= trimCheckEvery {
+		p.maybeTrim()
+	}
 }
 
-// Stats returns the pool's counters: versions served from the free list
-// and versions recycled into it. Safe to call from any thread.
-func (p *VersionPool) Stats() (pooled, recycled uint64) {
-	return p.pooled.Load(), p.recycled.Load()
+// trimCheckEvery is the number of Release calls (one per batch the owner
+// concurrency-controls) between high-watermark trim checks; the window is
+// long enough that a steady workload's churn dominates the demand signal.
+const trimCheckEvery = 64
+
+// maybeTrim caps the free list at the demand observed over the last trim
+// window plus one block of slack, dropping the surplus in whole
+// defaultVersionBlock multiples. After a burst the free list holds far
+// more versions than steady-state churn ever reuses; severing the
+// references lets the runtime reclaim the burst's slabs as their live
+// versions drain from the chains, so RSS tracks the working set instead
+// of the high-water mark. A steady workload's demand meets or exceeds its
+// free list and nothing is trimmed.
+func (p *VersionPool) maybeTrim() {
+	keep := p.served + defaultVersionBlock
+	p.served, p.releases = 0, 0
+	surplus := len(p.free) - keep
+	if surplus < defaultVersionBlock {
+		return
+	}
+	blocks := surplus / defaultVersionBlock
+	n := blocks * defaultVersionBlock
+	clear(p.free[len(p.free)-n:])
+	p.free = p.free[:len(p.free)-n]
+	// Right-size the pointer array too: reslicing alone would retain the
+	// burst-high-water backing array forever.
+	if cap(p.free)-len(p.free) >= 2*defaultVersionBlock {
+		shrunk := make([]*Version, len(p.free), len(p.free)+defaultVersionBlock)
+		copy(shrunk, p.free)
+		p.free = shrunk
+	}
+	p.trimmed.Add(uint64(blocks))
+}
+
+// Stats returns the pool's counters: versions served from the free list,
+// versions recycled into it, and block-equivalents dropped by the
+// high-watermark trim. Safe to call from any thread.
+func (p *VersionPool) Stats() (pooled, recycled, trimmed uint64) {
+	return p.pooled.Load(), p.recycled.Load(), p.trimmed.Load()
 }
 
 // VersionBytes is the in-memory size of one Version struct, for

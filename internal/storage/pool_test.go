@@ -25,23 +25,23 @@ func TestVersionPoolRecycles(t *testing.T) {
 
 	// Not yet released: allocation must come from fresh memory.
 	v := p.NewPlaceholder(10, 10, nil)
-	if pooled, _ := p.Stats(); pooled != 0 {
+	if pooled, _, _ := p.Stats(); pooled != 0 {
 		t.Fatalf("allocation before Release came from the pool (pooled=%d)", pooled)
 	}
 	_ = v
 
 	p.Release(4) // below the retire seq: still nothing freed
 	p.NewPlaceholder(11, 11, nil)
-	if pooled, _ := p.Stats(); pooled != 0 {
+	if pooled, _, _ := p.Stats(); pooled != 0 {
 		t.Fatalf("Release below the retire seq freed versions (pooled=%d)", pooled)
 	}
 
 	p.Release(5)
-	if _, recycled := p.Stats(); recycled != 2 {
+	if _, recycled, _ := p.Stats(); recycled != 2 {
 		t.Fatalf("recycled = %d, want 2", recycled)
 	}
 	got := p.NewPlaceholder(12, 12, nil)
-	if pooled, _ := p.Stats(); pooled != 1 {
+	if pooled, _, _ := p.Stats(); pooled != 1 {
 		t.Fatalf("allocation after Release bypassed the pool (pooled=%d)", pooled)
 	}
 	if got.Ready() || got.Prev() != nil || got.End() != TsInfinity {
@@ -74,11 +74,11 @@ func TestVersionPoolRetireCoalesces(t *testing.T) {
 	p.Retire(mkList(2), 7)
 	p.Retire(mkList(1), 9)
 	p.Release(7)
-	if _, recycled := p.Stats(); recycled != 5 {
+	if _, recycled, _ := p.Stats(); recycled != 5 {
 		t.Fatalf("recycled = %d, want 5 (the two seq-7 generations)", recycled)
 	}
 	p.Release(9)
-	if _, recycled := p.Stats(); recycled != 6 {
+	if _, recycled, _ := p.Stats(); recycled != 6 {
 		t.Fatalf("recycled = %d, want 6", recycled)
 	}
 }
@@ -110,5 +110,60 @@ func TestCollectReclaimMatchesCollect(t *testing.T) {
 	}
 	if c1.Len() != c2.Len() {
 		t.Fatalf("chains diverge after cut: %d vs %d", c1.Len(), c2.Len())
+	}
+}
+
+// TestVersionPoolTrimsAfterBurst: a burst that floods the free list far
+// beyond steady-state demand is trimmed back (in whole block multiples)
+// within one trim window, so slab memory can return to the runtime; a
+// free list matched to demand is left alone.
+func TestVersionPoolTrimsAfterBurst(t *testing.T) {
+	p := NewVersionPool()
+	c := NewChain(nil)
+	// Burst: create and immediately supersede far more versions than one
+	// block, then reclaim them all into the free list.
+	const burst = 4 * defaultVersionBlock
+	for i := 1; i <= burst; i++ {
+		v := p.NewPlaceholder(uint64(i), uint64(i), nil)
+		v.Install(nil, false)
+		c.Push(v)
+	}
+	head, n := c.CollectReclaim(uint64(burst))
+	if n != burst-2 {
+		t.Fatalf("CollectReclaim freed %d, want %d", n, burst-2)
+	}
+	p.Retire(head, uint64(burst))
+	p.Release(uint64(burst))
+	if _, recycled, _ := p.Stats(); int(recycled) != burst-2 {
+		t.Fatalf("recycled = %d, want %d", recycled, burst-2)
+	}
+	freeAfterBurst := len(p.free)
+
+	// Steady state: tiny demand per release window. The first window
+	// check must trim the surplus down to demand + one block of slack.
+	for w := 0; w < 2; w++ {
+		for r := 0; r < trimCheckEvery; r++ {
+			p.NewPlaceholder(uint64(burst+10+w*trimCheckEvery+r), uint64(burst+10), nil)
+			p.Release(uint64(burst))
+		}
+	}
+	_, _, trimmed := p.Stats()
+	if trimmed == 0 {
+		t.Fatalf("trimmed = 0 after a %d-version burst and quiet windows (free was %d)", burst, freeAfterBurst)
+	}
+	if len(p.free) > trimCheckEvery+2*defaultVersionBlock {
+		t.Fatalf("free list = %d after trim, want near the window demand (%d)", len(p.free), trimCheckEvery)
+	}
+
+	// A busy window must not trim: demand covers the whole free list.
+	before := trimmed
+	for r := 0; r < trimCheckEvery; r++ {
+		for j := 0; j < 8; j++ {
+			p.NewPlaceholder(uint64(2*burst+r*8+j), uint64(2*burst), nil)
+		}
+		p.Release(uint64(burst))
+	}
+	if _, _, after := p.Stats(); after != before {
+		t.Fatalf("busy window trimmed %d blocks", after-before)
 	}
 }

@@ -16,6 +16,12 @@ import (
 // its args are EncodeKeys of the keys to increment.
 const ProcRMW = "ycsb.rmw"
 
+// ProcPut is the registry id of the YCSB blind point-write transaction;
+// its args are EncodeKeys of the keys to overwrite. The written value is
+// a fixed record of the registered size (blind writes are deterministic
+// by construction, so replay needs no value in the log).
+const ProcPut = "ycsb.put"
+
 // RegisterYCSB registers the YCSB procedures with reg. recordSize is the
 // record size rebuilt transactions write, and must match the loaded table.
 func RegisterYCSB(reg *txn.Registry, recordSize int) {
@@ -25,6 +31,14 @@ func RegisterYCSB(reg *txn.Registry, recordSize int) {
 			return nil, err
 		}
 		return &RMWTxn{Keys: ks, Size: recordSize}, nil
+	})
+	putVal := txn.NewValue(recordSize, 7)
+	reg.Register(ProcPut, func(args []byte) (txn.Txn, error) {
+		ks, err := DecodeKeys(args)
+		if err != nil {
+			return nil, err
+		}
+		return &PutTxn{Keys: ks, Val: putVal}, nil
 	})
 }
 

@@ -151,6 +151,33 @@ func (t *ScanTxn) Run(ctx txn.Ctx) error {
 	return nil
 }
 
+// PutTxn blindly overwrites each of its keys with Val: the minimal
+// write-only transaction, used by the point-write allocation benchmarks.
+// Val is shared across executions and must not be mutated.
+type PutTxn struct {
+	Keys []txn.Key
+	Val  []byte
+}
+
+// ReadSet implements txn.Txn: blind writes read nothing.
+func (t *PutTxn) ReadSet() []txn.Key { return nil }
+
+// WriteSet implements txn.Txn.
+func (t *PutTxn) WriteSet() []txn.Key { return t.Keys }
+
+// RangeSet implements txn.Txn: no scans.
+func (t *PutTxn) RangeSet() []txn.KeyRange { return nil }
+
+// Run implements txn.Txn.
+func (t *PutTxn) Run(ctx txn.Ctx) error {
+	for _, k := range t.Keys {
+		if err := ctx.Write(k, t.Val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // YCSBSource generates YCSB transactions for one worker stream. Not safe
 // for concurrent use; create one per stream.
 type YCSBSource struct {
@@ -190,6 +217,19 @@ func (s *YCSBSource) keys(n int) []txn.Key {
 // RMW10 returns a fresh 10RMW transaction.
 func (s *YCSBSource) RMW10() txn.Txn {
 	return &RMWTxn{Keys: s.keys(10), Size: s.y.RecordSize}
+}
+
+// RMW1 returns a single-key read-modify-write: the YCSB-A/B update
+// operation.
+func (s *YCSBSource) RMW1() txn.Txn {
+	return &RMWTxn{Keys: s.keys(1), Size: s.y.RecordSize}
+}
+
+// PointRead returns a single-key read-only transaction drawing its key
+// from the zipfian distribution: the YCSB-B/C read operation. Its empty
+// write-set makes it eligible for BOHM's snapshot fast path.
+func (s *YCSBSource) PointRead() txn.Txn {
+	return &ScanTxn{Keys: s.keys(1)}
 }
 
 // RMW2Read8 returns a fresh 2RMW-8R transaction.
