@@ -441,6 +441,74 @@ func BenchmarkAllocYCSBFastRead(b *testing.B) { benchAllocFastRead(b, false) }
 // through the full pipeline.
 func BenchmarkAllocYCSBFastReadNoFast(b *testing.B) { benchAllocFastRead(b, true) }
 
+// benchAllocChurnScan measures allocs/op on the fast-path range-scan path
+// over a churned table: half the keys are deleted and (with reaping on)
+// fully reclaimed before the measured region, so the numbers cover the
+// scan engine — resumable directory iterators, loser-tree merge, snapshot
+// resolution — on the index shape the lifecycle is meant to maintain.
+func benchAllocChurnScan(b *testing.B, disableReaping bool) {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	cfg.CCWorkers, cfg.ExecWorkers = 2, 2
+	cfg.Capacity = benchRecords
+	cfg.DisableReaping = disableReaping
+	e, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	c := workload.Churn{Records: benchRecords, RecordSize: benchRecordSize}
+	if err := c.LoadInto(e); err != nil {
+		b.Fatal(err)
+	}
+	// Kill half the keys, then tick enough single-transaction batches for
+	// the reap sweep to cover the whole directory.
+	var dels []txn.Txn
+	for id := 0; id < benchRecords; id++ {
+		if id%2 == 0 {
+			dels = append(dels, &workload.DeleteTxn{K: txn.Key{Table: workload.ChurnTable, ID: uint64(id)}})
+		}
+	}
+	for i := 0; i < len(dels); i += 1024 {
+		end := i + 1024
+		if end > len(dels) {
+			end = len(dels)
+		}
+		e.ExecuteBatch(dels[i:end])
+	}
+	settle := workload.PutTxn{Keys: []txn.Key{{Table: workload.ChurnTable, ID: 1}}, Val: txn.NewValue(benchRecordSize, 1)}
+	for i := 0; i < benchRecords/128+64; i++ {
+		e.ExecuteBatch([]txn.Txn{&settle})
+	}
+
+	chunks := bench.ChurnScanWindows(benchRecords, 64, 1024, 256)
+	for _, ch := range chunks {
+		e.ExecuteBatch(ch)
+	}
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		for _, ch := range chunks {
+			e.ExecuteBatch(ch)
+			done += len(ch)
+			if done >= b.N {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkAllocChurnScan is the scan-path allocation budget benchmark CI
+// enforces at zero allocations per scan (pooled scans over a reaped
+// table).
+func BenchmarkAllocChurnScan(b *testing.B) { benchAllocChurnScan(b, false) }
+
+// BenchmarkAllocChurnScanNoReap is the ablation: the same scans over the
+// insert-only index, paying for every dead entry.
+func BenchmarkAllocChurnScanNoReap(b *testing.B) { benchAllocChurnScan(b, true) }
+
 // BenchmarkZipfian measures the key generator.
 func BenchmarkZipfian(b *testing.B) {
 	for _, theta := range []float64{0, 0.9} {

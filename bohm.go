@@ -55,6 +55,15 @@
 //		},
 //	}
 //
+// Deleted keys do not haunt the index: once a key's newest surviving
+// version is a tombstone below the execution watermark, BOHM's index
+// lifecycle reaps it — the directory entry, the hash slot and the whole
+// version chain are reclaimed under the same epoch discipline that
+// protects lock-free readers — so directories and scans track the live
+// working set even under insert/delete churn (queues, sessions,
+// TTL-style tables). Config.DisableReaping restores the insert-only
+// behaviour for ablation.
+//
 // # Read-only fast path
 //
 // A transaction with an empty declared write-set never enters the

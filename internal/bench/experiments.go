@@ -29,6 +29,9 @@ type Scale struct {
 	ScanLenSweep []int // max-scan-length sweep (annotation amortization curve)
 	ReadMixPcts  []int // read-percentage sweep for the reads experiment (YCSB-B/C)
 
+	ChurnDeadPcts []int // dead-key-fraction sweep for the churn experiment
+	ChurnScanLen  int   // ids per churn range scan
+
 	Fig4CC   []int // CC thread counts (paper: 1, 2, 4, 8)
 	Fig4Exec []int // execution thread counts (paper: 1..10)
 
@@ -52,8 +55,12 @@ var Quick = Scale{
 	ScanMixPcts:  []int{50, 95, 100},
 	ScanLenSweep: []int{4, 16, 64, 256},
 	ReadMixPcts:  []int{50, 95, 100},
-	Fig4CC:       []int{1, 2},
-	Fig4Exec:     []int{1, 2, 4},
+
+	ChurnDeadPcts: []int{0, 50, 75, 90},
+	ChurnScanLen:  64,
+
+	Fig4CC:   []int{1, 2},
+	Fig4Exec: []int{1, 2, 4},
 
 	SBCustomersHigh: 50,
 	SBCustomersLow:  20_000,
@@ -77,8 +84,12 @@ var Ref = Scale{
 	ScanMixPcts:  []int{50, 95, 100},
 	ScanLenSweep: []int{10, 100, 1000},
 	ReadMixPcts:  []int{0, 50, 95, 100},
-	Fig4CC:       []int{1, 2, 4},
-	Fig4Exec:     []int{1, 2, 4, 8},
+
+	ChurnDeadPcts: []int{0, 50, 75, 90},
+	ChurnScanLen:  100,
+
+	Fig4CC:   []int{1, 2, 4},
+	Fig4Exec: []int{1, 2, 4, 8},
 
 	SBCustomersHigh: 50,
 	SBCustomersLow:  20_000,
@@ -102,8 +113,12 @@ var Paper = Scale{
 	ScanMixPcts:  []int{50, 95, 100},
 	ScanLenSweep: []int{10, 100, 1000, 10000},
 	ReadMixPcts:  []int{0, 50, 95, 100},
-	Fig4CC:       []int{1, 2, 4, 8},
-	Fig4Exec:     []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+
+	ChurnDeadPcts: []int{0, 50, 75, 90},
+	ChurnScanLen:  100,
+
+	Fig4CC:   []int{1, 2, 4, 8},
+	Fig4Exec: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
 
 	SBCustomersHigh: 50,
 	SBCustomersLow:  100_000,
@@ -128,6 +143,7 @@ var Experiments = []Experiment{
 	{"fig9", "YCSB throughput at 1% long read-only transactions", Fig9},
 	{"fig10", "SmallBank throughput (high and low contention)", Fig10},
 	{"scans", "YCSB-E range-scan mix (zipfian start keys, 5-50% inserts)", Scans},
+	{"churn", "insert+delete+scan churn: index lifecycle vs insert-only directories", Churn},
 	{"reads", "YCSB-B/C read-heavy mix (snapshot fast path vs pipeline)", Reads},
 	{"mem", "allocation profile of the transaction hot path (allocs/txn, B/txn)", Mem},
 	{"ablation-readrefs", "BOHM read-reference annotation on/off", AblationReadRefs},

@@ -20,6 +20,14 @@ import (
 // Without pre-processing, every CC worker examines every transaction and
 // filters by partition (the paper's base design); with pre-processing the
 // worker walks a pre-computed per-partition work list instead.
+//
+// The worker is also its partition's index-lifecycle owner: once per batch
+// it sweeps a bounded slice of the ordered directory and reaps keys whose
+// newest surviving version is a tombstone below the watermark — the single
+// writer of the partition is the only goroutine that ever unlinks
+// directory entries, deletes hash slots or detaches chains, so reaping
+// adds no atomics to the write path and inherits the same epoch argument
+// that protects chain GC.
 func (e *Engine) ccWorker(w int) {
 	defer e.ccWG.Done()
 	part := e.parts[w]
@@ -28,6 +36,12 @@ func (e *Engine) ccWorker(w int) {
 	if e.vpools != nil {
 		pool = e.vpools[w]
 	}
+	reapOn := e.cfg.GC && !e.cfg.DisableReaping
+	// annoIter serves range annotation, reapIter the lifecycle sweep; both
+	// keep skiplist fingers so neither pays a full descent per use. They
+	// are plain locals: only this goroutine touches them.
+	var annoIter, reapIter storage.DirIter
+	var reapCursor txn.Key
 
 	for b := range e.ccIn[w] {
 		var wm uint64
@@ -47,8 +61,11 @@ func (e *Engine) ccWorker(w int) {
 				pool.Release(cwm - retireLag)
 			}
 		}
+		if reapOn {
+			reapCursor = e.reapSweep(w, part, pool, st, &reapIter, reapCursor, b.seq, wmLookup())
+		}
 		if b.plans != nil {
-			e.runPlanned(w, b, pool, wmLookup)
+			e.runPlanned(w, b, pool, &annoIter, wmLookup)
 		} else {
 			for _, nd := range b.nodes {
 				// Reads and range annotations first: a read-modify-write
@@ -70,7 +87,7 @@ func (e *Engine) ccWorker(w int) {
 				}
 				if nd.rangeRefs != nil {
 					for r := range nd.ranges {
-						e.annotateRange(w, b, nd, r)
+						e.annotateRange(w, b, nd, r, &annoIter)
 					}
 				}
 				for i, k := range nd.writes {
@@ -87,6 +104,76 @@ func (e *Engine) ccWorker(w int) {
 		e.ccDone[w] <- b
 	}
 	close(e.ccDone[w])
+}
+
+// reapSweepPerBatch bounds how many directory keys one sweep examines, so
+// the lifecycle work per batch is O(1) regardless of table size; the
+// cursor wraps, covering the whole directory over successive batches.
+const reapSweepPerBatch = 256
+
+// reapSweep is the index-lifecycle pass: it resumes the partition's sweep
+// cursor and examines up to reapSweepPerBatch directory keys, reaping each
+// key whose chain head is a ready tombstone from a batch at or below the
+// watermark. Such a key is invisible to every live and future reader —
+// any transaction still executing (or any snapshot reader, whose epoch
+// caps the watermark) has a timestamp above the tombstone — so unlinking
+// the directory entry, freeing the hash slot and detaching the chain
+// changes no observable result; the detached versions retire through the
+// version-pool limbo under the batch's sequence, exactly like chain-GC
+// cuts, and are not reused until the retireLag epoch drains. Returns the
+// next sweep cursor.
+func (e *Engine) reapSweep(w int, part *storage.Map[storage.Chain], pool *storage.VersionPool,
+	st *workerStats, it *storage.DirIter, cursor txn.Key, batchSeq, wm uint64) txn.Key {
+	d := e.dirs[w]
+	if !it.SeekGE(d, cursor) {
+		// Past the end (or empty): wrap to the start for the next batch.
+		return txn.Key{}
+	}
+	for i := 0; i < reapSweepPerBatch; i++ {
+		k := it.Key()
+		more := it.Next() // step off k before a reap unlinks its node
+		e.maybeReap(w, part, pool, st, k, batchSeq, wm)
+		if !more {
+			return txn.Key{}
+		}
+	}
+	return it.Key()
+}
+
+// maybeReap reaps k if its record is proven dead: the chain's newest
+// version is a ready tombstone created in a batch at or below wm.
+func (e *Engine) maybeReap(w int, part *storage.Map[storage.Chain], pool *storage.VersionPool,
+	st *workerStats, k txn.Key, batchSeq, wm uint64) {
+	ch := part.Get(k)
+	if ch == nil {
+		return
+	}
+	head := ch.Head()
+	if head == nil || !head.Ready() || head.Batch > wm {
+		return
+	}
+	if _, tomb := head.Data(); !tomb {
+		return
+	}
+	// Order matters for lock-free readers: the directory entry goes first
+	// (scans stop finding k; point reads still resolve the tombstone),
+	// then the hash slot (point reads go not-found), then the chain
+	// detaches (readers that already hold it see the intact tombstone
+	// until the retire epoch drains). Every path reports k dead, which is
+	// what the tombstone already reported.
+	dirBytes, _ := e.dirs[w].Remove(k)
+	part.Delete(k)
+	vers := ch.DetachAll()
+	n := uint64(0)
+	for v := vers; v != nil; v = v.Prev() {
+		n++
+	}
+	if pool != nil {
+		pool.Retire(vers, batchSeq)
+	}
+	atomic.AddUint64(&st.keysReaped, 1)
+	atomic.AddUint64(&st.dirBytesReclaimed, dirBytes)
+	atomic.AddUint64(&st.versionsCollected, n)
 }
 
 // insertPlaceholder creates the uninitialized version for write slot i of
@@ -147,13 +234,19 @@ func (e *Engine) insertPlaceholder(part *storage.Map[storage.Chain], st *workerS
 // at nd.ts must observe. Keys created by later-timestamped transactions
 // are not yet in the directory, and keys created by earlier ones all are:
 // the annotation is a phantom-free snapshot of the range by construction.
+// (Keys reaped by this worker are equally consistent: reaping requires a
+// tombstone below the watermark, which every transaction in this batch
+// would have read as not-found anyway.)
 //
-// When the partition's key fence excludes the declared range outright the
+// When the partition's key fences exclude the declared range outright the
 // directory walk is skipped entirely — the annotation is the empty set by
-// the same argument, since the fence only ever widens and covered every
-// key inserted before this point of the CC stream.
-func (e *Engine) annotateRange(w int, b *batch, nd *node, r int) {
-	if e.dirs[w].ExcludesRange(nd.ranges[r]) {
+// the same argument, since a fence admits every key inserted before this
+// point of the CC stream. Otherwise the walk resumes the worker's
+// persistent iterator, whose finger turns the per-range skiplist descent
+// into an O(log distance) relocation.
+func (e *Engine) annotateRange(w int, b *batch, nd *node, r int, it *storage.DirIter) {
+	d := e.dirs[w]
+	if d.ExcludesRange(nd.ranges[r]) {
 		atomic.AddUint64(&e.ccStats[w].rangeFenceSkips, 1)
 		nd.rangeRefs[r][w] = nil
 		return
@@ -164,14 +257,14 @@ func (e *Engine) annotateRange(w int, b *batch, nd *node, r int) {
 	if pooled {
 		ents = b.ents[w].take()
 	}
-	e.dirs[w].AscendRange(nd.ranges[r], func(k txn.Key) bool {
-		if c := part.Get(k); c != nil {
+	limit := nd.ranges[r].LimitKey()
+	for ok := it.SeekGE(d, nd.ranges[r].FirstKey()); ok && it.Key().Less(limit); ok = it.Next() {
+		if c := part.Get(it.Key()); c != nil {
 			if h := c.Head(); h != nil {
-				ents = append(ents, rangeEntry{k: k, v: h})
+				ents = append(ents, rangeEntry{k: it.Key(), v: h})
 			}
 		}
-		return true
-	})
+	}
 	if pooled {
 		ents = b.ents[w].commit(ents)
 	}

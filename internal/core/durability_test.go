@@ -227,6 +227,99 @@ func TestCrashAtEveryBatchBoundary(t *testing.T) {
 	}
 }
 
+// workloadBatchDeleteHeavy builds batch i of a delete-heavy deterministic
+// workload: roughly half the operations are deletes (churn-table shape),
+// the rest increments that re-create missing keys, plus a few aborts. It
+// exercises the index lifecycle against durability: deletes produce
+// tombstones the reaper fully reclaims once the GC pin advances, so a
+// crash and recovery must reconstruct state across reaped keys without
+// resurrecting them.
+func workloadBatchDeleteHeavy(t testing.TB, reg *txn.Registry, i int) []txn.Txn {
+	rng := rand.New(rand.NewSource(int64(i)*1099511628211 + 41))
+	ts := make([]txn.Txn, 25)
+	for j := range ts {
+		id := uint64(rng.Intn(mutKeys + 16))
+		delta := uint64(rng.Intn(1000)) + 1
+		op := byte(opIncrement)
+		switch r := rng.Intn(10); {
+		case r < 5:
+			op = opDelete
+		case r == 5:
+			op = opAbort
+		}
+		ts[j] = mutCall(t, reg, id, delta, op)
+	}
+	return ts
+}
+
+// TestCrashAtEveryBatchBoundaryDeleteHeavy is the recovery property test
+// over the delete-heavy workload: for every prefix length k, a kill after
+// k submissions — with a mid-log checkpoint, so the pin advances and the
+// reaper actually reclaims tombstoned keys before the crash — must
+// recover to exactly the state of an uninterrupted in-memory run.
+// Checkpoints omit tombstoned and reaped keys alike, and replayed deletes
+// re-tombstone (then re-reap) them, so reaped keys never resurrect.
+func TestCrashAtEveryBatchBoundaryDeleteHeavy(t *testing.T) {
+	const n = 8
+	for k := 0; k <= n; k++ {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			// Reference: plain in-memory engine, same batches.
+			reg := durRegistry()
+			cfg := DefaultConfig()
+			cfg.BatchSize = 8
+			ref, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadInitial(t, ref)
+			for i := 0; i < k; i++ {
+				ref.ExecuteBatch(workloadBatchDeleteHeavy(t, reg, i))
+			}
+			wantState := dumpState(ref)
+			ref.Close()
+
+			dir := t.TempDir()
+			e, err := New(durableConfig(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadInitial(t, e)
+			if err := e.CheckpointNow(); err != nil {
+				t.Fatalf("sealing loads: %v", err)
+			}
+			for i := 0; i < k; i++ {
+				e.ExecuteBatch(workloadBatchDeleteHeavy(t, reg, i))
+				if i == k/2 {
+					if err := e.CheckpointNow(); err != nil {
+						t.Fatalf("mid-log checkpoint: %v", err)
+					}
+				}
+			}
+			e.Kill()
+
+			r, err := Recover(durableConfig(dir), reg)
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			defer r.Close()
+			sameState(t, "recovered", dumpState(r), wantState)
+
+			// The recovered engine keeps churning and stays durable:
+			// another delete-heavy round, another recovery, same state.
+			r.ExecuteBatch(workloadBatchDeleteHeavy(t, reg, 2000+k))
+			after := dumpState(r)
+			r.Close()
+			r2, err := Recover(durableConfig(dir), reg)
+			if err != nil {
+				t.Fatalf("second Recover: %v", err)
+			}
+			defer r2.Close()
+			sameState(t, "re-recovered", dumpState(r2), after)
+		})
+	}
+}
+
 // TestRecoverReplayStats checks that a recovery replaying the whole log
 // (no mid-log checkpoint) reproduces the reference run's commit and abort
 // counters, not just its state.

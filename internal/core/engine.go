@@ -56,6 +56,19 @@ type Config struct {
 	// owning partition's pool under the same epoch argument. Results are
 	// identical either way; only the allocation profile differs.
 	DisablePooling bool
+	// DisableReaping turns off the index lifecycle (ablation): dead keys —
+	// records whose newest surviving version is a tombstone below the
+	// execution watermark — keep their directory entries, hash slots and
+	// version chains forever, the insert-only behaviour of the original
+	// two-tier index. With reaping on (the default, when GC is on), each CC
+	// worker sweeps a bounded slice of its partition's directory per batch
+	// and fully reclaims proven-dead keys: the directory entry is unlinked
+	// (shrinking the key fences), the hash slot is freed for reuse, and
+	// the chain's versions retire through the version-pool limbo under the
+	// same watermark epoch that gates chain GC. Results are identical
+	// either way — a reaped key and a tombstoned key are equally invisible
+	// — only memory and scan cost differ.
+	DisableReaping bool
 	// ReadWorkers sizes the snapshot-read pool serving the read-only fast
 	// path (default: ExecWorkers). Read-only transactions never enter the
 	// sequencer → CC → execution pipeline; they run on these workers
@@ -165,7 +178,9 @@ type workerStats struct {
 	versionsCollected uint64
 	rangeFenceSkips   uint64
 	roFastPath        uint64
-	_                 [8]uint64 // pad to a cache line to avoid false sharing
+	keysReaped        uint64
+	dirBytesReclaimed uint64
+	_                 [6]uint64 // pad to a cache line to avoid false sharing
 }
 
 // Engine is a running BOHM instance. Create with New, feed with
@@ -676,6 +691,8 @@ func (e *Engine) Stats() engine.Stats {
 		s.VersionsCreated += atomic.LoadUint64(&w.versionsCreated)
 		s.VersionsCollected += atomic.LoadUint64(&w.versionsCollected)
 		s.RangeFenceSkips += atomic.LoadUint64(&w.rangeFenceSkips)
+		s.KeysReaped += atomic.LoadUint64(&w.keysReaped)
+		s.DirBytesReclaimed += atomic.LoadUint64(&w.dirBytesReclaimed)
 	}
 	for i := range e.execStats {
 		w := &e.execStats[i]
@@ -714,6 +731,29 @@ func (e *Engine) Stats() engine.Stats {
 	s.Checkpoints = e.ckptCount.Load()
 	s.CheckpointFailures = e.ckptFailed.Load()
 	return s
+}
+
+// DirectoryEntries returns the total ordered-directory entry count across
+// all partitions. With the index lifecycle active it converges to the live
+// key count instead of growing with every key that ever existed — the
+// observability hook the churn experiment and the convergence tests use.
+func (e *Engine) DirectoryEntries() int {
+	n := 0
+	for _, d := range e.dirs {
+		n += d.Len()
+	}
+	return n
+}
+
+// ResidentChains returns the total hash-index entry (version chain) count
+// across all partitions; like DirectoryEntries it converges to the live
+// working set under reaping.
+func (e *Engine) ResidentChains() int {
+	n := 0
+	for _, p := range e.parts {
+		n += p.Len()
+	}
+	return n
 }
 
 // execWatermark returns the newest batch sequence every execution worker

@@ -139,7 +139,7 @@ func (e *Engine) runOnce(nd *node, st *workerStats, sc *ctxPool) error {
 	c := sc.get()
 	defer sc.put(c)
 	c.e, c.nd, c.st, c.sc = e, nd, st, sc
-	c.busy, c.writeErr, c.readCursor = false, nil, 0
+	c.busy, c.writeErr, c.readCursor, c.nStaged = false, nil, 0, 0
 	if n := len(nd.writes); n > 0 {
 		if cap(c.vals) >= n {
 			c.vals = c.vals[:n]
@@ -207,6 +207,13 @@ type execCtx struct {
 	vals  [][]byte
 	wrote []bool
 	del   []bool
+	// nStaged counts distinct write slots the body has staged so far; scans
+	// early-out of the own-write overlay when it is zero.
+	nStaged int
+
+	// sb is the context's scan scratch (merge sources, fallback buffers,
+	// loser tree), detached while a scan runs so nesting stays safe.
+	sb *scanBufs
 
 	// busy poisons the attempt when a read hit an in-flight dependency;
 	// checked by runOnce even if the transaction body swallowed the error.
@@ -335,6 +342,19 @@ func (c *execCtx) resolve(v *storage.Version) (data []byte, tombstone bool, err 
 	return data, tombstone, nil
 }
 
+// scanBufs is an execution context's reusable scan state: merge sources,
+// per-partition entry buffers for the fallback walk, the own-write index
+// scratch and the loser tree. It is detached from the context for the
+// duration of a scan, so a nested ReadRange (issued from inside a scan's
+// callback) falls back to fresh buffers instead of corrupting the outer
+// scan.
+type scanBufs struct {
+	srcs [][]rangeEntry
+	ents [][]rangeEntry
+	own  []int
+	lt   loserTree
+}
+
 // ReadRange implements txn.Ctx: a serializable scan of r at nd.ts. The
 // scan is phantom-free by construction — every key any earlier-timestamped
 // transaction will ever write was registered in the partition directories
@@ -345,31 +365,68 @@ func (c *execCtx) resolve(v *storage.Version) (data []byte, tombstone bool, err 
 // chains at all; otherwise it walks the partition directories live and
 // traverses chains. Keys created by later-timestamped transactions may
 // appear in the directories but have no version below nd.ts and are
-// skipped. The transaction's own buffered writes inside r are merged in.
+// skipped; keys reaped by the lifecycle sweep are gone entirely, which for
+// every possible nd.ts means exactly what their tombstone meant. The
+// transaction's own buffered writes inside r are merged in.
 func (c *execCtx) ReadRange(r txn.KeyRange, fn func(k txn.Key, v []byte) error) error {
 	if r.Empty() {
 		return nil
 	}
-	own := c.stagedInRange(r)
+	sb := c.sb
+	c.sb = nil
+	if sb == nil {
+		sb = &scanBufs{}
+	}
+	err := c.readRange(r, sb, fn)
+	// Scrub entry references before parking the scratch: retained version
+	// pointers would pin dead record payloads until the next scan.
+	for i := range sb.srcs {
+		sb.srcs[i] = nil
+	}
+	sb.srcs = sb.srcs[:0]
+	for i := range sb.ents {
+		clear(sb.ents[i])
+		sb.ents[i] = sb.ents[i][:0]
+	}
+	sb.own = sb.own[:0]
+	c.sb = sb
+	return err
+}
+
+func (c *execCtx) readRange(r txn.KeyRange, sb *scanBufs, fn func(k txn.Key, v []byte) error) error {
+	own := c.stagedInRange(r, sb)
 	if ri := c.annotatedRangeIndex(r); ri >= 0 {
-		sources := make([][]rangeEntry, 0, len(c.nd.rangeRefs[ri]))
+		srcs := sb.srcs[:0]
 		for _, ents := range c.nd.rangeRefs[ri] {
 			// The annotation covers the declared range; narrow each
 			// partition's sorted slice to the requested sub-range.
 			lo := sort.Search(len(ents), func(i int) bool { return !ents[i].k.Less(r.FirstKey()) })
 			hi := sort.Search(len(ents), func(i int) bool { return !ents[i].k.Less(r.LimitKey()) })
 			if lo < hi {
-				sources = append(sources, ents[lo:hi])
+				srcs = append(srcs, ents[lo:hi])
 			}
 		}
-		return c.mergeScan(sources, own, true, fn)
+		sb.srcs = srcs
+		return c.mergeScan(srcs, own, true, sb, fn)
 	}
 	// Fallback (undeclared range, or DisableReadRefs): walk the partition
-	// directories at execution time and resolve visibility per chain.
-	sources := make([][]rangeEntry, 0, len(c.e.parts))
-	for p := range c.e.parts {
+	// directories at execution time and resolve visibility per chain. The
+	// iterator is scan-local on purpose: an execution worker's finger may
+	// not survive across scans, because keys this scan is required to see
+	// can be inserted between two scans (CC of later batches runs
+	// concurrently with execution), and a finger parked on a node reaped
+	// in that window would skip them.
+	nparts := len(c.e.parts)
+	if cap(sb.ents) < nparts {
+		sb.ents = make([][]rangeEntry, nparts)
+	}
+	sb.ents = sb.ents[:nparts]
+	srcs := sb.srcs[:0]
+	var it storage.DirIter
+	limit := r.LimitKey()
+	for p := 0; p < nparts; p++ {
 		if c.e.dirs[p].ExcludesRange(r) {
-			// The partition's key fence excludes the whole range; the
+			// The partition's key fences exclude the whole range; the
 			// walk would visit nothing. Safe for the same reason the walk
 			// is: every key an earlier-timestamped transaction will ever
 			// write was fenced in before this batch reached execution.
@@ -377,39 +434,49 @@ func (c *execCtx) ReadRange(r txn.KeyRange, fn func(k txn.Key, v []byte) error) 
 			continue
 		}
 		part := c.e.parts[p]
-		var ents []rangeEntry
-		c.e.dirs[p].AscendRange(r, func(k txn.Key) bool {
-			if ch := part.Get(k); ch != nil {
+		ents := sb.ents[p][:0]
+		for ok := it.SeekGE(c.e.dirs[p], r.FirstKey()); ok && it.Key().Less(limit); ok = it.Next() {
+			if ch := part.Get(it.Key()); ch != nil {
 				for w := ch.Head(); w != nil; w = w.Prev() {
 					atomic.AddUint64(&c.st.chainSteps, 1)
 					if w.Begin < c.nd.ts {
-						ents = append(ents, rangeEntry{k: k, v: w})
+						ents = append(ents, rangeEntry{k: it.Key(), v: w})
 						break
 					}
 				}
 			}
-			return true
-		})
+		}
+		sb.ents[p] = ents
 		if len(ents) > 0 {
-			sources = append(sources, ents)
+			srcs = append(srcs, ents)
 		}
 	}
-	return c.mergeScan(sources, own, false, fn)
+	sb.srcs = srcs
+	return c.mergeScan(srcs, own, false, sb, fn)
 }
 
-// stagedInRange returns the indices of nd.writes the body has already
+// stagedInRange collects the indices of nd.writes the body has already
 // staged (written or deleted) that fall inside r, in key order; the scan
-// overlays them so a transaction sees its own writes.
-func (c *execCtx) stagedInRange(r txn.KeyRange) []int {
-	var idxs []int
+// overlays them so a transaction sees its own writes. Scan-only
+// transactions (no staged writes) early-out without touching the scratch,
+// and the index sort is an in-place insertion sort — the whole path
+// allocates nothing in steady state.
+func (c *execCtx) stagedInRange(r txn.KeyRange, sb *scanBufs) []int {
+	if c.nStaged == 0 {
+		return nil
+	}
+	idxs := sb.own[:0]
 	for i, k := range c.nd.writes {
 		if c.wrote[i] && r.Contains(k) {
 			idxs = append(idxs, i)
 		}
 	}
-	sort.Slice(idxs, func(a, b int) bool {
-		return c.nd.writes[idxs[a]].Less(c.nd.writes[idxs[b]])
-	})
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && c.nd.writes[idxs[j]].Less(c.nd.writes[idxs[j-1]]); j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+	sb.own = idxs
 	return idxs
 }
 
@@ -429,27 +496,23 @@ func (c *execCtx) annotatedRangeIndex(r txn.KeyRange) int {
 
 // mergeScan merges the per-partition sorted entry lists with the
 // transaction's own staged writes (which shadow annotated entries for the
-// same key) and emits live records in ascending key order. Versions
-// resolve through the same dependency machinery as point reads, so a busy
-// producer suspends the attempt cleanly.
+// same key) and emits live records in ascending key order. The
+// per-partition lists merge through a loser tree — O(log partitions) per
+// emitted key instead of the old linear min over every partition.
+// Versions resolve through the same dependency machinery as point reads,
+// so a busy producer suspends the attempt cleanly.
 func (c *execCtx) mergeScan(sources [][]rangeEntry, own []int, annotated bool,
-	fn func(k txn.Key, v []byte) error) error {
+	sb *scanBufs, fn func(k txn.Key, v []byte) error) error {
+	lt := &sb.lt
+	lt.init(sources)
 	oi := 0
 	for {
-		best := -1
-		for p := range sources {
-			if len(sources[p]) == 0 {
-				continue
-			}
-			if best < 0 || sources[p][0].k.Less(sources[best][0].k) {
-				best = p
-			}
-		}
+		hasTree := lt.ok()
 		if oi < len(own) {
 			k := c.nd.writes[own[oi]]
-			if best < 0 || !sources[best][0].k.Less(k) {
-				if best >= 0 && sources[best][0].k == k {
-					sources[best] = sources[best][1:] // shadowed by own write
+			if !hasTree || !lt.head().k.Less(k) {
+				if hasTree && lt.head().k == k {
+					lt.pop() // shadowed by own write
 				}
 				i := own[oi]
 				oi++
@@ -461,11 +524,10 @@ func (c *execCtx) mergeScan(sources [][]rangeEntry, own []int, annotated bool,
 				continue
 			}
 		}
-		if best < 0 {
+		if !hasTree {
 			return nil
 		}
-		ent := sources[best][0]
-		sources[best] = sources[best][1:]
+		ent := lt.pop()
 		data, tomb, err := c.resolve(ent.v)
 		if err != nil {
 			c.busy = true
@@ -499,7 +561,10 @@ func (c *execCtx) stage(k txn.Key, v []byte, del bool) error {
 		if wk == k {
 			c.vals[i] = v
 			c.del[i] = del
-			c.wrote[i] = true
+			if !c.wrote[i] {
+				c.wrote[i] = true
+				c.nStaged++
+			}
 			return nil
 		}
 	}

@@ -1,0 +1,94 @@
+package core
+
+// loserTree is a k-way merge over sorted rangeEntry runs (one run per CC
+// partition, in practice). mergeScan's old linear min paid O(partitions)
+// comparisons per emitted key; the tree pays O(log partitions) — the
+// classic tournament structure (Knuth 5.4.1): internal node t holds the
+// loser of its subtree's match, ls[0] holds the overall winner, and
+// advancing the winner replays only its leaf-to-root path.
+//
+// Runs never contain the same key (a key belongs to exactly one
+// partition), so comparisons need no tie-breaking. An exhausted run
+// compares as +infinity. The struct is embedded in per-worker scan
+// scratch and reused across scans: init re-slices the existing arrays, so
+// steady-state merging allocates nothing.
+type loserTree struct {
+	srcs [][]rangeEntry
+	pos  []int
+	ls   []int32
+}
+
+// init loads the tree with runs; empty runs are fine. Reuses the
+// receiver's slices when they are large enough.
+func (lt *loserTree) init(srcs [][]rangeEntry) {
+	lt.srcs = srcs
+	k := len(srcs)
+	if cap(lt.pos) < k {
+		lt.pos = make([]int, k)
+		lt.ls = make([]int32, k)
+	}
+	lt.pos = lt.pos[:k]
+	lt.ls = lt.ls[:k]
+	for i := 0; i < k; i++ {
+		lt.pos[i] = 0
+		lt.ls[i] = -1
+	}
+	// Insert each run: its candidate ascends the path to the root,
+	// swapping with any stored loser it loses to; the last survivor on a
+	// fully-played path becomes the winner at ls[0].
+	for s := 0; s < k; s++ {
+		c := int32(s)
+		t := (s + k) / 2
+		for t > 0 && lt.ls[t] != -1 {
+			if lt.beats(lt.ls[t], c) {
+				c, lt.ls[t] = lt.ls[t], c
+			}
+			t /= 2
+		}
+		lt.ls[t] = c
+	}
+}
+
+// beats reports whether run a's head orders before run b's; an exhausted
+// run loses to everything.
+func (lt *loserTree) beats(a, b int32) bool {
+	if lt.pos[a] >= len(lt.srcs[a]) {
+		return false
+	}
+	if lt.pos[b] >= len(lt.srcs[b]) {
+		return true
+	}
+	return lt.srcs[a][lt.pos[a]].k.Less(lt.srcs[b][lt.pos[b]].k)
+}
+
+// ok reports whether any run still has entries. Meaningless before init or
+// on an empty tree.
+func (lt *loserTree) ok() bool {
+	if len(lt.ls) == 0 {
+		return false
+	}
+	w := lt.ls[0]
+	return lt.pos[w] < len(lt.srcs[w])
+}
+
+// head returns the smallest pending entry. Only valid when ok.
+func (lt *loserTree) head() rangeEntry {
+	w := lt.ls[0]
+	return lt.srcs[w][lt.pos[w]]
+}
+
+// pop removes and returns the smallest pending entry, then replays the
+// winner's path. Only valid when ok.
+func (lt *loserTree) pop() rangeEntry {
+	w := lt.ls[0]
+	ent := lt.srcs[w][lt.pos[w]]
+	lt.pos[w]++
+	c := w
+	for t := (int(w) + len(lt.ls)) / 2; t > 0; t /= 2 {
+		if lt.beats(lt.ls[t], c) {
+			c, lt.ls[t] = lt.ls[t], c
+		}
+	}
+	lt.ls[0] = c
+	return ent
+}

@@ -95,7 +95,8 @@ func (e *Engine) ppForwarder() {
 
 // runPlanned is the CC worker's fast path over a preprocessed plan: only
 // the keys this partition owns are visited, in timestamp order.
-func (e *Engine) runPlanned(w int, b *batch, pool *storage.VersionPool, wmLookup func() uint64) {
+func (e *Engine) runPlanned(w int, b *batch, pool *storage.VersionPool,
+	annoIter *storage.DirIter, wmLookup func() uint64) {
 	part := e.parts[w]
 	st := &e.ccStats[w]
 	for _, items := range b.plans[w] {
@@ -107,7 +108,7 @@ func (e *Engine) runPlanned(w int, b *batch, pool *storage.VersionPool, wmLookup
 					nd.readRefs[it.keyIdx] = c.Head()
 				}
 			case itemRange:
-				e.annotateRange(w, b, nd, int(it.keyIdx))
+				e.annotateRange(w, b, nd, int(it.keyIdx), annoIter)
 			default:
 				e.insertPlaceholder(part, st, pool, nd, int(it.keyIdx), b.seq, wmLookup)
 			}

@@ -418,11 +418,20 @@ type snapCtx struct {
 var _ txn.Ctx = (*snapCtx)(nil)
 
 // scanScratch is a snapshot scan's reusable state: per-partition entry
-// buffers, merge cursors, and the list of non-empty partitions.
+// buffers and directory iterators, the merge-source list, and the loser
+// tree. The iterators persist across scans as position hints — a repeat
+// scan near the last one relocates in O(log distance) instead of paying a
+// fresh skiplist descent per partition. Reuse is safe against the reaper:
+// DirIter.SeekGE falls back to a full descent when any finger node has
+// been removed, and a removal that lands after that check can only hide
+// keys inserted after it — keys whose versions are all above this
+// reader's snapshot timestamp (their batches had not finished executing
+// when the snapshot was taken), hence never required.
 type scanScratch struct {
 	ents [][]rangeEntry
-	pos  []int
-	src  []int
+	srcs [][]rangeEntry
+	its  []storage.DirIter
+	lt   loserTree
 }
 
 // Read implements txn.Ctx: the value of the version visible at the
@@ -451,21 +460,25 @@ func (c *snapCtx) ReadRange(r txn.KeyRange, fn func(k txn.Key, v []byte) error) 
 	if sc == nil {
 		sc = &scanScratch{
 			ents: make([][]rangeEntry, len(c.e.parts)),
-			pos:  make([]int, len(c.e.parts)),
+			its:  make([]storage.DirIter, len(c.e.parts)),
 		}
 	}
 	err := c.scan(r, sc, fn)
-	for _, p := range sc.src {
+	for i := range sc.srcs {
+		sc.srcs[i] = nil
+	}
+	sc.srcs = sc.srcs[:0]
+	for p := range sc.ents {
 		clear(sc.ents[p]) // drop version references; the epoch is about to clear
 		sc.ents[p] = sc.ents[p][:0]
-		sc.pos[p] = 0
 	}
-	sc.src = sc.src[:0]
 	c.scratch = sc
 	return err
 }
 
 func (c *snapCtx) scan(r txn.KeyRange, sc *scanScratch, fn func(k txn.Key, v []byte) error) error {
+	srcs := sc.srcs[:0]
+	limit := r.LimitKey()
 	for p := range c.e.parts {
 		if c.e.dirs[p].ExcludesRange(r) {
 			c.fenceSkips++
@@ -473,38 +486,28 @@ func (c *snapCtx) scan(r txn.KeyRange, sc *scanScratch, fn func(k txn.Key, v []b
 		}
 		part := c.e.parts[p]
 		ents := sc.ents[p][:0]
-		c.e.dirs[p].AscendRange(r, func(k txn.Key) bool {
-			if ch := part.Get(k); ch != nil {
+		it := &sc.its[p]
+		for ok := it.SeekGE(c.e.dirs[p], r.FirstKey()); ok && it.Key().Less(limit); ok = it.Next() {
+			if ch := part.Get(it.Key()); ch != nil {
 				for v := ch.Head(); v != nil; v = v.Prev() {
 					c.chainSteps++
 					if v.Begin < c.ts {
-						ents = append(ents, rangeEntry{k: k, v: v})
+						ents = append(ents, rangeEntry{k: it.Key(), v: v})
 						break
 					}
 				}
 			}
-			return true
-		})
+		}
 		sc.ents[p] = ents
 		if len(ents) > 0 {
-			sc.src = append(sc.src, p)
+			srcs = append(srcs, ents)
 		}
 	}
-	for {
-		best := -1
-		for _, p := range sc.src {
-			if sc.pos[p] == len(sc.ents[p]) {
-				continue
-			}
-			if best < 0 || sc.ents[p][sc.pos[p]].k.Less(sc.ents[best][sc.pos[best]].k) {
-				best = p
-			}
-		}
-		if best < 0 {
-			return nil
-		}
-		ent := sc.ents[best][sc.pos[best]]
-		sc.pos[best]++
+	sc.srcs = srcs
+	lt := &sc.lt
+	lt.init(srcs)
+	for lt.ok() {
+		ent := lt.pop()
 		data, tomb := resolveFinal(ent.v)
 		if tomb {
 			continue
@@ -513,6 +516,7 @@ func (c *snapCtx) scan(r txn.KeyRange, sc *scanScratch, fn func(k txn.Key, v []b
 			return err
 		}
 	}
+	return nil
 }
 
 // flush moves the context's local tallies into the worker's shared stats.

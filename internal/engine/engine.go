@@ -74,6 +74,14 @@ type Stats struct {
 	// Config.DisableReadOnlyFastPath only the inline Read API (which
 	// always serves from the snapshot) still counts here.
 	ReadOnlyFastPath uint64
+	// KeysReaped counts dead keys fully reclaimed by BOHM's index
+	// lifecycle: the newest surviving version was a tombstone below the
+	// execution watermark, so the reaper unlinked the directory entry,
+	// deleted the hash-index slot and retired the version chain.
+	KeysReaped uint64
+	// DirBytesReclaimed estimates the ordered-directory bytes (skiplist
+	// nodes and towers) unlinked by reaping.
+	DirBytesReclaimed uint64
 	// PoolBlocksTrimmed counts block-equivalents of surplus recycled
 	// versions released back to the runtime by the version pools'
 	// high-watermark trim, so RSS tracks the steady-state working set
@@ -117,6 +125,8 @@ func (s Stats) Sub(o Stats) Stats {
 		BytesRecycled:        s.BytesRecycled - o.BytesRecycled,
 		RangeFenceSkips:      s.RangeFenceSkips - o.RangeFenceSkips,
 		ReadOnlyFastPath:     s.ReadOnlyFastPath - o.ReadOnlyFastPath,
+		KeysReaped:           s.KeysReaped - o.KeysReaped,
+		DirBytesReclaimed:    s.DirBytesReclaimed - o.DirBytesReclaimed,
 		PoolBlocksTrimmed:    s.PoolBlocksTrimmed - o.PoolBlocksTrimmed,
 		TimestampFetches:     s.TimestampFetches - o.TimestampFetches,
 		LogBatches:           s.LogBatches - o.LogBatches,

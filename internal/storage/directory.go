@@ -1,16 +1,18 @@
 package storage
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"bohm/internal/txn"
 )
 
-// Directory is the ordered tier of the two-tier index: an insert-only
-// skiplist over txn.Key that records which keys exist, in (Table, ID)
-// order. The hash Map remains the point-access path; the Directory serves
-// range scans and next-key questions.
+// Directory is the ordered tier of the two-tier index: a skiplist over
+// txn.Key that records which keys exist, in (Table, ID) order. The hash
+// Map remains the point-access path; the Directory serves range scans and
+// next-key questions.
 //
 // Concurrency contract: writers serialize on an internal mutex (in BOHM a
 // partition's directory has a single writer — the owning CC thread — so
@@ -22,20 +24,23 @@ import (
 // exactly the "single writer, readers spin on nothing" discipline of the
 // paper's hash index, transplanted to an ordered structure.
 //
-// The directory is insert-only, like the hash index: deleted records keep
-// their directory entry and are filtered by version visibility (BOHM) or
-// tombstone flags (single-version engines) at scan time.
+// The directory is no longer insert-only: Remove unlinks a key whose
+// record has been proven dead (the engine's reaper does this under its
+// epoch watermark). Removed nodes keep their outgoing links untouched, so
+// a reader already standing on one keeps walking a frozen, order-correct
+// path back into the live list; the only keys such a reader can miss are
+// ones inserted after the unlink, which the caller's epoch argument makes
+// invisible to it anyway. Each node carries a removed flag so resumable
+// iterators (DirIter) can tell a live finger from a stale one.
 type Directory struct {
 	head *dirNode
 	n    atomic.Int64
 
-	// min and max fence the directory's key population: nil while empty,
-	// then the smallest and largest key ever inserted. A range whose
-	// window misses [min, max] provably matches nothing, so scanners can
-	// skip the walk (and, in BOHM, skip a whole partition's annotation
-	// step). Published before the key's links so that any reader who can
-	// see a key also sees a fence admitting it.
-	min, max atomic.Pointer[txn.Key]
+	// fences holds the per-table sharded key fences; see fenceSet. The
+	// pointer is swapped wholesale when a table appears or rescales, and
+	// per-slot bounds are widened in place before a key's links publish —
+	// any reader who can see a key also sees a fence admitting it.
+	fences atomic.Pointer[fenceSet]
 
 	mu  sync.Mutex // serializes writers; guards rnd
 	rnd uint64
@@ -46,19 +51,24 @@ type Directory struct {
 const dirMaxLevel = 20
 
 type dirNode struct {
-	k    txn.Key
-	next []atomic.Pointer[dirNode]
+	k txn.Key
+	// removed flips to 1 (before the unlink) when the node leaves the
+	// list; iterators refuse to resume from flagged fingers.
+	removed atomic.Uint32
+	next    []atomic.Pointer[dirNode]
 }
 
 // NewDirectory creates an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{
+	d := &Directory{
 		head: &dirNode{next: make([]atomic.Pointer[dirNode], dirMaxLevel)},
 		rnd:  0x9e3779b97f4a7c15,
 	}
+	d.fences.Store(&fenceSet{})
+	return d
 }
 
-// Len returns the number of keys inserted so far.
+// Len returns the number of keys currently present.
 func (d *Directory) Len() int { return int(d.n.Load()) }
 
 // randLevel draws a tower height with P(level > l) = 4^-l. Caller holds mu.
@@ -99,17 +109,8 @@ func (d *Directory) Insert(k txn.Key) bool {
 	}
 
 	// Widen the fence before publishing the key: a reader that finds k in
-	// the list must not be told by the fence that k cannot exist. max is
-	// stored before min so readers that observe a non-nil min (their
-	// emptiness check) always find a non-nil max too.
-	if mx := d.max.Load(); mx == nil || mx.Less(k) {
-		kc := k
-		d.max.Store(&kc)
-	}
-	if mn := d.min.Load(); mn == nil || k.Less(*mn) {
-		kc := k
-		d.min.Store(&kc)
-	}
+	// the list must not be told by the fence that k cannot exist.
+	d.widenFenceLocked(k)
 
 	lvl := d.randLevel()
 	nd := &dirNode{k: k, next: make([]atomic.Pointer[dirNode], lvl)}
@@ -125,6 +126,57 @@ func (d *Directory) Insert(k txn.Key) bool {
 	d.n.Add(1)
 	return true
 }
+
+// Remove unlinks k, reporting an estimate of the bytes its node occupied
+// and whether the key was present. Safe for concurrent use with readers;
+// the caller (the engine's reaper) must guarantee via its epoch watermark
+// that no reader still requires the key. A reader standing on the removed
+// node keeps following its frozen links — forward-only and order-correct —
+// and can only miss keys inserted after the unlink.
+func (d *Directory) Remove(k txn.Key) (reclaimed uint64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	var preds [dirMaxLevel]*dirNode
+	x := d.head
+	for l := dirMaxLevel - 1; l >= 0; l-- {
+		for {
+			nxt := x.next[l].Load()
+			if nxt == nil || !nxt.k.Less(k) {
+				break
+			}
+			x = nxt
+		}
+		preds[l] = x
+	}
+	nd := preds[0].next[0].Load()
+	if nd == nil || nd.k != k {
+		return 0, false
+	}
+	// Flag before unlinking: an iterator that validates its finger after
+	// this store can never resume from nd; one that validated before is
+	// covered by the caller's epoch argument (keys inserted after the
+	// unlink are invisible to it).
+	nd.removed.Store(1)
+	// Unlink top-down, mirroring the bottom-up publish of Insert: a reader
+	// descending concurrently may still enter nd at a lower level and
+	// finds consistent links there.
+	for l := len(nd.next) - 1; l >= 0; l-- {
+		if preds[l].next[l].Load() == nd {
+			preds[l].next[l].Store(nd.next[l].Load())
+		}
+	}
+	d.n.Add(-1)
+	d.shrinkFenceLocked(k)
+	return dirNodeOverhead + uint64(len(nd.next))*dirLinkBytes, true
+}
+
+// dirNodeOverhead and dirLinkBytes size the reclaimed-bytes estimate
+// reported by Remove.
+var (
+	dirNodeOverhead = uint64(unsafe.Sizeof(dirNode{}))
+	dirLinkBytes    = uint64(unsafe.Sizeof(atomic.Pointer[dirNode]{}))
+)
 
 // seek returns the last node whose key orders strictly before k (the head
 // sentinel when none does).
@@ -142,7 +194,23 @@ func (d *Directory) seek(k txn.Key) *dirNode {
 	return x
 }
 
-// Contains reports whether k has been inserted.
+// seekLE returns the last node whose key orders at or before k (the head
+// sentinel when none does). Caller holds mu (used by fence shrinking).
+func (d *Directory) seekLE(k txn.Key) *dirNode {
+	x := d.head
+	for l := dirMaxLevel - 1; l >= 0; l-- {
+		for {
+			nxt := x.next[l].Load()
+			if nxt == nil || k.Less(nxt.k) {
+				break
+			}
+			x = nxt
+		}
+	}
+	return x
+}
+
+// Contains reports whether k is present.
 func (d *Directory) Contains(k txn.Key) bool {
 	nxt := d.seek(k).next[0].Load()
 	return nxt != nil && nxt.k == k
@@ -163,36 +231,6 @@ func (d *Directory) AscendRange(r txn.KeyRange, fn func(k txn.Key) bool) {
 	}
 }
 
-// Bounds returns the smallest and largest key ever inserted. ok is false
-// while the directory is empty.
-func (d *Directory) Bounds() (min, max txn.Key, ok bool) {
-	mn := d.min.Load()
-	if mn == nil {
-		return txn.Key{}, txn.Key{}, false
-	}
-	return *mn, *d.max.Load(), true
-}
-
-// ExcludesRange reports whether the directory provably holds no key in r:
-// the directory is empty, or r's window [FirstKey, LimitKey) lies entirely
-// outside the [min, max] key fence. A false result promises nothing — the
-// range may still be empty — but a true result lets scanners skip the
-// walk. Safe for concurrent use; a key fully inserted before the call is
-// never excluded by its own range.
-func (d *Directory) ExcludesRange(r txn.KeyRange) bool {
-	if r.Empty() {
-		return true
-	}
-	mn := d.min.Load()
-	if mn == nil {
-		return true
-	}
-	if !mn.Less(r.LimitKey()) { // min >= limit: whole population above r
-		return true
-	}
-	return d.max.Load().Less(r.FirstKey()) // max < first: population below r
-}
-
 // Next returns the smallest key at or after k, for next-key questions.
 // The second result is false when no such key exists.
 func (d *Directory) Next(k txn.Key) (txn.Key, bool) {
@@ -201,4 +239,329 @@ func (d *Directory) Next(k txn.Key) (txn.Key, bool) {
 		return txn.Key{}, false
 	}
 	return nxt.k, true
+}
+
+// ---------------------------------------------------------------------------
+// Resumable iteration.
+
+// DirIter is a resumable directory iterator: it keeps the skiplist descent
+// path (a "finger") of its last position, so a SeekGE at or past that
+// position costs O(log distance) instead of a fresh top-down descent —
+// the win that lets scans over many ranges, or the reaper's incremental
+// sweep, stop paying a full descent per range per partition.
+//
+// Safety of reuse: a finger node that has been removed from the list would
+// let a resumed walk skip keys inserted after the unlink, so SeekGE
+// validates every finger node's removed flag and falls back to a full
+// descent when any is set. For a reader protected by the engine's epoch
+// watermark this check is sound: a removal that lands after the check can
+// only hide keys whose inserts are concurrent with the scan, and such keys
+// are above the reader's snapshot by the directory's maintenance rules.
+// The zero DirIter is ready for use.
+type DirIter struct {
+	d     *Directory
+	preds [dirMaxLevel]*dirNode
+	cur   *dirNode
+}
+
+// SeekGE positions the iterator at the first key of d at or after k,
+// reporting whether one exists. When the iterator's finger is still valid
+// and at or before k, the descent resumes from it.
+func (it *DirIter) SeekGE(d *Directory, k txn.Key) bool {
+	usable := it.d == d && it.cur != nil && !k.Less(it.cur.k)
+	if usable {
+		for l := 0; l < dirMaxLevel; l++ {
+			if p := it.preds[l]; p != d.head && (p == nil || p.removed.Load() != 0) {
+				usable = false
+				break
+			}
+		}
+	}
+	it.d = d
+	x := d.head
+	for l := dirMaxLevel - 1; l >= 0; l-- {
+		if usable {
+			// preds[l].k < cur.k <= k, so every saved pred is a valid (and
+			// usually far closer) start for its level.
+			if p := it.preds[l]; p != d.head && (x == d.head || x.k.Less(p.k)) {
+				x = p
+			}
+		}
+		for {
+			nxt := x.next[l].Load()
+			if nxt == nil || !nxt.k.Less(k) {
+				break
+			}
+			x = nxt
+		}
+		it.preds[l] = x
+	}
+	it.cur = x.next[0].Load()
+	return it.cur != nil
+}
+
+// Key returns the key at the current position. Only valid after SeekGE or
+// Next returned true.
+func (it *DirIter) Key() txn.Key { return it.cur.k }
+
+// Next advances to the following key, reporting whether one exists. The
+// bottom finger trails the position so a later SeekGE resumes cheaply.
+func (it *DirIter) Next() bool {
+	nxt := it.cur.next[0].Load()
+	if nxt == nil {
+		return false
+	}
+	it.preds[0] = it.cur
+	it.cur = nxt
+	return true
+}
+
+// Invalidate drops the finger; the next SeekGE performs a full descent.
+func (it *DirIter) Invalidate() { it.cur = nil; it.d = nil }
+
+// ---------------------------------------------------------------------------
+// Sharded key fences.
+
+// fenceShards is the number of contiguous ID windows each table's fence
+// tracks. A range query touches only the slots its window overlaps, so 32
+// keeps ExcludesRange a handful of loads while still resolving
+// mid-keyspace gaps a single min/max pair cannot see.
+const fenceShards = 32
+
+// fenceEmptyLo is the lo value of an empty fence slot; paired with hi = 0
+// it makes lo > hi the emptiness test.
+const fenceEmptyLo = ^uint64(0)
+
+// tableFence is one table's sharded fence: slot s bounds the IDs present
+// in window [s<<shift, (s+1)<<shift). shift is immutable per instance;
+// when a key lands beyond the covered span the writer builds a rescaled
+// instance and swaps the fence set. Slots are exact min/max under the
+// single-writer discipline: inserts widen them in place, and the reaper
+// recomputes a slot from the skiplist when it removes an endpoint — the
+// shrink that makes reaped regions excludable again.
+//
+// Readers load lo then hi without a lock. Widening stores hi before lo on
+// an empty slot (so the slot never reads non-empty before both ends admit
+// the key) and shrinking stores lo before hi (so a torn read pair is
+// always a superset of the true bounds, or reads empty while the slot is
+// mid-publication of a key that is not yet linked).
+type tableFence struct {
+	table uint32
+	shift uint32
+	lo    [fenceShards]atomic.Uint64
+	hi    [fenceShards]atomic.Uint64
+}
+
+func newTableFence(table uint32, shift uint32) *tableFence {
+	tf := &tableFence{table: table, shift: shift}
+	for s := range tf.lo {
+		tf.lo[s].Store(fenceEmptyLo)
+	}
+	return tf
+}
+
+// fenceShiftFor returns the smallest shift under which id falls inside the
+// covered span.
+func fenceShiftFor(id uint64) uint32 {
+	n := bits.Len64(id)
+	const span = 5 // log2(fenceShards)
+	if n <= span {
+		return 0
+	}
+	return uint32(n - span)
+}
+
+// fenceSet is the immutable table→fence mapping; tables is sorted by
+// table id. Structural changes (new table, rescale) copy-on-write the
+// slice and swap the Directory's pointer; per-slot bounds mutate in place.
+type fenceSet struct {
+	tables []*tableFence
+}
+
+func (fs *fenceSet) find(table uint32) *tableFence {
+	for _, tf := range fs.tables {
+		if tf.table == table {
+			return tf
+		}
+		if tf.table > table {
+			return nil
+		}
+	}
+	return nil
+}
+
+// withTable returns a copy of fs with tf added or replacing its table's
+// entry, keeping the sort order.
+func (fs *fenceSet) withTable(tf *tableFence) *fenceSet {
+	out := &fenceSet{tables: make([]*tableFence, 0, len(fs.tables)+1)}
+	added := false
+	for _, t := range fs.tables {
+		if t.table == tf.table {
+			out.tables = append(out.tables, tf)
+			added = true
+			continue
+		}
+		if !added && t.table > tf.table {
+			out.tables = append(out.tables, tf)
+			added = true
+		}
+		out.tables = append(out.tables, t)
+	}
+	if !added {
+		out.tables = append(out.tables, tf)
+	}
+	return out
+}
+
+// widenFenceLocked admits k into its table's fence, creating or rescaling
+// the table's fence as needed. Caller holds mu; runs before k's links
+// publish.
+func (d *Directory) widenFenceLocked(k txn.Key) {
+	fs := d.fences.Load()
+	tf := fs.find(k.Table)
+	if tf == nil {
+		tf = newTableFence(k.Table, fenceShiftFor(k.ID))
+		d.fences.Store(fs.withTable(tf))
+		fs = d.fences.Load()
+	}
+	if s := k.ID >> tf.shift; s >= fenceShards {
+		tf = rescaleFence(tf, fenceShiftFor(k.ID))
+		d.fences.Store(fs.withTable(tf))
+	}
+	s := k.ID >> tf.shift
+	// hi before lo: an empty slot must not read non-empty until both ends
+	// admit k (see tableFence).
+	if k.ID > tf.hi[s].Load() {
+		tf.hi[s].Store(k.ID)
+	}
+	if k.ID < tf.lo[s].Load() {
+		tf.lo[s].Store(k.ID)
+	}
+}
+
+// rescaleFence builds a coarser fence covering id space up to
+// fenceShards<<shift, merging the old instance's slots. Old windows nest
+// exactly into new ones (shifts only grow), so merged bounds stay exact.
+func rescaleFence(old *tableFence, shift uint32) *tableFence {
+	tf := newTableFence(old.table, shift)
+	for s := uint64(0); s < fenceShards; s++ {
+		lo, hi := old.lo[s].Load(), old.hi[s].Load()
+		if lo > hi {
+			continue
+		}
+		ns := lo >> shift
+		if lo < tf.lo[ns].Load() {
+			tf.lo[ns].Store(lo)
+		}
+		if hi > tf.hi[ns].Load() {
+			tf.hi[ns].Store(hi)
+		}
+	}
+	return tf
+}
+
+// shrinkFenceLocked recomputes k's fence slot after k's removal, when k
+// was one of the slot's endpoints. The recomputation asks the skiplist for
+// the window's surviving min and max (two O(log n) descents), so fences
+// tighten as regions are reaped — and read as empty once a window's last
+// key goes, letting scanners skip the walk entirely. Caller holds mu.
+func (d *Directory) shrinkFenceLocked(k txn.Key) {
+	tf := d.fences.Load().find(k.Table)
+	if tf == nil {
+		return
+	}
+	s := k.ID >> tf.shift
+	if s >= fenceShards {
+		return
+	}
+	lo, hi := tf.lo[s].Load(), tf.hi[s].Load()
+	if lo > hi || (k.ID != lo && k.ID != hi) {
+		return
+	}
+	winLo := s << tf.shift
+	winLast := winLo + (uint64(1)<<tf.shift - 1)
+	// Surviving minimum: first key at or after {table, winLo}.
+	first := d.seek(txn.Key{Table: k.Table, ID: winLo}).next[0].Load()
+	if first == nil || first.k.Table != k.Table || first.k.ID > winLast {
+		// Window empty: lo first, so a torn read pair is empty or a
+		// superset, never a phantom narrow window.
+		tf.lo[s].Store(fenceEmptyLo)
+		tf.hi[s].Store(0)
+		return
+	}
+	// Surviving maximum: last key at or before {table, winLast}.
+	last := d.seekLE(txn.Key{Table: k.Table, ID: winLast})
+	tf.lo[s].Store(first.k.ID)
+	tf.hi[s].Store(last.k.ID)
+}
+
+// Bounds returns the smallest and largest key currently admitted by the
+// fences (exact under quiescence). ok is false while the directory is
+// empty.
+func (d *Directory) Bounds() (min, max txn.Key, ok bool) {
+	fs := d.fences.Load()
+	for _, tf := range fs.tables {
+		for s := 0; s < fenceShards; s++ {
+			lo := tf.lo[s].Load()
+			if lo <= tf.hi[s].Load() {
+				min = txn.Key{Table: tf.table, ID: lo}
+				ok = true
+				break
+			}
+		}
+		if ok {
+			break
+		}
+	}
+	if !ok {
+		return txn.Key{}, txn.Key{}, false
+	}
+	for i := len(fs.tables) - 1; i >= 0; i-- {
+		tf := fs.tables[i]
+		for s := fenceShards - 1; s >= 0; s-- {
+			hi := tf.hi[s].Load()
+			if tf.lo[s].Load() <= hi {
+				return min, txn.Key{Table: tf.table, ID: hi}, true
+			}
+		}
+	}
+	return min, max, true
+}
+
+// ExcludesRange reports whether the fences prove the directory holds no
+// key in r: the table has no fence, the range lies beyond the fence's
+// span, or every overlapped slot is empty or disjoint from [Lo, Hi). A
+// false result promises nothing — the range may still be empty — but a
+// true result lets scanners skip the walk. Safe for concurrent use; a key
+// fully inserted before the call is never excluded by its own range.
+// Unlike a single min/max pair, the sharded slots also exclude
+// mid-keyspace gaps and reaped regions.
+func (d *Directory) ExcludesRange(r txn.KeyRange) bool {
+	if r.Empty() {
+		return true
+	}
+	tf := d.fences.Load().find(r.Table)
+	if tf == nil {
+		return true
+	}
+	s0 := r.Lo >> tf.shift
+	if s0 >= fenceShards {
+		return true
+	}
+	s1 := (r.Hi - 1) >> tf.shift
+	if s1 >= fenceShards {
+		s1 = fenceShards - 1
+	}
+	for s := s0; s <= s1; s++ {
+		lo := tf.lo[s].Load()
+		hi := tf.hi[s].Load()
+		if lo > hi { // empty slot
+			continue
+		}
+		if lo >= r.Hi || hi < r.Lo { // populated, but disjoint from r
+			continue
+		}
+		return false
+	}
+	return true
 }

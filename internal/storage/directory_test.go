@@ -173,7 +173,7 @@ func TestDirectoryFence(t *testing.T) {
 		{txn.KeyRange{Table: 1, Lo: 0, Hi: 101}, false},    // covers min
 		{txn.KeyRange{Table: 1, Lo: 201, Hi: 300}, true},   // starts past max
 		{txn.KeyRange{Table: 1, Lo: 200, Hi: 300}, false},  // covers max
-		{txn.KeyRange{Table: 1, Lo: 120, Hi: 150}, false},  // inside fence (maybe empty, still not excluded)
+		{txn.KeyRange{Table: 1, Lo: 120, Hi: 150}, true},   // mid-keyspace gap: sharded slots see it is empty
 		{txn.KeyRange{Table: 0, Lo: 0, Hi: 1 << 62}, true}, // whole other table below min
 		{txn.KeyRange{Table: 2, Lo: 0, Hi: 1 << 62}, true}, // whole other table above max
 		{txn.KeyRange{Table: 1, Lo: 5, Hi: 5}, true},       // empty range
@@ -193,6 +193,189 @@ func TestDirectoryFence(t *testing.T) {
 	if d.ExcludesRange(txn.KeyRange{Table: 2, Lo: 9, Hi: 10}) {
 		t.Fatal("fence did not widen upward")
 	}
+}
+
+// TestDirectoryRemove checks removal end-to-end: the key disappears from
+// iteration, Len and Contains, the fence shrinks back (including to empty
+// when a shard's last key goes), and re-insertion works.
+func TestDirectoryRemove(t *testing.T) {
+	d := NewDirectory()
+	for i := 0; i < 100; i++ {
+		d.Insert(txn.Key{Table: 1, ID: uint64(i)})
+	}
+	if _, ok := d.Remove(txn.Key{Table: 1, ID: 200}); ok {
+		t.Fatal("removed an absent key")
+	}
+	if _, ok := d.Remove(txn.Key{Table: 2, ID: 5}); ok {
+		t.Fatal("removed a key of an absent table")
+	}
+	for i := 0; i < 100; i += 2 {
+		bytes, ok := d.Remove(txn.Key{Table: 1, ID: uint64(i)})
+		if !ok || bytes == 0 {
+			t.Fatalf("Remove(%d) = %d bytes, %v", i, bytes, ok)
+		}
+	}
+	if d.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", d.Len())
+	}
+	if d.Contains(txn.Key{Table: 1, ID: 4}) || !d.Contains(txn.Key{Table: 1, ID: 5}) {
+		t.Fatal("Contains misreported after removal")
+	}
+	n := 0
+	d.AscendRange(txn.KeyRange{Table: 1, Lo: 0, Hi: 100}, func(k txn.Key) bool {
+		if k.ID%2 == 0 {
+			t.Fatalf("removed key %d visited", k.ID)
+		}
+		n++
+		return true
+	})
+	if n != 50 {
+		t.Fatalf("visited %d keys, want 50", n)
+	}
+	// Removing a whole region shrinks its fence slots to empty: the range
+	// becomes excludable even though it is interior to the population.
+	for i := 1; i < 50; i += 2 {
+		d.Remove(txn.Key{Table: 1, ID: uint64(i)})
+	}
+	if !d.ExcludesRange(txn.KeyRange{Table: 1, Lo: 0, Hi: 50}) {
+		t.Fatal("fully reaped region not excluded by fences")
+	}
+	if d.ExcludesRange(txn.KeyRange{Table: 1, Lo: 50, Hi: 100}) {
+		t.Fatal("live region wrongly excluded")
+	}
+	// Bounds shrank past the reaped prefix.
+	mn, mx, ok := d.Bounds()
+	if !ok || mn.ID != 51 || mx.ID != 99 {
+		t.Fatalf("Bounds after reap = %v %v %v, want 51..99", mn, mx, ok)
+	}
+	// Re-insertion of reaped keys works and re-widens the fence.
+	if !d.Insert(txn.Key{Table: 1, ID: 4}) {
+		t.Fatal("re-insert of removed key reported present")
+	}
+	if d.ExcludesRange(txn.KeyRange{Table: 1, Lo: 0, Hi: 50}) {
+		t.Fatal("fence did not re-widen after re-insert")
+	}
+	// Remove every key: the directory empties completely.
+	for id := uint64(0); id < 100; id++ {
+		d.Remove(txn.Key{Table: 1, ID: id})
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after removing everything", d.Len())
+	}
+	if !d.ExcludesRange(txn.KeyRange{Table: 1, Lo: 0, Hi: 1 << 40}) {
+		t.Fatal("empty directory must exclude its table's ranges")
+	}
+}
+
+// TestDirectoryIterator covers the resumable iterator: ordered iteration,
+// finger reuse for forward seeks, fallback for backward seeks, and the
+// removed-finger fallback that keeps resumed walks exact.
+func TestDirectoryIterator(t *testing.T) {
+	d := NewDirectory()
+	ids := rand.New(rand.NewSource(3)).Perm(1000)
+	for _, id := range ids {
+		d.Insert(txn.Key{Table: 0, ID: uint64(2 * id)}) // evens only
+	}
+	var it DirIter
+	// Ordered full walk.
+	got := 0
+	for ok := it.SeekGE(d, txn.Key{}); ok; ok = it.Next() {
+		if it.Key().ID != uint64(2*got) {
+			t.Fatalf("walk position %d = id %d, want %d", got, it.Key().ID, 2*got)
+		}
+		got++
+	}
+	if got != 1000 {
+		t.Fatalf("walked %d keys, want 1000", got)
+	}
+	// Forward seeks with a warm finger land exactly, including between
+	// keys; backward seek falls back to a full descent and still lands.
+	for _, target := range []uint64{0, 501, 1000, 1995, 3, 1998} {
+		if !it.SeekGE(d, txn.Key{Table: 0, ID: target}) {
+			t.Fatalf("SeekGE(%d) found nothing", target)
+		}
+		want := (target + 1) / 2 * 2
+		if it.Key().ID != want {
+			t.Fatalf("SeekGE(%d) = %d, want %d", target, it.Key().ID, want)
+		}
+	}
+	if it.SeekGE(d, txn.Key{Table: 0, ID: 2000}) {
+		t.Fatal("SeekGE past the end found a key")
+	}
+	// Park a finger, remove nodes around it, and re-seek: the walk must
+	// reflect the removals exactly (the removed-flag check forces a fresh
+	// descent when the finger died).
+	it.SeekGE(d, txn.Key{Table: 0, ID: 1000})
+	for id := uint64(900); id <= 1100; id += 2 {
+		d.Remove(txn.Key{Table: 0, ID: id})
+	}
+	if !it.SeekGE(d, txn.Key{Table: 0, ID: 1000}) {
+		t.Fatal("re-seek found nothing")
+	}
+	if it.Key().ID != 1102 {
+		t.Fatalf("re-seek over reaped region = %d, want 1102", it.Key().ID)
+	}
+}
+
+// TestDirectoryConcurrentChurn runs readers (AscendRange walks and
+// resumable iterators) against a single writer performing insert/remove
+// churn; iteration must stay sorted and every key present for the whole
+// run must always be seen. Run with -race.
+func TestDirectoryConcurrentChurn(t *testing.T) {
+	d := NewDirectory()
+	const stable = 512 // even ids 0..1022 never removed
+	for i := 0; i < stable; i++ {
+		d.Insert(txn.Key{Table: 0, ID: uint64(2 * i)})
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var it DirIter
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Stable keys must all be visited, in order, regardless of
+				// concurrent churn on the odd ids.
+				seen := 0
+				prev := txn.Key{}
+				first := true
+				for ok := it.SeekGE(d, txn.Key{}); ok; ok = it.Next() {
+					k := it.Key()
+					if !first && !prev.Less(k) {
+						t.Error("iterator out of order")
+						return
+					}
+					prev, first = k, false
+					if k.ID%2 == 0 {
+						seen++
+					}
+				}
+				if seen != stable {
+					t.Errorf("iterator saw %d stable keys, want %d", seen, stable)
+					return
+				}
+			}
+		}()
+	}
+	// Single writer churns the odd ids: insert a window, remove it, repeat.
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 300; round++ {
+		base := uint64(rng.Intn(1000))
+		for i := uint64(0); i < 32; i++ {
+			d.Insert(txn.Key{Table: 0, ID: 2*(base+i) + 1})
+		}
+		for i := uint64(0); i < 32; i++ {
+			d.Remove(txn.Key{Table: 0, ID: 2*(base+i) + 1})
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestDirectoryFenceNeverExcludesPresentKey cross-checks exclusion

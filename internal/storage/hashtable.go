@@ -1,12 +1,14 @@
 // Package storage provides the data substrates the engines are built on:
-// a latch-free insert-only hash index, BOHM-style multiversion chains, and
-// an in-place single-version record store used by the single-versioned
-// baselines (OCC, 2PL).
+// a latch-free hash index, BOHM-style multiversion chains, and an in-place
+// single-version record store used by the single-versioned baselines
+// (OCC, 2PL).
 //
 // The hash index follows the design the paper relies on (§3.3.1): a
 // standard latch-free hash table where structural modifications are made by
 // a single writer per partition and concurrent readers "need only spin on
-// inconsistent or stale data".
+// inconsistent or stale data". It additionally supports deletion — the
+// index-lifecycle subsystem reclaims dead keys — under the same
+// single-writer-per-partition discipline.
 package storage
 
 import (
@@ -21,33 +23,91 @@ import (
 // size them for the declared table capacity plus headroom.
 var ErrTableFull = errors.New("storage: hash table full")
 
-// Slot states for the latch-free hash table. A slot moves empty→busy→ready
-// exactly once; readers that observe busy spin briefly, readers that
-// observe empty stop probing (insert-only table, so an empty slot
-// terminates every probe sequence that could contain the key).
+// Slot state tags, packed into the low bits of the slot word; the high
+// bits carry a generation counter bumped on every transition out of empty,
+// ready or deleted, so a reader can detect that a slot changed under it.
+//
+// A slot cycles empty→busy→ready, then (with deletion) ready→deleted and
+// deleted→busy→ready on reuse. Readers that observe busy spin briefly;
+// readers that observe empty stop probing (within one slot array a slot
+// never returns to empty except by tombstone absorption, which preserves
+// the probe invariant — see absorb); readers that observe deleted skip the
+// slot but keep probing.
 const (
 	slotEmpty uint32 = iota
 	slotBusy
 	slotReady
+	slotDeleted
+
+	slotTagMask uint32 = 3
+	slotGenUnit uint32 = 4 // one generation increment
 )
 
+// slot key words (table, id) are atomics: slot reuse rewrites them while
+// readers of an older generation may still be comparing them, and the
+// generation re-check only makes that safe if the individual reads are
+// tear-free. The pairing of the two words is still guarded by the
+// generation protocol, not by the individual atomics.
 type slot[V any] struct {
 	state atomic.Uint32
-	table uint32
-	id    uint64
+	table atomic.Uint32
+	id    atomic.Uint64
 	val   atomic.Pointer[V]
 }
 
-// Map is a fixed-capacity, insert-only, latch-free hash table from txn.Key
-// to *V. Concurrent readers never block writers and never take latches;
-// inserts synchronize with a single CAS per slot claim. Get is wait-free
-// except when racing the two-word key publication of an in-flight insert,
-// where it spins (the paper's "readers spin on inconsistent data").
-type Map[V any] struct {
+// keyIs reports whether the slot's key words currently equal k. Callers
+// must validate the slot generation afterwards to trust the pair.
+func (s *slot[V]) keyIs(k txn.Key) bool {
+	return s.table.Load() == k.Table && s.id.Load() == k.ID
+}
+
+func (s *slot[V]) setKey(k txn.Key) {
+	s.table.Store(k.Table)
+	s.id.Store(k.ID)
+}
+
+// slotArr is one immutable-size probe array. The Map swaps in a freshly
+// compacted array when tombstones have eaten too many probe terminators;
+// a reader that loaded the old array finishes its probe on a frozen,
+// consistent snapshot (the writer never touches an array after replacing
+// it).
+type slotArr[V any] struct {
 	slots []slot[V]
 	mask  uint64
+}
+
+// Map is a fixed-capacity, latch-free hash table from txn.Key to *V.
+// Concurrent readers never block writers and never take latches; inserts
+// synchronize with a single CAS per slot claim. Get is wait-free except
+// when racing the two-word key publication of an in-flight insert, where
+// it spins (the paper's "readers spin on inconsistent data").
+//
+// Deletion reclaims slots: Delete marks the slot deleted (probes skip it)
+// and a later Insert may reuse it for a fresh key. Because reuse rewrites
+// the slot's key words, readers validate the slot's generation after
+// reading them — a mismatch means the slot changed mid-read and the probe
+// re-inspects it. Two mechanisms keep unbounded churn from degrading the
+// table: deletes absorb tombstone runs that end at an empty slot back
+// into empty (probe terminators return), and when tombstones pinned
+// behind live clusters still drain the empty reserve, the writer compacts
+// into a fresh slot array and atomically swaps it in. Readers holding the
+// old array see a complete snapshot as of the swap; entries inserted
+// after the swap are invisible to them, which the engine's phase ordering
+// makes irrelevant (a reader that requires a key has a happens-before
+// edge from the key's insert, so it loads the new array).
+//
+// Delete, deleted-slot reuse and compaction require a single writer per
+// map (BOHM's per-partition CC worker); maps that are never deleted from
+// keep the original multi-writer insert safety.
+type Map[V any] struct {
+	arr   atomic.Pointer[slotArr[V]]
 	used  atomic.Int64
 	limit int64
+	// empties counts slots still in (or returned to) the empty state in
+	// the current array — the probe terminators. Fresh inserts consume
+	// them; absorption and compaction restore them.
+	empties  atomic.Int64
+	rebuilds atomic.Uint64
 }
 
 // NewMap creates a table with capacity for at least n entries. The slot
@@ -61,69 +121,129 @@ func NewMap[V any](n int) *Map[V] {
 	for size < 2*n {
 		size <<= 1
 	}
-	return &Map[V]{
-		slots: make([]slot[V], size),
-		mask:  uint64(size - 1),
-		limit: int64(size) * 7 / 8,
-	}
+	m := &Map[V]{limit: int64(size) * 7 / 8}
+	m.arr.Store(&slotArr[V]{slots: make([]slot[V], size), mask: uint64(size - 1)})
+	m.empties.Store(int64(size))
+	return m
 }
 
-// Len returns the number of keys inserted so far.
+// Len returns the number of keys currently present (inserted and not
+// deleted).
 func (m *Map[V]) Len() int { return int(m.used.Load()) }
 
 // Cap returns the insert limit of the table.
 func (m *Map[V]) Cap() int { return int(m.limit) }
 
-// Get returns the value for k, or nil if k has not been inserted.
+// Rebuilds returns the number of compaction swaps performed.
+func (m *Map[V]) Rebuilds() uint64 { return m.rebuilds.Load() }
+
+// Get returns the value for k, or nil if k is not present.
 func (m *Map[V]) Get(k txn.Key) *V {
-	i := k.Hash() & m.mask
+	a := m.arr.Load()
+	i := k.Hash() & a.mask
 	for {
-		s := &m.slots[i]
-		switch s.state.Load() {
+		s := &a.slots[i]
+		st := s.state.Load()
+		switch st & slotTagMask {
 		case slotEmpty:
 			return nil
 		case slotReady:
-			if s.table == k.Table && s.id == k.ID {
-				return s.val.Load()
+			if s.keyIs(k) {
+				v := s.val.Load()
+				if s.state.Load() != st {
+					continue // slot mutated mid-read; re-inspect it
+				}
+				return v
 			}
+			// The key words only count if the slot did not change while we
+			// compared them (a deleted slot reused for another key rewrites
+			// them); a stable mismatch advances the probe.
+			if s.state.Load() != st {
+				continue
+			}
+		case slotDeleted:
+			// Skip, but keep probing: the key may live past this slot.
 		default: // slotBusy: key words mid-publication; spin on this slot.
 			continue
 		}
-		i = (i + 1) & m.mask
+		i = (i + 1) & a.mask
 	}
 }
 
 // Insert associates v with k. If k is already present the existing value
-// pointer is returned along with false; otherwise (nil recorded as v's
-// predecessor) v is installed and Insert returns v and true. Insert is safe
-// for concurrent use by multiple writers, although the BOHM engine only
-// ever has one writer per partition.
+// pointer is returned along with false; otherwise v is installed and
+// Insert returns v and true. Insert prefers reusing a deleted slot on the
+// probe path over claiming a fresh empty one, so a table under
+// insert/delete churn converges to a stable slot population instead of
+// filling up; when pinned tombstones have drained the empty reserve
+// anyway, the writer compacts the array first. Concurrent inserters are
+// safe with each other only while the map holds no deleted slots (see
+// Delete).
 func (m *Map[V]) Insert(k txn.Key, v *V) (*V, bool, error) {
 	if m.used.Load() >= m.limit {
 		return nil, false, ErrTableFull
 	}
-	i := k.Hash() & m.mask
+	a := m.arr.Load()
+	i := k.Hash() & a.mask
+	var reuse *slot[V]
+	var reuseSt uint32
 	for {
-		s := &m.slots[i]
-		switch s.state.Load() {
+		s := &a.slots[i]
+		st := s.state.Load()
+		switch st & slotTagMask {
 		case slotEmpty:
-			if s.state.CompareAndSwap(slotEmpty, slotBusy) {
-				s.table = k.Table
-				s.id = k.ID
+			if reuse != nil {
+				// The key is absent (an empty slot ends its probe sequence);
+				// take the first deleted slot seen instead of consuming a
+				// fresh one.
+				if !reuse.state.CompareAndSwap(reuseSt, reuseSt-(reuseSt&slotTagMask)+slotGenUnit+slotBusy) {
+					// Only possible under a (forbidden) concurrent writer;
+					// fall through to claiming the empty slot for safety.
+					reuse = nil
+					continue
+				}
+				reuse.setKey(k)
+				reuse.val.Store(v)
+				reuse.state.Add(slotGenUnit + slotReady - slotBusy)
+				m.used.Add(1)
+				return v, true, nil
+			}
+			// Preserve a reserve of empty slots — they are what terminates
+			// a probe for an absent key. Insert-only tables never get near
+			// the floor (the used limit trips first); churn tables compact
+			// and retry.
+			if m.empties.Load() <= int64(len(a.slots)/16) {
+				m.compact()
+				return m.Insert(k, v)
+			}
+			if s.state.CompareAndSwap(st, st+slotGenUnit+slotBusy) {
+				m.empties.Add(-1)
+				s.setKey(k)
 				s.val.Store(v)
-				s.state.Store(slotReady)
+				s.state.Add(slotGenUnit + slotReady - slotBusy)
 				m.used.Add(1)
 				return v, true, nil
 			}
 			continue // lost the race for this slot; re-inspect it
 		case slotReady:
-			if s.table == k.Table && s.id == k.ID {
-				return s.val.Load(), false, nil
+			if s.keyIs(k) {
+				ex := s.val.Load()
+				if s.state.Load() != st {
+					continue
+				}
+				return ex, false, nil
+			}
+			if s.state.Load() != st {
+				continue
+			}
+		case slotDeleted:
+			if reuse == nil {
+				reuse, reuseSt = s, st
 			}
 		default:
 			continue // publication in flight
 		}
-		i = (i + 1) & m.mask
+		i = (i + 1) & a.mask
 	}
 }
 
@@ -138,17 +258,129 @@ func (m *Map[V]) GetOrInsert(k txn.Key, mk func() *V) (*V, bool, error) {
 	return m.Insert(k, mk())
 }
 
-// Range calls f for every entry currently in the table, stopping early if
-// f returns false. It observes entries that were fully inserted before the
-// call; entries inserted concurrently may or may not be visited.
-func (m *Map[V]) Range(f func(k txn.Key, v *V) bool) {
-	for i := range m.slots {
-		s := &m.slots[i]
-		if s.state.Load() != slotReady {
+// Delete removes k, returning its value and whether it was present. The
+// slot is marked deleted — probes skip it, and a later Insert of any key
+// may reuse it. Delete requires the map's single-writer discipline: no
+// concurrent Insert or Delete may run (concurrent readers are fine; the
+// generation bump makes them re-inspect the slot).
+func (m *Map[V]) Delete(k txn.Key) (*V, bool) {
+	a := m.arr.Load()
+	i := k.Hash() & a.mask
+	for {
+		s := &a.slots[i]
+		st := s.state.Load()
+		switch st & slotTagMask {
+		case slotEmpty:
+			return nil, false
+		case slotReady:
+			if s.keyIs(k) {
+				v := s.val.Load()
+				// Generation bump + deleted tag in one store: readers that
+				// passed the ready check re-inspect and see the deletion.
+				s.state.Store(st - slotReady + slotGenUnit + slotDeleted)
+				s.val.Store(nil)
+				m.used.Add(-1)
+				m.absorb(a, i)
+				return v, true
+			}
+		case slotDeleted:
+			// Skip and keep probing.
+		default:
+			continue // publication in flight (foreign writer); spin
+		}
+		i = (i + 1) & a.mask
+	}
+}
+
+// absorb converts the run of deleted slots ending at i back to empty when
+// the following slot is empty, restoring probe terminators so tombstones
+// adjacent to cluster ends do not accumulate.
+//
+// Correctness against concurrent lock-free readers rests on the probe
+// invariant: for every present key, no slot strictly between its home and
+// its residence is empty (probes may stop at the first empty slot).
+// Converting slot i is safe when slot i+1 is empty — a present key whose
+// probe window passed through i would have to pass through (or reside at)
+// i+1, and an empty interior slot would already violate the invariant
+// while an empty residence is impossible; inductively no such key exists,
+// so no reader's early stop at i can hide one.
+func (m *Map[V]) absorb(a *slotArr[V], i uint64) {
+	if a.slots[(i+1)&a.mask].state.Load()&slotTagMask != slotEmpty {
+		return
+	}
+	for {
+		s := &a.slots[i]
+		st := s.state.Load()
+		if st&slotTagMask != slotDeleted {
+			return
+		}
+		s.state.Store(st - slotDeleted + slotGenUnit + slotEmpty)
+		m.empties.Add(1)
+		i = (i - 1) & a.mask
+	}
+}
+
+// compact rebuilds the table into a fresh slot array without tombstones
+// and atomically swaps it in. Amortized O(1) per insert: a compaction
+// restores every tombstone to empty, and the next one cannot trigger
+// before that many fresh empty slots have been consumed again.
+//
+// Readers are never blocked: one that loaded the old array mid-probe
+// finishes on a frozen snapshot (the writer abandons the old array
+// untouched), missing only keys inserted after the swap — and any reader
+// the engine requires to see such a key has a happens-before edge from
+// that insert (batch barrier or snapshot establishment) to its probe, so
+// it loads the new array. Requires the single-writer discipline, like
+// Delete.
+func (m *Map[V]) compact() {
+	old := m.arr.Load()
+	size := len(old.slots)
+	na := &slotArr[V]{slots: make([]slot[V], size), mask: old.mask}
+	empties := int64(size)
+	for i := range old.slots {
+		s := &old.slots[i]
+		if s.state.Load()&slotTagMask != slotReady {
 			continue
 		}
-		if !f(txn.Key{Table: s.table, ID: s.id}, s.val.Load()) {
-			return
+		k := txn.Key{Table: s.table.Load(), ID: s.id.Load()}
+		j := k.Hash() & na.mask
+		for na.slots[j].state.Load()&slotTagMask != slotEmpty {
+			j = (j + 1) & na.mask
+		}
+		ns := &na.slots[j]
+		ns.setKey(k)
+		ns.val.Store(s.val.Load())
+		ns.state.Store(slotGenUnit | slotReady)
+		empties--
+	}
+	m.empties.Store(empties)
+	m.arr.Store(na)
+	m.rebuilds.Add(1)
+}
+
+// Range calls f for every entry currently in the table, stopping early if
+// f returns false. It observes entries that were fully inserted before the
+// call; entries inserted or deleted concurrently may or may not be
+// visited. Entries whose slot churns mid-read are re-inspected so f never
+// sees a torn key/value pair.
+func (m *Map[V]) Range(f func(k txn.Key, v *V) bool) {
+	a := m.arr.Load()
+	for i := range a.slots {
+		s := &a.slots[i]
+		for {
+			st := s.state.Load()
+			if st&slotTagMask != slotReady {
+				break
+			}
+			k := txn.Key{Table: s.table.Load(), ID: s.id.Load()}
+			v := s.val.Load()
+			if s.state.Load() != st {
+				continue // slot churned mid-read; re-inspect
+			}
+			if !f(k, v) {
+				return
+			}
+			break
 		}
 	}
 }

@@ -268,3 +268,201 @@ func TestNewMapTinySizes(t *testing.T) {
 		}
 	}
 }
+
+// TestMapDelete covers deletion and slot reuse: deleted keys disappear
+// from Get, Len and Range; new inserts reclaim deleted slots so a
+// churned table's slot population stays bounded; re-inserting a deleted
+// key works.
+func TestMapDelete(t *testing.T) {
+	m := NewMap[int](64)
+	vals := make([]int, 200)
+	for i := range vals {
+		vals[i] = i
+	}
+	for i := 0; i < 64; i++ {
+		if _, _, err := m.Insert(txn.Key{ID: uint64(i)}, &vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := m.Delete(txn.Key{ID: 999}); ok {
+		t.Fatal("deleted an absent key")
+	}
+	for i := 0; i < 64; i += 2 {
+		v, ok := m.Delete(txn.Key{ID: uint64(i)})
+		if !ok || *v != i {
+			t.Fatalf("Delete(%d) = %v, %v", i, v, ok)
+		}
+	}
+	if m.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", m.Len())
+	}
+	if m.Get(txn.Key{ID: 2}) != nil || m.Get(txn.Key{ID: 3}) == nil {
+		t.Fatal("Get misreported after delete")
+	}
+	seen := 0
+	m.Range(func(k txn.Key, v *int) bool {
+		if k.ID%2 == 0 {
+			t.Fatalf("Range visited deleted key %d", k.ID)
+		}
+		seen++
+		return true
+	})
+	if seen != 32 {
+		t.Fatalf("Range visited %d entries, want 32", seen)
+	}
+	// Churn far beyond the table's capacity: inserts reuse deleted slots
+	// and deletes absorb tombstone runs back into empty probe
+	// terminators, so rolling insert+delete of fresh ids never fills the
+	// table — even over orders of magnitude more ids than slots — and
+	// probes for absent keys keep terminating.
+	for i := 64; i < 5000; i++ {
+		if _, _, err := m.Insert(txn.Key{ID: uint64(1000 + i)}, &vals[i%len(vals)]); err != nil {
+			t.Fatalf("churn insert %d: %v", i, err)
+		}
+		if _, ok := m.Delete(txn.Key{ID: uint64(1000 + i)}); !ok {
+			t.Fatalf("churn delete %d failed", i)
+		}
+		if m.Get(txn.Key{ID: uint64(500 + i)}) != nil {
+			t.Fatalf("round %d: absent key resolved", i)
+		}
+	}
+	// Re-insert previously deleted keys.
+	for i := 0; i < 64; i += 2 {
+		if _, inserted, err := m.Insert(txn.Key{ID: uint64(i)}, &vals[i]); err != nil || !inserted {
+			t.Fatalf("re-insert %d = %v, %v", i, inserted, err)
+		}
+	}
+	if m.Len() != 64 {
+		t.Fatalf("Len = %d after re-inserts, want 64", m.Len())
+	}
+}
+
+// TestMapReadersDuringDeleteChurn runs lock-free readers against a single
+// writer performing delete/re-insert churn, including slot reuse by other
+// keys: a reader must never see a torn key/value pair (the generation
+// check) and stable keys must always resolve. Run with -race.
+func TestMapReadersDuringDeleteChurn(t *testing.T) {
+	m := NewMap[uint64](1 << 10)
+	const stable = 256
+	vals := make([]uint64, 4096)
+	for i := range vals {
+		vals[i] = uint64(i) * 2
+	}
+	for i := 0; i < stable; i++ {
+		if _, _, err := m.Insert(txn.Key{ID: uint64(i)}, &vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if id := uint64(rng.Intn(stable)); *m.Get(txn.Key{ID: id}) != id*2 {
+					t.Errorf("stable key %d resolved wrong value", id)
+					return
+				}
+				// Churned keys may or may not be present, but a hit must
+				// carry the right value — a torn slot read would not.
+				if id := uint64(stable + rng.Intn(2048)); true {
+					if v := m.Get(txn.Key{ID: id}); v != nil && *v != id*2 {
+						t.Errorf("churned key %d resolved %d, want %d", id, *v, id*2)
+						return
+					}
+				}
+			}
+		}(int64(r))
+	}
+	// Single writer: rolling windows of inserts and deletes over ids that
+	// hash into the same slot neighbourhoods the readers probe.
+	for round := 0; round < 2000; round++ {
+		base := stable + (round*37)%2048
+		for i := 0; i < 16; i++ {
+			id := uint64(base + i)
+			if int(id) < len(vals)/2 {
+				m.Insert(txn.Key{ID: id}, &vals[id])
+			}
+		}
+		for i := 0; i < 16; i++ {
+			m.Delete(txn.Key{ID: uint64(base + i)})
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMapReadersDuringCompaction drives never-repeating insert+delete
+// churn hard enough to exhaust the empty reserve and force compaction
+// swaps, with lock-free readers running throughout: stable keys must
+// always resolve (on whichever array snapshot a reader holds) and absent
+// keys must terminate cleanly. Run with -race.
+func TestMapReadersDuringCompaction(t *testing.T) {
+	m := NewMap[uint64](128)
+	const stable = 64
+	stableVals := make([]uint64, stable)
+	for i := range stableVals {
+		stableVals[i] = uint64(i) * 3
+		if _, _, err := m.Insert(txn.Key{ID: uint64(i)}, &stableVals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uint64(rng.Intn(stable))
+				if v := m.Get(txn.Key{ID: id}); v == nil || *v != id*3 {
+					t.Errorf("stable key %d lost or corrupted", id)
+					return
+				}
+				if m.Get(txn.Key{ID: uint64(1 << 40)}) != nil {
+					t.Error("absent key resolved")
+					return
+				}
+			}
+		}(int64(r))
+	}
+	// Single writer: fresh ids only, so every insert that cannot reuse a
+	// tombstone consumes an empty slot and compactions must eventually
+	// trigger.
+	for i := 0; i < 30000; i++ {
+		id := uint64(100000 + i)
+		v := id * 7
+		if _, _, err := m.Insert(txn.Key{ID: id}, &v); err != nil {
+			t.Fatalf("churn insert %d: %v", i, err)
+		}
+		if _, ok := m.Delete(txn.Key{ID: id}); !ok {
+			t.Fatalf("churn delete %d failed", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if m.Rebuilds() == 0 {
+		t.Error("churn never triggered a compaction; the test lost its point")
+	}
+	if m.Len() != stable {
+		t.Fatalf("Len = %d, want %d", m.Len(), stable)
+	}
+	for i := 0; i < stable; i++ {
+		if v := m.Get(txn.Key{ID: uint64(i)}); v == nil || *v != uint64(i)*3 {
+			t.Fatalf("stable key %d wrong after churn", i)
+		}
+	}
+}

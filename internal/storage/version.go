@@ -152,6 +152,16 @@ func (c *Chain) Len() int {
 	return n
 }
 
+// DetachAll unlinks the whole chain, returning its previous head (nil for
+// an already-empty chain). The reaper uses it to retire a dead key's
+// versions: the returned list hangs off the versions' prev links, ready
+// for VersionPool.Retire. Single-writer like Push; concurrent readers that
+// loaded the head before the detach keep traversing the immutable list,
+// which the caller's epoch gate keeps unrecycled until they drain.
+func (c *Chain) DetachAll() *Version {
+	return c.head.Swap(nil)
+}
+
 // Collect applies the paper's GC Condition 3: every version superseded by
 // a version created in a batch ≤ watermark is unreachable by any live or
 // future reader and is unlinked. Returns the number of versions collected.

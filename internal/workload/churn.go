@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bohm/internal/engine"
+	"bohm/internal/txn"
+)
+
+// Churn is the insert+delete+scan mix (YCSB-style) that exercises the
+// index lifecycle: queue-, session- and TTL-shaped tables delete as fast
+// as they insert, so an insert-only index degrades without bound. The
+// workload keeps a table of Records rows under rotation — keys die and
+// are reborn — while range scans sweep the id space; the scan cost on a
+// churned table is exactly what directory reaping exists to bound.
+type Churn struct {
+	Records    int
+	RecordSize int
+}
+
+// ChurnTable is the table number of the churn table.
+const ChurnTable uint32 = 0
+
+// LoadInto populates e with the churn table; every record starts with a
+// counter of 1 so scans can sum something.
+func (c Churn) LoadInto(e engine.Engine) error {
+	v := txn.NewValue(c.RecordSize, 1)
+	for i := 0; i < c.Records; i++ {
+		if err := e.Load(txn.Key{Table: ChurnTable, ID: uint64(i)}, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteTxn deletes one key — the churn workload's kill operation.
+type DeleteTxn struct {
+	K txn.Key
+}
+
+// ReadSet implements txn.Txn.
+func (t *DeleteTxn) ReadSet() []txn.Key { return nil }
+
+// WriteSet implements txn.Txn.
+func (t *DeleteTxn) WriteSet() []txn.Key { return []txn.Key{t.K} }
+
+// RangeSet implements txn.Txn.
+func (t *DeleteTxn) RangeSet() []txn.KeyRange { return nil }
+
+// Run implements txn.Txn.
+func (t *DeleteTxn) Run(ctx txn.Ctx) error { return ctx.Delete(t.K) }
+
+// ChurnSource generates churn transactions for one worker stream. Not
+// safe for concurrent use; create one per stream.
+type ChurnSource struct {
+	c   Churn
+	zip *Zipfian
+
+	// rotation state: rotID cycles through this stream's residue class of
+	// live ids; rotDel alternates delete / re-insert of the current id.
+	rotID   uint64
+	rotStep uint64
+	rotDel  bool
+}
+
+// NewSource creates a churn source whose scan start keys draw
+// zipfian(theta) over the table (theta 0 = uniform). Streams rotate
+// disjoint residue classes of the id space (stride by seed) so concurrent
+// streams rarely collide.
+func (c Churn) NewSource(seed int64, theta float64) *ChurnSource {
+	rng := rand.New(rand.NewSource(seed))
+	// The rotation stride must reach every residue class mod 100 (Rotate
+	// filters on id%100), so it is forced odd and away from multiples of
+	// 5: gcd(stride, 100) == 1 regardless of seed.
+	step := 1 + 2*(uint64(seed)%31)
+	if step%5 == 0 {
+		step += 2
+	}
+	return &ChurnSource{
+		c:       c,
+		zip:     NewZipfian(rng, uint64(c.Records), theta),
+		rotID:   uint64(seed) % uint64(c.Records),
+		rotStep: step,
+		rotDel:  true,
+	}
+}
+
+// Scan returns a read-only range scan of `length` ids starting at a
+// zipfian-drawn id — on BOHM it rides the snapshot fast path and walks the
+// partition directories live, the path reaping keeps proportional to the
+// live keys, not to everything that ever existed.
+func (s *ChurnSource) Scan(length int) txn.Txn {
+	if length < 1 {
+		length = 1
+	}
+	lo := s.zip.Next()
+	if max := uint64(s.c.Records); lo+uint64(length) > max {
+		if uint64(length) >= max {
+			lo = 0
+		} else {
+			lo = max - uint64(length)
+		}
+	}
+	return &RangeScanTxn{Range: txn.KeyRange{Table: ChurnTable, Lo: lo, Hi: lo + uint64(length)}}
+}
+
+// Rotate returns the next kill/rebirth step: it alternately deletes the
+// stream's current rotation id and re-inserts it, then advances. Ids
+// whose residue (id % 100) is below keepDeadPct are skipped — the bench's
+// kill phase made those permanently dead, and rotation must not resurrect
+// them.
+func (s *ChurnSource) Rotate(keepDeadPct int) txn.Txn {
+	if s.rotDel {
+		// advance to the next permanently-live id before a new cycle
+		for i := 0; i < 200; i++ {
+			s.rotID = (s.rotID + s.rotStep) % uint64(s.c.Records)
+			if int(s.rotID%100) >= keepDeadPct {
+				break
+			}
+		}
+	}
+	k := txn.Key{Table: ChurnTable, ID: s.rotID}
+	s.rotDel = !s.rotDel
+	if !s.rotDel { // this step deletes; the next re-inserts
+		return &DeleteTxn{K: k}
+	}
+	return &InsertTxn{K: k, Size: s.c.RecordSize}
+}
+
+// Registry ids of the loggable churn procedures.
+const (
+	ProcChurnDelete = "churn.delete"
+	ProcChurnInsert = "churn.insert"
+	ProcChurnScan   = "churn.scan"
+)
+
+// RegisterChurn registers the churn procedures with reg, so durable
+// engines can log and replay churn workloads.
+func RegisterChurn(reg *txn.Registry, recordSize int) {
+	reg.Register(ProcChurnDelete, func(args []byte) (txn.Txn, error) {
+		ks, err := DecodeKeys(args)
+		if err != nil || len(ks) != 1 {
+			return nil, fmt.Errorf("workload: churn delete args decode: %v", err)
+		}
+		return &DeleteTxn{K: ks[0]}, nil
+	})
+	reg.Register(ProcChurnInsert, func(args []byte) (txn.Txn, error) {
+		ks, err := DecodeKeys(args)
+		if err != nil || len(ks) != 1 {
+			return nil, fmt.Errorf("workload: churn insert args decode: %v", err)
+		}
+		return &InsertTxn{K: ks[0], Size: recordSize}, nil
+	})
+	reg.Register(ProcChurnScan, func(args []byte) (txn.Txn, error) {
+		rs, err := DecodeRanges(args)
+		if err != nil || len(rs) != 1 {
+			return nil, fmt.Errorf("workload: churn scan args decode: %v", err)
+		}
+		return &RangeScanTxn{Range: rs[0]}, nil
+	})
+}

@@ -344,3 +344,30 @@ func (f *fakeEngine) Stats() engine.Stats               { return engine.Stats{} 
 func (f *fakeEngine) Close()                            {}
 
 var _ engine.Engine = (*fakeEngine)(nil)
+
+// TestChurnRotateAvoidsDeadResidues pins the rotation stride's coverage:
+// whatever the stream seed, Rotate must only cycle ids whose residue
+// class survives the bench's kill phase — a stride sharing a factor with
+// 100 could strand a stream on dead residues and resurrect killed keys.
+func TestChurnRotateAvoidsDeadResidues(t *testing.T) {
+	c := Churn{Records: 10_000, RecordSize: 8}
+	for stream := int64(0); stream < 64; stream++ {
+		src := c.NewSource(31+stream*7919, 0)
+		for _, deadPct := range []int{50, 75, 90, 99} {
+			for i := 0; i < 400; i++ {
+				var id uint64
+				switch x := src.Rotate(deadPct).(type) {
+				case *DeleteTxn:
+					id = x.K.ID
+				case *InsertTxn:
+					id = x.K.ID
+				default:
+					t.Fatalf("Rotate returned %T", x)
+				}
+				if int(id%100) < deadPct {
+					t.Fatalf("stream %d deadPct %d: Rotate touched dead id %d", stream, deadPct, id)
+				}
+			}
+		}
+	}
+}
