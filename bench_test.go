@@ -384,23 +384,31 @@ func driveAllocBench(b *testing.B, cfg core.Config, chunks [][]txn.Txn) {
 	}
 }
 
-func benchAllocPointWrite(b *testing.B, disablePooling bool) {
+func benchAllocPointWrite(b *testing.B, disablePooling, metrics bool) {
 	b.Helper()
 	cfg := core.DefaultConfig()
 	cfg.CCWorkers, cfg.ExecWorkers = 2, 2
 	cfg.Capacity = benchRecords
 	cfg.DisablePooling = disablePooling
+	cfg.Metrics = metrics
 	driveAllocBench(b, cfg, bench.PointWriteWindows(benchRecords, benchRecordSize, 4096, 256))
 }
 
 // BenchmarkAllocYCSBPointWrite is the allocation budget benchmark CI
 // enforces: allocs/op on the pooled YCSB point-write path must stay at or
 // below ci/alloc-budget.txt.
-func BenchmarkAllocYCSBPointWrite(b *testing.B) { benchAllocPointWrite(b, false) }
+func BenchmarkAllocYCSBPointWrite(b *testing.B) { benchAllocPointWrite(b, false, false) }
 
 // BenchmarkAllocYCSBPointWriteNoPool is the ablation: the same path with
 // Config.DisablePooling, i.e. the pre-arena allocation profile.
-func BenchmarkAllocYCSBPointWriteNoPool(b *testing.B) { benchAllocPointWrite(b, true) }
+func BenchmarkAllocYCSBPointWriteNoPool(b *testing.B) { benchAllocPointWrite(b, true, false) }
+
+// BenchmarkAllocYCSBPointWriteMetrics is the pooled point-write path with
+// Config.Metrics enabled. CI holds it to the same allocs/op budget as the
+// plain path: the observability subsystem's histograms and flight
+// recorder are fixed preallocated arrays, so turning them on must add
+// zero allocations per transaction.
+func BenchmarkAllocYCSBPointWriteMetrics(b *testing.B) { benchAllocPointWrite(b, false, true) }
 
 // BenchmarkAllocYCSBPointWriteDurable is the durability-on allocation
 // budget benchmark CI enforces: the same pooled point-write path with

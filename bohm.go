@@ -131,12 +131,35 @@
 // Recover loads the newest checkpoint, deterministically replays the
 // remaining log (discarding a torn tail left by a crash mid-append), and
 // resumes logging.
+//
+// # Observability
+//
+// Config.Metrics turns on the BOHM engine's flight recorder: per-stage
+// latency histograms over every batch's pipeline timeline (sequencer
+// wait, log append, concurrency control, barrier, execution, durable
+// wait), per-transaction submission and fast-path read latency, and a
+// ring buffer of recent batch lifecycle records. Instrumentation is
+// allocation-free — worker-sharded fixed-size histograms and a seqlock
+// ring — so the hot path keeps its zero-allocations-per-transaction
+// budget with metrics on. Config.DebugAddr (which implies Metrics)
+// serves the numbers over HTTP: Prometheus text on /metrics, a JSON
+// dump of recent batches on /debug/flight, plus expvar and net/http/pprof:
+//
+//	cfg := bohm.DefaultConfig()
+//	cfg.DebugAddr = "127.0.0.1:7788"
+//	eng, _ := bohm.New(cfg)
+//	// curl localhost:7788/metrics ; curl localhost:7788/debug/flight
+//
+// Programmatic access: Engine.Metrics (histograms), Engine.FlightRecords
+// (recent batches), Engine.DebugHandler (the same HTTP surface for
+// mounting into an existing server), Engine.LastCheckpointError.
 package bohm
 
 import (
 	"bohm/internal/core"
 	"bohm/internal/engine"
 	"bohm/internal/hekaton"
+	"bohm/internal/obs"
 	"bohm/internal/occ"
 	"bohm/internal/si"
 	"bohm/internal/twopl"
@@ -263,6 +286,37 @@ func DefaultTwoPLConfig() TwoPLConfig { return twopl.DefaultConfig() }
 
 // New2PL creates the deadlock-free two-phase locking baseline.
 func New2PL(cfg TwoPLConfig) (Engine, error) { return twopl.New(cfg) }
+
+// Observability types re-exported from the obs subsystem; see the
+// package documentation's Observability section.
+
+// Metrics is the BOHM engine's observability surface: per-stage latency
+// histograms and the batch flight recorder. Engine.Metrics returns nil
+// unless Config.Metrics (or DebugAddr) is set.
+type Metrics = obs.Metrics
+
+// BatchRecord is one batch's lifecycle in the flight recorder: sequence
+// number, sizes, abort count and nanosecond stage timestamps relative to
+// engine start.
+type BatchRecord = obs.BatchRecord
+
+// Stage identifies one pipeline stage in Metrics.Stages.
+type Stage = obs.Stage
+
+// The pipeline stages instrumented by the flight recorder.
+const (
+	StageSeqWait     = obs.StageSeqWait     // submission → sequenced
+	StageLogAppend   = obs.StageLogAppend   // sequenced → command log appended
+	StageCC          = obs.StageCC          // concurrency control phase
+	StageBarrier     = obs.StageBarrier     // spread between first and last CC worker
+	StageExec        = obs.StageExec        // execution phase
+	StageDurableWait = obs.StageDurableWait // log append → durable (fsync covered)
+	StageSubmit      = obs.StageSubmit      // per-txn ExecuteBatch latency
+	StageRORead      = obs.StageRORead      // fast-path read-only latency
+)
+
+// StageName returns a stage's snake_case name as used in /metrics labels.
+func StageName(s Stage) string { return obs.StageName(s) }
 
 // Value helpers re-exported for transaction bodies.
 

@@ -1,0 +1,122 @@
+// Metrics: run an instrumented engine and scrape its own debug endpoint.
+//
+// The example starts a BOHM engine with Config.DebugAddr set, drives a
+// mixed workload (read-modify-write batches plus fast-path point reads),
+// then fetches /metrics and /debug/flight over HTTP — exactly what a
+// Prometheus scraper or an operator with curl would see — and prints a
+// per-stage latency summary straight from Engine.Metrics.
+//
+//	go run ./examples/metrics
+//
+// While it runs (or in your own service, where the engine stays up), the
+// same endpoint serves:
+//
+//	curl <addr>/metrics              # Prometheus text format
+//	curl <addr>/debug/flight         # recent batch lifecycle records (JSON)
+//	curl <addr>/debug/vars           # expvar
+//	go tool pprof <addr>/debug/pprof/profile
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"bohm"
+)
+
+const records = 4096
+
+func key(id uint64) bohm.Key { return bohm.Key{Table: 0, ID: id} }
+
+func main() {
+	cfg := bohm.DefaultConfig()
+	cfg.DebugAddr = "127.0.0.1:0" // any free port; implies cfg.Metrics
+	eng, err := bohm.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	for i := uint64(0); i < records; i++ {
+		if err := eng.Load(key(i), bohm.NewValue(64, 0)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Traffic: increment batches through the pipeline, point reads on the
+	// snapshot fast path.
+	for round := 0; round < 200; round++ {
+		txns := make([]bohm.Txn, 32)
+		for i := range txns {
+			k := key(uint64(round*len(txns)+i) % records)
+			txns[i] = &bohm.Proc{
+				Reads:  []bohm.Key{k},
+				Writes: []bohm.Key{k},
+				Body: func(ctx bohm.Ctx) error {
+					v, err := ctx.Read(k)
+					if err != nil {
+						return err
+					}
+					return ctx.Write(k, bohm.Incremented(v, 1))
+				},
+			}
+		}
+		for _, err := range eng.ExecuteBatch(txns) {
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := eng.Read(key(uint64(round)%records), nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	addr := eng.DebugListenAddr()
+	fmt.Printf("debug endpoint listening on http://%s\n\n", addr)
+
+	// What `curl <addr>/metrics` returns: Prometheus text exposition.
+	metrics := fetch("http://" + addr + "/metrics")
+	fmt.Println("== /metrics (excerpt) ==")
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "bohm_committed_total") ||
+			strings.HasPrefix(line, "bohm_exec_watermark") ||
+			strings.HasPrefix(line, "bohm_stage_duration_seconds_count") {
+			fmt.Println(line)
+		}
+	}
+
+	// What `curl <addr>/debug/flight` returns: recent batch lifecycles.
+	flight := fetch("http://" + addr + "/debug/flight")
+	fmt.Printf("\n== /debug/flight ==\n%.400s...\n", flight)
+
+	// The same numbers without HTTP: per-stage latency percentiles.
+	fmt.Printf("\n== stage latency (Engine.Metrics) ==\n")
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "stage", "count", "p50", "p99", "max")
+	m := eng.Metrics()
+	for s := bohm.Stage(0); int(s) < len(m.Stages); s++ {
+		snap := m.Stages[s].Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-12s %10d %10v %10v %10v\n", bohm.StageName(s), snap.Count,
+			time.Duration(snap.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(snap.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(snap.Max).Round(time.Microsecond))
+	}
+}
+
+func fetch(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(body)
+}

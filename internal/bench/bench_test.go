@@ -212,6 +212,63 @@ func TestTinyExperimentEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTinyScalability runs the scalability sweep at micro scale. It is
+// separate from TestTinyExperimentEndToEnd because its latency and stage
+// tables legitimately contain zero cells (a single-CC-worker barrier wait
+// is exactly 0ns), which that test's all-positive throughput check
+// rejects.
+func TestTinyScalability(t *testing.T) {
+	s := Quick
+	s.Records = 512
+	s.RecordSize = 16
+	s.Txns = 300
+	s.ScaleProcs = []int{2}
+	s.ScaleThetas = []float64{0}
+
+	StartCollecting()
+	tables := Scalability(s)
+	runs := CollectedRuns()
+
+	byID := map[string]*Table{}
+	for _, tb := range tables {
+		byID[tb.ID] = tb
+	}
+	for _, id := range []string{"scale-theta0.00", "scale-latency", "scale-split", "scale-stages", "scale-obs"} {
+		if byID[id] == nil {
+			t.Fatalf("missing table %s (have %v)", id, len(tables))
+		}
+	}
+	tput := byID["scale-theta0.00"]
+	if len(tput.Rows) != 1 || len(tput.Rows[0].Values) != len(AllEngines) {
+		t.Fatalf("throughput table shape: %+v", tput.Rows)
+	}
+	for i, v := range tput.Rows[0].Values {
+		if v <= 0 {
+			t.Errorf("engine %s throughput %v", tput.Series[i], v)
+		}
+	}
+	if got := len(byID["scale-latency"].Rows); got != len(AllEngines) {
+		t.Errorf("latency rows = %d, want %d", got, len(AllEngines))
+	}
+	if len(byID["scale-stages"].Rows) == 0 {
+		t.Error("stage breakdown empty")
+	}
+	if got := len(byID["scale-obs"].Rows); got != 2 {
+		t.Errorf("obs ablation rows = %d, want 2", got)
+	}
+	// Every sweep run carries a label so BENCH_scale.json rows are
+	// identifiable without table positions.
+	labeled := 0
+	for _, r := range runs {
+		if r.Label != "" {
+			labeled++
+		}
+	}
+	if labeled != len(runs) || len(runs) == 0 {
+		t.Errorf("labeled runs = %d of %d", labeled, len(runs))
+	}
+}
+
 func mustExperiment(t *testing.T, id string) Experiment {
 	t.Helper()
 	ex, ok := ExperimentByID(id)
@@ -236,7 +293,8 @@ func TestRunReportsLatencyPercentiles(t *testing.T) {
 			src := y.NewSource(9, 0)
 			return func() txn.Txn { return src.RMW10() }
 		})
-	if r.P50 <= 0 || r.P99 < r.P50 {
-		t.Errorf("latency percentiles: p50=%v p99=%v", r.P50, r.P99)
+	if r.P50 <= 0 || r.P99 < r.P50 || r.P999 < r.P99 || r.Max < r.P999 {
+		t.Errorf("latency percentiles not ordered: p50=%v p99=%v p999=%v max=%v",
+			r.P50, r.P99, r.P999, r.Max)
 	}
 }

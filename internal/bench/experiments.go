@@ -35,6 +35,9 @@ type Scale struct {
 	Fig4CC   []int // CC thread counts (paper: 1, 2, 4, 8)
 	Fig4Exec []int // execution thread counts (paper: 1..10)
 
+	ScaleProcs  []int     // GOMAXPROCS sweep for the scalability experiment
+	ScaleThetas []float64 // zipf sweep for the scalability experiment
+
 	SBCustomersHigh int           // SmallBank high contention (paper: 50)
 	SBCustomersLow  int           // SmallBank low contention (paper: 100,000)
 	SBSpin          time.Duration // per-transaction spin (paper: 50µs)
@@ -61,6 +64,9 @@ var Quick = Scale{
 
 	Fig4CC:   []int{1, 2},
 	Fig4Exec: []int{1, 2, 4},
+
+	ScaleProcs:  []int{1, 2, 4},
+	ScaleThetas: []float64{0, 0.9},
 
 	SBCustomersHigh: 50,
 	SBCustomersLow:  20_000,
@@ -91,6 +97,9 @@ var Ref = Scale{
 	Fig4CC:   []int{1, 2, 4},
 	Fig4Exec: []int{1, 2, 4, 8},
 
+	ScaleProcs:  []int{1, 2, 4, 8},
+	ScaleThetas: []float64{0, 0.9},
+
 	SBCustomersHigh: 50,
 	SBCustomersLow:  20_000,
 	SBSpin:          0,
@@ -120,6 +129,9 @@ var Paper = Scale{
 	Fig4CC:   []int{1, 2, 4, 8},
 	Fig4Exec: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
 
+	ScaleProcs:  []int{4, 8, 16, 24, 32, 40},
+	ScaleThetas: []float64{0, 0.9, 0.99},
+
 	SBCustomersHigh: 50,
 	SBCustomersLow:  100_000,
 	SBSpin:          50 * time.Microsecond,
@@ -146,6 +158,7 @@ var Experiments = []Experiment{
 	{"churn", "insert+delete+scan churn: index lifecycle vs insert-only directories", Churn},
 	{"reads", "YCSB-B/C read-heavy mix (snapshot fast path vs pipeline)", Reads},
 	{"mem", "allocation profile of the transaction hot path (allocs/txn, B/txn)", Mem},
+	{"scalability", "GOMAXPROCS x worker x zipf core sweep with per-stage latency breakdown", Scalability},
 	{"ablation-readrefs", "BOHM read-reference annotation on/off", AblationReadRefs},
 	{"ablation-gc", "BOHM garbage collection on/off", AblationGC},
 	{"ablation-batch", "BOHM batch size sweep (barrier amortization)", AblationBatch},

@@ -8,13 +8,13 @@ package bench
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"bohm/internal/core"
 	"bohm/internal/engine"
 	"bohm/internal/hekaton"
+	"bohm/internal/obs"
 	"bohm/internal/occ"
 	"bohm/internal/si"
 	"bohm/internal/twopl"
@@ -108,6 +108,9 @@ type Options struct {
 	// threads so that contention effects interleave at fine grain (see
 	// DESIGN.md's substitution table).
 	Procs int
+	// Label tags the run in machine-readable reports; sweeps use it to
+	// distinguish configurations of the same engine (e.g. "procs=4,theta=0.9").
+	Label string
 }
 
 // normalize fills defaults for the given engine kind.
@@ -137,19 +140,15 @@ type Result struct {
 	Elapsed    time.Duration
 	Throughput float64 // committed transactions per second
 	Stats      engine.Stats
-	// Latency percentiles over ExecuteBatch submission chunks, normalized
-	// per transaction. On a garbage-collected runtime these make GC
-	// pauses visible in a way mean throughput hides.
-	P50, P99 time.Duration
-}
-
-// percentile returns the p-quantile (0..1) of sorted durations.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
+	Label      string
+	// Per-transaction submission latency percentiles: every transaction
+	// carries its ExecuteBatch call's full duration (submission to
+	// completion), weighted into an obs histogram, so a 4096-transaction
+	// chunk counts 4096 times — true per-transaction percentiles, unlike
+	// the old per-chunk samples that weighted a 64-txn straggler chunk
+	// equally with a full one. On a garbage-collected runtime the tail
+	// (P999, Max) makes GC pauses visible in a way mean throughput hides.
+	P50, P99, P999, Max time.Duration
 }
 
 // Run drives gen's transactions through e and measures throughput. gen is
@@ -167,12 +166,14 @@ func Run(kind EngineKind, e engine.Engine, o Options, gen func(stream int) func(
 		sources[s] = gen(s)
 	}
 
-	// feed drives `total` transactions through the engine; when lat is
-	// non-nil it records each chunk's per-transaction latency.
-	feed := func(total int, lat *[][]time.Duration) {
+	// feed drives `total` transactions through the engine; when hist is
+	// non-nil each ExecuteBatch call's duration is recorded once per
+	// transaction it carried (one sharded, allocation-free RecordN per
+	// call), so the histogram holds the per-transaction submission
+	// latency distribution.
+	feed := func(total int, hist *obs.Histogram) {
 		var wg sync.WaitGroup
 		per := (total + o.Streams - 1) / o.Streams
-		perStream := make([][]time.Duration, o.Streams)
 		for s := 0; s < o.Streams; s++ {
 			wg.Add(1)
 			go func(stream int, src func() txn.Txn) {
@@ -189,17 +190,14 @@ func Run(kind EngineKind, e engine.Engine, o Options, gen func(stream int) func(
 					}
 					start := time.Now()
 					e.ExecuteBatch(ts)
-					if lat != nil {
-						perStream[stream] = append(perStream[stream], time.Since(start)/time.Duration(n))
+					if hist != nil {
+						hist.RecordN(stream, uint64(time.Since(start)), uint64(n))
 					}
 					remaining -= n
 				}
 			}(s, sources[s])
 		}
 		wg.Wait()
-		if lat != nil {
-			*lat = perStream
-		}
 	}
 
 	if o.WarmupTxns > 0 {
@@ -207,25 +205,23 @@ func Run(kind EngineKind, e engine.Engine, o Options, gen func(stream int) func(
 	}
 	runtime.GC()
 	before := e.Stats()
-	var lat [][]time.Duration
+	hist := obs.NewHistogram(o.Streams)
 	start := time.Now()
-	feed(o.Txns, &lat)
+	feed(o.Txns, hist)
 	elapsed := time.Since(start)
 	stats := e.Stats().Sub(before)
 
-	var all []time.Duration
-	for _, s := range lat {
-		all = append(all, s...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-
+	snap := hist.Snapshot()
 	res := Result{
 		Txns:       o.Txns,
 		Elapsed:    elapsed,
 		Throughput: float64(stats.Committed) / elapsed.Seconds(),
 		Stats:      stats,
-		P50:        percentile(all, 0.50),
-		P99:        percentile(all, 0.99),
+		Label:      o.Label,
+		P50:        time.Duration(snap.Quantile(0.50)),
+		P99:        time.Duration(snap.Quantile(0.99)),
+		P999:       time.Duration(snap.Quantile(0.999)),
+		Max:        time.Duration(snap.Max),
 	}
 	recordRun(kind, res)
 	return res

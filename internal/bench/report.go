@@ -18,6 +18,10 @@ import (
 type RunRecord struct {
 	// Engine is the engine kind ("Bohm", "OCC", ...).
 	Engine string `json:"engine"`
+	// Label distinguishes sweep configurations of the same engine, e.g.
+	// "procs=4,theta=0.9" in the scalability experiment. Empty for runs
+	// that are identified by their table position alone.
+	Label string `json:"label,omitempty"`
 	// Txns is the number of measured transactions.
 	Txns int `json:"txns"`
 	// ElapsedMS is the measured interval in milliseconds.
@@ -26,10 +30,13 @@ type RunRecord struct {
 	ThroughputTPS float64 `json:"throughput_tps"`
 	// AbortRate is user aborts over attempted transactions (0..1).
 	AbortRate float64 `json:"abort_rate"`
-	// P50Micros and P99Micros are per-transaction submission latency
-	// percentiles in microseconds.
-	P50Micros float64 `json:"p50_us"`
-	P99Micros float64 `json:"p99_us"`
+	// P50Micros through MaxMicros are per-transaction submission latency
+	// percentiles in microseconds (each transaction weighted by its
+	// ExecuteBatch call's full duration; see Result).
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	P999Micros float64 `json:"p999_us"`
+	MaxMicros  float64 `json:"max_us"`
 	// Stats is the engine's counter delta over the measured interval.
 	Stats engine.Stats `json:"stats"`
 }
@@ -74,12 +81,15 @@ func recordRun(kind EngineKind, r Result) {
 	}
 	collector.runs = append(collector.runs, RunRecord{
 		Engine:        string(kind),
+		Label:         r.Label,
 		Txns:          r.Txns,
 		ElapsedMS:     float64(r.Elapsed.Microseconds()) / 1e3,
 		ThroughputTPS: r.Throughput,
 		AbortRate:     rate,
 		P50Micros:     float64(r.P50.Nanoseconds()) / 1e3,
 		P99Micros:     float64(r.P99.Nanoseconds()) / 1e3,
+		P999Micros:    float64(r.P999.Nanoseconds()) / 1e3,
+		MaxMicros:     float64(r.Max.Nanoseconds()) / 1e3,
 		Stats:         r.Stats,
 	})
 }

@@ -98,6 +98,19 @@ func (e *Engine) ccWorker(w int) {
 				}
 			}
 		}
+		// Stage stamps: the first worker to finish CASes the barrier-start
+		// stamp, every worker maxes the barrier-end stamp. Metrics-off
+		// engines skip both (one nil check per batch per worker).
+		if o := e.obs; o != nil {
+			now := o.now()
+			b.obs.ccFirst.CompareAndSwap(0, now)
+			for {
+				cur := b.obs.ccLast.Load()
+				if now <= cur || b.obs.ccLast.CompareAndSwap(cur, now) {
+					break
+				}
+			}
+		}
 		// Batch barrier (§3.2.4): report completion to the forwarder,
 		// which releases the batch to the execution phase once every CC
 		// worker has finished it.

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"bohm/internal/obs"
 	"bohm/internal/storage"
 	"bohm/internal/txn"
 	"bohm/internal/wal"
@@ -105,8 +106,17 @@ func (e *Engine) logBatch(b *batch) {
 // for longer than its own batch's sync.
 func (e *Engine) acker() {
 	defer e.ackWG.Done()
+	o := e.obs
+	var t0 int64
 	for sub := range e.ackCh {
-		if err := e.wal.WaitDurable(sub.lastBatch); err != nil {
+		if o != nil {
+			t0 = o.now()
+		}
+		err := e.wal.WaitDurable(sub.lastBatch)
+		if o != nil {
+			o.m.Stages[obs.StageDurableWait].Record(0, uint64(o.now()-t0))
+		}
+		if err != nil {
 			// The log failed: the pipelined transactions executed but
 			// would not survive a crash. Surface that on their slots —
 			// and only theirs: diverted fast-path readers in the same
@@ -201,15 +211,42 @@ func (e *Engine) CheckpointNow() error {
 	return e.checkpointOnce()
 }
 
-// checkpointOnce snapshots the database at the current execution watermark
+// LastCheckpointError returns the error of the most recent checkpoint
+// attempt, or nil when it succeeded (or none has run). The background
+// checkpointer retries failures on later ticks; while this returns
+// non-nil the log is not being truncated and the GC pin cannot advance,
+// so the cause is worth surfacing — the debug endpoint includes it in
+// /debug/flight.
+func (e *Engine) LastCheckpointError() error {
+	e.ckptErrMu.Lock()
+	defer e.ckptErrMu.Unlock()
+	return e.ckptErr
+}
+
+// checkpointOnce runs one checkpoint attempt and retains its outcome for
+// LastCheckpointError (a success clears a previously recorded failure).
+func (e *Engine) checkpointOnce() error {
+	err := e.doCheckpoint()
+	e.ckptErrMu.Lock()
+	e.ckptErr = err
+	e.ckptErrMu.Unlock()
+	return err
+}
+
+// doCheckpoint snapshots the database at the current execution watermark
 // and, on success, truncates log segments and checkpoints below it.
 // Execution continues concurrently: the snapshot reads every chain at the
 // watermark's timestamp boundary, which the multiversion store serves
 // without blocking writers, and the GC pin (see watermark) keeps those
 // versions linked until the next checkpoint moves the pin forward.
-func (e *Engine) checkpointOnce() error {
+func (e *Engine) doCheckpoint() error {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
+	if e.ckptHook != nil {
+		if err := e.ckptHook(); err != nil {
+			return err
+		}
+	}
 
 	w := e.execWatermark()
 	if e.hasCkpt && w <= e.lastCkpt.Load() {
@@ -325,6 +362,9 @@ func Recover(cfg Config, reg *txn.Registry) (*Engine, error) {
 	}
 
 	e := build(cfg)
+	if err := e.startDebug(); err != nil {
+		return nil, err
+	}
 	// Continue the previous epoch's batch numbering so the post-recovery
 	// checkpoint's watermark sorts above every pre-crash checkpoint, and
 	// leftover pre-crash segments (all below it) are skipped, not treated

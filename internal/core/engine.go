@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bohm/internal/engine"
+	"bohm/internal/obs"
 	"bohm/internal/storage"
 	"bohm/internal/txn"
 	"bohm/internal/wal"
@@ -122,6 +123,24 @@ type Config struct {
 	// garbage collector trails the newest checkpoint instead of the
 	// execution watermark, so snapshot reads stay safe.
 	CheckpointEveryBatches int
+
+	// Metrics enables the observability subsystem (internal/obs): per-stage
+	// latency histograms over every batch's pipeline timeline, per-
+	// transaction submission and fast-path read latency, and the flight
+	// recorder of recent batch lifecycle records. The record path is
+	// allocation-free and lock-free; with Metrics off the instrumentation
+	// sites reduce to a nil check. Snapshot through Engine.Metrics,
+	// Engine.FlightRecords, or the debug endpoint.
+	Metrics bool
+	// DebugAddr, when non-empty, serves the debug HTTP endpoint on that
+	// address: /metrics (Prometheus text format), /debug/flight (JSON
+	// flight-recorder dump), /debug/vars (expvar) and /debug/pprof/*.
+	// Setting it implies Metrics. Use ":0" to bind an ephemeral port and
+	// Engine.DebugListenAddr to discover it.
+	DebugAddr string
+	// FlightRecorderSize is the number of recent batch records the flight
+	// recorder retains (default 256).
+	FlightRecorderSize int
 }
 
 // DefaultConfig returns a small general-purpose configuration.
@@ -153,6 +172,12 @@ func (c *Config) normalize() error {
 	}
 	if c.CheckpointEveryBatches < 0 {
 		c.CheckpointEveryBatches = 0
+	}
+	if c.DebugAddr != "" {
+		c.Metrics = true
+	}
+	if c.Metrics && c.FlightRecorderSize < 1 {
+		c.FlightRecorderSize = 256
 	}
 	return nil
 }
@@ -273,11 +298,23 @@ type Engine struct {
 	ackWG   sync.WaitGroup
 	trackTS bool // sequencer records batch-end timestamp boundaries
 
+	// obs is the observability root (stage histograms, flight recorder,
+	// debug endpoint); nil unless Config.Metrics is on, and every
+	// instrumentation site in the pipeline is gated on that nil check.
+	obs *obsState
+
 	ckptStop chan struct{}
 	ckptWG   sync.WaitGroup
 	ckptMu   sync.Mutex    // serializes checkpoint writers
 	ckptPin  atomic.Uint64 // GC cap (newest checkpoint); ^0 when inactive
 	lastCkpt atomic.Uint64 // newest checkpointed batch watermark
+	// ckptErr retains the most recent checkpoint attempt's outcome for
+	// LastCheckpointError and the debug endpoint (nil after a success);
+	// ckptHook, when set by tests, runs inside checkpointOnce to inject
+	// failures. Both under ckptErrMu.
+	ckptErrMu sync.Mutex
+	ckptErr   error
+	ckptHook  func() error
 	// hasCkpt records that a checkpoint covering lastCkpt exists on disk
 	// (written by this engine, or restored by Recover). Written under
 	// ckptMu or before the engine's goroutines start.
@@ -308,8 +345,12 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e := build(cfg)
+	if err := e.startDebug(); err != nil {
+		return nil, err
+	}
 	if cfg.LogDir != "" {
 		if err := e.startDurability(); err != nil {
+			e.stopDebug()
 			return nil, err
 		}
 	}
@@ -381,6 +422,9 @@ func build(cfg Config) *Engine {
 			e.ppDone[i] = make(chan *batch, 2)
 		}
 		e.seqOut = e.ppIn
+	}
+	if cfg.Metrics {
+		e.obs = newObsState(&cfg)
 	}
 	e.ckptPin.Store(^uint64(0))
 	if cfg.LogDir != "" {
@@ -500,6 +544,14 @@ func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
 		}
 		return res
 	}
+	// Submission arrival stamp: the sequencer copies it into the first
+	// batch holding one of this call's transactions (seq_wait stage), and
+	// the full call latency is recorded per transaction on return.
+	o := e.obs
+	var t0 int64
+	if o != nil {
+		t0 = o.now()
+	}
 
 	// Reject transactions whose write-set repeats a key before they can
 	// reach the pipeline: a duplicate would chain a placeholder onto the
@@ -567,6 +619,7 @@ func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
 	// compare-and-swap per completed submission): the inline Read API
 	// depends on it for recency even under DisableReadOnlyFastPath.
 	sub := &submission{txns: valid, res: res, orig: orig, done: make(chan struct{})}
+	sub.obsT0 = t0
 	sub.acked = &e.ackedBatch
 	sub.recency = e.ackedBatch.Load()
 
@@ -624,7 +677,8 @@ func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
 	if len(sub.txns) == 0 && len(roTxns) == 0 {
 		return res
 	}
-	sub.remaining.Store(int64(len(sub.txns) + len(roTxns)))
+	n := int64(len(sub.txns) + len(roTxns))
+	sub.remaining.Store(n)
 	if len(sub.txns) > 0 {
 		e.subCh <- sub
 	}
@@ -632,6 +686,11 @@ func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
 		e.enqueueReadOnly(sub, roTxns, roIdx)
 	}
 	<-sub.done
+	if o != nil {
+		// Every transaction in the call shares its end-to-end latency; one
+		// weighted record covers them all.
+		o.m.Stages[obs.StageSubmit].RecordN(0, uint64(o.now()-t0), uint64(n))
+	}
 	return res
 }
 
@@ -681,6 +740,7 @@ func (e *Engine) shutdown(kill bool) {
 			_ = e.wal.Close()
 		}
 	}
+	e.stopDebug()
 }
 
 // Stats returns a snapshot of the engine's counters.

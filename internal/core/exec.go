@@ -60,6 +60,14 @@ func (e *Engine) execWorker(w int) {
 		// reader epoch was published at.
 		e.execTS[w].Store(b.limitTS)
 		e.execBatch[w].Store(b.seq)
+		// The last worker out folds the batch's stage timeline into the
+		// histograms and pushes its flight record; the obs.done counter
+		// orders every node's completion before that read. This precedes
+		// the execDone increment below, so batch retirement (and hence
+		// reuse) always waits for the recording to finish.
+		if o := e.obs; o != nil && b.obs.done.Add(1) == int32(n) {
+			e.obsRecordBatch(w, b, o)
+		}
 		if e.retireCh != nil && b.execDone.Add(1) == int32(n) {
 			// Last worker out retires the batch to the sequencer's
 			// recycle ring. The send is non-blocking: if the ring is

@@ -118,6 +118,11 @@ type submission struct {
 	// submission with no pipelined transactions.
 	lastBatch uint64
 
+	// obsT0 is the ExecuteBatch arrival stamp (nanoseconds on the obs
+	// clock) when metrics are on, 0 otherwise; the sequencer copies it
+	// into each batch's earliest-submission stamp.
+	obsT0 int64
+
 	// acked, when the read-only fast path is enabled, points at the
 	// engine's acknowledged-batch high-water mark; see finish.
 	acked *atomic.Uint64
@@ -215,6 +220,35 @@ type batch struct {
 	// execDone counts execution workers finished with the batch; the
 	// worker that completes it pushes the batch into the retire ring.
 	execDone atomic.Int32
+
+	// obs carries the batch's stage timestamps when metrics are on; all
+	// zero (and untouched) otherwise.
+	obs batchObs
+}
+
+// batchObs is one batch's stage-timestamp record, nanoseconds on the
+// engine's obs clock. submit/seq/log are written by the sequencer before
+// fan-out (channel sends order them for all downstream readers); ccFirst
+// and ccLast are racing CC-worker stamps, and done is the obs-private
+// completion counter — distinct from execDone, which only exists under
+// pooling — whose final increment elects the execution worker that folds
+// the timeline into the histograms (obsRecordBatch).
+type batchObs struct {
+	submit  int64 // earliest submission arrival in the batch
+	seq     int64 // sequencer flush
+	log     int64 // command-log append returned (0 when not logging)
+	ccFirst atomic.Int64
+	ccLast  atomic.Int64
+	done    atomic.Int32
+}
+
+// reset clears the stamps for the batch's next epoch. Only the sequencer
+// calls it, after the retire gate proved the batch unreachable.
+func (bo *batchObs) reset() {
+	bo.submit, bo.seq, bo.log = 0, 0, 0
+	bo.ccFirst.Store(0)
+	bo.ccLast.Store(0)
+	bo.done.Store(0)
 }
 
 // newNode returns the next node of the batch's slab. Only the sequencer
@@ -285,6 +319,7 @@ func (b *batch) resetForReuse() uint64 {
 	}
 	b.nodes = b.nodes[:0]
 	b.execDone.Store(0)
+	b.obs.reset()
 	bytes += b.refs.reset()
 	bytes += b.rangeSpines.reset()
 	bytes += b.rangeRows.reset()

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bohm/internal/obs"
 	"bohm/internal/storage"
 	"bohm/internal/txn"
 )
@@ -206,7 +207,12 @@ func (e *Engine) roWorker(w int) {
 	st := &e.roStats[w]
 	slot := &e.roEpochs[w]
 	c := &snapCtx{e: e, st: st}
+	o := e.obs
+	var t0 int64
 	for job := range e.fastCh {
+		if o != nil {
+			t0 = o.now()
+		}
 		// No recency wait here: enqueueReadOnly waited on the submitter's
 		// goroutine, and the watermark only advances, so the snapshot
 		// below is already at or above the job's recency bound.
@@ -260,6 +266,11 @@ func (e *Engine) roWorker(w int) {
 			}
 		}
 		c.flush()
+		if o != nil {
+			// One weighted record per job: every read in the chunk shares
+			// the chunk's service latency.
+			o.m.Stages[obs.StageRORead].RecordN(w, uint64(o.now()-t0), n)
+		}
 		job.sub.release(int64(n))
 	}
 }
@@ -310,6 +321,11 @@ func (e *Engine) Read(k txn.Key, buf []byte) ([]byte, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
+	o := e.obs
+	var t0 int64
+	if o != nil {
+		t0 = o.now()
+	}
 	e.waitRecent(e.ackedBatch.Load())
 	slot, st := e.claimROSlot()
 	ts := e.settleEpoch(slot, slot.Load())
@@ -331,6 +347,11 @@ func (e *Engine) Read(k txn.Key, buf []byte) ([]byte, error) {
 		atomic.AddUint64(&st.chainSteps, steps)
 	}
 	atomic.AddUint64(&st.roFastPath, 1)
+	if o != nil {
+		// Inline readers share the histogram shard past the worker shards;
+		// its counters are atomic, so contention only costs cycles.
+		o.m.Stages[obs.StageRORead].Record(e.cfg.ReadWorkers, uint64(o.now()-t0))
+	}
 	if !ok {
 		return nil, txn.ErrNotFound
 	}

@@ -109,6 +109,9 @@ func (e *Engine) sequencer() {
 		}
 		cur.limitTS = nextTS
 		e.batches.Add(1)
+		if o := e.obs; o != nil {
+			cur.obs.seq = o.now()
+		}
 		// Durability hook: append the batch to the command log before
 		// fan-out. Under SyncEveryBatch this is also where the fsync
 		// happens, so a batch entering the CC phase is already durable;
@@ -117,6 +120,9 @@ func (e *Engine) sequencer() {
 		// this batch share the one append (group commit).
 		if e.logOn.Load() {
 			e.logBatch(cur)
+			if o := e.obs; o != nil {
+				cur.obs.log = o.now()
+			}
 		}
 		if e.trackTS {
 			e.recordBatchTS(cur.seq, nextTS)
@@ -138,6 +144,12 @@ func (e *Engine) sequencer() {
 
 	enqueue := func(sub *submission) {
 		for i, t := range sub.txns {
+			// First stamp wins: submissions drain in arrival order, so the
+			// batch's earliest-arrival stamp is the first one recorded into
+			// it (a submission spanning a flush stamps the next batch too).
+			if sub.obsT0 != 0 && cur.obs.submit == 0 {
+				cur.obs.submit = sub.obsT0
+			}
 			var nd *node
 			if pooled {
 				nd = cur.newNode()

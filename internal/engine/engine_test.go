@@ -1,6 +1,9 @@
 package engine
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestStatsSub(t *testing.T) {
 	a := Stats{
@@ -21,6 +24,33 @@ func TestStatsSub(t *testing.T) {
 	}
 	if d != want {
 		t.Errorf("Sub = %+v, want %+v", d, want)
+	}
+}
+
+// TestStatsSubCoversAllFields protects the hand-written Sub against new
+// Stats fields: every field is set to a distinct value and the reflected
+// difference must come out right for each by name. A field added to Stats
+// but forgotten in Sub subtracts to its raw value instead of the delta and
+// fails here with the field's name.
+func TestStatsSubCoversAllFields(t *testing.T) {
+	var a, b Stats
+	av, bv := reflect.ValueOf(&a).Elem(), reflect.ValueOf(&b).Elem()
+	typ := av.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Uint64 {
+			t.Fatalf("Stats.%s is %s; Stats is assumed to be all uint64 counters (update Sub and this test)", f.Name, f.Type)
+		}
+		// Distinct per-field values so a transposed subtraction in Sub
+		// cannot cancel out: a-b must equal 1000+i for field i.
+		av.Field(i).SetUint(uint64(2000 + 3*i))
+		bv.Field(i).SetUint(uint64(1000 + 2*i))
+	}
+	dv := reflect.ValueOf(a.Sub(b))
+	for i := 0; i < typ.NumField(); i++ {
+		if got, want := dv.Field(i).Uint(), uint64(1000+i); got != want {
+			t.Errorf("Sub does not cover Stats.%s: got %d, want %d", typ.Field(i).Name, got, want)
+		}
 	}
 }
 

@@ -1,0 +1,205 @@
+// Package obs is BOHM's observability subsystem: log-linear latency
+// histograms, a bounded flight recorder of batch lifecycle records, and a
+// Prometheus text-format writer. Everything on the record path is a fixed
+// array plus a handful of atomic operations — no locks, no allocations —
+// so instrumentation can stay enabled under the repo's 0 allocs/txn
+// budget. Aggregation (merging shards, computing quantiles, formatting)
+// happens only at snapshot/scrape time.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Bucketing scheme: values below 16 get exact unit buckets; above that,
+// each power-of-two range [2^k, 2^(k+1)) is split into 16 sub-buckets, so
+// the relative quantization error is bounded by 1/16 (~6%) everywhere.
+// With 64-bit values the largest shift is 59, so the largest index is
+// (59+1)*16+15 = 975; at 976 buckets a shard is ~8KB of counters — small
+// enough to shard per worker without caring.
+const numBuckets = 976
+
+// bucketFor maps a value to its bucket index.
+func bucketFor(v uint64) int {
+	if v < 16 {
+		return int(v)
+	}
+	shift := bits.Len64(v) - 5 // v >= 16 so Len >= 5, shift >= 0
+	return (shift+1)*16 + int((v>>uint(shift))&15)
+}
+
+// BucketLow returns the smallest value that maps to bucket i — the
+// inclusive lower bound used when reporting quantiles (a conservative
+// estimate: reported quantiles never exceed the true value by more than
+// one sub-bucket width).
+func BucketLow(i int) uint64 {
+	if i < 16 {
+		return uint64(i)
+	}
+	shift := uint(i/16 - 1)
+	return (16 + uint64(i%16)) << shift
+}
+
+// BucketHigh returns the exclusive upper bound of bucket i.
+func BucketHigh(i int) uint64 {
+	if i+1 < numBuckets {
+		return BucketLow(i + 1)
+	}
+	return ^uint64(0)
+}
+
+// histShard is one worker's private array of bucket counters. The
+// trailing pad keeps adjacent shards off the same cache line; the bucket
+// array itself is large enough that false sharing between shards is
+// already negligible, but count/sum/max are hot.
+type histShard struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+	_      [40]byte
+}
+
+// Histogram is a sharded log-linear histogram of uint64 samples
+// (nanoseconds, by convention). Record is wait-free: one bucket
+// increment plus count/sum adds and a max CAS loop, all on the caller's
+// shard. Shards exist so single-writer callers (one pipeline worker
+// each) never contend; multi-writer callers may share a shard — the
+// counters are atomic either way.
+type Histogram struct {
+	shards []histShard
+}
+
+// NewHistogram creates a histogram with the given number of shards
+// (minimum 1).
+func NewHistogram(shards int) *Histogram {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Histogram{shards: make([]histShard, shards)}
+}
+
+// Shards returns the shard count, for callers that index shards by
+// worker id.
+func (h *Histogram) Shards() int { return len(h.shards) }
+
+// Record adds one sample with value v to the given shard.
+func (h *Histogram) Record(shard int, v uint64) { h.RecordN(shard, v, 1) }
+
+// RecordN adds n samples, each with value v, to the given shard. It is
+// the batch-amortized form used when every transaction in a submission
+// shares the submission's latency.
+func (h *Histogram) RecordN(shard int, v, n uint64) {
+	if n == 0 {
+		return
+	}
+	s := &h.shards[shard]
+	s.counts[bucketFor(v)].Add(n)
+	s.count.Add(n)
+	s.sum.Add(v * n)
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Reset zeroes every shard. Concurrent Record calls may straddle the
+// reset; the histogram stays internally consistent enough for monitoring
+// (counts and sums are independently atomic).
+func (h *Histogram) Reset() {
+	for i := range h.shards {
+		s := &h.shards[i]
+		for j := range s.counts {
+			s.counts[j].Store(0)
+		}
+		s.count.Store(0)
+		s.sum.Store(0)
+		s.max.Store(0)
+	}
+}
+
+// HistSnapshot is a merged, immutable copy of a histogram's counters.
+type HistSnapshot struct {
+	Counts [numBuckets]uint64
+	Count  uint64
+	Sum    uint64
+	Max    uint64
+}
+
+// Snapshot merges all shards into a point-in-time copy. It allocates;
+// call it from scrape/report paths only.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	out := &HistSnapshot{}
+	for i := range h.shards {
+		s := &h.shards[i]
+		for j := range s.counts {
+			out.Counts[j] += s.counts[j].Load()
+		}
+		out.Count += s.count.Load()
+		out.Sum += s.sum.Load()
+		if m := s.max.Load(); m > out.Max {
+			out.Max = m
+		}
+	}
+	return out
+}
+
+// Merge adds another snapshot's counters into s.
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Mean returns the average sample value, or 0 when empty.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the value at quantile q in [0,1], estimated as the
+// lower bound of the bucket containing the q-th sample (so the estimate
+// never exceeds the true value by more than one sub-bucket, ~6%). The
+// exact recorded maximum is returned for q >= 1 or when the rank lands in
+// the last populated bucket.
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			if v := BucketLow(i); v < s.Max {
+				return v
+			}
+			return s.Max
+		}
+	}
+	// Counts and Count are updated by independent atomics, so a racing
+	// snapshot can observe Count > sum(Counts); fall back to the maximum.
+	return s.Max
+}

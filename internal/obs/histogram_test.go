@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	// Exact unit buckets below 16.
+	for v := uint64(0); v < 16; v++ {
+		if got := bucketFor(v); got != int(v) {
+			t.Fatalf("bucketFor(%d) = %d, want %d", v, got, v)
+		}
+		if BucketLow(int(v)) != v {
+			t.Fatalf("BucketLow(%d) = %d", v, BucketLow(int(v)))
+		}
+	}
+	// Every value maps inside its bucket's [low, high) bounds, with
+	// relative width <= 1/16 above 16.
+	vals := []uint64{15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 1000, 4095, 4096,
+		1 << 20, (1 << 20) + 1, 1<<40 - 1, 1 << 40, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	for _, v := range vals {
+		i := bucketFor(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketFor(%d) = %d out of range", v, i)
+		}
+		lo, hi := BucketLow(i), BucketHigh(i)
+		// The last bucket's true upper bound (2^64) is unrepresentable;
+		// BucketHigh saturates at MaxUint64 there, so skip its upper check.
+		if v < lo || (i+1 < numBuckets && v >= hi) {
+			t.Fatalf("v=%d not in bucket %d bounds [%d,%d)", v, i, lo, hi)
+		}
+		if v >= 16 && hi > lo {
+			if width := hi - lo; width > v/8 {
+				t.Fatalf("v=%d bucket width %d too coarse", v, width)
+			}
+		}
+	}
+	// Monotonic: bucket index never decreases as values grow.
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 15, 16, 20, 31, 32, 48, 64, 1000, 1 << 30, 1 << 62} {
+		i := bucketFor(v)
+		if i < prev {
+			t.Fatalf("bucketFor not monotonic at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+	// BucketLow is the inverse lower bound: bucketFor(BucketLow(i)) == i.
+	for i := 0; i < numBuckets; i++ {
+		if got := bucketFor(BucketLow(i)); got != i {
+			t.Fatalf("bucketFor(BucketLow(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(1)
+	for v := uint64(1); v <= 10000; v++ {
+		h.Record(0, v)
+	}
+	s := h.Snapshot()
+	if s.Count != 10000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 10000 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	wantSum := uint64(10000 * 10001 / 2)
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	check := func(q float64, want uint64) {
+		got := s.Quantile(q)
+		// Estimate is the containing bucket's lower bound: within 1/16
+		// relative error below the true value, never above it by design.
+		if got > want || float64(got) < float64(want)*(1-1.0/8) {
+			t.Errorf("q%.3f = %d, want ~%d", q, got, want)
+		}
+	}
+	check(0.5, 5000)
+	check(0.99, 9900)
+	check(0.999, 9990)
+	if s.Quantile(1) != 10000 {
+		t.Errorf("q1 = %d, want exact max", s.Quantile(1))
+	}
+	if s.Quantile(0) == 0 {
+		t.Errorf("q0 = 0, want >= 1")
+	}
+}
+
+func TestHistogramMergeMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	single := NewHistogram(1)
+	sharded := NewHistogram(4)
+	a := NewHistogram(1)
+	b := NewHistogram(1)
+	for i := 0; i < 50000; i++ {
+		v := uint64(rng.Int63n(1 << 30))
+		single.Record(0, v)
+		sharded.Record(i%4, v)
+		if i%2 == 0 {
+			a.Record(0, v)
+		} else {
+			b.Record(0, v)
+		}
+	}
+	want := single.Snapshot()
+	if got := sharded.Snapshot(); *got != *want {
+		t.Errorf("sharded snapshot differs from single-shard")
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	if *merged != *want {
+		t.Errorf("merged snapshot differs from single-shard")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		if merged.Quantile(q) != want.Quantile(q) {
+			t.Errorf("q%.3f differs after merge", q)
+		}
+	}
+}
+
+func TestHistogramRecordN(t *testing.T) {
+	h := NewHistogram(2)
+	h.RecordN(0, 100, 7)
+	h.RecordN(1, 200, 3)
+	s := h.Snapshot()
+	if s.Count != 10 || s.Sum != 100*7+200*3 || s.Max != 200 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Counts[bucketFor(100)] != 7 || s.Counts[bucketFor(200)] != 3 {
+		t.Fatalf("bucket counts wrong")
+	}
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("reset left %+v", s)
+	}
+}
+
+// TestHistogramConcurrent drives record/snapshot/reset from many
+// goroutines; run under -race it is the memory-safety check for the
+// lock-free record path.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(4)
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(shard int) {
+			defer writers.Done()
+			v := uint64(shard + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < 1000; i++ {
+					h.Record(shard, v*uint64(i%100+1))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				s := h.Snapshot()
+				s.Quantile(0.99)
+				if i%50 == 49 {
+					h.Reset()
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

@@ -1,0 +1,81 @@
+package obs
+
+// Stage identifies one segment of a batch's trip through the pipeline,
+// or one of the per-transaction latency measurements layered on top.
+type Stage int
+
+const (
+	// StageSeqWait: earliest submission arrival in the batch → the
+	// sequencer flushing (stamping) the batch.
+	StageSeqWait Stage = iota
+	// StageLogAppend: sequencer flush → command-log append returned
+	// (durability on only).
+	StageLogAppend
+	// StageCC: batch handed to the CC workers → last CC worker finished
+	// its partitions.
+	StageCC
+	// StageBarrier: first CC worker finished → last CC worker finished,
+	// i.e. how long the fastest worker idled at the phase barrier.
+	StageBarrier
+	// StageExec: forwarder released the batch to the execution workers →
+	// last execution worker finished its stripe.
+	StageExec
+	// StageDurableWait: time the ack worker waited for the log writer to
+	// report the batch durable after execution finished.
+	StageDurableWait
+	// StageSubmit: full ExecuteBatch latency as seen by the submitter,
+	// recorded once per transaction (all transactions in a submission
+	// share the call's latency).
+	StageSubmit
+	// StageRORead: read-only fast-path latency — per job on the snapshot
+	// read workers, per call for the inline Read/ReadRange API.
+	StageRORead
+
+	NumStages int = iota
+)
+
+// stageNames are the label values used in the Prometheus exposition and
+// the bench stage-breakdown tables.
+var stageNames = [NumStages]string{
+	"seq_wait", "log_append", "cc", "barrier", "exec",
+	"durable_wait", "submit", "ro_read",
+}
+
+// StageName returns the exposition label for a stage.
+func StageName(s Stage) string { return stageNames[s] }
+
+// Metrics bundles the stage histograms and the flight recorder for one
+// engine. Histograms record nanoseconds.
+type Metrics struct {
+	Stages [NumStages]*Histogram
+	Flight *Recorder
+}
+
+// NewMetrics creates the metrics set. Batch-stage histograms are sharded
+// per execution worker (the last finisher records the whole timeline);
+// the read-path histogram gets one shard per snapshot read worker plus a
+// shared shard for inline reads; the submit histogram is a single shard
+// updated by client goroutines.
+func NewMetrics(execWorkers, readWorkers, flightSize int) *Metrics {
+	m := &Metrics{Flight: NewRecorder(flightSize)}
+	for s := 0; s < NumStages; s++ {
+		shards := 1
+		switch Stage(s) {
+		case StageSeqWait, StageLogAppend, StageCC, StageBarrier, StageExec:
+			shards = execWorkers
+		case StageRORead:
+			shards = readWorkers + 1
+		}
+		m.Stages[s] = NewHistogram(shards)
+	}
+	return m
+}
+
+// Reset zeroes every histogram and discards the flight recorder's
+// contents.
+func (m *Metrics) Reset() {
+	for _, h := range m.Stages {
+		h.Reset()
+	}
+	m.Flight.Reset()
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Gauge is a named value sampled at scrape time from existing engine
+// state — queue depths, watermarks, pool residency. Sampling must be
+// cheap and safe from any goroutine.
+type Gauge struct {
+	Name  string
+	Help  string
+	Value func() float64
+}
+
+// Counter is a named monotonic value read at scrape time.
+type Counter struct {
+	Name  string
+	Help  string
+	Value uint64
+}
+
+// WriteGauges writes gauges in Prometheus text exposition format.
+func WriteGauges(w io.Writer, gs []Gauge) {
+	for _, g := range gs {
+		if g.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", g.Name, g.Help)
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.Name, g.Name,
+			strconv.FormatFloat(g.Value(), 'g', -1, 64))
+	}
+}
+
+// WriteCounters writes counters in Prometheus text exposition format.
+func WriteCounters(w io.Writer, cs []Counter) {
+	for _, c := range cs {
+		if c.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", c.Name, c.Help)
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value)
+	}
+}
+
+// WriteStageHistograms writes every stage histogram as one Prometheus
+// histogram family with a stage label, converting nanoseconds to seconds
+// per Prometheus convention. Only populated buckets emit a line (plus
+// the mandatory +Inf bucket), keeping the exposition compact.
+func (m *Metrics) WriteStageHistograms(w io.Writer, family string) {
+	fmt.Fprintf(w, "# HELP %s Batch pipeline stage and transaction latency.\n", family)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", family)
+	for s := 0; s < NumStages; s++ {
+		snap := m.Stages[s].Snapshot()
+		name := stageNames[s]
+		var cum uint64
+		for i, c := range snap.Counts {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			le := float64(BucketHigh(i)) / 1e9
+			fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n",
+				family, name, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		// A racing snapshot can observe bucket increments whose matching
+		// count.Add has not landed yet; keep the exposition well formed by
+		// never letting +Inf undercut the cumulative buckets.
+		total := snap.Count
+		if cum > total {
+			total = cum
+		}
+		fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", family, name, total)
+		fmt.Fprintf(w, "%s_sum{stage=%q} %s\n", family, name,
+			strconv.FormatFloat(float64(snap.Sum)/1e9, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count{stage=%q} %d\n", family, name, total)
+	}
+}

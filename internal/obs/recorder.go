@@ -1,0 +1,129 @@
+package obs
+
+import "sync/atomic"
+
+// BatchRecord is one batch's lifecycle as captured by the flight
+// recorder: identity, sizes, abort count, and the stage timestamps in
+// nanoseconds since the engine started (monotonic). A zero timestamp
+// means the stage did not apply (LoggedNS when durability is off,
+// SubmitNS for batches replayed during recovery).
+type BatchRecord struct {
+	Seq         uint64 `json:"seq"`
+	Txns        int64  `json:"txns"`
+	Aborts      int64  `json:"aborts"`
+	SubmitNS    int64  `json:"submit_ns"`
+	SequencedNS int64  `json:"sequenced_ns"`
+	LoggedNS    int64  `json:"logged_ns"`
+	CCFirstNS   int64  `json:"cc_first_ns"`
+	CCLastNS    int64  `json:"cc_last_ns"`
+	ExecDoneNS  int64  `json:"exec_done_ns"`
+}
+
+// flightSlot is one ring slot. Every field is individually atomic so the
+// race detector sees clean accesses; slot-level consistency comes from
+// the seqlock-style version stamp: a writer stores 2*ticket-1 (odd)
+// before filling the fields and 2*ticket (even) after, and a reader
+// accepts the slot only if it observes the same even stamp before and
+// after copying the fields.
+type flightSlot struct {
+	ver    atomic.Uint64
+	seq    atomic.Uint64
+	txns   atomic.Int64
+	aborts atomic.Int64
+	stamps [6]atomic.Int64 // submit, sequenced, logged, ccFirst, ccLast, execDone
+}
+
+// Recorder is a bounded lock-free ring buffer of the most recent batch
+// lifecycle records. Writers claim a monotonically increasing ticket and
+// overwrite the slot ticket%size; readers reconstruct the most recent
+// window, skipping slots that were mid-write or lapped during the copy.
+// Record never blocks and never allocates.
+type Recorder struct {
+	slots []flightSlot
+	next  atomic.Uint64
+}
+
+// NewRecorder creates a recorder keeping the last size records
+// (minimum 1).
+func NewRecorder(size int) *Recorder {
+	if size < 1 {
+		size = 1
+	}
+	return &Recorder{slots: make([]flightSlot, size)}
+}
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int { return len(r.slots) }
+
+// Len returns the number of records currently reconstructable (at most
+// Cap).
+func (r *Recorder) Len() int {
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Record appends one batch record, overwriting the oldest slot when the
+// ring is full.
+func (r *Recorder) Record(rec BatchRecord) {
+	t := r.next.Add(1) // 1-based ticket
+	s := &r.slots[(t-1)%uint64(len(r.slots))]
+	s.ver.Store(2*t - 1)
+	s.seq.Store(rec.Seq)
+	s.txns.Store(rec.Txns)
+	s.aborts.Store(rec.Aborts)
+	s.stamps[0].Store(rec.SubmitNS)
+	s.stamps[1].Store(rec.SequencedNS)
+	s.stamps[2].Store(rec.LoggedNS)
+	s.stamps[3].Store(rec.CCFirstNS)
+	s.stamps[4].Store(rec.CCLastNS)
+	s.stamps[5].Store(rec.ExecDoneNS)
+	s.ver.Store(2 * t)
+}
+
+// Snapshot appends the reconstructable window, oldest first, to dst and
+// returns it. Slots overwritten while the snapshot was copying are
+// skipped, so a snapshot taken under load returns the records that were
+// stable for its duration.
+func (r *Recorder) Snapshot(dst []BatchRecord) []BatchRecord {
+	n := r.next.Load()
+	size := uint64(len(r.slots))
+	lo := uint64(1)
+	if n > size {
+		lo = n - size + 1
+	}
+	for t := lo; t <= n; t++ {
+		s := &r.slots[(t-1)%size]
+		if s.ver.Load() != 2*t {
+			continue
+		}
+		rec := BatchRecord{
+			Seq:         s.seq.Load(),
+			Txns:        s.txns.Load(),
+			Aborts:      s.aborts.Load(),
+			SubmitNS:    s.stamps[0].Load(),
+			SequencedNS: s.stamps[1].Load(),
+			LoggedNS:    s.stamps[2].Load(),
+			CCFirstNS:   s.stamps[3].Load(),
+			CCLastNS:    s.stamps[4].Load(),
+			ExecDoneNS:  s.stamps[5].Load(),
+		}
+		if s.ver.Load() != 2*t {
+			continue
+		}
+		dst = append(dst, rec)
+	}
+	return dst
+}
+
+// Reset discards all records. Concurrent Record calls may repopulate
+// slots immediately; Reset only guarantees that records written before
+// the call stop being reconstructable.
+func (r *Recorder) Reset() {
+	r.next.Store(0)
+	for i := range r.slots {
+		r.slots[i].ver.Store(0)
+	}
+}

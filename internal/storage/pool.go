@@ -211,6 +211,21 @@ func (p *VersionPool) Stats() (pooled, recycled, trimmed uint64) {
 	return p.pooled.Load(), p.recycled.Load(), p.trimmed.Load()
 }
 
+// Free estimates the versions currently parked on the free list — the
+// pool's residency gauge. Every free-list entry arrived via recycling and
+// leaves by being served (pooled) or trimmed, so the population is the
+// difference of the counters; the three loads race the owner thread, so
+// a transient sample can skew and is clamped at zero. Safe to call from
+// any thread.
+func (p *VersionPool) Free() uint64 {
+	recycled, pooled, trimmed := p.recycled.Load(), p.pooled.Load(), p.trimmed.Load()
+	free := int64(recycled) - int64(pooled) - int64(trimmed*defaultVersionBlock)
+	if free < 0 {
+		return 0
+	}
+	return uint64(free)
+}
+
 // VersionBytes is the in-memory size of one Version struct, for
 // bytes-recycled accounting.
 const VersionBytes = uint64(unsafe.Sizeof(Version{}))
