@@ -410,6 +410,22 @@ func BenchmarkAllocYCSBPointWriteNoPool(b *testing.B) { benchAllocPointWrite(b, 
 // zero allocations per transaction.
 func BenchmarkAllocYCSBPointWriteMetrics(b *testing.B) { benchAllocPointWrite(b, false, true) }
 
+// BenchmarkAllocYCSBPointWriteKernels is the pooled point-write path with
+// the full CC-kernel machinery engaged: preprocessing on (so the counted-
+// then-bucketed plan slabs are built every batch) plus the per-worker
+// hot-key memo and hashed probes. CI holds it to the same allocs/op
+// budget as the plain path: the plan slabs, scratch and memo are batch-
+// or worker-owned arrays that recycle with the batch, so the kernels
+// must add zero allocations per transaction.
+func BenchmarkAllocYCSBPointWriteKernels(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.CCWorkers, cfg.ExecWorkers = 2, 2
+	cfg.Capacity = benchRecords
+	cfg.Preprocess = true
+	cfg.PreprocessWorkers = 2
+	driveAllocBench(b, cfg, bench.PointWriteWindows(benchRecords, benchRecordSize, 4096, 256))
+}
+
 // BenchmarkAllocYCSBPointWriteDurable is the durability-on allocation
 // budget benchmark CI enforces: the same pooled point-write path with
 // command logging enabled (sync policy "never", so the numbers measure

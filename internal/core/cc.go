@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"bohm/internal/storage"
@@ -8,51 +9,180 @@ import (
 )
 
 // ccWorker is one concurrency control thread (§3.2.2–§3.2.4). Worker w
-// owns the hash partition parts[w]: for every transaction in every batch it
-// inserts placeholder versions for the write-set keys it owns, annotates
-// read-set keys it owns with direct version references, and — with GC
+// owns the hash partitions {p : p ≡ w (mod split.cc)} — one partition per
+// worker in the fixed-split default, a strided set when the adaptive
+// governor has shifted the split: for every transaction in every batch it
+// inserts placeholder versions for the write-set keys its partitions own,
+// annotates read-set keys with direct version references, and — with GC
 // enabled — collects superseded versions below the execution watermark.
 //
 // CC workers process batches fully independently; the only coordination is
 // the per-batch report to the forwarder, which hands a batch to the
-// execution phase once every CC worker is done with it.
+// execution phase once every CC worker is done with it. When a batch
+// carries a new worker split, a worker quiesces on every worker's
+// lifecycle frontier before adopting it — see the adoption comment below.
 //
 // Without pre-processing, every CC worker examines every transaction and
 // filters by partition (the paper's base design); with pre-processing the
-// worker walks a pre-computed per-partition work list instead.
+// worker walks a pre-computed per-partition work list instead — a dense
+// hash-carrying slab on the kernel path, ragged per-preproc-worker
+// sub-slices on the legacy (DisableCCKernels) path.
 //
-// The worker is also its partition's index-lifecycle owner: once per batch
-// it sweeps a bounded slice of the ordered directory and reaps keys whose
-// newest surviving version is a tombstone below the watermark — the single
-// writer of the partition is the only goroutine that ever unlinks
+// The worker is also its partitions' index-lifecycle owner: once per batch
+// it sweeps a bounded slice of each owned ordered directory and reaps keys
+// whose newest surviving version is a tombstone below the watermark — the
+// single writer of a partition is the only goroutine that ever unlinks
 // directory entries, deletes hash slots or detaches chains, so reaping
 // adds no atomics to the write path and inherits the same epoch argument
 // that protects chain GC.
 func (e *Engine) ccWorker(w int) {
 	defer e.ccWG.Done()
-	part := e.parts[w]
-	st := &e.ccStats[w]
-	var pool *storage.VersionPool
-	if e.vpools != nil {
-		pool = e.vpools[w]
-	}
 	reapOn := e.cfg.GC && !e.cfg.DisableReaping
-	// annoIter serves range annotation, reapIter the lifecycle sweep; both
-	// keep skiplist fingers so neither pays a full descent per use. They
-	// are plain locals: only this goroutine touches them.
-	var annoIter, reapIter storage.DirIter
-	var reapCursor txn.Key
+	var memo *ccMemo
+	if !e.cfg.DisableCCKernels {
+		memo = newCCMemo()
+	}
+	// grab is the worker's batched-placeholder scratch (kernel path); it
+	// grows to the largest per-partition write run and is reused forever.
+	var grab []*storage.Version
+	split := e.split.Load()
 
 	for b := range e.ccIn[w] {
-		var wm uint64
-		wmValid := false
-		wmLookup := func() uint64 {
-			if !wmValid {
-				wm = e.watermark()
-				wmValid = true
+		if b.split != split {
+			// Adoption quiesce: the batch was stamped under a different
+			// worker split, so partition ownership may be moving between
+			// workers. Spin until every CC worker's lifecycle frontier
+			// shows it fully finished the previous batch — including the
+			// lifecycle work the kernel path defers past the barrier
+			// report — only then can this worker touch partitions the old
+			// assignment gave to someone else. Deadlock-free: a worker
+			// only waits at the entry of batch b after publishing its own
+			// frontier for b-1, and every worker's processing of b-1 is
+			// independent, so all frontiers reach b-1. The frontier's
+			// atomic store/load pair also carries the happens-before edge
+			// that hands the partitions' iterators and cursors (partCC)
+			// to their new owner.
+			for !e.ccQuiesced(b.seq) {
+				runtime.Gosched()
 			}
-			return wm
+			split = b.split
 		}
+		active := w < split.cc
+		if active {
+			e.ccBatch(w, split.cc, b, memo, reapOn, &grab)
+			// Stage stamps: the first active worker to finish CASes the
+			// barrier-start stamp, every active worker maxes the barrier-end
+			// stamp. Metrics-off engines skip both; workers the split left
+			// without partitions skip them too, so an idle worker's instant
+			// pass never distorts the barrier-spread histogram.
+			if o := e.obs; o != nil {
+				now := o.now()
+				b.obs.ccFirst.CompareAndSwap(0, now)
+				for {
+					cur := b.obs.ccLast.Load()
+					if now <= cur || b.obs.ccLast.CompareAndSwap(cur, now) {
+						break
+					}
+				}
+			}
+		}
+		// Batch barrier (§3.2.4): report completion to the forwarder,
+		// which releases the batch to the execution phase once every CC
+		// worker has finished it. Workers without partitions under the
+		// current split still report — the barrier's shape never changes.
+		e.ccDone[w] <- b
+		if active && memo != nil {
+			// Deferred lifecycle (kernel path): pool release and the reap
+			// sweep run after the barrier report, overlapping the batch's
+			// execution phase instead of gating it. The work is per-batch
+			// bookkeeping — nothing in this batch's plans depends on it —
+			// and running it here takes it off the CC stage's critical
+			// path (see ccLifecycle for why it stays correct).
+			e.ccLifecycle(w, split.cc, b.seq, reapOn)
+		}
+		e.ccLife[w].Store(b.seq)
+	}
+	close(e.ccDone[w])
+}
+
+// ccQuiesced reports whether every CC worker's lifecycle frontier has
+// reached seq-1 — the split-adoption gate.
+func (e *Engine) ccQuiesced(seq uint64) bool {
+	for i := range e.ccLife {
+		if e.ccLife[i].Load()+1 < seq {
+			return false
+		}
+	}
+	return true
+}
+
+// ccBatch runs worker w's CC work for one batch under an active split of
+// ccN workers: the plan (or the full node scan) partition by partition.
+// On the legacy (kernels-off) path the per-partition lifecycle runs here,
+// before the plans — the pre-kernel baseline order; the kernel path defers
+// it until after the barrier report (see ccWorker).
+func (e *Engine) ccBatch(w, ccN int, b *batch, memo *ccMemo, reapOn bool, grab *[]*storage.Version) {
+	var wm uint64
+	wmValid := false
+	wmLookup := func() uint64 {
+		if !wmValid {
+			wm = e.watermark()
+			wmValid = true
+		}
+		return wm
+	}
+	if memo == nil {
+		e.ccLifecycle(w, ccN, b.seq, reapOn)
+	}
+	switch {
+	case b.ppOff != nil:
+		for p := w; p < e.nparts; p += ccN {
+			e.runPlannedKernel(p, b, e.poolOf(p), memo, &e.partCC[p].annoIter, wmLookup, grab)
+		}
+	case b.plans != nil:
+		for p := w; p < e.nparts; p += ccN {
+			e.runPlanned(p, b, e.poolOf(p), &e.partCC[p].annoIter, wmLookup)
+		}
+	default:
+		e.runUnplanned(w, ccN, b, memo, wmLookup)
+	}
+}
+
+// ccLifecycle is worker w's per-batch partition lifecycle: version-pool
+// release and the bounded reap sweep for every owned partition. The legacy
+// path runs it before the batch's plans (the pre-kernel baseline); the
+// kernel path runs it after the barrier report, where it overlaps the
+// execution phase instead of sitting on the CC stage's critical path.
+// Deferring it is safe on all three axes:
+//
+//   - Reaping after the plans instead of before: a reapable key's newest
+//     version is a ready tombstone at or below the watermark, which every
+//     transaction in this batch reads as not-found either way — annotated
+//     references resolve the still-intact tombstone (versions survive
+//     until the retire epoch drains). A key this batch also wrote is
+//     simply not reaped (its head is no longer a ready tombstone), which
+//     converges to the same observable state.
+//   - Pool release after the plans: releases run between batch b's plans
+//     and batch b+1's — the same inter-batch point the release-first
+//     order used, with an equal-or-fresher watermark (safe: monotone).
+//   - The memo: epoch-tagged by batch, so a chain detached here is never
+//     consulted again — the next batch's probes carry a new epoch.
+//
+// Retiring under the just-reported batch's sequence is also unchanged:
+// the deferred sweep is an extended CC step of batch b, and its retires
+// drain only once the watermark passes b by retireLag.
+func (e *Engine) ccLifecycle(w, ccN int, batchSeq uint64, reapOn bool) {
+	var wm uint64
+	wmValid := false
+	wmLookup := func() uint64 {
+		if !wmValid {
+			wm = e.watermark()
+			wmValid = true
+		}
+		return wm
+	}
+	for p := w; p < e.nparts; p += ccN {
+		pool := e.poolOf(p)
 		if pool != nil {
 			// Recycle versions whose retire epoch has drained: collected
 			// during the CC step of a batch the watermark has passed by
@@ -62,111 +192,190 @@ func (e *Engine) ccWorker(w int) {
 			}
 		}
 		if reapOn {
-			reapCursor = e.reapSweep(w, part, pool, st, &reapIter, reapCursor, b.seq, wmLookup())
+			e.reapSweep(p, e.parts[p], pool, &e.ccStats[p], &e.partCC[p], batchSeq, wmLookup())
 		}
-		if b.plans != nil {
-			e.runPlanned(w, b, pool, &annoIter, wmLookup)
-		} else {
-			for _, nd := range b.nodes {
-				// Reads and range annotations first: a read-modify-write
-				// must observe the version preceding the transaction's
-				// own write, so annotations must happen before this
-				// transaction's placeholders land.
-				if nd.readRefs != nil {
-					for i, k := range nd.reads {
-						if e.partitionOf(k) != w {
-							continue
-						}
-						if c := part.Get(k); c != nil {
-							// Versions are pushed in timestamp order, so
-							// the head is exactly the newest version with
-							// Begin < nd.ts.
-							nd.readRefs[i] = c.Head()
-						}
-					}
-				}
-				if nd.rangeRefs != nil {
-					for r := range nd.ranges {
-						e.annotateRange(w, b, nd, r, &annoIter)
-					}
-				}
-				for i, k := range nd.writes {
-					if e.partitionOf(k) != w {
-						continue
-					}
-					e.insertPlaceholder(part, st, pool, nd, i, b.seq, wmLookup)
-				}
-			}
-		}
-		// Stage stamps: the first worker to finish CASes the barrier-start
-		// stamp, every worker maxes the barrier-end stamp. Metrics-off
-		// engines skip both (one nil check per batch per worker).
-		if o := e.obs; o != nil {
-			now := o.now()
-			b.obs.ccFirst.CompareAndSwap(0, now)
-			for {
-				cur := b.obs.ccLast.Load()
-				if now <= cur || b.obs.ccLast.CompareAndSwap(cur, now) {
-					break
-				}
-			}
-		}
-		// Batch barrier (§3.2.4): report completion to the forwarder,
-		// which releases the batch to the execution phase once every CC
-		// worker has finished it.
-		e.ccDone[w] <- b
 	}
-	close(e.ccDone[w])
 }
 
-// reapSweepPerBatch bounds how many directory keys one sweep examines, so
-// the lifecycle work per batch is O(1) regardless of table size; the
-// cursor wraps, covering the whole directory over successive batches.
-const reapSweepPerBatch = 256
-
-// reapSweep is the index-lifecycle pass: it resumes the partition's sweep
-// cursor and examines up to reapSweepPerBatch directory keys, reaping each
-// key whose chain head is a ready tombstone from a batch at or below the
-// watermark. Such a key is invisible to every live and future reader —
-// any transaction still executing (or any snapshot reader, whose epoch
-// caps the watermark) has a timestamp above the tombstone — so unlinking
-// the directory entry, freeing the hash slot and detaching the chain
-// changes no observable result; the detached versions retire through the
-// version-pool limbo under the batch's sequence, exactly like chain-GC
-// cuts, and are not reused until the retireLag epoch drains. Returns the
-// next sweep cursor.
-func (e *Engine) reapSweep(w int, part *storage.Map[storage.Chain], pool *storage.VersionPool,
-	st *workerStats, it *storage.DirIter, cursor txn.Key, batchSeq, wm uint64) txn.Key {
-	d := e.dirs[w]
-	if !it.SeekGE(d, cursor) {
-		// Past the end (or empty): wrap to the start for the next batch.
-		return txn.Key{}
-	}
-	for i := 0; i < reapSweepPerBatch; i++ {
-		k := it.Key()
-		more := it.Next() // step off k before a reap unlinks its node
-		e.maybeReap(w, part, pool, st, k, batchSeq, wm)
-		if !more {
-			return txn.Key{}
+// runUnplanned is the no-preprocessing CC path: every worker scans every
+// node and filters keys by partition ownership. On the kernel path each
+// key is hashed exactly once — the same hash selects the partition, probes
+// the memo and probes the hash table — where the baseline hashes once for
+// partition selection and again inside every Get/GetOrInsert.
+func (e *Engine) runUnplanned(w, ccN int, b *batch, memo *ccMemo, wmLookup func() uint64) {
+	m := e.nparts
+	for _, nd := range b.nodes {
+		// Reads and range annotations first: a read-modify-write must
+		// observe the version preceding the transaction's own write, so
+		// annotations must happen before this transaction's placeholders
+		// land.
+		if nd.readRefs != nil {
+			for i, k := range nd.reads {
+				h, p := keyHashPart(k, m)
+				if p%ccN != w {
+					continue
+				}
+				if memo != nil {
+					ch, hit := memo.get(h, k, b.seq)
+					if !hit {
+						ch = e.parts[p].GetHashed(k, h)
+						memo.put(h, k, ch, b.seq)
+					}
+					if ch != nil {
+						nd.readRefs[i] = ch.Head()
+					}
+				} else if c := e.parts[p].Get(k); c != nil {
+					// Versions are pushed in timestamp order, so the head is
+					// exactly the newest version with Begin < nd.ts.
+					nd.readRefs[i] = c.Head()
+				}
+			}
+		}
+		if nd.rangeRefs != nil {
+			for r := range nd.ranges {
+				for p := w; p < m; p += ccN {
+					e.annotateRange(p, b, nd, r, &e.partCC[p].annoIter)
+				}
+			}
+		}
+		for i, k := range nd.writes {
+			h, p := keyHashPart(k, m)
+			if p%ccN != w {
+				continue
+			}
+			if memo != nil {
+				var ks kernelStats
+				e.insertPlaceholderHashed(p, e.parts[p], &ks, e.poolOf(p), memo, nd, i, h, b.seq, wmLookup, nil)
+				ks.flush(&e.ccStats[p])
+			} else {
+				e.insertPlaceholder(e.parts[p], &e.ccStats[p], e.poolOf(p), nd, i, b.seq, wmLookup)
+			}
 		}
 	}
-	return it.Key()
+}
+
+// poolOf returns partition p's version pool, nil under DisablePooling.
+func (e *Engine) poolOf(p int) *storage.VersionPool {
+	if e.vpools == nil {
+		return nil
+	}
+	return e.vpools[p]
+}
+
+// ccPartState is one partition's CC-side mutable state: the iterators and
+// cursors that persist across batches. annoIter serves range annotation,
+// reapIter the lifecycle sweep; both keep skiplist fingers so neither pays
+// a full descent per use. Exactly one CC worker — the partition's owner
+// under the current split — touches the struct; an ownership handoff is
+// ordered by the quiesce-on-frontier protocol in ccWorker.
+type ccPartState struct {
+	annoIter   storage.DirIter
+	reapIter   storage.DirIter
+	reapCursor txn.Key
+	// reapBudget is the adaptive sweep budget, scaled each sweep by the
+	// tombstone hit rate the previous sweep observed (satellite of the
+	// CC-kernel work; fixed at reapSweepPerBatch under
+	// Config.DisableAdaptiveReap).
+	reapBudget int32
+}
+
+// reapSweepPerBatch is the fixed per-partition sweep budget: how many
+// directory keys one sweep examines, so the lifecycle work per batch is
+// O(1) regardless of table size; the cursor wraps, covering the whole
+// directory over successive batches. It is the adaptive budget's starting
+// point and the constant budget under DisableAdaptiveReap.
+const reapSweepPerBatch = 256
+
+// Adaptive budget bounds: a mass delete doubles the budget geometrically
+// up to reapBudgetMax (converging in O(log) sweeps instead of
+// O(dead/256)), a quiescent directory decays to reapBudgetMin so
+// steady-state batches pay less lifecycle work than the fixed baseline.
+const (
+	reapBudgetMin = 64
+	reapBudgetMax = 4096
+)
+
+// nextReapBudget scales the sweep budget by the observed tombstone hit
+// rate: reaping more than 1/8 of the examined keys doubles it, reaping
+// nothing halves it, anything between holds it steady.
+func nextReapBudget(cur int32, reaped, examined int) int32 {
+	switch {
+	case examined > 0 && reaped*8 >= examined:
+		cur *= 2
+	case reaped == 0:
+		cur /= 2
+	}
+	if cur < reapBudgetMin {
+		return reapBudgetMin
+	}
+	if cur > reapBudgetMax {
+		return reapBudgetMax
+	}
+	return cur
+}
+
+// reapSweep is the index-lifecycle pass: it resumes the partition's sweep
+// cursor and examines up to the partition's budget of directory keys,
+// reaping each key whose chain head is a ready tombstone from a batch at
+// or below the watermark. Such a key is invisible to every live and future
+// reader — any transaction still executing (or any snapshot reader, whose
+// epoch caps the watermark) has a timestamp above the tombstone — so
+// unlinking the directory entry, freeing the hash slot and detaching the
+// chain changes no observable result; the detached versions retire through
+// the version-pool limbo under the batch's sequence, exactly like chain-GC
+// cuts, and are not reused until the retireLag epoch drains.
+func (e *Engine) reapSweep(p int, part *storage.Map[storage.Chain], pool *storage.VersionPool,
+	st *workerStats, ps *ccPartState, batchSeq, wm uint64) {
+	budget := int(ps.reapBudget)
+	if e.cfg.DisableAdaptiveReap {
+		budget = reapSweepPerBatch
+	}
+	d := e.dirs[p]
+	it := &ps.reapIter
+	if !it.SeekGE(d, ps.reapCursor) {
+		// Past the end (or empty): wrap to the start for the next batch.
+		ps.reapCursor = txn.Key{}
+		return
+	}
+	examined, reaped := 0, 0
+	next := txn.Key{} // wraps unless the budget runs out mid-directory
+	for {
+		k := it.Key()
+		more := it.Next() // step off k before a reap unlinks its node
+		examined++
+		if e.maybeReap(p, part, pool, st, k, batchSeq, wm) {
+			reaped++
+		}
+		if !more {
+			break
+		}
+		if examined >= budget {
+			next = it.Key()
+			break
+		}
+	}
+	ps.reapCursor = next
+	if !e.cfg.DisableAdaptiveReap {
+		ps.reapBudget = nextReapBudget(int32(budget), reaped, examined)
+	}
 }
 
 // maybeReap reaps k if its record is proven dead: the chain's newest
-// version is a ready tombstone created in a batch at or below wm.
-func (e *Engine) maybeReap(w int, part *storage.Map[storage.Chain], pool *storage.VersionPool,
-	st *workerStats, k txn.Key, batchSeq, wm uint64) {
-	ch := part.Get(k)
+// version is a ready tombstone created in a batch at or below wm. Reports
+// whether it reaped — the signal the adaptive budget scales on.
+func (e *Engine) maybeReap(p int, part *storage.Map[storage.Chain], pool *storage.VersionPool,
+	st *workerStats, k txn.Key, batchSeq, wm uint64) bool {
+	h := k.Hash()
+	ch := part.GetHashed(k, h)
 	if ch == nil {
-		return
+		return false
 	}
 	head := ch.Head()
 	if head == nil || !head.Ready() || head.Batch > wm {
-		return
+		return false
 	}
 	if _, tomb := head.Data(); !tomb {
-		return
+		return false
 	}
 	// Order matters for lock-free readers: the directory entry goes first
 	// (scans stop finding k; point reads still resolve the tombstone),
@@ -174,8 +383,8 @@ func (e *Engine) maybeReap(w int, part *storage.Map[storage.Chain], pool *storag
 	// detaches (readers that already hold it see the intact tombstone
 	// until the retire epoch drains). Every path reports k dead, which is
 	// what the tombstone already reported.
-	dirBytes, _ := e.dirs[w].Remove(k)
-	part.Delete(k)
+	dirBytes, _ := e.dirs[p].Remove(k)
+	part.DeleteHashed(k, h)
 	vers := ch.DetachAll()
 	n := uint64(0)
 	for v := vers; v != nil; v = v.Prev() {
@@ -187,6 +396,7 @@ func (e *Engine) maybeReap(w int, part *storage.Map[storage.Chain], pool *storag
 	atomic.AddUint64(&st.keysReaped, 1)
 	atomic.AddUint64(&st.dirBytesReclaimed, dirBytes)
 	atomic.AddUint64(&st.versionsCollected, n)
+	return true
 }
 
 // insertPlaceholder creates the uninitialized version for write slot i of
@@ -194,7 +404,8 @@ func (e *Engine) maybeReap(w int, part *storage.Map[storage.Chain], pool *storag
 // it into the record's chain, registers first-ever keys in the partition's
 // ordered directory, and opportunistically garbage collects the chain's
 // tail below the execution watermark, handing collected versions back to
-// the pool.
+// the pool. This is the kernels-off baseline: it re-hashes k inside
+// GetOrInsert (and a third time for a first-ever key's partitionOf).
 func (e *Engine) insertPlaceholder(part *storage.Map[storage.Chain], st *workerStats,
 	pool *storage.VersionPool, nd *node, i int, batchSeq uint64, wmLookup func() uint64) {
 	k := nd.writes[i]
@@ -239,36 +450,110 @@ func (e *Engine) insertPlaceholder(part *storage.Map[storage.Chain], st *workerS
 	}
 }
 
-// annotateRange fills nd.rangeRefs[r][w]: partition w's keys inside
+// insertPlaceholderHashed is insertPlaceholder on the kernel path: the
+// caller supplies the key's hash (computed once, at partition selection)
+// and the per-batch memo. A memo hit on a live chain skips the hash-table
+// probe entirely — the hot-key case under skew; a memoized absence or a
+// miss falls through to one single-hash GetOrInsert and memoizes the
+// result, upgrading a previously memoized absence in place. Stat counts
+// accumulate into the caller's plain locals (st), flushed with one atomic
+// add per partition instead of two per write.
+func (e *Engine) insertPlaceholderHashed(p int, part *storage.Map[storage.Chain], st *kernelStats,
+	pool *storage.VersionPool, memo *ccMemo, nd *node, i int, h uint64, batchSeq uint64,
+	wmLookup func() uint64, v *storage.Version) {
+	k := nd.writes[i]
+	if v != nil {
+		// Pre-grabbed by the planned kernel's batched acquisition; only
+		// the per-write stamp remains.
+		v.InitPlaceholder(nd.ts, batchSeq, nd)
+	} else if pool != nil {
+		v = pool.NewPlaceholder(nd.ts, batchSeq, nd)
+	} else {
+		v = storage.NewPlaceholder(nd.ts, batchSeq, nd)
+	}
+	chain, hit := memo.get(h, k, batchSeq)
+	created := false
+	if !hit || chain == nil {
+		var err error
+		chain, created, err = part.GetOrInsertHashed(k, h, func() *storage.Chain {
+			return storage.NewChain(nil)
+		})
+		if err != nil {
+			v.Install(nil, true)
+			nd.writeVers[i] = v
+			return
+		}
+		memo.put(h, k, chain, batchSeq)
+	}
+	chain.Push(v)
+	if created {
+		// Same phantom-freedom ordering as insertPlaceholder: push, then
+		// directory insert. The partition is already known — no re-hash.
+		e.dirs[p].Insert(k)
+	}
+	nd.writeVers[i] = v
+	st.created++
+	if e.cfg.GC {
+		if head, n := chain.CollectReclaim(wmLookup()); n > 0 {
+			st.collected += uint64(n)
+			if pool != nil {
+				pool.Retire(head, batchSeq)
+			}
+		}
+	}
+}
+
+// kernelStats is the kernel CC path's per-partition stat accumulator:
+// plain counters bumped per write, flushed to the shared workerStats with
+// one atomic add per counter per partition.
+type kernelStats struct {
+	created   uint64
+	collected uint64
+}
+
+// flush adds the accumulated counts to partition stats st and zeroes the
+// accumulator.
+func (ks *kernelStats) flush(st *workerStats) {
+	if ks.created != 0 {
+		atomic.AddUint64(&st.versionsCreated, ks.created)
+	}
+	if ks.collected != 0 {
+		atomic.AddUint64(&st.versionsCollected, ks.collected)
+	}
+	*ks = kernelStats{}
+}
+
+// annotateRange fills nd.rangeRefs[r][p]: partition p's keys inside
 // declared range r, each with its chain head at this point of the CC
-// stream. Because worker w processes transactions in timestamp order and
-// annotates before inserting nd's own placeholders, the head is exactly
-// the newest version with Begin < nd.ts — the version a serializable scan
-// at nd.ts must observe. Keys created by later-timestamped transactions
-// are not yet in the directory, and keys created by earlier ones all are:
-// the annotation is a phantom-free snapshot of the range by construction.
-// (Keys reaped by this worker are equally consistent: reaping requires a
-// tombstone below the watermark, which every transaction in this batch
-// would have read as not-found anyway.)
+// stream. Because the owning worker processes transactions in timestamp
+// order and annotates before inserting nd's own placeholders, the head is
+// exactly the newest version with Begin < nd.ts — the version a
+// serializable scan at nd.ts must observe. Keys created by
+// later-timestamped transactions are not yet in the directory, and keys
+// created by earlier ones all are: the annotation is a phantom-free
+// snapshot of the range by construction. (Keys reaped by this worker are
+// equally consistent: reaping requires a tombstone below the watermark,
+// which every transaction in this batch would have read as not-found
+// anyway.)
 //
 // When the partition's key fences exclude the declared range outright the
 // directory walk is skipped entirely — the annotation is the empty set by
 // the same argument, since a fence admits every key inserted before this
-// point of the CC stream. Otherwise the walk resumes the worker's
+// point of the CC stream. Otherwise the walk resumes the partition's
 // persistent iterator, whose finger turns the per-range skiplist descent
 // into an O(log distance) relocation.
-func (e *Engine) annotateRange(w int, b *batch, nd *node, r int, it *storage.DirIter) {
-	d := e.dirs[w]
+func (e *Engine) annotateRange(p int, b *batch, nd *node, r int, it *storage.DirIter) {
+	d := e.dirs[p]
 	if d.ExcludesRange(nd.ranges[r]) {
-		atomic.AddUint64(&e.ccStats[w].rangeFenceSkips, 1)
-		nd.rangeRefs[r][w] = nil
+		atomic.AddUint64(&e.ccStats[p].rangeFenceSkips, 1)
+		nd.rangeRefs[r][p] = nil
 		return
 	}
-	part := e.parts[w]
+	part := e.parts[p]
 	var ents []rangeEntry
 	pooled := b.ents != nil
 	if pooled {
-		ents = b.ents[w].take()
+		ents = b.ents[p].take()
 	}
 	limit := nd.ranges[r].LimitKey()
 	for ok := it.SeekGE(d, nd.ranges[r].FirstKey()); ok && it.Key().Less(limit); ok = it.Next() {
@@ -279,9 +564,9 @@ func (e *Engine) annotateRange(w int, b *batch, nd *node, r int, it *storage.Dir
 		}
 	}
 	if pooled {
-		ents = b.ents[w].commit(ents)
+		ents = b.ents[p].commit(ents)
 	}
-	nd.rangeRefs[r][w] = ents
+	nd.rangeRefs[r][p] = ents
 }
 
 // ownedKeys reports how many of ks belong to partition w; used by tests to

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"bohm/internal/obs"
+)
+
+// The adaptive worker governor (Config.AdaptiveWorkers): BOHM fixes the
+// CC/exec thread split at configuration time, but the right split is a
+// workload property — write-heavy skew loads the CC phase, read-heavy or
+// logic-heavy transactions load execution. The governor closes the loop
+// using instrumentation the engine already pays for: it samples the CC and
+// exec stage histograms over sliding windows and, when one phase's median
+// batch latency sustainedly dominates the other's, migrates one worker
+// across the boundary by republishing the split the sequencer stamps into
+// batches. Everything it does is control-plane: no hot-path atomics, no
+// locks the pipeline can observe — workers only ever see a different
+// *workerSplit pointer on a fresh batch.
+
+const (
+	// govInterval is the sampling period; each tick closes one window.
+	govInterval = 200 * time.Millisecond
+	// govRatio is how much one phase's windowed p50 must exceed the
+	// other's to count the window as leaning — hysteresis against noise.
+	govRatio = 1.3
+	// govPatience is how many consecutive leaning windows trigger a
+	// migration; govCooldown is how many windows are skipped after one,
+	// letting the pipeline re-equilibrate before re-measuring.
+	govPatience = 3
+	govCooldown = 2
+	// govMinBatches is the minimum batches per window for a verdict; an
+	// idle or trickling engine never migrates.
+	govMinBatches = 8
+)
+
+// governor owns the sliding-window state. The mutex serializes tick
+// against itself (tests drive tick directly while the loop may run) and
+// guards the baselines; the published split itself is an atomic pointer
+// on the engine.
+type governor struct {
+	e     *Engine
+	total int // combined worker budget; cc+exec == total always
+
+	mu         sync.Mutex
+	prevCC     *obs.HistSnapshot // cumulative baselines of the last tick
+	prevExec   *obs.HistSnapshot
+	leanDir    int // +1 CC-heavy, -1 exec-heavy, 0 balanced
+	leanStreak int // consecutive windows leaning leanDir
+	cooldown   int // windows left to skip after a migration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newGovernor(e *Engine, total int) *governor {
+	return &governor{e: e, total: total}
+}
+
+// startLoop launches the background sampling loop.
+func (g *governor) startLoop() {
+	g.stop = make(chan struct{})
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		t := time.NewTicker(govInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-g.stop:
+				return
+			case <-t.C:
+				g.tick()
+			}
+		}
+	}()
+}
+
+// stopLoop halts the background loop; idempotent so tests can stop it to
+// drive tick deterministically before engine shutdown stops it again.
+func (g *governor) stopLoop() {
+	if g.stop == nil {
+		return
+	}
+	close(g.stop)
+	g.wg.Wait()
+	g.stop = nil
+}
+
+// tick closes one sampling window: it diffs the cumulative CC and exec
+// stage histograms against the previous tick's baselines (HistSnapshot.Sub)
+// to get this window's samples, classifies the window, and migrates after
+// govPatience consecutive windows leaning the same way. The first tick
+// only establishes baselines.
+func (g *governor) tick() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m := g.e.obs.m
+	cc := m.Stages[obs.StageCC].Snapshot()
+	ex := m.Stages[obs.StageExec].Snapshot()
+	if g.prevCC == nil {
+		g.prevCC, g.prevExec = cc, ex
+		return
+	}
+	wcc, wex := *cc, *ex
+	wcc.Sub(g.prevCC)
+	wex.Sub(g.prevExec)
+	g.prevCC, g.prevExec = cc, ex
+
+	if g.cooldown > 0 {
+		// Post-migration quiet period: the window straddling a split
+		// change mixes two regimes, so its verdict would be noise.
+		g.cooldown--
+		g.leanDir, g.leanStreak = 0, 0
+		return
+	}
+	if wcc.Count < govMinBatches || wex.Count < govMinBatches {
+		g.leanDir, g.leanStreak = 0, 0
+		return
+	}
+	ccP50 := float64(wcc.Quantile(0.50))
+	exP50 := float64(wex.Quantile(0.50))
+	dir := 0
+	switch {
+	case ccP50 >= govRatio*exP50 && ccP50 > 0:
+		dir = 1
+	case exP50 >= govRatio*ccP50 && exP50 > 0:
+		dir = -1
+	}
+	if dir == 0 || dir != g.leanDir {
+		g.leanDir = dir
+		g.leanStreak = 0
+		if dir != 0 {
+			g.leanStreak = 1
+		}
+		return
+	}
+	g.leanStreak++
+	if g.leanStreak < govPatience {
+		return
+	}
+	if g.migrate(dir) {
+		g.cooldown = govCooldown
+	}
+	g.leanDir, g.leanStreak = 0, 0
+}
+
+// migrate republishes the split with one worker moved toward the slower
+// phase (dir > 0: CC gains; dir < 0: exec gains). The new split only ever
+// applies to batches the sequencer flushes after the store — no batch is
+// ever processed under two assignments. Reports false at the bounds:
+// each phase keeps at least one worker, CC never exceeds the partition
+// count, exec never exceeds its spawned pool.
+func (g *governor) migrate(dir int) bool {
+	e := g.e
+	next := *e.split.Load()
+	if dir > 0 {
+		next.cc++
+		next.exec--
+	} else {
+		next.cc--
+		next.exec++
+	}
+	if next.cc < 1 || next.exec < 1 || next.cc > e.nparts || next.exec > e.maxExec {
+		return false
+	}
+	e.split.Store(&next)
+	e.workerMigrations.Add(1)
+	return true
+}

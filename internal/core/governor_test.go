@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bohm/internal/obs"
+	"bohm/internal/txn"
+)
+
+// Tests for the adaptive worker governor: deterministic migration
+// decisions driven by injected histogram samples (the background loop is
+// stopped so tick runs only under test control), bounds and cooldown
+// behaviour, and a -race stress that forces migrations under live load.
+
+// newAdaptiveEngine builds an AdaptiveWorkers engine and detaches the
+// governor's background loop so the test owns every tick.
+func newAdaptiveEngine(t *testing.T, cc, exec int) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.CCWorkers = cc
+	cfg.ExecWorkers = exec
+	cfg.AdaptiveWorkers = true
+	cfg.BatchSize = 32
+	cfg.Capacity = 1 << 12
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.gov == nil {
+		t.Fatal("AdaptiveWorkers engine built without a governor")
+	}
+	e.gov.stopLoop()
+	return e
+}
+
+// leanWindow records one window's worth of skewed stage samples: ccNS and
+// exNS are the per-batch stage latencies the window should report.
+func leanWindow(e *Engine, ccNS, exNS uint64) {
+	m := e.obs.m
+	m.Stages[obs.StageCC].RecordN(0, ccNS, govMinBatches)
+	m.Stages[obs.StageExec].RecordN(0, exNS, govMinBatches)
+}
+
+// TestGovernorMigratesTowardCC: sustained CC-heavy windows move one
+// worker from exec to CC after govPatience consecutive windows — and the
+// migration is visible in the split, the Stats counter and the gauges.
+func TestGovernorMigratesTowardCC(t *testing.T) {
+	e := newAdaptiveEngine(t, 2, 2)
+	defer e.Close()
+	if e.maxCC != 3 || e.maxExec != 3 || e.nparts != 3 {
+		t.Fatalf("geometry = maxCC %d maxExec %d nparts %d, want 3/3/3", e.maxCC, e.maxExec, e.nparts)
+	}
+	e.gov.tick() // establish baselines
+	for i := 0; i < govPatience; i++ {
+		if s := e.split.Load(); s.cc != 2 || s.exec != 2 {
+			t.Fatalf("window %d: split moved early to %d/%d", i, s.cc, s.exec)
+		}
+		leanWindow(e, 2_000_000, 200_000)
+		e.gov.tick()
+	}
+	s := e.split.Load()
+	if s.cc != 3 || s.exec != 1 {
+		t.Fatalf("split after CC-heavy windows = %d/%d, want 3/1", s.cc, s.exec)
+	}
+	if got := e.Stats().WorkerMigrations; got != 1 {
+		t.Fatalf("WorkerMigrations = %d, want 1", got)
+	}
+	found := map[string]float64{}
+	for _, g := range e.gauges() {
+		if g.Name == "bohm_worker_split_cc" || g.Name == "bohm_worker_split_exec" {
+			found[g.Name] = g.Value()
+		}
+	}
+	if found["bohm_worker_split_cc"] != 3 || found["bohm_worker_split_exec"] != 1 {
+		t.Fatalf("split gauges = %v, want cc=3 exec=1", found)
+	}
+}
+
+// TestGovernorMigratesTowardExec: the symmetric case.
+func TestGovernorMigratesTowardExec(t *testing.T) {
+	e := newAdaptiveEngine(t, 2, 2)
+	defer e.Close()
+	e.gov.tick()
+	for i := 0; i < govPatience; i++ {
+		leanWindow(e, 200_000, 2_000_000)
+		e.gov.tick()
+	}
+	if s := e.split.Load(); s.cc != 1 || s.exec != 3 {
+		t.Fatalf("split after exec-heavy windows = %d/%d, want 1/3", s.cc, s.exec)
+	}
+	if got := e.Stats().WorkerMigrations; got != 1 {
+		t.Fatalf("WorkerMigrations = %d, want 1", got)
+	}
+}
+
+// TestGovernorCooldownAndBounds: after a migration the governor sits out
+// its cooldown windows, and at the edge of the worker budget it refuses
+// to strand a phase with zero workers — the split and the counter freeze.
+func TestGovernorCooldownAndBounds(t *testing.T) {
+	e := newAdaptiveEngine(t, 2, 2)
+	defer e.Close()
+	e.gov.tick()
+	drive := func(n int) {
+		for i := 0; i < n; i++ {
+			leanWindow(e, 2_000_000, 200_000)
+			e.gov.tick()
+		}
+	}
+	drive(govPatience) // first migration: 2/2 -> 3/1
+	if s := e.split.Load(); s.cc != 3 || s.exec != 1 {
+		t.Fatalf("split = %d/%d, want 3/1", s.cc, s.exec)
+	}
+	// Cooldown windows must not move the split however hard they lean.
+	for i := 0; i < govCooldown; i++ {
+		leanWindow(e, 5_000_000, 100_000)
+		e.gov.tick()
+		if s := e.split.Load(); s.cc != 3 || s.exec != 1 {
+			t.Fatalf("cooldown window %d moved the split to %d/%d", i, s.cc, s.exec)
+		}
+	}
+	// Past cooldown, the bound holds: exec cannot drop below one worker,
+	// so the leaning windows change nothing and the counter stays at 1.
+	drive(3 * govPatience)
+	if s := e.split.Load(); s.cc != 3 || s.exec != 1 {
+		t.Fatalf("split crossed the bound: %d/%d", s.cc, s.exec)
+	}
+	if got := e.Stats().WorkerMigrations; got != 1 {
+		t.Fatalf("WorkerMigrations = %d, want 1 (bound must refuse)", got)
+	}
+}
+
+// TestGovernorIdleNeverMigrates: windows below the sample floor — an idle
+// or trickling engine — never trigger, whatever their shape.
+func TestGovernorIdleNeverMigrates(t *testing.T) {
+	e := newAdaptiveEngine(t, 2, 2)
+	defer e.Close()
+	e.gov.tick()
+	m := e.obs.m
+	for i := 0; i < 4*govPatience; i++ {
+		m.Stages[obs.StageCC].RecordN(0, 2_000_000, govMinBatches-1)
+		m.Stages[obs.StageExec].RecordN(0, 100_000, govMinBatches-1)
+		e.gov.tick()
+	}
+	if s := e.split.Load(); s.cc != 2 || s.exec != 2 {
+		t.Fatalf("idle engine migrated to %d/%d", s.cc, s.exec)
+	}
+	if got := e.Stats().WorkerMigrations; got != 0 {
+		t.Fatalf("WorkerMigrations = %d, want 0", got)
+	}
+}
+
+// TestGovernorInertWithoutBudget: AdaptiveWorkers with a two-worker
+// budget has no room to rebalance; the flag must be inert, not fatal.
+func TestGovernorInertWithoutBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CCWorkers = 1
+	cfg.ExecWorkers = 1
+	cfg.AdaptiveWorkers = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.gov != nil {
+		t.Fatal("two-worker budget built a governor")
+	}
+	if e.maxCC != 1 || e.maxExec != 1 || e.nparts != 1 {
+		t.Fatalf("geometry inflated: maxCC %d maxExec %d nparts %d", e.maxCC, e.maxExec, e.nparts)
+	}
+	res := e.ExecuteBatch([]txn.Txn{putTxn(1, 10)})
+	if res[0] != nil {
+		t.Fatal(res[0])
+	}
+}
+
+// TestAdaptiveWorkersStress forces the split back and forth under live
+// concurrent load — conserved-sum transfers, scans and churn — so worker
+// handoffs of partitions (iterators, reap cursors, memo epochs) happen
+// while transfers are in flight. Migration is batch-atomic by
+// construction (the sequencer stamps the split at flush); any violation
+// of the handoff protocol shows up as a torn sum, a duplicate scan row,
+// or a -race report. CI runs this under -race.
+func TestAdaptiveWorkersStress(t *testing.T) {
+	reg := reapStressRegistry()
+	cfg := DefaultConfig()
+	cfg.CCWorkers = 2
+	cfg.ExecWorkers = 2
+	cfg.AdaptiveWorkers = true
+	cfg.BatchSize = 16
+	cfg.Capacity = 1 << 14
+	cfg.GC = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.gov.stopLoop() // the test owns the migration schedule
+	for id := uint64(0); id < reapKeys; id++ {
+		if err := e.Load(key(id), txn.NewValue(8, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		streams = 3
+		rounds  = 100
+		perSub  = 12
+	)
+	stop := make(chan struct{})
+	var migWG sync.WaitGroup
+	migWG.Add(1)
+	go func() {
+		// Sweep the split across its whole range and back, repeatedly, as
+		// fast as the pipeline consumes batches.
+		defer migWG.Done()
+		dir := 1
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			if !e.gov.migrate(dir) {
+				dir = -dir
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, streams)
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			x := seed*48271 + 11
+			next := func() uint64 {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				return x
+			}
+			churnID := seed * 500
+			for r := 0; r < rounds; r++ {
+				ts := make([]txn.Txn, perSub)
+				for i := range ts {
+					switch next() % 6 {
+					case 0:
+						ts[i] = reapCall(t, reg, next(), next(), reapOpScan)
+					case 1:
+						churnID++
+						ts[i] = reapCall(t, reg, churnID, 0, reapOpChurnIns)
+					case 2:
+						ts[i] = reapCall(t, reg, churnID, 0, reapOpChurnDel)
+					default:
+						ts[i] = reapCall(t, reg, next()%4, next()%4, reapOpMove)
+					}
+				}
+				for i, err := range e.ExecuteBatch(ts) {
+					if err != nil {
+						errCh <- fmt.Errorf("stream %d round %d txn %d: %w", seed, r, i, err)
+						return
+					}
+				}
+			}
+		}(uint64(s))
+	}
+	wg.Wait()
+	close(stop)
+	migWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if got := e.Stats().WorkerMigrations; got == 0 {
+		t.Fatal("stress completed without a single migration")
+	}
+	sum := uint64(0)
+	for k, v := range dumpState(e) {
+		if k.Table == 0 {
+			sum += v
+		}
+	}
+	if sum != reapTotal {
+		t.Errorf("final account sum = %d, want %d", sum, reapTotal)
+	}
+}

@@ -43,12 +43,15 @@ type obsState struct {
 // now returns nanoseconds since the engine was built, monotonic.
 func (o *obsState) now() int64 { return int64(time.Since(o.base)) }
 
-// newObsState builds the metrics set sized to the pipeline.
-func newObsState(cfg *Config) *obsState {
+// newObsState builds the metrics set sized to the pipeline. Batch-stage
+// histograms are sharded by recording execution worker, so the shard
+// count is the spawned pool size (maxExec), not the configured split —
+// under AdaptiveWorkers any of the pool's workers can be the recorder.
+func newObsState(cfg *Config, maxExec int) *obsState {
 	return &obsState{
 		base:  time.Now(),
 		start: time.Now(),
-		m:     obs.NewMetrics(cfg.ExecWorkers, cfg.ReadWorkers, cfg.FlightRecorderSize),
+		m:     obs.NewMetrics(maxExec, cfg.ReadWorkers, cfg.FlightRecorderSize),
 	}
 }
 
@@ -169,6 +172,10 @@ func (e *Engine) gauges() []obs.Gauge {
 				}
 				return float64(n)
 			}},
+		{Name: "bohm_worker_split_cc", Help: "CC goroutines active under the current worker split.",
+			Value: func() float64 { return float64(e.split.Load().cc) }},
+		{Name: "bohm_worker_split_exec", Help: "Execution goroutines active under the current worker split.",
+			Value: func() float64 { return float64(e.split.Load().exec) }},
 		{Name: "bohm_directory_entries", Help: "Ordered-directory entries across all partitions.",
 			Value: func() float64 { return float64(e.DirectoryEntries()) }},
 		{Name: "bohm_resident_chains", Help: "Hash-index version chains across all partitions.",

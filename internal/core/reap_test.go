@@ -53,30 +53,17 @@ func scanRows(t *testing.T, e *Engine, r txn.KeyRange) map[uint64]uint64 {
 	return rows
 }
 
-// TestReapingConvergence is the lifecycle's core property: after heavy
-// deletion, the directory entry count and the resident chain count
-// converge to the live working set instead of growing monotonically, the
-// reclamation counters account for it, scans and reads stay exact, and
-// reaped keys can be re-created.
-func TestReapingConvergence(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.CCWorkers = 2
-	cfg.ExecWorkers = 2
-	cfg.BatchSize = 32
-	cfg.Capacity = 1 << 13
-	e, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer e.Close()
-
-	const total = 2048
+// reapConvergence loads total keys into e, deletes all but the ids
+// divisible by 8, then ticks single-transaction batches until the
+// directory and chain counts converge to the live set, returning how
+// many ticks that took.
+func reapConvergence(t *testing.T, e *Engine, total uint64) int {
+	t.Helper()
 	for id := uint64(0); id < total; id++ {
 		if err := e.Load(key(id), txn.NewValue(8, id+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Kill everything except the ids divisible by 8.
 	var dels []txn.Txn
 	for id := uint64(0); id < total; id++ {
 		if id%8 != 0 {
@@ -94,11 +81,12 @@ func TestReapingConvergence(t *testing.T) {
 			}
 		}
 	}
-	const live = total / 8
+	live := int(total / 8)
 
 	// The reaper runs a bounded sweep per batch; tick batches until the
 	// index converges to the live set, bounded by a generous deadline.
 	deadline := time.Now().Add(30 * time.Second)
+	ticks := 0
 	for e.DirectoryEntries() != live || e.ResidentChains() != live {
 		if time.Now().After(deadline) {
 			t.Fatalf("index did not converge: %d directory entries, %d chains, want %d (reaped %d)",
@@ -107,7 +95,33 @@ func TestReapingConvergence(t *testing.T) {
 		if res := e.ExecuteBatch([]txn.Txn{putTxn(0, 1)}); res[0] != nil {
 			t.Fatal(res[0])
 		}
+		ticks++
 	}
+	return ticks
+}
+
+// TestReapingConvergence is the lifecycle's core property: after heavy
+// deletion, the directory entry count and the resident chain count
+// converge to the live working set instead of growing monotonically, the
+// reclamation counters account for it, scans and reads stay exact, and
+// reaped keys can be re-created. The adaptive sweep budget must also
+// converge in fewer ticks than the fixed-budget ablation: the mass
+// delete drives its tombstone hit rate up and the budget doubles.
+func TestReapingConvergence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CCWorkers = 2
+	cfg.ExecWorkers = 2
+	cfg.BatchSize = 32
+	cfg.Capacity = 1 << 13
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const total = 2048
+	const live = total / 8
+	adaptiveTicks := reapConvergence(t, e, total)
 	st := e.Stats()
 	if st.KeysReaped < total-live {
 		t.Errorf("KeysReaped = %d, want >= %d", st.KeysReaped, total-live)
@@ -170,6 +184,38 @@ func TestReapingConvergence(t *testing.T) {
 	}
 	if rows := scanRows(t, e, full); len(rows) != live+1 {
 		t.Fatalf("scan after re-create saw %d rows, want %d", len(rows), live+1)
+	}
+
+	t.Logf("adaptive convergence ticks: %d", adaptiveTicks)
+}
+
+// TestAdaptiveReapConvergesFaster pits the adaptive sweep budget against
+// the DisableAdaptiveReap fixed budget on a workload built to expose the
+// difference: a mass delete compacted into few large batches, so almost
+// all tombstones are still unswept when ticking starts and convergence
+// speed is governed by the sweep budget alone. The adaptive budget's
+// hit-rate doubling must finish in strictly fewer ticks — asserted at
+// half the fixed count, a generous margin against scheduling noise.
+func TestAdaptiveReapConvergesFaster(t *testing.T) {
+	run := func(disableAdaptive bool) int {
+		cfg := DefaultConfig()
+		cfg.CCWorkers = 2
+		cfg.ExecWorkers = 2
+		cfg.BatchSize = 1024 // compact delete phase: few in-flight sweeps
+		cfg.Capacity = 1 << 14
+		cfg.DisableAdaptiveReap = disableAdaptive
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		return reapConvergence(t, e, 8192)
+	}
+	adaptive := run(false)
+	fixed := run(true)
+	t.Logf("convergence ticks: adaptive=%d fixed=%d", adaptive, fixed)
+	if 2*adaptive > fixed {
+		t.Errorf("adaptive reap converged in %d ticks vs fixed %d; want at most half", adaptive, fixed)
 	}
 }
 

@@ -19,7 +19,7 @@ import "bohm/internal/storage"
 func (e *Engine) newBatch(seq uint64) *batch {
 	b := &batch{seq: seq, nodes: make([]*node, 0, e.cfg.BatchSize)}
 	if e.retireCh != nil {
-		b.ents = make([]entArena, e.cfg.CCWorkers)
+		b.ents = make([]entArena, e.nparts)
 	}
 	return b
 }
@@ -127,12 +127,34 @@ func (e *Engine) sequencer() {
 		if e.trackTS {
 			e.recordBatchTS(cur.seq, nextTS)
 		}
-		if e.cfg.Preprocess && cur.plans == nil {
-			// Recycled batches keep their plan structure (resetForReuse
-			// truncated the work lists); only fresh batches build it.
-			cur.plans = make([][][]planItem, e.cfg.CCWorkers)
-			for c := range cur.plans {
-				cur.plans[c] = make([][]planItem, e.cfg.PreprocessWorkers)
+		// Stamp the CC/exec worker assignment the batch will be processed
+		// under. Reading it once, here, is what makes a governor migration
+		// batch-atomic: every stage of this batch sees the same split.
+		cur.split = e.split.Load()
+		if e.cfg.Preprocess {
+			if e.cfg.DisableCCKernels {
+				if cur.plans == nil {
+					// Recycled batches keep their plan structure (resetForReuse
+					// truncated the work lists); only fresh batches build it.
+					cur.plans = make([][][]planItem, e.nparts)
+					for c := range cur.plans {
+						cur.plans[c] = make([][]planItem, e.cfg.PreprocessWorkers)
+					}
+				}
+			} else if cur.ppOff == nil {
+				// Kernel plan spine: per-worker offset and cursor rows. The
+				// per-worker item slabs size themselves on first fill; all
+				// of it survives recycling.
+				pp := e.cfg.PreprocessWorkers
+				cur.ppItems = make([][]planItem, pp)
+				cur.ppOff = make([][]int32, pp)
+				cur.ppCur = make([][]int32, pp)
+				cur.ppNW = make([][]int32, pp)
+				for j := 0; j < pp; j++ {
+					cur.ppOff[j] = make([]int32, e.nparts+1)
+					cur.ppCur[j] = make([]int32, e.nparts)
+					cur.ppNW[j] = make([]int32, e.nparts)
+				}
 			}
 		}
 		for _, ch := range e.seqOut {
@@ -195,12 +217,12 @@ func (e *Engine) sequencer() {
 				if pooled {
 					nd.rangeRefs = cur.rangeSpines.carve(n)
 					for r := range nd.rangeRefs {
-						nd.rangeRefs[r] = cur.rangeRows.carve(e.cfg.CCWorkers)
+						nd.rangeRefs[r] = cur.rangeRows.carve(e.nparts)
 					}
 				} else {
 					nd.rangeRefs = make([][][]rangeEntry, n)
 					for r := range nd.rangeRefs {
-						nd.rangeRefs[r] = make([][]rangeEntry, e.cfg.CCWorkers)
+						nd.rangeRefs[r] = make([][]rangeEntry, e.nparts)
 					}
 				}
 			}

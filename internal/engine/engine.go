@@ -103,6 +103,9 @@ type Stats struct {
 	// failed (and will be retried). A growing value means the log is not
 	// being truncated and version garbage collection is pinned.
 	CheckpointFailures uint64
+	// WorkerMigrations counts workers the adaptive governor has moved
+	// across the CC/exec split (always 0 without AdaptiveWorkers).
+	WorkerMigrations uint64
 }
 
 // Sub returns the element-wise difference s - o, for measuring an
@@ -134,5 +137,6 @@ func (s Stats) Sub(o Stats) Stats {
 		LogSyncs:             s.LogSyncs - o.LogSyncs,
 		Checkpoints:          s.Checkpoints - o.Checkpoints,
 		CheckpointFailures:   s.CheckpointFailures - o.CheckpointFailures,
+		WorkerMigrations:     s.WorkerMigrations - o.WorkerMigrations,
 	}
 }

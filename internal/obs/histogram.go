@@ -159,6 +159,20 @@ func (s *HistSnapshot) Merge(o *HistSnapshot) {
 	}
 }
 
+// Sub subtracts an earlier snapshot of the same histogram, leaving the
+// samples recorded between the two — the windowing primitive for callers
+// that watch a continuously-recording histogram over sliding intervals.
+// Counters are cumulative so the subtraction is exact; Max is not (a
+// maximum cannot be un-seen), so the cumulative maximum is retained and
+// windowed readers should rely on quantiles rather than Max.
+func (s *HistSnapshot) Sub(o *HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] -= o.Counts[i]
+	}
+	s.Count -= o.Count
+	s.Sum -= o.Sum
+}
+
 // Mean returns the average sample value, or 0 when empty.
 func (s *HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

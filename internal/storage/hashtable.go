@@ -138,9 +138,15 @@ func (m *Map[V]) Cap() int { return int(m.limit) }
 func (m *Map[V]) Rebuilds() uint64 { return m.rebuilds.Load() }
 
 // Get returns the value for k, or nil if k is not present.
-func (m *Map[V]) Get(k txn.Key) *V {
+func (m *Map[V]) Get(k txn.Key) *V { return m.GetHashed(k, k.Hash()) }
+
+// GetHashed is Get with the caller supplying k.Hash(). The engine's CC
+// kernels compute each key's hash exactly once (partition selection needs
+// it anyway) and thread it through every index touch, so a plan item never
+// pays the hash function twice.
+func (m *Map[V]) GetHashed(k txn.Key, h uint64) *V {
 	a := m.arr.Load()
-	i := k.Hash() & a.mask
+	i := h & a.mask
 	for {
 		s := &a.slots[i]
 		st := s.state.Load()
@@ -180,11 +186,16 @@ func (m *Map[V]) Get(k txn.Key) *V {
 // safe with each other only while the map holds no deleted slots (see
 // Delete).
 func (m *Map[V]) Insert(k txn.Key, v *V) (*V, bool, error) {
+	return m.InsertHashed(k, k.Hash(), v)
+}
+
+// InsertHashed is Insert with the caller supplying k.Hash(); see GetHashed.
+func (m *Map[V]) InsertHashed(k txn.Key, h uint64, v *V) (*V, bool, error) {
 	if m.used.Load() >= m.limit {
 		return nil, false, ErrTableFull
 	}
 	a := m.arr.Load()
-	i := k.Hash() & a.mask
+	i := h & a.mask
 	var reuse *slot[V]
 	var reuseSt uint32
 	for {
@@ -214,7 +225,7 @@ func (m *Map[V]) Insert(k txn.Key, v *V) (*V, bool, error) {
 			// and retry.
 			if m.empties.Load() <= int64(len(a.slots)/16) {
 				m.compact()
-				return m.Insert(k, v)
+				return m.InsertHashed(k, h, v)
 			}
 			if s.state.CompareAndSwap(st, st+slotGenUnit+slotBusy) {
 				m.empties.Add(-1)
@@ -252,10 +263,16 @@ func (m *Map[V]) Insert(k txn.Key, v *V) (*V, bool, error) {
 // reports whether this call inserted the key — the hook the two-tier index
 // uses to register first-ever keys in the ordered directory exactly once.
 func (m *Map[V]) GetOrInsert(k txn.Key, mk func() *V) (*V, bool, error) {
-	if v := m.Get(k); v != nil {
+	return m.GetOrInsertHashed(k, k.Hash(), mk)
+}
+
+// GetOrInsertHashed is GetOrInsert with the caller supplying k.Hash(); see
+// GetHashed.
+func (m *Map[V]) GetOrInsertHashed(k txn.Key, h uint64, mk func() *V) (*V, bool, error) {
+	if v := m.GetHashed(k, h); v != nil {
 		return v, false, nil
 	}
-	return m.Insert(k, mk())
+	return m.InsertHashed(k, h, mk())
 }
 
 // Delete removes k, returning its value and whether it was present. The
@@ -263,9 +280,12 @@ func (m *Map[V]) GetOrInsert(k txn.Key, mk func() *V) (*V, bool, error) {
 // may reuse it. Delete requires the map's single-writer discipline: no
 // concurrent Insert or Delete may run (concurrent readers are fine; the
 // generation bump makes them re-inspect the slot).
-func (m *Map[V]) Delete(k txn.Key) (*V, bool) {
+func (m *Map[V]) Delete(k txn.Key) (*V, bool) { return m.DeleteHashed(k, k.Hash()) }
+
+// DeleteHashed is Delete with the caller supplying k.Hash(); see GetHashed.
+func (m *Map[V]) DeleteHashed(k txn.Key, h uint64) (*V, bool) {
 	a := m.arr.Load()
-	i := k.Hash() & a.mask
+	i := h & a.mask
 	for {
 		s := &a.slots[i]
 		st := s.state.Load()

@@ -37,6 +37,10 @@ type VersionPool struct {
 	// ascending seq order (Retire is called with nondecreasing seqs).
 	limbo []limboGen
 
+	// headsFree recycles released generations' heads arrays so the retire
+	// path stays allocation-free at steady state.
+	headsFree [][]*Version
+
 	// High-watermark trim state: served counts placeholders handed out
 	// since the last trim check, releases counts Release calls since
 	// then. Every trimCheckEvery releases the pool compares its free list
@@ -56,12 +60,15 @@ type VersionPool struct {
 }
 
 // limboGen is one retired generation: versions cut from chains while the
-// owner processed batch seq. The versions form a list linked through their
-// prev pointers (the chain links they were cut with), avoiding any
-// allocation on the retire path.
+// owner processed batch seq. Each Retire call contributes one list, linked
+// through the versions' prev pointers exactly as the cut left them; the
+// generation keeps the list heads rather than splicing the lists together,
+// because splicing would walk each incoming list to its tail — touching
+// every retired version's cache line on the CC critical path. Release,
+// which must walk everything anyway to free it, is the only consumer.
 type limboGen struct {
-	seq  uint64
-	head *Version
+	seq   uint64
+	heads []*Version
 }
 
 // defaultVersionBlock is the initial slab size; blocks double up to
@@ -88,13 +95,14 @@ func (p *VersionPool) NewPlaceholder(begin, batch uint64, producer any) *Version
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
 		p.pooled.Add(1)
-		// Reset every field: the version carries a dead transaction's
-		// data, producer and links. No reader can hold it — that is what
-		// Release's epoch gate established.
-		v.data = nil
+		// Reset the stale fields. data, Producer and prev are already nil —
+		// Release cleared them when it freed the version (and slab slots
+		// start zeroed) — so only the flags the dead transaction left
+		// behind need stores here, on the version's cold cache line. No
+		// reader can hold the version — that is what Release's epoch gate
+		// established.
 		v.tombstone = false
 		v.ready.Store(0)
-		v.prev.Store(nil)
 	} else {
 		if p.next == len(p.block) {
 			p.block = make([]Version, p.blockSize)
@@ -113,6 +121,56 @@ func (p *VersionPool) NewPlaceholder(begin, batch uint64, producer any) *Version
 	return v
 }
 
+// GrabPlaceholders fills dst with uninitialized versions — the batched
+// form of NewPlaceholder for the kernel CC path. Popping the whole run in
+// one tight loop lets the resets' cache misses overlap (each recycled
+// version is an independent cold line, so the CPU can keep several misses
+// in flight), where per-write NewPlaceholder calls serialize the same
+// misses behind the rest of the insert. Each grabbed version still needs
+// Version.InitPlaceholder before it is pushed into a chain.
+func (p *VersionPool) GrabPlaceholders(dst []*Version) {
+	p.served += len(dst)
+	pops := len(p.free)
+	if pops > len(dst) {
+		pops = len(dst)
+	}
+	if pops > 0 {
+		base := len(p.free) - pops
+		for i, v := range p.free[base:] {
+			// Same reset contract as NewPlaceholder's free path: data,
+			// Producer and prev are already nil (Release cleared them).
+			v.tombstone = false
+			v.ready.Store(0)
+			dst[i] = v
+			p.free[base+i] = nil
+		}
+		p.free = p.free[:base]
+		p.pooled.Add(uint64(pops))
+	}
+	for i := pops; i < len(dst); i++ {
+		if p.next == len(p.block) {
+			p.block = make([]Version, p.blockSize)
+			p.next = 0
+			if p.blockSize < maxVersionBlock {
+				p.blockSize *= 2
+			}
+		}
+		dst[i] = &p.block[p.next]
+		p.next++
+	}
+}
+
+// InitPlaceholder stamps a grabbed version as transaction producer's
+// uninitialized write at timestamp begin in batch batch — the second half
+// of NewPlaceholder, run at the insert site where begin and producer are
+// known.
+func (v *Version) InitPlaceholder(begin, batch uint64, producer any) {
+	v.Begin = begin
+	v.Batch = batch
+	v.Producer = producer
+	v.end.Store(TsInfinity)
+}
+
 // Retire parks a list of versions cut out of a chain while the owner was
 // processing batch seq. head is the newest cut version; the list hangs off
 // its prev links exactly as Chain.CollectReclaim left them. Retire must be
@@ -123,19 +181,16 @@ func (p *VersionPool) Retire(head *Version, seq uint64) {
 		return
 	}
 	if n := len(p.limbo); n > 0 && p.limbo[n-1].seq == seq {
-		// Append the new list to the generation: walk to the new list's
-		// tail and hang the old head under it. Lists are short (bounded
-		// by chain churn per batch), and this keeps Retire allocation-
-		// free without a tail pointer per generation.
-		tail := head
-		for t := tail.Prev(); t != nil; t = t.Prev() {
-			tail = t
-		}
-		tail.prev.Store(p.limbo[n-1].head)
-		p.limbo[n-1].head = head
+		p.limbo[n-1].heads = append(p.limbo[n-1].heads, head)
 		return
 	}
-	p.limbo = append(p.limbo, limboGen{seq: seq, head: head})
+	var hs []*Version
+	if n := len(p.headsFree); n > 0 {
+		hs = p.headsFree[n-1]
+		p.headsFree[n-1] = nil
+		p.headsFree = p.headsFree[:n-1]
+	}
+	p.limbo = append(p.limbo, limboGen{seq: seq, heads: append(hs, head)})
 }
 
 // Release moves every limbo generation with seq <= safeSeq onto the free
@@ -146,18 +201,21 @@ func (p *VersionPool) Release(safeSeq uint64) {
 	i := 0
 	for ; i < len(p.limbo) && p.limbo[i].seq <= safeSeq; i++ {
 		n := 0
-		for v := p.limbo[i].head; v != nil; {
-			next := v.Prev()
-			// Drop the data reference now so record payloads become
-			// collectable the moment their version enters the free list,
-			// not when it is eventually reused.
-			v.data = nil
-			v.Producer = nil
-			v.prev.Store(nil)
-			p.free = append(p.free, v)
-			n++
-			v = next
+		for _, h := range p.limbo[i].heads {
+			for v := h; v != nil; {
+				next := v.Prev()
+				// Drop the data reference now so record payloads become
+				// collectable the moment their version enters the free list,
+				// not when it is eventually reused.
+				v.data = nil
+				v.Producer = nil
+				v.prev.Store(nil)
+				p.free = append(p.free, v)
+				n++
+				v = next
+			}
 		}
+		p.headsFree = append(p.headsFree, p.limbo[i].heads[:0])
 		p.limbo[i] = limboGen{}
 		p.recycled.Add(uint64(n))
 	}
@@ -252,11 +310,16 @@ func (c *Chain) CollectReclaim(watermark uint64) (head *Version, n int) {
 		return nil, 0
 	}
 	head = s.Prev()
-	for w := head; w != nil; w = w.Prev() {
-		n++
+	if head == nil {
+		return nil, 0
 	}
-	if n > 0 {
-		s.prev.Store(nil)
-	}
+	// The chain's maintained count prices the cut without walking it: the
+	// cut is everything below s, and exactly h and s survive. Walking
+	// would touch every cut version's cache line right on the CC critical
+	// path; the versions' lines are left for Release, which must visit
+	// them anyway (off the critical path) to free them.
+	n = int(c.count) - 2
+	c.count = 2
+	s.prev.Store(nil)
 	return head, n
 }

@@ -99,6 +99,12 @@ func (v *Version) Data() (data []byte, tombstone bool) {
 // threads) traverse concurrently, so the head is published atomically.
 type Chain struct {
 	head atomic.Pointer[Version]
+	// count is the number of linked versions, maintained so CollectReclaim
+	// can report how many it cut without walking the cut sublist (every
+	// walked version is a cold cache line on the CC critical path). Owner-
+	// only, like every chain mutation: written by Push, CollectReclaim and
+	// DetachAll, never read concurrently.
+	count int32
 }
 
 // NewChain creates a chain whose first version is head (may be nil for a
@@ -107,6 +113,7 @@ func NewChain(head *Version) *Chain {
 	c := &Chain{}
 	if head != nil {
 		c.head.Store(head)
+		c.count = 1
 	}
 	return c
 }
@@ -124,6 +131,7 @@ func (c *Chain) Push(v *Version) {
 		old.SetEnd(v.Begin)
 	}
 	c.head.Store(v)
+	c.count++
 }
 
 // VisibleAt returns the version a transaction with timestamp ts must read:
@@ -159,6 +167,7 @@ func (c *Chain) Len() int {
 // loaded the head before the detach keep traversing the immutable list,
 // which the caller's epoch gate keeps unrecycled until they drain.
 func (c *Chain) DetachAll() *Version {
+	c.count = 0
 	return c.head.Swap(nil)
 }
 
