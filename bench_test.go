@@ -426,6 +426,22 @@ func BenchmarkAllocYCSBPointWriteKernels(b *testing.B) {
 	driveAllocBench(b, cfg, bench.PointWriteWindows(benchRecords, benchRecordSize, 4096, 256))
 }
 
+// BenchmarkAllocYCSBPointWriteArena is the end-to-end zero-allocation
+// benchmark CI enforces at 0 allocs/op: single-key read-modify-writes
+// whose values are produced fresh every execution, staged in each
+// instance's reused scratch buffer (the caller-buffer-reuse contract the
+// payload arena's copy-at-install licenses), and installed into
+// epoch-recycled value slabs. Unlike the blind-write benchmarks above —
+// which resubmit one shared value and so never exercise value production
+// — zero here means the whole loop allocates nothing in steady state:
+// value production, sequencing, CC, execution, payload install and GC.
+func BenchmarkAllocYCSBPointWriteArena(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.CCWorkers, cfg.ExecWorkers = 2, 2
+	cfg.Capacity = benchRecords
+	driveAllocBench(b, cfg, bench.RMWWindows(benchRecords, benchRecordSize, 4096, 256))
+}
+
 // BenchmarkAllocYCSBPointWriteDurable is the durability-on allocation
 // budget benchmark CI enforces: the same pooled point-write path with
 // command logging enabled (sync policy "never", so the numbers measure

@@ -331,3 +331,12 @@ func NewValue(size int, x uint64) []byte { return txn.NewValue(size, x) }
 
 // Incremented returns a fresh copy of v with its counter incremented.
 func Incremented(v []byte, delta uint64) []byte { return txn.Incremented(v, delta) }
+
+// IncrementedInto is the allocation-free Incremented: the incremented
+// copy of v lands in dst (grown only when too small) and the slice
+// holding it is returned. The engine copies values at install, so a
+// transaction reusing one scratch buffer per written key runs at zero
+// allocations in steady state.
+func IncrementedInto(dst, v []byte, delta uint64) []byte {
+	return txn.IncrementedInto(dst, v, delta)
+}

@@ -12,11 +12,13 @@ import (
 
 // Mem measures the steady-state allocation profile of the transaction hot
 // path: allocs/txn and bytes/txn on a single-key YCSB point-write
-// workload, per engine, plus the BOHM pooling ablation. The workload side
-// is allocation-free by construction — a fixed ring of pre-built
-// transactions is resubmitted in fixed windows — so the numbers isolate
-// the engines' own allocation behaviour. The committed BENCH_alloc.json
-// is generated from this experiment.
+// workload, per engine, plus the BOHM ablation ladder — payload arena on
+// (the default), DisableValueArena (installs copy to the heap instead of
+// a recycled slab), and DisablePooling (no recycling at all). The
+// workload side is allocation-free by construction — a fixed ring of
+// pre-built transactions is resubmitted in fixed windows — so the numbers
+// isolate the engines' own allocation behaviour. The committed
+// BENCH_alloc.json is generated from this experiment.
 func Mem(s Scale) []*Table {
 	t := &Table{
 		ID:    "mem",
@@ -28,12 +30,13 @@ func Mem(s Scale) []*Table {
 		Notes: []string{
 			"allocs and bytes are process-wide runtime counters over the measured interval; the driver itself allocates nothing per transaction",
 			"recycled B/txn is BOHM's estimate of memory reused through its arenas and version pools instead of reallocated",
+			"Bohm installs payloads into epoch-recycled value slabs; the DisableValueArena row pays a heap copy per install, DisablePooling abandons versions and payloads to the runtime GC",
 		},
 	}
 	for _, k := range AllEngines {
 		if k == Bohm {
-			// BOHM is measured by the explicit pooled/ablation pair below;
-			// MakeEngine's default would duplicate the pooled row.
+			// BOHM is measured by the explicit ablation ladder below;
+			// MakeEngine's default would duplicate the arena-on row.
 			continue
 		}
 		e, err := MakeEngine(k, s.MaxThreads, s.Records)
@@ -42,21 +45,25 @@ func Mem(s Scale) []*Table {
 		}
 		t.AddRow(string(k), memPoint(k, e, s)...)
 	}
-	for _, pooling := range []bool{true, false} {
+	for _, v := range []struct {
+		label          string
+		pooling, arena bool
+	}{
+		{"Bohm", true, true},
+		{"Bohm (DisableValueArena)", true, false},
+		{"Bohm (DisablePooling)", false, false},
+	} {
 		cc, exec := bohmSplit(s.MaxThreads)
 		cfg := core.DefaultConfig()
 		cfg.CCWorkers, cfg.ExecWorkers = cc, exec
 		cfg.Capacity = s.Records
-		cfg.DisablePooling = !pooling
+		cfg.DisablePooling = !v.pooling
+		cfg.DisableValueArena = !v.arena
 		e, err := core.New(cfg)
 		if err != nil {
 			panic(err)
 		}
-		label := "Bohm"
-		if !pooling {
-			label = "Bohm (DisablePooling)"
-		}
-		t.AddRow(label, memPoint(Bohm, e, s)...)
+		t.AddRow(v.label, memPoint(Bohm, e, s)...)
 	}
 	return []*Table{t}
 }
@@ -115,6 +122,19 @@ func PointWriteWindows(records, recordSize, ring, window int) [][]txn.Txn {
 func PointWriteCallWindows(reg *txn.Registry, records, ring, window int) [][]txn.Txn {
 	return singleKeyWindows(records, ring, window, func(k txn.Key) txn.Txn {
 		return reg.MustCall(workload.ProcPut, workload.EncodeKeys([]txn.Key{k}))
+	})
+}
+
+// RMWWindows pre-builds a ring of single-key read-modify-write
+// transactions. Unlike the blind writes above, each transaction produces
+// a fresh value per execution — staged in the instance's internal scratch
+// buffer, which the engine's copy-at-install contract lets it reuse — so
+// driving the ring measures the whole write path including workload-side
+// value production, and still allocates nothing per transaction in
+// steady state.
+func RMWWindows(records, recordSize, ring, window int) [][]txn.Txn {
+	return singleKeyWindows(records, ring, window, func(k txn.Key) txn.Txn {
+		return &workload.RMWTxn{Keys: []txn.Key{k}, Size: recordSize}
 	})
 }
 

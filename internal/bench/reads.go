@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"bohm/internal/core"
 	"bohm/internal/engine"
@@ -98,7 +99,62 @@ func Reads(s Scale) []*Table {
 		}
 		ablation.AddRow(fmt.Sprintf("%d%%", pct), fast, piped, speedup)
 	}
-	return []*Table{engines, ablation}
+
+	// The mixed-call table measures the split heuristic itself, so it
+	// sweeps read fractions around the majority threshold rather than the
+	// read-heavy YCSB-B/C region above.
+	mixed := &Table{
+		ID:    "reads-mixed",
+		Title: fmt.Sprintf("BOHM mixed-call heuristic: majority split vs always split (%d CC + %d exec workers)", cc, exec),
+		Param: "% reads",
+		Series: []string{
+			"heuristic", "always split", "heuristic %",
+		},
+		Notes: []string{
+			"every submission mixes single-key reads and RMWs in one ExecuteBatch call; the heuristic diverts the reads to the snapshot fast path only when they are the strict majority of the call",
+			"\"always split\" sets Config.DisableMixedPipelining — the unconditional diversion, which at read-minority mixes pays the two-path coordination cost for little fast-path work",
+			"heuristic % is heuristic throughput over always-split throughput at the same mix, in percent; at and below 50% reads the heuristic keeps the reads pipelined and must not regress",
+			"median of interleaved paired reps (scale-cc methodology): the two arms alternate within each rep so scheduler drift hits both equally, and the median ratio discards the outlier runs a 1-core host produces",
+		},
+	}
+	for _, pct := range []int{25, 50, 75} {
+		once := func(alwaysSplit bool) float64 {
+			cfg := core.DefaultConfig()
+			cfg.CCWorkers, cfg.ExecWorkers = cc, exec
+			cfg.Capacity = s.Records
+			cfg.DisableMixedPipelining = alwaysSplit
+			e, err := core.New(cfg)
+			if err != nil {
+				panic(err)
+			}
+			defer e.Close()
+			y := workload.YCSB{Records: s.Records, RecordSize: s.RecordSize}
+			if err := y.LoadInto(e); err != nil {
+				panic(err)
+			}
+			r := Run(Bohm, e, Options{Txns: s.Txns, Streams: 1},
+				prebuiltMixGen(y, 0.9, pct, 8192))
+			return r.Throughput
+		}
+		// Interleaved paired reps, median ratio: best-of-N per arm assumes
+		// noise only subtracts uniformly, but a 1-core host's interference
+		// is bursty enough to starve one arm's entire run block. Pairing
+		// the arms back-to-back inside each rep exposes both to the same
+		// conditions; the median pair is the representative one.
+		const reps = 5
+		type pair struct{ heuristic, split float64 }
+		pairs := make([]pair, reps)
+		for i := range pairs {
+			pairs[i] = pair{heuristic: once(false), split: once(true)}
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			return pairs[i].heuristic/pairs[i].split < pairs[j].heuristic/pairs[j].split
+		})
+		med := pairs[reps/2]
+		mixed.AddRow(fmt.Sprintf("%d%%", pct), med.heuristic, med.split,
+			100*med.heuristic/med.split)
+	}
+	return []*Table{engines, ablation, mixed}
 }
 
 // readMixGen mixes single-key zipfian point reads and RMW updates at the

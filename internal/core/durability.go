@@ -435,6 +435,12 @@ func Recover(cfg Config, reg *txn.Registry) (*Engine, error) {
 		replayed++
 		// Transaction errors here are user aborts re-occurring exactly as
 		// they did originally; they are part of a faithful replay.
+		//
+		// A zero-transaction record — an idle-reclamation tick the previous
+		// epoch logged — replays as a no-op: it carried no timestamps, so
+		// skipping it reproduces the state exactly, and the engine's own
+		// batch numbering stays dense (the fresh checkpoint below renumbers
+		// the log epoch anyway).
 		e.ExecuteBatch(rb.ts)
 	}
 	if replayErr != nil {
@@ -471,5 +477,9 @@ func Recover(cfg Config, reg *txn.Registry) (*Engine, error) {
 	if err := e.startDurability(); err != nil {
 		return fail(err)
 	}
+	// Only now that replay has drained and logging is back on may the idle
+	// ticker run: a tick during replay would consume a batch sequence
+	// without a log record and leave a gap for the next recovery.
+	e.startIdle()
 	return e, nil
 }

@@ -103,8 +103,14 @@ func loadInitial(t testing.TB, e *Engine) {
 }
 
 // dumpState reads every live record at the maximum timestamp. The engine
-// must be quiescent (all ExecuteBatch calls returned).
+// must be quiescent (all ExecuteBatch calls returned). The dump publishes
+// a reader epoch for its duration: with GC on, idle-reclamation ticks keep
+// reaping and releasing versions even on a quiescent engine, and the pin
+// is what keeps a chain head loaded here from being recycled mid-read.
 func dumpState(e *Engine) map[txn.Key]uint64 {
+	slot, _ := e.claimROSlot()
+	e.settleEpoch(slot, slot.Load())
+	defer slot.Store(inactiveEpoch)
 	m := make(map[txn.Key]uint64)
 	for _, part := range e.parts {
 		part.Range(func(k txn.Key, c *storage.Chain) bool {

@@ -111,6 +111,40 @@ type Config struct {
 	// the directory converges after churn — and how much lifecycle work a
 	// quiescent table pays per batch — differs.
 	DisableAdaptiveReap bool
+	// DisableValueArena turns off the payload arena (ablation): each
+	// committed write's value is copied into a fresh heap allocation
+	// abandoned to the runtime GC instead of being carved from the
+	// executing worker's payload slab. The caller-buffer contract is
+	// identical either way — install always copies the staged value, so a
+	// transaction may reuse its write buffer the moment Run returns — and
+	// results are bit-identical (pinned by
+	// TestDisableValueArenaIdenticalResults); only the allocation profile
+	// differs. Implied by DisablePooling: payload slabs recycle through
+	// the version-pool limbo, so without version pooling there is no
+	// epoch-gated release for the slabs to ride.
+	DisableValueArena bool
+	// DisableIdleReap turns off the idle reclamation tick (ablation): a
+	// quiescent engine stops advancing reclamation the moment its last
+	// submitted batch executes, leaving retired versions parked in limbo
+	// and dead keys unswept until the next real submission arrives. With
+	// the tick on (the default, when GC is on), an idle engine feeds
+	// itself empty batches at a millisecond cadence — each one advances
+	// the execution watermark, releases limbo generations, runs the
+	// bounded reap sweep and trims pool blocks and payload slabs — until
+	// a full directory sweep's worth of ticks passes without reclamation
+	// progress. Results are unaffected; only how fast a quiescent
+	// engine's memory converges to its live working set differs.
+	DisableIdleReap bool
+	// DisableMixedPipelining always splits a mixed ExecuteBatch call
+	// (ablation): its read-only transactions divert to the snapshot-read
+	// pool no matter how few they are. By default a mixed call whose
+	// readers are not the majority keeps everything pipelined — the
+	// split's bookkeeping and the half-empty batches it feeds the
+	// sequencer cost more than the reads it relieves the pipeline of.
+	// Serialization stays correct either way (pipelined reads serialize
+	// in submission order, exactly as under DisableReadOnlyFastPath);
+	// only the mixed call's throughput profile differs.
+	DisableMixedPipelining bool
 	// AdaptiveWorkers enables the histogram-driven CC/exec rebalancing
 	// governor: the combined worker budget (CCWorkers + ExecWorkers)
 	// stays fixed, but a background governor samples the per-stage
@@ -343,6 +377,21 @@ type Engine struct {
 	arenaBatches atomic.Uint64
 	arenaBytes   atomic.Uint64
 
+	// varenas[w] is execution worker w's payload arena (nil under
+	// DisablePooling or DisableValueArena): install copies each written
+	// value into the worker's current slab, and the slab's references
+	// drop in VersionPool.Release under the same epoch gate that
+	// recycles the versions holding them. See storage.ValueArena.
+	varenas []*storage.ValueArena
+
+	// Idle reclamation tick state (see idleLoop); idleStop is nil when
+	// GC is off or DisableIdleReap is set. idleTicks counts empty
+	// batches injected while quiescent — the observability counter the
+	// idle-reap tests drain on.
+	idleStop  chan struct{}
+	idleWG    sync.WaitGroup
+	idleTicks atomic.Uint64
+
 	// Durability state; see durability.go. wal and ackCh are nil when
 	// Config.LogDir is empty. logOn flips on only while the pipeline is
 	// quiescent (at New, or at the end of Recover's replay).
@@ -416,6 +465,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.start()
+	e.startIdle()
 	return e, nil
 }
 
@@ -498,6 +548,12 @@ func build(cfg Config) *Engine {
 		// on retirement; overflow batches are simply dropped to the
 		// runtime GC by the non-blocking send.
 		e.retireCh = make(chan *batch, 2*maxFreeBatches)
+		if !cfg.DisableValueArena {
+			e.varenas = make([]*storage.ValueArena, maxExec)
+			for w := range e.varenas {
+				e.varenas[w] = storage.NewValueArena()
+			}
+		}
 	}
 	e.seqOut = e.ccIn
 	if cfg.Preprocess {
@@ -563,6 +619,96 @@ func (e *Engine) start() {
 			go e.roWorker(w)
 		}
 	}
+}
+
+// startIdle launches the idle reclamation ticker. It is separate from
+// start because recovery must not run it during replay: an idle tick
+// injects an unlogged empty batch, and a batch sequence consumed without
+// a matching log record would leave a gap the next recovery's
+// contiguity check rejects. New calls it right after start; Recover
+// calls it only once replay has drained and logging is re-enabled.
+func (e *Engine) startIdle() {
+	if !e.cfg.GC || e.cfg.DisableIdleReap {
+		return
+	}
+	e.idleStop = make(chan struct{})
+	e.idleWG.Add(1)
+	go e.idleLoop()
+}
+
+// idleTickInterval is the idle loop's polling cadence; idleTickSlack is
+// the extra ticks granted past one full directory sweep so the
+// watermark can advance through retireLag and drain limbo even when the
+// sweep itself finds nothing.
+const (
+	idleTickInterval = time.Millisecond
+	idleTickSlack    = 8
+)
+
+// idleLoop drives reclamation on a quiescent engine. A busy pipeline
+// finishes its own reclamation — every batch's CC lifecycle releases
+// limbo generations and advances the bounded reap sweep — but the last
+// few batches before quiescence leave work parked: generations under
+// the retireLag gate, dead keys the sweep cursor has not reached, and
+// arena slabs waiting for a trim check. The loop watches for quiescence
+// (every submitted batch executed, nothing queued) and feeds the
+// sequencer empty tick batches; each one runs the full CC lifecycle and
+// execution-watermark advance with zero transactions, which is exactly
+// the reclamation machinery with no work attached.
+//
+// Pacing: on each transition to idle the loop grants itself enough
+// ticks for one full directory sweep (plus slack), renewed whenever a
+// tick makes reclamation progress — so a converged engine goes quiet
+// after one sweep's worth of empty batches instead of ticking forever,
+// mirroring the demand-windowed high-watermark trims it drives.
+func (e *Engine) idleLoop() {
+	defer e.idleWG.Done()
+	t := time.NewTicker(idleTickInterval)
+	defer t.Stop()
+	idle := false
+	credit := 0
+	var last uint64
+	for {
+		select {
+		case <-e.idleStop:
+			return
+		case <-t.C:
+		}
+		if e.execWatermark() != e.seqBase+e.batches.Load() || len(e.subCh) != 0 {
+			idle = false
+			continue
+		}
+		if p := e.reclaimProgress(); !idle || p != last {
+			idle, last = true, p
+			credit = e.DirectoryEntries()/reapSweepPerBatch + idleTickSlack
+		}
+		if credit <= 0 {
+			continue
+		}
+		credit--
+		e.idleTicks.Add(1)
+		select {
+		case e.subCh <- &submission{tick: true}:
+		case <-e.idleStop:
+			return
+		}
+	}
+}
+
+// reclaimProgress folds every counter an idle tick can advance: keys
+// reaped, versions collected into limbo, and versions recycled out of
+// it. The idle loop renews its tick credit while this moves.
+func (e *Engine) reclaimProgress() uint64 {
+	var p uint64
+	for i := range e.ccStats {
+		p += atomic.LoadUint64(&e.ccStats[i].keysReaped)
+		p += atomic.LoadUint64(&e.ccStats[i].versionsCollected)
+	}
+	for _, vp := range e.vpools {
+		_, recycled, _ := vp.Stats()
+		p += recycled
+	}
+	return p
 }
 
 // forwarder implements the batch barrier between the phases: it collects
@@ -725,15 +871,22 @@ func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
 	// placeholders and constrain no other transaction, so they skip the
 	// sequencer → CC → execution pipeline entirely and run on the
 	// snapshot-read pool at the execution watermark (see readpath.go). A
-	// submission mixing writers and readers splits; its read-only
-	// transactions serialize at the watermark, before the call's writes.
+	// submission mixing writers and readers splits only when the readers
+	// are the majority; below that the split costs more than it saves —
+	// index bookkeeping plus a reader-starved batch that no longer fills
+	// — so the whole call stays pipelined (reads serialize in submission
+	// order, which is always correct; the fast path is an optimization,
+	// not a semantic). Durable engines keep the unconditional split:
+	// diverted readers are exempt from the Loggable requirement, and
+	// pipelining them would retroactively reject mixed calls carrying
+	// non-loggable readers.
 	var roTxns []txn.Txn
 	var roIdx []int
 	if fastOn && nro > 0 {
 		if nro == len(valid) {
 			roTxns, roIdx = valid, orig // idxs nil means identity
 			sub.txns = nil
-		} else {
+		} else if nro*2 > len(valid) || e.cfg.DisableMixedPipelining || e.logOn.Load() {
 			roTxns = make([]txn.Txn, 0, nro)
 			roIdx = make([]int, 0, nro)
 			piped := make([]txn.Txn, 0, len(valid)-nro)
@@ -819,6 +972,12 @@ func (e *Engine) shutdown(kill bool) {
 		// once the pipeline starts shutting down.
 		e.gov.stopLoop()
 	}
+	if e.idleStop != nil {
+		// The idle ticker sends on subCh; it must be provably stopped
+		// before the channel closes.
+		close(e.idleStop)
+		e.idleWG.Wait()
+	}
 	close(e.subCh)
 	e.seqWG.Wait()
 	e.execWG.Wait()
@@ -885,6 +1044,13 @@ func (e *Engine) Stats() engine.Stats {
 		s.BytesRecycled += recycled * storage.VersionBytes
 		s.PoolBlocksTrimmed += trimmed
 	}
+	for _, a := range e.varenas {
+		_, recycled, trimmed := a.Stats()
+		s.ValueSlabsRecycled += recycled
+		s.ValueSlabsTrimmed += trimmed
+		s.BytesRecycled += recycled * storage.ValueSlabBytes
+	}
+	s.IdleTicks = e.idleTicks.Load()
 	if e.wal != nil {
 		ws := e.wal.Stats()
 		s.LogBatches = ws.Batches

@@ -29,8 +29,21 @@ func (e *Engine) execWorker(w int) {
 	var sc *ctxPool
 	if e.retireCh != nil {
 		sc = &ctxPool{}
+		if e.varenas != nil {
+			sc.va = e.varenas[w]
+		}
+		sc.iters = make([]storage.DirIter, e.nparts)
+		sc.iterTag = make([]uint64, e.nparts)
 	}
 	for b := range e.execIn[w] {
+		if sc != nil {
+			// New batch barrier: age out the scan-iterator fingers. A finger
+			// is only resumed within the batch it was parked in (see
+			// readRange), so each partition's first fallback scan per batch
+			// pays one full descent and later scans resume in O(log
+			// distance).
+			sc.iterEpoch++
+		}
 		// The batch's stamped split decides how many execution workers
 		// stripe its nodes; a worker the split leaves idle skips straight
 		// to the bookkeeping below, so the watermark and retirement
@@ -74,6 +87,9 @@ func (e *Engine) execWorker(w int) {
 		if o := e.obs; o != nil && b.obs.done.Add(1) == int32(e.maxExec) {
 			e.obsRecordBatch(w, b, o)
 		}
+		if sc != nil && sc.va != nil {
+			sc.va.MaybeTrim()
+		}
 		if e.retireCh != nil && b.execDone.Add(1) == int32(e.maxExec) {
 			// Last worker out retires the batch to the sequencer's
 			// recycle ring. The send is non-blocking: if the ring is
@@ -91,8 +107,37 @@ func (e *Engine) execWorker(w int) {
 // producer transactions recursively, so several contexts can be live on
 // one worker at once. A nil pool allocates fresh contexts — the
 // DisablePooling ablation.
+//
+// The pool doubles as the worker's per-batch amortization state: the
+// payload arena the worker installs written values into, and the
+// per-partition directory-iterator cache its fallback scans resume from
+// (both nil/disabled under the respective ablations).
 type ctxPool struct {
 	free []*execCtx
+
+	// va is the worker's payload arena; nil under DisableValueArena (or
+	// DisablePooling), in which case installs heap-copy instead.
+	va *storage.ValueArena
+
+	// iters caches one directory iterator per partition, valid only for
+	// fingers parked under the current iterEpoch (bumped per batch).
+	// itersBusy marks the cache as claimed by an in-progress scan, so a
+	// nested ReadRange — or a recursive producer execution issuing its own
+	// scan — falls back to a scan-local iterator instead of repositioning
+	// the outer scan's parked fingers.
+	iters     []storage.DirIter
+	iterTag   []uint64
+	iterEpoch uint64
+	itersBusy bool
+}
+
+// arena returns the worker's payload arena, nil-safe for the
+// DisablePooling ablation (nil pool → nil arena → heap-copy installs).
+func (p *ctxPool) arena() *storage.ValueArena {
+	if p == nil {
+		return nil
+	}
+	return p.va
 }
 
 func (p *ctxPool) get() *execCtx {
@@ -119,6 +164,7 @@ func (p *ctxPool) put(c *execCtx) {
 	c.nd = nil
 	c.st = nil
 	clear(c.vals[:cap(c.vals)])
+	clear(c.srcs[:cap(c.srcs)])
 	p.free = append(p.free, c)
 }
 
@@ -159,16 +205,19 @@ func (e *Engine) runOnce(nd *node, st *workerStats, sc *ctxPool) error {
 			c.vals = c.vals[:n]
 			c.wrote = c.wrote[:n]
 			c.del = c.del[:n]
+			c.srcs = c.srcs[:n]
 			clear(c.vals)
 			clear(c.wrote)
 			clear(c.del)
+			clear(c.srcs)
 		} else {
 			c.vals = make([][]byte, n)
 			c.wrote = make([]bool, n)
 			c.del = make([]bool, n)
+			c.srcs = make([]*storage.Version, n)
 		}
 	} else {
-		c.vals, c.wrote, c.del = c.vals[:0], c.wrote[:0], c.del[:0]
+		c.vals, c.wrote, c.del, c.srcs = c.vals[:0], c.wrote[:0], c.del[:0], c.srcs[:0]
 	}
 	err := txn.RunSafely(nd.t, c)
 	if c.busy {
@@ -199,10 +248,23 @@ func (e *Engine) runOnce(nd *node, st *workerStats, sc *ctxPool) error {
 			}
 			c.vals[i] = data
 			c.del[i] = tomb
+			c.srcs[i] = prev
 		}
 	}
+	// Install: values the body staged are copied out — into the worker's
+	// arena when it has one, a fresh heap slice otherwise — so the caller's
+	// write buffer is reusable the moment execution finishes and the engine
+	// owns every payload it serves. Copied-forward slots adopt their
+	// predecessor's payload pointer instead (no copy) and take a reference
+	// on its slab, so the shared bytes outlive whichever version retires
+	// last.
+	arena := c.sc.arena()
 	for i := range nd.writes {
-		nd.writeVers[i].Install(c.vals[i], c.del[i])
+		if src := c.srcs[i]; src != nil {
+			nd.writeVers[i].InstallShared(src, c.vals[i], c.del[i])
+		} else {
+			nd.writeVers[i].InstallValue(arena, c.vals[i], c.del[i])
+		}
 	}
 	return err
 }
@@ -221,6 +283,10 @@ type execCtx struct {
 	vals  [][]byte
 	wrote []bool
 	del   []bool
+	// srcs marks copy-forward slots: the predecessor version whose payload
+	// the slot re-exposes (nil for body-staged slots). The install pass
+	// dispatches on it — shared adoption versus arena copy-out.
+	srcs []*storage.Version
 	// nStaged counts distinct write slots the body has staged so far; scans
 	// early-out of the own-write overlay when it is zero.
 	nStaged int
@@ -424,19 +490,36 @@ func (c *execCtx) readRange(r txn.KeyRange, sb *scanBufs, fn func(k txn.Key, v [
 		return c.mergeScan(srcs, own, true, sb, fn)
 	}
 	// Fallback (undeclared range, or DisableReadRefs): walk the partition
-	// directories at execution time and resolve visibility per chain. The
-	// iterator is scan-local on purpose: an execution worker's finger may
-	// not survive across scans, because keys this scan is required to see
-	// can be inserted between two scans (CC of later batches runs
-	// concurrently with execution), and a finger parked on a node reaped
-	// in that window would skip them.
+	// directories at execution time and resolve visibility per chain.
+	//
+	// Iterator amortization: the worker caches one iterator per partition
+	// (ctxPool.iters), so repeat fallback scans within one batch resume
+	// from the previous scan's finger in O(log distance) instead of a full
+	// skiplist descent per partition per scan. The cache is keyed on the
+	// batch barrier — fingers age out when the worker starts its next
+	// batch — which keeps the correctness argument local: every key a scan
+	// at any timestamp of batch b must see was inserted before b's CC
+	// barrier, so nothing this batch's scans require appears between two of
+	// its scans; later-batch inserts are above every nd.ts in b and may be
+	// missed or seen indifferently. Fingers parked on reaped nodes are
+	// caught by SeekGE's removed-flag validation (full-descent fallback),
+	// and a removal landing after that check only hides keys whose
+	// tombstone was already visible at nd.ts. Only the outermost scan on a
+	// worker uses the cache: a nested ReadRange (from inside a scan
+	// callback) or a recursive producer execution borrowing this worker
+	// takes the scan-local iterator below, so it cannot reposition the
+	// outer scan's parked fingers.
 	nparts := len(c.e.parts)
 	if cap(sb.ents) < nparts {
 		sb.ents = make([][]rangeEntry, nparts)
 	}
 	sb.ents = sb.ents[:nparts]
 	srcs := sb.srcs[:0]
-	var it storage.DirIter
+	cached := c.sc != nil && c.sc.iters != nil && !c.sc.itersBusy
+	if cached {
+		c.sc.itersBusy = true
+	}
+	var local storage.DirIter
 	limit := r.LimitKey()
 	for p := 0; p < nparts; p++ {
 		if c.e.dirs[p].ExcludesRange(r) {
@@ -446,6 +529,14 @@ func (c *execCtx) readRange(r txn.KeyRange, sb *scanBufs, fn func(k txn.Key, v [
 			// write was fenced in before this batch reached execution.
 			atomic.AddUint64(&c.st.rangeFenceSkips, 1)
 			continue
+		}
+		it := &local
+		if cached {
+			it = &c.sc.iters[p]
+			if c.sc.iterTag[p] != c.sc.iterEpoch {
+				it.Invalidate()
+				c.sc.iterTag[p] = c.sc.iterEpoch
+			}
 		}
 		part := c.e.parts[p]
 		ents := sb.ents[p][:0]
@@ -466,7 +557,14 @@ func (c *execCtx) readRange(r txn.KeyRange, sb *scanBufs, fn func(k txn.Key, v [
 		}
 	}
 	sb.srcs = srcs
-	return c.mergeScan(srcs, own, false, sb, fn)
+	err := c.mergeScan(srcs, own, false, sb, fn)
+	if cached {
+		// Released only after the merge: resolve() may recursively execute
+		// producers on this worker, and their scans must keep falling back
+		// to scan-local iterators while the fingers above are parked.
+		c.sc.itersBusy = false
+	}
+	return err
 }
 
 // stagedInRange collects the indices of nd.writes the body has already
@@ -559,8 +657,12 @@ func (c *execCtx) mergeScan(sources [][]rangeEntry, own []int, annotated bool,
 	}
 }
 
-// Write implements txn.Ctx, buffering v as the new value of k. The engine
-// takes ownership of v.
+// Write implements txn.Ctx, buffering v as the new value of k. The buffer
+// must stay unmodified until the transaction's Run returns (the staged
+// pointer may be read back by the transaction's own reads and scans);
+// install then copies it out — into the worker's payload arena, or a heap
+// slice under the ablations — so the caller may reuse v across
+// executions.
 func (c *execCtx) Write(k txn.Key, v []byte) error {
 	return c.stage(k, v, false)
 }

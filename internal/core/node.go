@@ -98,6 +98,12 @@ type submission struct {
 	remaining atomic.Int64
 	done      chan struct{}
 
+	// tick marks an idle-reclamation nudge rather than a real submission
+	// (see Engine.idleLoop): the sequencer answers it with an empty batch
+	// — pure lifecycle work — when the pipeline is drained, and discards
+	// it otherwise. Every other field is zero; nothing waits on done.
+	tick bool
+
 	// orig maps txns indices back to result slots when ExecuteBatch
 	// rejected some transactions before submission (duplicate write-set
 	// keys); nil means the identity mapping.

@@ -61,6 +61,14 @@ func newObsState(cfg *Config, maxExec int) *obsState {
 // whose obs.done increment reached ExecWorkers — after every node of the
 // batch is Complete, so reading nd.err below is ordered by the counter.
 func (e *Engine) obsRecordBatch(w int, b *batch, o *obsState) {
+	// Idle-reclamation ticks travel the pipeline as zero-node batches.
+	// They are housekeeping, not traffic: recording them would dilute the
+	// stage histograms with empty-batch latencies and flush real batches
+	// out of the flight ring whenever the engine sits idle. They surface
+	// through Stats().IdleTicks instead.
+	if len(b.nodes) == 0 {
+		return
+	}
 	end := o.now()
 	m := o.m
 	seq := b.obs.seq

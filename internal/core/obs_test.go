@@ -53,6 +53,9 @@ func TestObsStageTimeline(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Metrics = true
 	cfg.LogDir = t.TempDir()
+	// The exact-count assertions below need every sequenced batch to be a
+	// test submission; keep the idle ticker's empty batches out.
+	cfg.DisableIdleReap = true
 	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

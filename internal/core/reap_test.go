@@ -204,6 +204,10 @@ func TestAdaptiveReapConvergesFaster(t *testing.T) {
 		cfg.BatchSize = 1024 // compact delete phase: few in-flight sweeps
 		cfg.Capacity = 1 << 14
 		cfg.DisableAdaptiveReap = disableAdaptive
+		// Convergence must be governed by the sweep budget alone: idle
+		// ticks would reap for both arms while the loop sleeps and wash
+		// out the comparison.
+		cfg.DisableIdleReap = true
 		e, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)

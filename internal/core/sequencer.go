@@ -103,10 +103,19 @@ func (e *Engine) sequencer() {
 	nextBatch := e.seqBase + 1
 	cur := acquire(nextBatch)
 
+	// emit flushes cur unconditionally — including an empty batch, the
+	// idle-tick case: a zero-node batch still runs every phase's
+	// lifecycle (watermark advance, limbo release, reap sweep, trims)
+	// and that lifecycle is exactly what an idle tick is for. flush, the
+	// normal path, skips empties.
+	var emit func()
 	flush := func() {
 		if len(cur.nodes) == 0 {
 			return
 		}
+		emit()
+	}
+	emit = func() {
 		cur.limitTS = nextTS
 		e.batches.Add(1)
 		if o := e.obs; o != nil {
@@ -238,6 +247,13 @@ func (e *Engine) sequencer() {
 	}
 
 	for sub := range e.subCh {
+		if sub.tick {
+			// Idle-reclamation tick. cur is always empty at the outer
+			// receive (every path below flushes before looping back), so
+			// this emits a pure-lifecycle empty batch.
+			emit()
+			continue
+		}
 		enqueue(sub)
 		// Opportunistically drain whatever else is already queued, then
 		// flush the partial batch so waiting submitters make progress.
@@ -248,6 +264,10 @@ func (e *Engine) sequencer() {
 				if !ok {
 					flush()
 					return
+				}
+				if more.tick {
+					// Real work is queued with it; the tick is moot.
+					continue
 				}
 				enqueue(more)
 			default:

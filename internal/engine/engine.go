@@ -87,6 +87,16 @@ type Stats struct {
 	// high-watermark trim, so RSS tracks the steady-state working set
 	// after a burst.
 	PoolBlocksTrimmed uint64
+	// ValueSlabsRecycled counts payload slabs whose carved values all
+	// drained through the version-pool epoch gate and that returned to
+	// their execution worker's value arena for reuse.
+	ValueSlabsRecycled uint64
+	// ValueSlabsTrimmed counts surplus recycled payload slabs released
+	// back to the runtime by the value arenas' high-watermark trim.
+	ValueSlabsTrimmed uint64
+	// IdleTicks counts empty lifecycle batches a quiescent BOHM engine
+	// injected to finish reclamation (see Config.DisableIdleReap).
+	IdleTicks uint64
 	// TimestampFetches counts atomic fetch-and-increment operations on a
 	// global timestamp counter (Hekaton/SI; zero for BOHM by design).
 	TimestampFetches uint64
@@ -131,6 +141,9 @@ func (s Stats) Sub(o Stats) Stats {
 		KeysReaped:           s.KeysReaped - o.KeysReaped,
 		DirBytesReclaimed:    s.DirBytesReclaimed - o.DirBytesReclaimed,
 		PoolBlocksTrimmed:    s.PoolBlocksTrimmed - o.PoolBlocksTrimmed,
+		ValueSlabsRecycled:   s.ValueSlabsRecycled - o.ValueSlabsRecycled,
+		ValueSlabsTrimmed:    s.ValueSlabsTrimmed - o.ValueSlabsTrimmed,
+		IdleTicks:            s.IdleTicks - o.IdleTicks,
 		TimestampFetches:     s.TimestampFetches - o.TimestampFetches,
 		LogBatches:           s.LogBatches - o.LogBatches,
 		LogBytes:             s.LogBytes - o.LogBytes,

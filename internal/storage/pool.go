@@ -206,7 +206,14 @@ func (p *VersionPool) Release(safeSeq uint64) {
 				next := v.Prev()
 				// Drop the data reference now so record payloads become
 				// collectable the moment their version enters the free list,
-				// not when it is eventually reused.
+				// not when it is eventually reused. Arena payloads drop their
+				// slab reference here too — this is the epoch gate the
+				// ValueArena lifecycle rides: no reader can still be looking
+				// at the bytes once the version is releasable.
+				if s := v.slab; s != nil {
+					v.slab = nil
+					s.unref()
+				}
 				v.data = nil
 				v.Producer = nil
 				v.prev.Store(nil)

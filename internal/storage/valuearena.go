@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ValueArena is a per-execution-worker byte-slab allocator for version
+// payloads — the record-data counterpart of VersionPool. Versions got
+// their Hekaton-style lifecycle in the batch/version pooling work:
+// carved from slabs, retired through limbo under the engine's epoch
+// watermark, recycled. Payloads stayed a fresh caller-allocated []byte
+// per write. The arena closes that gap: the execution worker that
+// installs a transaction's write copies the written value into the
+// worker's current slab, so the engine owns payload memory and the
+// caller may reuse its write buffer the moment Write returns.
+//
+// Lifecycle. Each slab carries an atomic reference count: one reference
+// held by the arena while the slab is current, plus one per payload
+// carved from it. A payload's reference is dropped by VersionPool.Release
+// when its version leaves limbo — i.e. under exactly the watermark gate
+// (reader epochs + checkpoint pin + retireLag) that already proves no
+// reader can still be traversing the version, hence none can be reading
+// its bytes. When a slab's count reaches zero it returns to the owning
+// arena's free list for reuse. The count is atomic because the final
+// unref happens on a CC thread (Release runs in the CC lifecycle) while
+// carving happens on the arena's execution worker; everything else about
+// the arena is single-threaded by the worker-ownership contract.
+//
+// Oversized values (> valueOversize) bypass the arena and fall back to a
+// plain heap copy with no slab, so one huge record cannot pin a slab or
+// blow up slab residency; the runtime GC reclaims it with the version.
+type ValueArena struct {
+	cur *valueSlab
+	off int
+
+	// mu guards free: slabs are pushed by whichever thread performed the
+	// final unref and popped by the owning execution worker.
+	mu   sync.Mutex
+	free []*valueSlab
+
+	// served counts bytes carved since the last trim check; trim state
+	// mirrors VersionPool's demand-windowed high-watermark trim.
+	served int
+
+	// allocated/recycled/trimmed are observability counters: slabs newly
+	// allocated, slabs reused from the free list, and slabs dropped by
+	// MaybeTrim. Written by the owner (allocated, trimmed) or the
+	// unreffing thread (recycled), read concurrently by Stats.
+	allocated atomic.Uint64
+	recycled  atomic.Uint64
+	trimmed   atomic.Uint64
+}
+
+// valueSlab is one payload block. live starts at 1 (the arena's hold on
+// its current slab) and gains one per carved payload; unref pushes the
+// slab back to owner.free when the count drains to zero.
+type valueSlab struct {
+	buf   []byte
+	live  atomic.Int32
+	owner *ValueArena
+}
+
+const (
+	// valueSlabSize is the payload block size. 64 KiB amortizes one slab
+	// allocation over hundreds of typical records while staying small
+	// enough that a retiring slab returns promptly.
+	valueSlabSize = 64 << 10
+	// valueOversize is the largest payload served from a slab; larger
+	// values heap-allocate with no slab reference.
+	valueOversize = 8 << 10
+	// valueTrimWindow is the bytes-served window between trim checks,
+	// sized so a steady workload's churn dominates the demand signal
+	// (mirroring VersionPool's trimCheckEvery releases).
+	valueTrimWindow = 64 * valueSlabSize
+)
+
+// NewValueArena creates an empty arena.
+func NewValueArena() *ValueArena {
+	return &ValueArena{}
+}
+
+// incRef adds one payload reference to the slab; nil-safe for heap
+// fallbacks and loaded versions.
+func (s *valueSlab) incRef() {
+	if s != nil {
+		s.live.Add(1)
+	}
+}
+
+// unref drops one reference; the thread that drains the count recycles
+// the slab into its owner's free list. nil-safe.
+func (s *valueSlab) unref() {
+	if s == nil {
+		return
+	}
+	if s.live.Add(-1) == 0 {
+		a := s.owner
+		a.mu.Lock()
+		a.free = append(a.free, s)
+		a.mu.Unlock()
+		a.recycled.Add(1)
+	}
+}
+
+// seal drops the arena's own reference on the current slab (making the
+// slab reclaimable once its carved payloads drain) and leaves the arena
+// ready to start a fresh one on the next carve.
+func (a *ValueArena) seal() {
+	if a.cur != nil {
+		a.cur.unref()
+		a.cur = nil
+		a.off = 0
+	}
+}
+
+// next installs a fresh current slab: recycled when one is free, newly
+// allocated otherwise.
+func (a *ValueArena) next() {
+	a.mu.Lock()
+	if n := len(a.free); n > 0 {
+		s := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		a.mu.Unlock()
+		s.live.Store(1)
+		a.cur, a.off = s, 0
+		return
+	}
+	a.mu.Unlock()
+	s := &valueSlab{buf: make([]byte, valueSlabSize), owner: a}
+	s.live.Store(1)
+	a.allocated.Add(1)
+	a.cur, a.off = s, 0
+}
+
+// carve copies data into arena memory and returns the stable copy plus
+// the slab holding it (nil for the oversize heap fallback). The returned
+// slab already carries the payload's reference. Owner-thread only.
+func (a *ValueArena) carve(data []byte) ([]byte, *valueSlab) {
+	n := len(data)
+	a.served += n
+	if n > valueOversize {
+		out := make([]byte, n)
+		copy(out, data)
+		return out, nil
+	}
+	if a.cur == nil || a.off+n > len(a.cur.buf) {
+		a.seal()
+		a.next()
+	}
+	out := a.cur.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	copy(out, data)
+	a.cur.live.Add(1)
+	return out, a.cur
+}
+
+// MaybeTrim runs the demand-windowed high-watermark trim: once enough
+// bytes have been carved since the last check, the free list is capped
+// at the window's demand (in slabs, plus one of slack) and the surplus
+// dropped, so a burst's slabs return to the runtime as their payloads
+// drain instead of parking forever. Owner-thread only; called once per
+// executed batch.
+func (a *ValueArena) MaybeTrim() {
+	if a.served < valueTrimWindow {
+		return
+	}
+	keep := a.served/valueSlabSize + 1
+	a.served = 0
+	a.mu.Lock()
+	surplus := len(a.free) - keep
+	if surplus <= 0 {
+		a.mu.Unlock()
+		return
+	}
+	clear(a.free[len(a.free)-surplus:])
+	a.free = a.free[:len(a.free)-surplus]
+	if cap(a.free)-len(a.free) >= 2*keep {
+		shrunk := make([]*valueSlab, len(a.free), len(a.free)+keep)
+		copy(shrunk, a.free)
+		a.free = shrunk
+	}
+	a.mu.Unlock()
+	a.trimmed.Add(uint64(surplus))
+}
+
+// Stats returns slabs allocated, slabs recycled through the free list,
+// and slabs dropped by the trim. Safe from any thread.
+func (a *ValueArena) Stats() (allocated, recycled, trimmed uint64) {
+	return a.allocated.Load(), a.recycled.Load(), a.trimmed.Load()
+}
+
+// ValueSlabBytes is the slab size, exported for bytes-recycled
+// accounting.
+const ValueSlabBytes = uint64(valueSlabSize)

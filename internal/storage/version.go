@@ -42,6 +42,11 @@ type Version struct {
 
 	data      []byte
 	tombstone bool
+	// slab is the ValueArena block holding data, nil for heap-allocated
+	// payloads (loads, oversize values, arena-disabled engines). Written
+	// with data under the same ready ordering; the reference it carries
+	// is dropped by VersionPool.Release under the epoch gate.
+	slab *valueSlab
 }
 
 // NewLoadedVersion builds a ready version holding initially loaded data,
@@ -85,6 +90,47 @@ func (v *Version) Ready() bool { return v.ready.Load() == 1 }
 func (v *Version) Install(data []byte, tombstone bool) {
 	v.data = data
 	v.tombstone = tombstone
+	v.ready.Store(1)
+}
+
+// InstallValue publishes a copy of data as the version's payload: into
+// a's current slab when a is non-nil (the copy carries a slab reference
+// released with the version), a fresh heap slice otherwise. Either way
+// the engine owns the installed bytes and the caller's buffer is free
+// for reuse the moment this returns. Tombstones and nil data install no
+// payload at all.
+func (v *Version) InstallValue(a *ValueArena, data []byte, tombstone bool) {
+	if tombstone || data == nil {
+		v.data = nil
+		v.tombstone = tombstone
+		v.ready.Store(1)
+		return
+	}
+	if a != nil {
+		v.data, v.slab = a.carve(data)
+	} else {
+		out := make([]byte, len(data))
+		copy(out, data)
+		v.data = out
+	}
+	v.tombstone = tombstone
+	v.ready.Store(1)
+}
+
+// InstallShared publishes data adopted from src — the copy-forward case,
+// where an aborted or unwritten slot re-exposes its predecessor's
+// payload. No copy is made: the version shares src's bytes and takes its
+// own reference on src's slab (nil-safe), so the payload outlives
+// whichever of the two versions retires last.
+func (v *Version) InstallShared(src *Version, data []byte, tombstone bool) {
+	var s *valueSlab
+	if src != nil {
+		s = src.slab
+	}
+	s.incRef()
+	v.data = data
+	v.tombstone = tombstone
+	v.slab = s
 	v.ready.Store(1)
 }
 

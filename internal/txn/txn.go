@@ -85,9 +85,16 @@ func (k Key) Hash() uint64 {
 //     time. The returned slice is owned by the engine and MUST NOT be
 //     modified or retained beyond the call to Run.
 //   - Write installs a new value for a key that appears in the
-//     transaction's declared write-set. The engine takes ownership of the
-//     slice; the caller must not modify it afterwards. Writing a key
-//     outside the declared write-set returns an error from Run.
+//     transaction's declared write-set. The slice must stay unmodified
+//     until the submitting ExecuteBatch call returns; engines that copy
+//     the value out at install (BOHM does, into its payload arena or the
+//     heap) then release it, so a transaction instance may reuse one
+//     scratch buffer per written key across executions (see
+//     txn.IncrementedInto). Engines that instead retain the slice as the
+//     stored value rely on the harness never re-executing a committed
+//     instance, which the fresh-transactions-per-call discipline of this
+//     repository's workloads preserves. Writing a key outside the
+//     declared write-set returns an error from Run.
 //   - Delete removes the record (installs a tombstone in multiversion
 //     engines). Like Write, the key must be in the declared write-set.
 //   - ReadRange calls fn once per live record in r, in ascending key

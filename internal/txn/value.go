@@ -47,3 +47,28 @@ func Incremented(v []byte, delta uint64) []byte {
 	PutU64(out, U64(out)+delta)
 	return out
 }
+
+// IncrementedInto is the scratch-buffer form of Incremented: the
+// incremented copy of v is written into dst — grown only when too small —
+// and the slice holding it is returned. dst must not alias v. Against an
+// engine whose Write copies the staged value out before returning results
+// (BOHM's install path does, arena or not), a transaction holding one
+// scratch buffer per written key reaches steady-state zero allocations
+// per execution; see the Ctx.Write buffer-reuse contract.
+func IncrementedInto(dst, v []byte, delta uint64) []byte {
+	if len(v) < 8 {
+		if cap(dst) < 8 {
+			dst = make([]byte, 8)
+		}
+		dst = dst[:8]
+		PutU64(dst, delta)
+		return dst
+	}
+	if cap(dst) < len(v) {
+		dst = make([]byte, len(v))
+	}
+	dst = dst[:len(v)]
+	copy(dst, v)
+	PutU64(dst, U64(dst)+delta)
+	return dst
+}

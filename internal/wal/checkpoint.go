@@ -102,15 +102,22 @@ func WriteCheckpoint(dir string, watermark uint64, scan func(emit func(k txn.Key
 	}
 
 	var count uint64
-	var rec []byte
+	// Record header: tag(1) + table(4) + id(8) + value length(4). The value
+	// is written straight from the engine's buffer — for arena-held
+	// payloads that is the slab itself — so checkpointing never re-copies
+	// what the store already owns; bufio does the batching and the
+	// MultiWriter keeps the CRC identical to the old accumulate-then-write
+	// encoding.
+	var hdr17 [17]byte
+	hdr17[0] = 1
 	emit := func(k txn.Key, v []byte) error {
-		rec = rec[:0]
-		rec = append(rec, 1)
-		rec = appendU32(rec, k.Table)
-		rec = appendU64(rec, k.ID)
-		rec = appendU32(rec, uint32(len(v)))
-		rec = append(rec, v...)
-		if _, err := bw.Write(rec); err != nil {
+		binary.LittleEndian.PutUint32(hdr17[1:], k.Table)
+		binary.LittleEndian.PutUint64(hdr17[5:], k.ID)
+		binary.LittleEndian.PutUint32(hdr17[13:], uint32(len(v)))
+		if _, err := bw.Write(hdr17[:]); err != nil {
+			return fmt.Errorf("wal: writing checkpoint record: %w", err)
+		}
+		if _, err := bw.Write(v); err != nil {
 			return fmt.Errorf("wal: writing checkpoint record: %w", err)
 		}
 		count++

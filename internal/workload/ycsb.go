@@ -38,9 +38,16 @@ func (y YCSB) LoadInto(e engine.Engine) error {
 // paper's 10RMW transaction (§4.2.1) with len(Keys) == 10.
 type RMWTxn struct {
 	Keys []txn.Key
-	// Size is the record size; the new value written is a fresh buffer of
-	// this size, mirroring the paper's full-record writes.
+	// Size is the record size; the value written is a full record of this
+	// size, mirroring the paper's full-record writes.
 	Size int
+	// scratch backs the staged values — one Size-byte region per key, so
+	// every written key's buffer stays live until the engine installs it —
+	// allocated on first Run and reused by every later execution of this
+	// instance. Safe because engines either copy values out at install
+	// (BOHM) or never re-execute a committed instance (the harness feeds
+	// baselines fresh instances per call); see the Ctx.Write contract.
+	scratch []byte
 }
 
 // ReadSet implements txn.Txn.
@@ -54,13 +61,17 @@ func (t *RMWTxn) RangeSet() []txn.KeyRange { return nil }
 
 // Run implements txn.Txn.
 func (t *RMWTxn) Run(ctx txn.Ctx) error {
-	for _, k := range t.Keys {
+	if len(t.scratch) < len(t.Keys)*t.Size {
+		t.scratch = make([]byte, len(t.Keys)*t.Size)
+	}
+	for i, k := range t.Keys {
 		v, err := ctx.Read(k)
 		if err != nil {
 			return err
 		}
-		nv := make([]byte, t.Size)
-		copy(nv, v)
+		nv := t.scratch[i*t.Size : (i+1)*t.Size : (i+1)*t.Size]
+		n := copy(nv, v)
+		clear(nv[n:]) // short records pad with zeros, as a fresh buffer would
 		txn.PutU64(nv, txn.U64(nv)+1)
 		if err := ctx.Write(k, nv); err != nil {
 			return err
@@ -78,6 +89,9 @@ type MixedTxn struct {
 	ReadKeys []txn.Key
 	Size     int
 	Sum      uint64
+	// scratch backs the staged RMW values, one region per key; same
+	// lifetime contract as RMWTxn.scratch.
+	scratch []byte
 }
 
 // ReadSet implements txn.Txn: both the RMW keys and the read-only keys.
@@ -104,13 +118,17 @@ func (t *MixedTxn) Run(ctx txn.Ctx) error {
 		}
 		sum += txn.U64(v)
 	}
-	for _, k := range t.RMWKeys {
+	if len(t.scratch) < len(t.RMWKeys)*t.Size {
+		t.scratch = make([]byte, len(t.RMWKeys)*t.Size)
+	}
+	for i, k := range t.RMWKeys {
 		v, err := ctx.Read(k)
 		if err != nil {
 			return err
 		}
-		nv := make([]byte, t.Size)
-		copy(nv, v)
+		nv := t.scratch[i*t.Size : (i+1)*t.Size : (i+1)*t.Size]
+		n := copy(nv, v)
+		clear(nv[n:])
 		txn.PutU64(nv, txn.U64(nv)+1)
 		if err := ctx.Write(k, nv); err != nil {
 			return err
