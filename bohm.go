@@ -244,6 +244,32 @@ const (
 // transaction that was not built through a Registry.
 var ErrNotLoggable = core.ErrNotLoggable
 
+// ErrDurabilityLost is reported (wrapped with the storage error) for
+// every transaction refused because the engine is LogDegraded: the
+// command log failed beyond its repair budget, so new work cannot be
+// made durable. Previously acknowledged writes remain readable. See
+// Engine.Health.
+var ErrDurabilityLost = core.ErrDurabilityLost
+
+// Health is the BOHM engine's position on the durability degradation
+// ladder, reported by Engine.Health: Healthy → LogDegraded (storage
+// failed beyond Config.LogRetry; writes fail fast with
+// ErrDurabilityLost while reads keep serving the last durable snapshot)
+// → Closed.
+type Health = core.Health
+
+// The health ladder's rungs.
+const (
+	Healthy     = core.Healthy
+	LogDegraded = core.LogDegraded
+	Closed      = core.Closed
+)
+
+// RetryPolicy bounds the durability subsystem's retry/backoff loops
+// (Config.LogRetry for write-hole repair of the command log,
+// Config.CheckpointRetry for checkpoint attempts).
+type RetryPolicy = core.RetryPolicy
+
 // Recover rebuilds a BOHM engine from the durable state in cfg.LogDir:
 // newest checkpoint plus deterministic replay of the logged batches above
 // it. On an empty directory it degenerates to New, so applications can

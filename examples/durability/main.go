@@ -1,4 +1,4 @@
-// Durability: write, crash, recover, verify.
+// Durability: write, crash, recover, verify — then survive a bad disk.
 //
 // The example runs itself twice. The parent spawns a child process that
 // creates a durable BOHM engine, bulk-loads account balances, seals them
@@ -7,6 +7,13 @@
 // only the command log and checkpoints behind. The parent then recovers
 // an engine from the log directory and verifies every balance against an
 // in-process simulation of the same transfer sequence.
+//
+// A second phase demonstrates the storage-fault ladder with an injected
+// filesystem (Config.FS): transient fsync failures are healed in place by
+// the log's write-hole repair with no client-visible errors, while a
+// persistent failure degrades the engine to a read-only mode that fails
+// writes fast with ErrDurabilityLost yet keeps serving every acknowledged
+// balance — until a recovery from the healed disk makes it whole again.
 //
 //	go run ./examples/durability
 package main
@@ -19,8 +26,10 @@ import (
 	"math/rand"
 	"os"
 	"os/exec"
+	"time"
 
 	"bohm"
+	"bohm/internal/vfs"
 )
 
 const (
@@ -215,10 +224,114 @@ func parent() {
 		s.Committed-1, s.Checkpoints)
 }
 
+// faultDemo drives a fresh engine over an injected filesystem through
+// both rungs of the degradation ladder.
+func faultDemo() {
+	dir, err := os.MkdirTemp("", "bohm-faults-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fsys := vfs.NewFaultFS(nil) // wraps the OS filesystem
+	cfg := config(dir)
+	cfg.FS = fsys
+	cfg.LogRetry = bohm.RetryPolicy{Attempts: 4, Backoff: time.Millisecond}
+
+	reg := registry()
+	eng, err := bohm.Recover(cfg, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id := uint64(0); id < accounts; id++ {
+		if err := eng.Load(acct(id), bohm.NewValue(8, initialUnits)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := eng.CheckpointNow(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Rung 1: two fsync faults that drop the dirty pages. The write-hole
+	// repair truncates to the durable mark, rewrites the retained frames
+	// into a fresh segment and retries — clients never see an error.
+	fsys.AddFault(vfs.Fault{Op: vfs.OpSync, Path: "wal-", After: 2, Count: 2, DropUnsynced: true})
+	for i := 0; i < 10; i++ {
+		for j, err := range eng.ExecuteBatch(transferBatch(reg, i)) {
+			if err != nil {
+				log.Fatalf("transient fault leaked to txn %d: %v", j, err)
+			}
+		}
+	}
+	h, _ := eng.Health()
+	fmt.Printf("faults: healed %d injected fsync failures invisibly (%d log repairs, health=%v)\n",
+		fsys.Injected(), eng.Stats().LogRetries, h)
+
+	// Rung 2: the disk stops syncing for good. Repair exhausts its
+	// budget, the engine steps down, and new writes fail fast — but every
+	// balance acknowledged before the fault is still served.
+	fsys.AddFault(vfs.Fault{Op: vfs.OpSync, Path: "wal-", Count: -1, DropUnsynced: true})
+	degraded := false
+	for i := 10; i < 40 && !degraded; i++ {
+		for _, err := range eng.ExecuteBatch(transferBatch(reg, i)) {
+			if errors.Is(err, bohm.ErrDurabilityLost) {
+				degraded = true
+				break
+			} else if err != nil {
+				log.Fatalf("unexpected error class: %v", err)
+			}
+		}
+	}
+	if !degraded {
+		log.Fatal("persistent fault never degraded the engine")
+	}
+	h, cause := eng.Health()
+	v, err := eng.Read(acct(0), nil)
+	if err != nil {
+		log.Fatalf("degraded read failed: %v", err)
+	}
+	fmt.Printf("faults: persistent failure degraded the engine (health=%v, cause: %v)\n", h, cause)
+	fmt.Printf("faults: degraded engine still serves reads from the durable snapshot (account 0 = %d)\n", bohm.U64(v))
+
+	// The disk comes back: recover from the healed directory. Everything
+	// acknowledged survives; the transactions that were refused with
+	// ErrDurabilityLost were never acknowledged and owe nothing.
+	fsys.Clear()
+	eng.Kill()
+	eng, err = bohm.Recover(cfg, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	total := uint64(0)
+	for id := uint64(0); id < accounts; id++ {
+		v, err := eng.Read(acct(id), nil)
+		if err != nil {
+			log.Fatalf("post-recovery read: %v", err)
+		}
+		total += bohm.U64(v)
+	}
+	if total != accounts*initialUnits {
+		log.Fatalf("recovered total %d not conserved", total)
+	}
+	h, _ = eng.Health()
+	fmt.Printf("faults: recovered from the healed disk, %d accounts conserved (total %d, health=%v)\n",
+		accounts, total, h)
+}
+
+func transferBatch(reg *bohm.Registry, i int) []bohm.Txn {
+	var ts []bohm.Txn
+	for _, p := range pairs(i) {
+		ts = append(ts, transferCall(reg, p[0], p[1]))
+	}
+	return ts
+}
+
 func main() {
 	if dir := os.Getenv(childEnv); dir != "" {
 		child(dir)
 		return
 	}
 	parent()
+	faultDemo()
 }

@@ -6,6 +6,7 @@ import (
 
 	"bohm/internal/core"
 	"bohm/internal/txn"
+	"bohm/internal/vfs"
 	"bohm/internal/wal"
 	"bohm/internal/workload"
 )
@@ -47,6 +48,23 @@ func AblationDurability(s Scale) []*Table {
 			cfg.CheckpointEveryBatches = row.ckpt
 		}
 		t.AddRow(row.label, measureDurability(s, cfg, row.durable))
+	}
+
+	// Fault-injected row: the same sync=batch configuration on a disk
+	// that fails sixteen fsyncs (dropping the dirty pages each time)
+	// across the run. Every fault is healed by the write-hole repair —
+	// clients see no errors — and the row prices that repair work
+	// against the fault-free sync=batch row above.
+	{
+		cfg := base
+		cfg.SyncPolicy = wal.SyncEveryBatch
+		cfg.LogRetry = core.RetryPolicy{Attempts: 5, Backoff: 500 * time.Microsecond}
+		fsys := vfs.NewFaultFS(nil)
+		for i := 0; i < 16; i++ {
+			fsys.AddFault(vfs.Fault{Op: vfs.OpSync, Path: "wal-", After: 25 + i*50, Count: 1, DropUnsynced: true})
+		}
+		cfg.FS = fsys
+		t.AddRow("log sync=batch, 16 healed fsync faults", measureDurability(s, cfg, true))
 	}
 	return []*Table{t}
 }

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"bohm/internal/txn"
+	"bohm/internal/vfs"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// The degradation-ladder tests drive the durable engine against an
+// injected filesystem (vfs.FaultFS) and check the two contractual
+// outcomes of a storage fault:
+//
+//   - transient: the write-hole repair heals the log in place, every
+//     ExecuteBatch call acknowledges normally, and the only trace is a
+//     non-zero Stats.LogRetries;
+//   - persistent: repair exhausts its budget, the engine steps down to
+//     LogDegraded — new pipelined transactions fail fast with
+//     ErrDurabilityLost while reads keep serving the last durable
+//     snapshot — and a recovery from the healed directory reproduces
+//     every acknowledged write.
+
+// mutOp is one operation of the fault workload, kept as data so the test
+// can replay it against an in-memory model map. Semantics mirror the
+// mutProc registry procedure exactly (see durRegistry).
+type mutOp struct {
+	id, delta uint64
+	op        byte
+}
+
+// randOps draws n operations over the shared key space from rng.
+func randOps(rng interface{ Intn(int) int }, n int) []mutOp {
+	ops := make([]mutOp, n)
+	for i := range ops {
+		ops[i] = mutOp{
+			id:    uint64(rng.Intn(mutKeys + 16)),
+			delta: uint64(rng.Intn(1000)) + 1,
+			op:    opIncrement,
+		}
+		switch rng.Intn(10) {
+		case 0:
+			ops[i].op = opDelete
+		case 1:
+			ops[i].op = opAbort
+		}
+	}
+	return ops
+}
+
+func opsTxns(t testing.TB, reg *txn.Registry, ops []mutOp) []txn.Txn {
+	t.Helper()
+	ts := make([]txn.Txn, len(ops))
+	for i, o := range ops {
+		ts[i] = mutCall(t, reg, o.id, o.delta, o.op)
+	}
+	return ts
+}
+
+// applyOps folds ops[:n] into the model with the engine's semantics: an
+// increment writes cur*31+delta (missing key reads as zero), a delete
+// removes the key, an abort is a no-op.
+func applyOps(model map[txn.Key]uint64, ops []mutOp, n int) {
+	for _, o := range ops[:n] {
+		k := key(o.id)
+		switch o.op {
+		case opDelete:
+			delete(model, k)
+		case opAbort:
+		default:
+			model[k] = model[k]*31 + o.delta
+		}
+	}
+}
+
+// initialModel is the state loadInitial installs.
+func initialModel() map[txn.Key]uint64 {
+	m := make(map[txn.Key]uint64, mutKeys)
+	for id := uint64(0); id < mutKeys; id++ {
+		m[key(id)] = 7 + id
+	}
+	return m
+}
+
+func cloneModel(m map[txn.Key]uint64) map[txn.Key]uint64 {
+	c := make(map[txn.Key]uint64, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func equalStates(a, b map[txn.Key]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func isDurabilityErr(err error) bool { return errors.Is(err, ErrDurabilityLost) }
+
+// classifyCall buckets one ExecuteBatch result slice: acked means every
+// transaction either committed or user-aborted (the call is durably
+// acknowledged); durability means at least one slot carries
+// ErrDurabilityLost (nothing in the call is acknowledged); any other
+// error is returned for the caller to fail on.
+func classifyCall(res []error) (acked, durability bool, other error) {
+	acked = true
+	for _, err := range res {
+		switch {
+		case err == nil || errors.Is(err, txn.ErrAbort):
+		case isDurabilityErr(err):
+			acked, durability = false, true
+		default:
+			acked, other = false, err
+		}
+	}
+	return acked, durability, other
+}
+
+// degradedConfig wires a FaultFS and a tight repair budget into the
+// standard durable test config.
+func degradedConfig(dir string, fs vfs.FS) Config {
+	cfg := durableConfig(dir)
+	cfg.FS = fs
+	cfg.LogRetry = RetryPolicy{Attempts: 2, Backoff: 200 * time.Microsecond}
+	return cfg
+}
+
+// TestTransientLogFaultHealsInvisibly is the first acceptance schedule: a
+// bounded run of fsync faults that drop the unsynced pages must be healed
+// entirely inside the write-hole repair — zero client-visible errors,
+// Stats.LogRetries > 0 — and a later crash+recovery must reproduce the
+// exact reference state.
+func TestTransientLogFaultHealsInvisibly(t *testing.T) {
+	const n = 12
+	wantState, _, _ := runReference(t, n)
+
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil)
+	cfg := durableConfig(dir)
+	cfg.FS = fsys
+	cfg.LogRetry = RetryPolicy{Attempts: 5, Backoff: 200 * time.Microsecond}
+	reg := durRegistry()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadInitial(t, e)
+	if err := e.CheckpointNow(); err != nil {
+		t.Fatalf("sealing loads: %v", err)
+	}
+	// Two fsync faults on the live segment, dirty pages dropped: the
+	// second typically lands inside the first repair's own sync, so the
+	// schedule exercises retry-within-repair as well.
+	fsys.AddFault(vfs.Fault{Op: vfs.OpSync, Path: "wal-", After: 3, Count: 2, DropUnsynced: true})
+
+	for i := 0; i < n; i++ {
+		res := e.ExecuteBatch(workloadBatch(t, reg, i))
+		for j, err := range res {
+			if err != nil && !errors.Is(err, txn.ErrAbort) {
+				t.Fatalf("call %d txn %d: client-visible error through a transient fault: %v", i, j, err)
+			}
+		}
+	}
+	if fsys.Injected() == 0 {
+		t.Fatal("fault schedule never fired; schedule is miscalibrated")
+	}
+	if st := e.Stats(); st.LogRetries == 0 {
+		t.Fatal("transient fault healed without any recorded log retry")
+	}
+	if h, cause := e.Health(); h != Healthy || cause != nil {
+		t.Fatalf("engine left Healthy after a healed fault: %v (%v)", h, cause)
+	}
+	e.Kill()
+
+	fsys.Clear()
+	r, err := Recover(degradedConfig(dir, fsys), reg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer r.Close()
+	sameState(t, "recovered after healed faults", dumpState(r), wantState)
+}
+
+// TestPersistentLogFaultDegrades is the second acceptance schedule: a
+// persistent fsync fault exhausts the repair budget and the engine must
+// walk the whole ladder — ErrDurabilityLost on the failing call, fast
+// rejection of later writes, reads frozen at the durable snapshot,
+// checkpoints refused — and recovery from the healed directory must land
+// on an acknowledged-prefix state.
+func TestPersistentLogFaultDegrades(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil)
+	reg := durRegistry()
+	e, err := New(degradedConfig(dir, fsys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadInitial(t, e)
+	if err := e.CheckpointNow(); err != nil {
+		t.Fatalf("sealing loads: %v", err)
+	}
+	fsys.AddFault(vfs.Fault{Op: vfs.OpSync, Path: "wal-", After: 6, Count: -1, DropUnsynced: true})
+
+	rng := newTestRand(1)
+	model := initialModel()
+	var failOps []mutOp
+	for i := 0; i < 60; i++ {
+		ops := randOps(rng, 12)
+		acked, durability, other := classifyCall(e.ExecuteBatch(opsTxns(t, reg, ops)))
+		if other != nil {
+			t.Fatalf("call %d: unexpected error class: %v", i, other)
+		}
+		if durability {
+			failOps = ops
+			break
+		}
+		if !acked {
+			t.Fatalf("call %d: neither acknowledged nor durability-failed", i)
+		}
+		applyOps(model, ops, len(ops))
+	}
+	if failOps == nil {
+		t.Fatal("persistent fsync fault never surfaced ErrDurabilityLost")
+	}
+
+	if h, cause := e.Health(); h != LogDegraded || cause == nil {
+		t.Fatalf("Health = %v (cause %v), want LogDegraded with a cause", h, cause)
+	}
+	st := e.Stats()
+	if st.LogRetries == 0 {
+		t.Error("degradation without any recorded repair attempt")
+	}
+	if st.DegradedSince == 0 {
+		t.Error("Stats.DegradedSince not stamped")
+	}
+
+	// Later writes are refused fast, before execution.
+	probe := e.ExecuteBatch(opsTxns(t, reg, randOps(rng, 3)))
+	for i, err := range probe {
+		if !isDurabilityErr(err) {
+			t.Fatalf("degraded ExecuteBatch slot %d = %v, want ErrDurabilityLost", i, err)
+		}
+	}
+
+	// Checkpoints are refused: they would durably capture executed but
+	// never-logged batches.
+	if err := e.CheckpointNow(); !isDurabilityErr(err) {
+		t.Fatalf("degraded CheckpointNow = %v, want ErrDurabilityLost", err)
+	}
+
+	// Reads serve every write acknowledged before the fault. Keys the
+	// failing call touched are indeterminate (its transactions may or may
+	// not be on durable storage) and are excluded.
+	tainted := make(map[txn.Key]bool)
+	for _, o := range failOps {
+		tainted[key(o.id)] = true
+	}
+	checkDegradedReads(t, e, model, tainted)
+
+	// The diverted read-only path serves the same frozen snapshot.
+	var roKey txn.Key
+	var roWant uint64
+	found := false
+	for k, v := range model {
+		if !tainted[k] {
+			roKey, roWant, found = k, v, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("workload left no untainted key to read")
+	}
+	var roGot uint64
+	ro := &txn.Proc{Reads: []txn.Key{roKey}, Body: func(c txn.Ctx) error {
+		v, err := c.Read(roKey)
+		if err != nil {
+			return err
+		}
+		roGot = txn.U64(v)
+		return nil
+	}}
+	if res := e.ExecuteReadOnly([]txn.Txn{ro}); res[0] != nil {
+		t.Fatalf("degraded ExecuteReadOnly: %v", res[0])
+	}
+	if roGot != roWant {
+		t.Fatalf("degraded ExecuteReadOnly read %d, want %d", roGot, roWant)
+	}
+
+	e.Kill()
+	if h, _ := e.Health(); h != Closed {
+		t.Fatalf("Health after Kill = %v, want Closed", h)
+	}
+
+	// Recovery from the healed directory: the state must be the
+	// acknowledged model plus at most a prefix of the failing call's
+	// internal batches (those frames may have reached the disk before the
+	// fault; their clients were told ErrDurabilityLost, which promises
+	// nothing either way).
+	fsys.Clear()
+	r, err := Recover(degradedConfig(dir, fsys), reg)
+	if err != nil {
+		t.Fatalf("Recover after heal: %v", err)
+	}
+	defer r.Close()
+	got := dumpState(r)
+	if !matchesAnyPrefix(got, model, failOps, 8) {
+		t.Fatalf("recovered state matches no acknowledged-prefix candidate")
+	}
+}
+
+// checkDegradedReads asserts the inline Read API serves exactly the
+// acknowledged model (untainted keys only): present keys with their
+// values, deleted/absent keys with ErrNotFound.
+func checkDegradedReads(t *testing.T, e *Engine, model map[txn.Key]uint64, tainted map[txn.Key]bool) {
+	t.Helper()
+	for id := uint64(0); id < mutKeys+16; id++ {
+		k := key(id)
+		if tainted[k] {
+			continue
+		}
+		v, err := e.Read(k, nil)
+		want, present := model[k]
+		switch {
+		case present && err != nil:
+			t.Fatalf("degraded Read(%d): %v, want value %d", id, err, want)
+		case present && txn.U64(v) != want:
+			t.Fatalf("degraded Read(%d) = %d, want %d", id, txn.U64(v), want)
+		case !present && !errors.Is(err, txn.ErrNotFound):
+			t.Fatalf("degraded Read(%d) = (%v, %v), want ErrNotFound", id, v, err)
+		}
+	}
+}
+
+// matchesAnyPrefix reports whether got equals the acked model extended by
+// some internal-batch prefix of failOps (boundaries at multiples of
+// batchSize, plus the full call). failOps nil means got must equal the
+// model exactly.
+func matchesAnyPrefix(got, model map[txn.Key]uint64, failOps []mutOp, batchSize int) bool {
+	if failOps == nil {
+		return equalStates(got, model)
+	}
+	for n := 0; ; n += batchSize {
+		if n > len(failOps) {
+			n = len(failOps)
+		}
+		cand := cloneModel(model)
+		applyOps(cand, failOps, n)
+		if equalStates(got, cand) {
+			return true
+		}
+		if n == len(failOps) {
+			return false
+		}
+	}
+}
+
+// TestDegradedMetricsExposition: the health gauge and the new counters
+// appear in the Prometheus text exposition of a degraded engine.
+func TestDegradedMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil)
+	cfg := degradedConfig(dir, fsys)
+	cfg.Metrics = true
+	reg := durRegistry()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	loadInitial(t, e)
+	fsys.AddFault(vfs.Fault{Op: vfs.OpSync, Path: "wal-", Count: -1})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res := e.ExecuteBatch(opsTxns(t, reg, randOps(newTestRand(2), 4)))
+		if _, durability, _ := classifyCall(res); durability {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("engine never degraded")
+		}
+	}
+
+	var buf bytes.Buffer
+	e.writeMetrics(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		"bohm_engine_health 1",
+		"bohm_log_retries_total",
+		"bohm_checkpoint_retries_total",
+		"bohm_degraded_since_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestDegradedEngineCloseClean: Close on a degraded engine (poisoned
+// writer, failed syncs) must terminate promptly and land on Closed.
+func TestDegradedEngineCloseClean(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil)
+	reg := durRegistry()
+	e, err := New(degradedConfig(dir, fsys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadInitial(t, e)
+	fsys.AddFault(vfs.Fault{Op: vfs.OpWrite, Path: "wal-", Count: -1})
+
+	rng := newTestRand(3)
+	for i := 0; i < 60; i++ {
+		if _, durability, _ := classifyCall(e.ExecuteBatch(opsTxns(t, reg, randOps(rng, 4)))); durability {
+			break
+		}
+	}
+	done := make(chan struct{})
+	go func() { e.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on a degraded engine")
+	}
+	if h, _ := e.Health(); h != Closed {
+		t.Fatalf("Health after Close = %v, want Closed", h)
+	}
+}
+
+// TestCheckpointRetryHealsTransientFault: a single fault on the
+// checkpoint temp file must be absorbed by the checkpoint retry loop —
+// CheckpointNow succeeds and Stats.CheckpointRetries records the rerun.
+func TestCheckpointRetryHealsTransientFault(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil)
+	cfg := degradedConfig(dir, fsys)
+	cfg.CheckpointRetry = RetryPolicy{Attempts: 3, Backoff: 200 * time.Microsecond}
+	reg := durRegistry()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	loadInitial(t, e)
+	e.ExecuteBatch(workloadBatch(t, reg, 0))
+
+	fsys.AddFault(vfs.Fault{Op: vfs.OpCreate, Path: "ckpt", Count: 1})
+	if err := e.CheckpointNow(); err != nil {
+		t.Fatalf("CheckpointNow through a transient fault: %v", err)
+	}
+	if st := e.Stats(); st.CheckpointRetries == 0 {
+		t.Fatal("checkpoint healed without a recorded retry")
+	}
+	if fsys.Injected() == 0 {
+		t.Fatal("checkpoint fault never fired")
+	}
+}

@@ -44,6 +44,8 @@ func (e *Engine) startDurability() error {
 		Policy:       e.cfg.SyncPolicy,
 		Interval:     e.cfg.SyncInterval,
 		SegmentBytes: e.cfg.SegmentBytes,
+		FS:           e.cfg.fs(),
+		Retry:        e.cfg.LogRetry,
 	})
 	if err != nil {
 		return err
@@ -64,15 +66,16 @@ func (e *Engine) startDurability() error {
 }
 
 // logBatch encodes one sequencer batch as a wal record and appends it.
-// Called from the sequencer goroutine only. Append or sync errors poison
-// the writer; they surface on the acknowledgement path as non-durable
-// commits rather than crashing the pipeline.
+// Called from the sequencer goroutine only. An error means the writer
+// exhausted its repair budget and is poisoned; the sequencer reacts by
+// degrading the engine and dropping the batch before fan-out (emit), so
+// a never-logged batch can never execute.
 //
 // The record and its TxnRecord slice are reused across appends (the
 // sequencer is the only caller, and Append retains nothing), so in steady
 // state the durability path allocates only inside the OS write itself;
 // the wal writer's frame buffer is likewise recycled across appends.
-func (e *Engine) logBatch(b *batch) {
+func (e *Engine) logBatch(b *batch) error {
 	e.logRec.Seq = b.seq
 	if cap(e.logRec.Txns) < len(b.nodes) {
 		e.logRec.Txns = make([]wal.TxnRecord, 0, cap(b.nodes))
@@ -91,12 +94,13 @@ func (e *Engine) logBatch(b *batch) {
 			Proc: id, Args: args, Reads: nd.reads, Writes: nd.writes, Ranges: nd.ranges,
 		})
 	}
-	_ = e.wal.Append(&e.logRec)
+	err := e.wal.Append(&e.logRec)
 	// Drop the argument and access-set references now rather than at the
 	// next append, so a quiet log does not pin the last batch's
 	// transactions in memory.
 	clear(e.logRec.Txns)
 	e.logRec.Txns = e.logRec.Txns[:0]
+	return err
 }
 
 // acker is the durability gate: submissions whose transactions have all
@@ -118,11 +122,13 @@ func (e *Engine) acker() {
 		}
 		if err != nil {
 			// The log failed: the pipelined transactions executed but
-			// would not survive a crash. Surface that on their slots —
-			// and only theirs: diverted fast-path readers in the same
-			// submission observed exclusively durable state (their own
-			// snapshot gate enforced it) and their results stand.
-			derr := fmt.Errorf("bohm: commit not durable: %w", err)
+			// would not survive a crash. Degrade the engine and surface
+			// that on their slots — and only theirs: diverted fast-path
+			// readers in the same submission observed exclusively durable
+			// state (their own snapshot gate enforced it) and their
+			// results stand.
+			e.setDegraded(err)
+			derr := fmt.Errorf("bohm: commit not durable: %w", e.durabilityLostError())
 			for i := range sub.txns {
 				if idx := sub.origIdx(i); sub.res[idx] == nil {
 					sub.res[idx] = derr
@@ -174,6 +180,11 @@ func (e *Engine) checkpointer() {
 		case <-e.ckptStop:
 			return
 		case <-t.C:
+			if e.degraded() {
+				// doCheckpoint would refuse anyway; don't spin the
+				// failure counter while the engine is known-degraded.
+				continue
+			}
 			if e.execWatermark() >= e.lastCkpt.Load()+every {
 				// A failed attempt (e.g. transient IO error) is retried on
 				// a later tick; the log retains everything meanwhile. The
@@ -223,10 +234,34 @@ func (e *Engine) LastCheckpointError() error {
 	return e.ckptErr
 }
 
-// checkpointOnce runs one checkpoint attempt and retains its outcome for
+// checkpointOnce runs one checkpoint, retrying transient storage
+// failures under Config.CheckpointRetry (exponential backoff,
+// interruptible by shutdown), and retains the final outcome for
 // LastCheckpointError (a success clears a previously recorded failure).
+// Every attempt leaves no temp-file debris (see wal.WriteCheckpointFS),
+// so retrying is always safe.
 func (e *Engine) checkpointOnce() error {
-	err := e.doCheckpoint()
+	var err error
+	attempts := e.cfg.CheckpointRetry.Attempts
+	if attempts < 0 {
+		attempts = 1
+	}
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			e.ckptRetries.Add(1)
+			select {
+			case <-time.After(e.cfg.CheckpointRetry.Backoff << (a - 1)):
+			case <-e.ckptStop: // nil without a background checkpointer: never fires
+				e.ckptErrMu.Lock()
+				e.ckptErr = err
+				e.ckptErrMu.Unlock()
+				return err
+			}
+		}
+		if err = e.doCheckpoint(); err == nil {
+			break
+		}
+	}
 	e.ckptErrMu.Lock()
 	e.ckptErr = err
 	e.ckptErrMu.Unlock()
@@ -248,6 +283,13 @@ func (e *Engine) doCheckpoint() error {
 		}
 	}
 
+	if e.degraded() {
+		// The execution watermark may cover batches that were executed
+		// but never durably logged; checkpointing them would make a
+		// crash resurrect state no client was ever acknowledged for.
+		return fmt.Errorf("bohm: checkpoint refused: %w", e.durabilityLostError())
+	}
+
 	w := e.execWatermark()
 	if e.hasCkpt && w <= e.lastCkpt.Load() {
 		return nil // a checkpoint already covers everything executed
@@ -256,7 +298,7 @@ func (e *Engine) doCheckpoint() error {
 	if !ok {
 		return fmt.Errorf("bohm: no timestamp boundary recorded for batch %d", w)
 	}
-	if err := wal.WriteCheckpoint(e.cfg.LogDir, w, e.snapshotScan(boundary)); err != nil {
+	if err := wal.WriteCheckpointFS(e.cfg.fs(), e.cfg.LogDir, w, e.snapshotScan(boundary)); err != nil {
 		return err
 	}
 	e.lastCkpt.Store(w)
@@ -271,7 +313,7 @@ func (e *Engine) doCheckpoint() error {
 	if e.wal != nil {
 		_ = e.wal.TruncateBelow(w + 1)
 	}
-	_ = wal.RemoveCheckpointsBelow(e.cfg.LogDir, w)
+	_ = wal.RemoveCheckpointsBelowFS(e.cfg.fs(), e.cfg.LogDir, w)
 	return nil
 }
 
@@ -356,7 +398,7 @@ func Recover(cfg Config, reg *txn.Registry) (*Engine, error) {
 		return nil, errors.New("bohm: Recover requires a procedure registry")
 	}
 
-	ckWM, ckRecs, ckFound, err := wal.LoadCheckpoint(cfg.LogDir)
+	ckWM, ckRecs, ckFound, err := wal.LoadCheckpointFS(cfg.fs(), cfg.LogDir)
 	if err != nil {
 		return nil, err
 	}
@@ -399,7 +441,7 @@ func Recover(cfg Config, reg *txn.Registry) (*Engine, error) {
 	stream := make(chan replayBatch, 2)
 	go func() {
 		defer close(stream)
-		_, _, rerr := wal.ReadLog(cfg.LogDir, ckWM, func(b *wal.Batch) error {
+		_, _, rerr := wal.ReadLogFS(cfg.fs(), cfg.LogDir, ckWM, func(b *wal.Batch) error {
 			ts := make([]txn.Txn, len(b.Txns))
 			for i := range b.Txns {
 				r := &b.Txns[i]
@@ -460,12 +502,12 @@ func Recover(cfg Config, reg *txn.Registry) (*Engine, error) {
 			if !ok {
 				return fail(fmt.Errorf("bohm: no timestamp boundary for recovered batch %d", w))
 			}
-			if err := wal.WriteCheckpoint(cfg.LogDir, w, e.snapshotScan(boundary)); err != nil {
+			if err := wal.WriteCheckpointFS(cfg.fs(), cfg.LogDir, w, e.snapshotScan(boundary)); err != nil {
 				return fail(err)
 			}
 			e.ckptCount.Add(1)
 		}
-		if err := wal.RemoveAllState(cfg.LogDir, w); err != nil {
+		if err := wal.RemoveAllStateFS(cfg.fs(), cfg.LogDir, w); err != nil {
 			return fail(err)
 		}
 		e.lastCkpt.Store(w)

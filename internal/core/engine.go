@@ -11,8 +11,13 @@ import (
 	"bohm/internal/obs"
 	"bohm/internal/storage"
 	"bohm/internal/txn"
+	"bohm/internal/vfs"
 	"bohm/internal/wal"
 )
+
+// RetryPolicy bounds the retry/backoff loops of the durability
+// subsystem's two storage writers (Config.LogRetry, CheckpointRetry).
+type RetryPolicy = wal.RetryPolicy
 
 // ErrClosed is returned by ExecuteBatch after Close.
 var ErrClosed = errors.New("bohm: engine closed")
@@ -181,6 +186,24 @@ type Config struct {
 	// garbage collector trails the newest checkpoint instead of the
 	// execution watermark, so snapshot reads stay safe.
 	CheckpointEveryBatches int
+	// LogRetry bounds the command log's write-hole repair: a failed
+	// append or fsync retains the un-durable frames in memory, rotates to
+	// a fresh segment and replays them, retrying up to Attempts times
+	// with exponential backoff from Backoff (defaults 4 and 1ms; a
+	// negative Attempts disables repair). Only when the budget is
+	// exhausted does the engine step down to LogDegraded — see
+	// Engine.Health and ErrDurabilityLost.
+	LogRetry RetryPolicy
+	// CheckpointRetry bounds a checkpoint attempt the same way (defaults
+	// 3 attempts, 2ms backoff). Exhaustion does not degrade the engine —
+	// the log retains everything a checkpoint would have truncated and
+	// the background checkpointer tries again later — it only surfaces
+	// through LastCheckpointError and Stats.CheckpointFailures.
+	CheckpointRetry RetryPolicy
+	// FS overrides the filesystem under the durability subsystem (the
+	// command log, checkpoints, recovery). Nil means the real filesystem;
+	// tests and the torture harness inject vfs.FaultFS here.
+	FS vfs.FS
 
 	// Metrics enables the observability subsystem (internal/obs): per-stage
 	// latency histograms over every batch's pipeline timeline, per-
@@ -231,6 +254,12 @@ func (c *Config) normalize() error {
 	if c.CheckpointEveryBatches < 0 {
 		c.CheckpointEveryBatches = 0
 	}
+	if c.CheckpointRetry.Attempts == 0 {
+		c.CheckpointRetry.Attempts = 3
+	}
+	if c.CheckpointRetry.Backoff <= 0 {
+		c.CheckpointRetry.Backoff = 2 * time.Millisecond
+	}
 	if c.DebugAddr != "" {
 		c.Metrics = true
 	}
@@ -241,6 +270,14 @@ func (c *Config) normalize() error {
 		c.FlightRecorderSize = 256
 	}
 	return nil
+}
+
+// fs returns the filesystem the durability subsystem runs on.
+func (c *Config) fs() vfs.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return vfs.OS
 }
 
 // pinActive reports whether the checkpoint GC pin is in force: with
@@ -404,6 +441,21 @@ type Engine struct {
 	ackWG   sync.WaitGroup
 	trackTS bool // sequencer records batch-end timestamp boundaries
 
+	// Durability health ladder (see health.go). health holds a Health
+	// value; healthCause (under healthMu) is the storage error that
+	// caused the step down; degradedSince is the transition's unix-nano
+	// stamp (0 while Healthy). degradeTS is the timestamp boundary
+	// degraded reads clamp to (0 when clamping is unsafe and reads must
+	// fail instead) and degradePin caps the GC watermark at the degraded
+	// snapshot's batch (^0 while Healthy).
+	health        atomic.Int32
+	degradedSince atomic.Int64
+	degradeTS     atomic.Uint64
+	degradePin    atomic.Uint64
+	healthMu      sync.Mutex
+	healthCause   error
+	ckptRetries   atomic.Uint64
+
 	// obs is the observability root (stage histograms, flight recorder,
 	// debug endpoint); nil unless Config.Metrics is on, and every
 	// instrumentation site in the pipeline is gated on that nil check.
@@ -446,7 +498,7 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	if cfg.LogDir != "" {
-		has, err := wal.HasState(cfg.LogDir)
+		has, err := wal.HasStateFS(cfg.fs(), cfg.LogDir)
 		if err != nil {
 			return nil, err
 		}
@@ -507,6 +559,7 @@ func build(cfg Config) *Engine {
 		execStats: make([]workerStats, maxExec),
 	}
 	e.split.Store(&workerSplit{cc: cfg.CCWorkers, exec: cfg.ExecWorkers})
+	e.degradePin.Store(^uint64(0))
 	for i := range e.partCC {
 		e.partCC[i].reapBudget = reapSweepPerBatch
 	}
@@ -907,6 +960,19 @@ func (e *Engine) ExecuteBatch(ts []txn.Txn) []error {
 	}
 
 	if e.logOn.Load() && len(sub.txns) > 0 {
+		if e.degraded() {
+			// Fail fast: the command log is gone, so no pipelined
+			// transaction can ever be acknowledged. Diverted read-only
+			// transactions still run below, clamped to the last durable
+			// snapshot (see waitSnapshotDurable).
+			err := e.durabilityLostError()
+			for i := range sub.txns {
+				res[sub.origIdx(i)] = err
+			}
+			sub.txns = nil
+		}
+	}
+	if e.logOn.Load() && len(sub.txns) > 0 {
 		for _, t := range sub.txns {
 			if _, ok := t.(txn.Loggable); !ok {
 				// Reject every pipelined transaction: a half-logged batch
@@ -1002,6 +1068,9 @@ func (e *Engine) shutdown(kill bool) {
 			_ = e.wal.Close()
 		}
 	}
+	// Terminal rung of the health ladder; healthCause (if the engine
+	// degraded first) stays readable through Health.
+	e.health.Store(int32(Closed))
 	e.stopDebug()
 }
 
@@ -1056,9 +1125,12 @@ func (e *Engine) Stats() engine.Stats {
 		s.LogBatches = ws.Batches
 		s.LogBytes = ws.Bytes
 		s.LogSyncs = ws.Syncs
+		s.LogRetries = ws.Retries
 	}
 	s.Checkpoints = e.ckptCount.Load()
 	s.CheckpointFailures = e.ckptFailed.Load()
+	s.CheckpointRetries = e.ckptRetries.Load()
+	s.DegradedSince = uint64(e.degradedSince.Load())
 	s.WorkerMigrations = e.workerMigrations.Load()
 	return s
 }
@@ -1112,6 +1184,11 @@ func (e *Engine) execWatermark() uint64 {
 func (e *Engine) watermark() uint64 {
 	wm := e.execWatermark()
 	if pin := e.ckptPin.Load(); pin < wm {
+		wm = pin
+	}
+	// While degraded, reads are clamped to the frozen durable snapshot;
+	// this pin keeps that snapshot's versions linked indefinitely.
+	if pin := e.degradePin.Load(); pin < wm {
 		wm = pin
 	}
 	for i := range e.roEpochs {

@@ -1,0 +1,140 @@
+package core
+
+// The durability degradation ladder. A healthy durable engine that runs
+// out of write-hole repairs (wal.RetryPolicy exhausted) does not crash
+// and does not silently drop durability: it steps down to LogDegraded,
+// a fail-fast-for-writes / keep-serving-for-reads mode.
+//
+//   Healthy ──(log repair exhausted)──▶ LogDegraded ──(Close/Kill)──▶ Closed
+//      │                                                                ▲
+//      └──────────────────────────(Close/Kill)───────────────────────────┘
+//
+// In LogDegraded:
+//
+//   - ExecuteBatch fails every pipelined transaction fast with
+//     ErrDurabilityLost — nothing new is executed, because nothing new
+//     can be made durable.
+//   - The read paths (ExecuteReadOnly diversion, the inline Read API)
+//     keep serving, clamped to the last durable snapshot: every write
+//     that was ever acknowledged is still visible, and nothing that
+//     could be rolled back by a crash is.
+//   - Checkpoints are refused: a checkpoint at the execution watermark
+//     would durably capture executed-but-never-logged batches, state a
+//     recovery must not resurrect.
+//
+// The transition is one-way; the process must be restarted (through
+// Recover, against repaired storage) to get back to Healthy.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Health is the engine's durability health state; see Engine.Health.
+type Health int32
+
+const (
+	// Healthy: the durability subsystem (if enabled) is fully working.
+	Healthy Health = iota
+	// LogDegraded: the command log failed beyond repair. Writes are
+	// refused with ErrDurabilityLost; reads serve the last durable
+	// snapshot.
+	LogDegraded
+	// Closed: the engine has been shut down by Close or Kill.
+	Closed
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case LogDegraded:
+		return "log-degraded"
+	case Closed:
+		return "closed"
+	}
+	return fmt.Sprintf("health(%d)", int32(h))
+}
+
+// ErrDurabilityLost is reported — wrapped with the underlying storage
+// error — for every transaction refused because the engine is
+// LogDegraded: the command log failed beyond its configured repair
+// budget (Config.LogRetry), so new work cannot be made durable. Writes
+// acknowledged before the failure are unaffected; they were durable when
+// acknowledged and remain readable.
+var ErrDurabilityLost = errors.New("bohm: durability lost")
+
+// Health returns the engine's position on the durability degradation
+// ladder and, once degraded, the storage error that caused the step
+// down. Engines without durability enabled report Healthy until Close.
+func (e *Engine) Health() (Health, error) {
+	h := Health(e.health.Load())
+	if h == Healthy {
+		return h, nil
+	}
+	e.healthMu.Lock()
+	cause := e.healthCause
+	e.healthMu.Unlock()
+	return h, cause
+}
+
+// durabilityLostError returns ErrDurabilityLost wrapped around the
+// degradation cause (when one is recorded).
+func (e *Engine) durabilityLostError() error {
+	e.healthMu.Lock()
+	cause := e.healthCause
+	e.healthMu.Unlock()
+	if cause == nil {
+		return ErrDurabilityLost
+	}
+	return fmt.Errorf("%w: %w", ErrDurabilityLost, cause)
+}
+
+// degraded reports whether the engine has left Healthy.
+func (e *Engine) degraded() bool {
+	return e.health.Load() != int32(Healthy)
+}
+
+// setDegraded moves the engine Healthy → LogDegraded (idempotent; later
+// callers with a different cause lose the race and that is fine — the
+// first storage failure is the one worth reporting). It also freezes the
+// degraded read snapshot: reads keep serving at D, the newest batch
+// proven durable, for as long as the engine can guarantee D's versions
+// stay materialized.
+func (e *Engine) setDegraded(cause error) {
+	if !e.health.CompareAndSwap(int32(Healthy), int32(LogDegraded)) {
+		return
+	}
+	e.healthMu.Lock()
+	e.healthCause = cause
+	e.healthMu.Unlock()
+	e.degradedSince.Store(time.Now().UnixNano())
+
+	d := e.seqBase
+	if w := e.wal.DurableMark(); w > d {
+		d = w
+	}
+	if ck := e.lastCkpt.Load(); ck > d {
+		d = ck
+	}
+	// Pin garbage collection at D *before* judging whether D's snapshot
+	// is still intact: watermark() reads the pin, so every GC cut issued
+	// after this store is capped at D, and the execution-watermark check
+	// below bounds every cut issued before it.
+	e.degradePin.Store(d)
+	if wm := e.execWatermark(); wm <= d || e.cfg.pinActive() {
+		// Either no cut can ever have passed D (wm <= d), or the
+		// checkpoint pin has been capping GC at lastCkpt <= D all along.
+		// In both cases a snapshot at D's timestamp boundary is exactly
+		// as safe as a checkpoint scan — serve reads there.
+		if ts, ok := e.batchBoundary(d); ok {
+			e.degradeTS.Store(ts)
+			return
+		}
+	}
+	// Cannot prove D's snapshot is still materialized (GC may have
+	// collected past it). Lift the pin again and let reads report the
+	// durability loss instead of clamping.
+	e.degradePin.Store(^uint64(0))
+}

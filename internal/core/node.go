@@ -133,6 +133,14 @@ type submission struct {
 	// engine's acknowledged-batch high-water mark; see finish.
 	acked *atomic.Uint64
 
+	// noAck suppresses the acknowledged-batch bump: set by the sequencer
+	// before failing a submission whose batch was dropped on a log
+	// failure. The dropped batch never executes, so publishing its
+	// sequence as the recency floor would make later reads wait on a
+	// watermark that can never be reached. Atomic because the final
+	// release may run on any worker.
+	noAck atomic.Bool
+
 	// recency is the acknowledged-batch bound loaded at submission time:
 	// the fast path's snapshot must cover every batch acknowledged before
 	// this submission arrived — and deliberately nothing newer, so reads
@@ -169,7 +177,7 @@ func (s *submission) finish(idx int, err error) {
 // ordered before the submitter's reads by the counter and the wake.
 func (s *submission) release(n int64) {
 	if s.remaining.Add(-n) == 0 {
-		if s.acked != nil && s.lastBatch > 0 {
+		if s.acked != nil && s.lastBatch > 0 && !s.noAck.Load() {
 			for {
 				cur := s.acked.Load()
 				if s.lastBatch <= cur || s.acked.CompareAndSwap(cur, s.lastBatch) {

@@ -184,6 +184,8 @@ func (e *Engine) gauges() []obs.Gauge {
 			Value: func() float64 { return float64(e.split.Load().cc) }},
 		{Name: "bohm_worker_split_exec", Help: "Execution goroutines active under the current worker split.",
 			Value: func() float64 { return float64(e.split.Load().exec) }},
+		{Name: "bohm_engine_health", Help: "Durability health ladder position: 0 healthy, 1 log-degraded (writes refused, reads serve the last durable snapshot), 2 closed.",
+			Value: func() float64 { return float64(e.health.Load()) }},
 		{Name: "bohm_directory_entries", Help: "Ordered-directory entries across all partitions.",
 			Value: func() float64 { return float64(e.DirectoryEntries()) }},
 		{Name: "bohm_resident_chains", Help: "Hash-index version chains across all partitions.",

@@ -176,12 +176,21 @@ func (e *Engine) snapshotTS() uint64 {
 // read here is then at or above the snapshot's batch. Under
 // SyncEveryBatch and SyncNever the durable mark already covers every
 // executed batch and this never blocks; under SyncByInterval it waits at
-// most one group-commit interval. Returns the writer's error when the
-// log has failed — the read must surface it rather than expose
-// might-not-survive state.
-func (e *Engine) waitSnapshotDurable() error {
+// most one group-commit interval.
+//
+// The return values implement the degraded-read ladder: cap is a
+// timestamp ceiling for the snapshot (^0 when unconstrained) and err is
+// non-nil only when the read cannot be served at all. On a LogDegraded
+// engine the caller clamps its snapshot to min(snapshot, cap) — the
+// frozen boundary of the last durable batch, kept materialized by the
+// degradation GC pin — so every previously acknowledged write stays
+// readable while nothing volatile is ever exposed. err is reserved for
+// the corner where that boundary could not be frozen safely (see
+// setDegraded); it wraps ErrDurabilityLost.
+func (e *Engine) waitSnapshotDurable() (cap uint64, err error) {
+	const unbounded = ^uint64(0)
 	if !e.logOn.Load() {
-		return nil
+		return unbounded, nil
 	}
 	wm := e.execWatermark()
 	// Batches at or below the newest checkpoint are durable through the
@@ -193,9 +202,22 @@ func (e *Engine) waitSnapshotDurable() error {
 		floor = ck
 	}
 	if wm <= floor {
-		return nil
+		return unbounded, nil
 	}
-	return e.wal.WaitDurable(wm)
+	if e.degraded() {
+		if ts := e.degradeTS.Load(); ts != 0 {
+			return ts, nil
+		}
+		return 0, e.durabilityLostError()
+	}
+	if werr := e.wal.WaitDurable(wm); werr != nil {
+		e.setDegraded(werr)
+		if ts := e.degradeTS.Load(); ts != 0 {
+			return ts, nil
+		}
+		return 0, e.durabilityLostError()
+	}
+	return unbounded, nil
 }
 
 // roWorker is one snapshot-read worker: it takes read-only chunks off the
@@ -221,12 +243,12 @@ func (e *Engine) roWorker(w int) {
 		c.ts = e.settleEpoch(slot, wm)
 		aborted := uint64(0)
 		failed := false
-		if derr := e.waitSnapshotDurable(); derr != nil {
-			// The log failed: the snapshot might not survive a crash.
-			// Fail the whole chunk instead of exposing it, mirroring the
-			// write path's non-durable commit errors. An infrastructure
-			// failure, so the chunk counts neither as committed nor as
-			// user aborts.
+		if cap, derr := e.waitSnapshotDurable(); derr != nil {
+			// The log failed and no durable snapshot could be frozen:
+			// fail the whole chunk instead of exposing might-not-survive
+			// state, mirroring the write path's non-durable commit
+			// errors. An infrastructure failure, so the chunk counts
+			// neither as committed nor as user aborts.
 			failed = true
 			derr = fmt.Errorf("bohm: read snapshot not durable: %w", derr)
 			for i := range job.txns {
@@ -237,6 +259,11 @@ func (e *Engine) roWorker(w int) {
 				job.sub.res[idx] = derr
 			}
 		} else {
+			if cap < c.ts {
+				// Degraded: serve at the frozen durable boundary. Every
+				// acknowledged write is at or below it by the ack gate.
+				c.ts = cap
+			}
 			for i, t := range job.txns {
 				c.writeErr = nil
 				err := txn.RunSafely(t, c)
@@ -329,9 +356,14 @@ func (e *Engine) Read(k txn.Key, buf []byte) ([]byte, error) {
 	e.waitRecent(e.ackedBatch.Load())
 	slot, st := e.claimROSlot()
 	ts := e.settleEpoch(slot, slot.Load())
-	if derr := e.waitSnapshotDurable(); derr != nil {
+	cap, derr := e.waitSnapshotDurable()
+	if derr != nil {
 		slot.Store(inactiveEpoch)
 		return nil, fmt.Errorf("bohm: read snapshot not durable: %w", derr)
+	}
+	if cap < ts {
+		// Degraded: serve at the frozen durable boundary (see roWorker).
+		ts = cap
 	}
 	data, steps, ok := e.snapshotRead(k, ts)
 	if ok {

@@ -117,7 +117,6 @@ func (e *Engine) sequencer() {
 	}
 	emit = func() {
 		cur.limitTS = nextTS
-		e.batches.Add(1)
 		if o := e.obs; o != nil {
 			cur.obs.seq = o.now()
 		}
@@ -127,12 +126,46 @@ func (e *Engine) sequencer() {
 		// under the other policies the acknowledgement path waits on the
 		// writer's durable mark instead. All submissions coalesced into
 		// this batch share the one append (group commit).
+		//
+		// An append error means the writer exhausted its repair budget:
+		// the batch was never logged, so it must never execute — recovery
+		// replays only the log, and executing it here would expose state a
+		// restart cannot reproduce. Degrade the engine, fail the batch's
+		// transactions, and reuse the batch (same sequence) for whatever
+		// comes next; batches.Add stays below the log hook so the batch
+		// count never includes a dropped batch (waitQuiesce and the idle
+		// loop compare it against the execution watermark).
 		if e.logOn.Load() {
-			e.logBatch(cur)
-			if o := e.obs; o != nil {
-				cur.obs.log = o.now()
+			logged := false
+			if !e.degraded() {
+				if err := e.logBatch(cur); err != nil {
+					e.setDegraded(err)
+				} else {
+					logged = true
+					if o := e.obs; o != nil {
+						cur.obs.log = o.now()
+					}
+				}
 			}
+			if !logged && len(cur.nodes) > 0 {
+				derr := e.durabilityLostError()
+				for _, nd := range cur.nodes {
+					// The submission's acknowledged-batch bump must not
+					// run: this batch never executes, so raising the
+					// recency floor to it would wedge later reads.
+					nd.sub.noAck.Store(true)
+					nd.sub.finish(nd.idx, derr)
+				}
+				nextTS = cur.limitTS - uint64(len(cur.nodes))
+				_ = cur.resetForReuse()
+				return
+			}
+			// A degraded empty batch (idle tick) proceeds unlogged: it
+			// carries no transactions, so recovery is unaffected, and the
+			// lifecycle work it drives keeps the degraded engine's read
+			// side reclaiming.
 		}
+		e.batches.Add(1)
 		if e.trackTS {
 			e.recordBatchTS(cur.seq, nextTS)
 		}
@@ -174,6 +207,16 @@ func (e *Engine) sequencer() {
 	}
 
 	enqueue := func(sub *submission) {
+		if e.logOn.Load() && e.degraded() {
+			// The submission raced the ExecuteBatch health check and the
+			// degradation. Fail it here, before it consumes timestamps.
+			derr := e.durabilityLostError()
+			sub.noAck.Store(true)
+			for i := range sub.txns {
+				sub.finish(sub.origIdx(i), derr)
+			}
+			return
+		}
 		for i, t := range sub.txns {
 			// First stamp wins: submissions drain in arrival order, so the
 			// batch's earliest-arrival stamp is the first one recorded into

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"bohm/internal/txn"
+	"bohm/internal/vfs"
+	"bohm/internal/wal"
+)
+
+// The torture harness: a seeded sweep of randomized fault schedules, each
+// replayable from its seed alone. Every schedule draws a fault kind
+// (append error, fsync error with and without page drop, torn write,
+// disk-full on rotation, checkpoint-path faults, directory-sync and
+// repair-path faults), an arming point, a persistence class, a sync
+// policy and a segment size, then drives the workload and asserts the
+// durability trichotomy:
+//
+//   - acknowledged writes are never lost: recovery reproduces every call
+//     that returned success;
+//   - unacknowledged writes are never resurrected as committed: the
+//     recovered state may exceed the acknowledged model only by a prefix
+//     of the one call that returned ErrDurabilityLost (whose outcome is
+//     contractually indeterminate), never by a definitely-rejected or
+//     never-submitted call;
+//   - a degraded engine keeps serving consistent reads of the
+//     acknowledged state until it is torn down.
+//
+// CI runs the sweep with TORTURE_SEEDS=200; the default keeps local
+// `go test` runs quick.
+
+// tortureSeeds returns how many schedules to sweep.
+func tortureSeeds(t *testing.T) int {
+	if s := os.Getenv("TORTURE_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad TORTURE_SEEDS %q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 12
+	}
+	return 48
+}
+
+// tortureFault draws one fault rule. Truncate/remove/syncdir rules mostly
+// matter when paired with a primary write/sync fault (they hit the repair
+// and scrub paths), which the caller arranges by drawing up to two rules.
+func tortureFault(rng *rand.Rand) vfs.Fault {
+	count := 1 + rng.Intn(2) // transient: one or two firings
+	if rng.Intn(2) == 0 {
+		count = -1 // persistent
+	}
+	after := rng.Intn(10)
+	switch rng.Intn(9) {
+	case 0:
+		return vfs.Fault{Op: vfs.OpWrite, Path: "wal-", After: after, Count: count}
+	case 1:
+		return vfs.Fault{Op: vfs.OpSync, Path: "wal-", After: after, Count: count}
+	case 2:
+		return vfs.Fault{Op: vfs.OpSync, Path: "wal-", After: after, Count: count, DropUnsynced: true}
+	case 3:
+		return vfs.Fault{Op: vfs.OpWrite, Path: "wal-", After: after, Count: count, Torn: 1 + rng.Intn(48)}
+	case 4:
+		// Disk full when rotation (or repair) creates a segment.
+		return vfs.Fault{Op: vfs.OpCreate, Path: "wal-", After: after, Count: count, Err: syscall.ENOSPC}
+	case 5:
+		// Checkpoint write path: temp create/write/sync/rename.
+		return vfs.Fault{Op: vfs.OpAny, Path: "ckpt", After: after, Count: count}
+	case 6:
+		return vfs.Fault{Op: vfs.OpTruncate, Path: "wal-", After: rng.Intn(2), Count: count}
+	case 7:
+		return vfs.Fault{Op: vfs.OpRemove, Path: "wal-", After: rng.Intn(2), Count: count}
+	default:
+		return vfs.Fault{Op: vfs.OpSyncDir, After: after, Count: count}
+	}
+}
+
+func TestTortureSeededFaultSchedules(t *testing.T) {
+	n := tortureSeeds(t)
+	for seed := 0; seed < n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			tortureOneSchedule(t, int64(seed))
+		})
+	}
+}
+
+func tortureOneSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed*2654435761 + 0x7052))
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil)
+
+	cfg := durableConfig(dir)
+	cfg.FS = fsys
+	cfg.LogRetry = RetryPolicy{Attempts: 1 + rng.Intn(3), Backoff: 100 * time.Microsecond}
+	cfg.CheckpointRetry = RetryPolicy{Attempts: 1 + rng.Intn(2), Backoff: 100 * time.Microsecond}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.SyncPolicy = wal.SyncEveryBatch
+	default:
+		cfg.SyncPolicy = wal.SyncByInterval
+		cfg.SyncInterval = 200 * time.Microsecond
+	}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.SegmentBytes = 512 // rotate roughly every record
+	case 1:
+		cfg.SegmentBytes = 4 << 10
+	}
+
+	reg := durRegistry()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			e.Kill()
+		}
+	}()
+	loadInitial(t, e)
+	if err := e.CheckpointNow(); err != nil {
+		t.Fatalf("sealing loads: %v", err)
+	}
+
+	// Arm the schedule only after the load seal, so every run starts from
+	// the same durable baseline.
+	fsys.AddFault(tortureFault(rng))
+	if rng.Intn(3) == 0 {
+		fsys.AddFault(tortureFault(rng))
+	}
+
+	calls := 8 + rng.Intn(5)
+	opsPerCall := 6 + rng.Intn(10)
+	ckptAt := -1
+	if rng.Intn(2) == 0 {
+		ckptAt = rng.Intn(calls)
+	}
+
+	model := initialModel()
+	var failOps []mutOp
+	for i := 0; i < calls; i++ {
+		ops := randOps(rng, opsPerCall)
+		acked, durability, other := classifyCall(e.ExecuteBatch(opsTxns(t, reg, ops)))
+		if other != nil {
+			t.Fatalf("call %d: unexpected error class: %v", i, other)
+		}
+		if durability {
+			failOps = ops
+			break
+		}
+		if !acked {
+			t.Fatalf("call %d: neither acknowledged nor durability-failed", i)
+		}
+		applyOps(model, ops, len(ops))
+		if i == ckptAt {
+			// A checkpoint in the middle of the schedule; it may fail (the
+			// schedule can hit its temp file or its log truncation), which
+			// must stay invisible to transaction outcomes.
+			_ = e.CheckpointNow()
+		}
+	}
+
+	if failOps != nil {
+		// The ladder must be engaged, later writes refused, and reads must
+		// serve the whole acknowledged state (failing-call keys excepted —
+		// their durability is indeterminate).
+		if h, cause := e.Health(); h != LogDegraded || cause == nil {
+			t.Fatalf("durability error with Health = %v (cause %v)", h, cause)
+		}
+		probe := e.ExecuteBatch(opsTxns(t, reg, randOps(rng, 2)))
+		for i, err := range probe {
+			if !isDurabilityErr(err) {
+				t.Fatalf("degraded probe slot %d = %v, want ErrDurabilityLost", i, err)
+			}
+		}
+		tainted := make(map[txn.Key]bool)
+		for _, o := range failOps {
+			tainted[key(o.id)] = true
+		}
+		checkDegradedReads(t, e, model, tainted)
+	}
+
+	// Heal the disk, crash, recover. A healed directory must always
+	// recover — losing acknowledged state to leftover repair debris would
+	// be a durability bug, not an acceptable outcome.
+	fsys.Clear()
+	e.Kill()
+	killed = true
+	if h, _ := e.Health(); h != Closed {
+		t.Fatalf("Health after Kill = %v, want Closed", h)
+	}
+	r, err := Recover(cfg, reg)
+	if err != nil {
+		t.Fatalf("Recover after heal: %v", err)
+	}
+	defer r.Close()
+	if !matchesAnyPrefix(dumpState(r), model, failOps, cfg.BatchSize) {
+		t.Fatalf("recovered state matches no acknowledged-prefix candidate (degraded=%v)", failOps != nil)
+	}
+
+	// The recovered engine is healthy and durable again.
+	if h, cause := r.Health(); h != Healthy || cause != nil {
+		t.Fatalf("recovered Health = %v (%v)", h, cause)
+	}
+	ops := randOps(rng, opsPerCall)
+	if acked, _, other := classifyCall(r.ExecuteBatch(opsTxns(t, reg, ops))); !acked {
+		t.Fatalf("recovered engine rejected a clean call: %v", other)
+	}
+}

@@ -107,6 +107,19 @@ type Stats struct {
 	LogBytes uint64
 	// LogSyncs counts fsync calls issued by the command log writer.
 	LogSyncs uint64
+	// LogRetries counts command-log write-hole repair attempts: a failed
+	// append or fsync retained the un-durable frames, rotated to a fresh
+	// segment and replayed them. Non-zero with zero client-visible errors
+	// means transient storage faults were healed in place.
+	LogRetries uint64
+	// CheckpointRetries counts checkpoint attempts re-run after a failed
+	// try (each retried attempt counts once, whatever its outcome).
+	CheckpointRetries uint64
+	// DegradedSince is the unix-nanosecond time the engine stepped down
+	// to its degraded read-only mode after exhausting log repair; 0 while
+	// fully healthy. Not a counter, but carried here so the degradation
+	// is visible on any stats export.
+	DegradedSince uint64
 	// Checkpoints counts consistent checkpoints written.
 	Checkpoints uint64
 	// CheckpointFailures counts background checkpoint attempts that
@@ -148,6 +161,9 @@ func (s Stats) Sub(o Stats) Stats {
 		LogBatches:           s.LogBatches - o.LogBatches,
 		LogBytes:             s.LogBytes - o.LogBytes,
 		LogSyncs:             s.LogSyncs - o.LogSyncs,
+		LogRetries:           s.LogRetries - o.LogRetries,
+		CheckpointRetries:    s.CheckpointRetries - o.CheckpointRetries,
+		DegradedSince:        s.DegradedSince - o.DegradedSince,
 		Checkpoints:          s.Checkpoints - o.Checkpoints,
 		CheckpointFailures:   s.CheckpointFailures - o.CheckpointFailures,
 		WorkerMigrations:     s.WorkerMigrations - o.WorkerMigrations,

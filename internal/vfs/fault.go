@@ -1,0 +1,404 @@
+package vfs
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Op classifies filesystem operations for fault matching.
+type Op int
+
+const (
+	// OpAny matches every operation kind.
+	OpAny Op = iota
+	// OpOpen is an open of an existing file (no O_CREATE).
+	OpOpen
+	// OpCreate is a file or directory creation (OpenFile with O_CREATE,
+	// CreateTemp, MkdirAll).
+	OpCreate
+	// OpWrite is a File.Write.
+	OpWrite
+	// OpSync is a File.Sync.
+	OpSync
+	// OpClose is a File.Close.
+	OpClose
+	// OpRename is an FS.Rename (matched against the destination path).
+	OpRename
+	// OpRemove is an FS.Remove.
+	OpRemove
+	// OpRead is a File.Read or FS.ReadFile.
+	OpRead
+	// OpReadDir is an FS.ReadDir.
+	OpReadDir
+	// OpTruncate is an FS.Truncate.
+	OpTruncate
+	// OpSyncDir is an FS.SyncDir.
+	OpSyncDir
+	opCount
+)
+
+var opNames = [...]string{"any", "open", "create", "write", "sync", "close",
+	"rename", "remove", "read", "readdir", "truncate", "syncdir"}
+
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return "op?"
+	}
+	return opNames[o]
+}
+
+// Fault is one rule in a fault schedule. A rule watches operations that
+// match its Op kind and Path substring; it lets the first After matches
+// through untouched, then fires on the next Count matches (Count 0 means
+// one, negative means forever — a persistent fault).
+//
+// A fired rule first sleeps Latency, then fails the operation with Err.
+// A rule with no Err, no Torn and no DropUnsynced but a positive Latency
+// is latency-only: it delays the operation and lets it proceed. A failing
+// rule with a nil Err injects syscall.EIO.
+type Fault struct {
+	// Op is the operation kind to match; OpAny matches all.
+	Op Op
+	// Path, when non-empty, restricts the rule to operations whose path
+	// contains it as a substring.
+	Path string
+	// After is how many matching operations succeed before the rule arms.
+	After int
+	// Count is how many operations fail once armed; 0 means one, negative
+	// means every one from then on (a persistent fault).
+	Count int
+	// Err is the injected error; nil means syscall.EIO (unless the rule is
+	// latency-only). syscall.ENOSPC models a full disk.
+	Err error
+	// Torn applies to OpWrite: the first Torn bytes reach the file before
+	// the error is reported — a torn/short write.
+	Torn int
+	// DropUnsynced applies to OpSync on handles created through this FS:
+	// bytes written since the last successful sync are discarded, modeling
+	// a kernel that drops dirty pages after a writeback error.
+	DropUnsynced bool
+	// Latency is slept before the operation (or the failure) proceeds.
+	Latency time.Duration
+}
+
+// latencyOnly reports whether the rule delays without failing.
+func (f *Fault) latencyOnly() bool {
+	return f.Err == nil && f.Torn == 0 && !f.DropUnsynced && f.Latency > 0
+}
+
+func (f *Fault) failure() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return syscall.EIO
+}
+
+type faultState struct {
+	Fault
+	seen  int // matching operations observed
+	fired int // operations failed or delayed
+}
+
+// firing is the outcome of matching one operation against the schedule.
+type firing struct {
+	err   error
+	torn  int
+	drop  bool
+	sleep time.Duration
+}
+
+// FaultFS wraps an inner FS and injects faults from a deterministic
+// schedule. Matching is by arrival order of operations, so a fixed
+// workload plus a fixed schedule always fails the same operation — the
+// torture harness derives schedules from seeds and replays them exactly.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	faults   []*faultState
+	ops      [opCount]uint64
+	injected uint64
+}
+
+// NewFaultFS wraps inner (nil means the OS filesystem) with a schedule.
+func NewFaultFS(inner FS, faults ...Fault) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	f := &FaultFS{inner: inner}
+	for _, ft := range faults {
+		f.AddFault(ft)
+	}
+	return f
+}
+
+// AddFault appends a rule to the schedule.
+func (f *FaultFS) AddFault(ft Fault) {
+	f.mu.Lock()
+	f.faults = append(f.faults, &faultState{Fault: ft})
+	f.mu.Unlock()
+}
+
+// Clear drops every rule — the disk "heals".
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	f.faults = nil
+	f.mu.Unlock()
+}
+
+// Injected returns how many operations have been failed by the schedule.
+func (f *FaultFS) Injected() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// OpCount returns how many operations of kind op have been issued
+// (including failed ones); OpAny returns the total.
+func (f *FaultFS) OpCount(op Op) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if op == OpAny {
+		var n uint64
+		for _, c := range f.ops {
+			n += c
+		}
+		return n
+	}
+	if op < 0 || op >= opCount {
+		return 0
+	}
+	return f.ops[op]
+}
+
+// check matches one operation against the schedule and returns what to do
+// with it. The first failing rule wins; latency accumulates as the max of
+// all fired rules.
+func (f *FaultFS) check(op Op, path string) firing {
+	f.mu.Lock()
+	f.ops[op]++
+	var out firing
+	for _, fs := range f.faults {
+		if fs.Op != OpAny && fs.Op != op {
+			continue
+		}
+		if fs.Path != "" && !strings.Contains(path, fs.Path) {
+			continue
+		}
+		fs.seen++
+		if fs.seen <= fs.After {
+			continue
+		}
+		limit := fs.Count
+		if limit == 0 {
+			limit = 1
+		}
+		if limit > 0 && fs.fired >= limit {
+			continue
+		}
+		fs.fired++
+		if fs.Latency > out.sleep {
+			out.sleep = fs.Latency
+		}
+		if fs.latencyOnly() {
+			continue
+		}
+		if out.err == nil {
+			out.err = fs.failure()
+			out.torn = fs.Torn
+			out.drop = fs.DropUnsynced
+			f.injected++
+		}
+	}
+	f.mu.Unlock()
+	if out.sleep > 0 {
+		time.Sleep(out.sleep)
+	}
+	return out
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	op := OpOpen
+	if flag&os.O_CREATE != 0 {
+		op = OpCreate
+	}
+	if fi := f.check(op, name); fi.err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: fi.err}
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, name: name, fresh: op == OpCreate}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if fi := f.check(OpOpen, name); fi.err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: fi.err}
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, name: name}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if fi := f.check(OpCreate, dir+"/"+pattern); fi.err != nil {
+		return nil, &os.PathError{Op: "createtemp", Path: dir, Err: fi.err}
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, name: inner.Name(), fresh: true}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if fi := f.check(OpRead, name); fi.err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: fi.err}
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if fi := f.check(OpRename, newpath); fi.err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: fi.err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if fi := f.check(OpRemove, name); fi.err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: fi.err}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if fi := f.check(OpTruncate, name); fi.err != nil {
+		return &os.PathError{Op: "truncate", Path: name, Err: fi.err}
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if fi := f.check(OpCreate, path); fi.err != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: fi.err}
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if fi := f.check(OpReadDir, name); fi.err != nil {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: fi.err}
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if fi := f.check(OpSyncDir, dir); fi.err != nil {
+		return &os.PathError{Op: "syncdir", Path: dir, Err: fi.err}
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile wraps a handle so writes, syncs, reads and closes pass through
+// the schedule. It tracks how many bytes were written and last synced
+// through this handle; since the log layer only ever appends to files it
+// created empty, that running count doubles as the file size, which is
+// what DropUnsynced truncates back to.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+	name  string
+	fresh bool // created empty through this FS; enables DropUnsynced
+
+	mu      sync.Mutex
+	written int64
+	synced  int64
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if fi := f.fs.check(OpRead, f.name); fi.err != nil {
+		return 0, &os.PathError{Op: "read", Path: f.name, Err: fi.err}
+	}
+	return f.inner.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fi := f.fs.check(OpWrite, f.name)
+	if fi.err != nil {
+		n := 0
+		if fi.torn > 0 {
+			cut := fi.torn
+			if cut > len(p) {
+				cut = len(p)
+			}
+			n, _ = f.inner.Write(p[:cut])
+		}
+		f.mu.Lock()
+		f.written += int64(n)
+		f.mu.Unlock()
+		return n, &os.PathError{Op: "write", Path: f.name, Err: fi.err}
+	}
+	n, err := f.inner.Write(p)
+	f.mu.Lock()
+	f.written += int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+func (f *faultFile) Sync() error {
+	fi := f.fs.check(OpSync, f.name)
+	if fi.err != nil {
+		if fi.drop && f.fresh {
+			// Model a kernel that reports the writeback error once and
+			// drops the dirty pages: everything unsynced vanishes.
+			f.mu.Lock()
+			mark := f.synced
+			f.written = mark
+			f.mu.Unlock()
+			_ = f.inner.Truncate(mark)
+		}
+		return &os.PathError{Op: "sync", Path: f.name, Err: fi.err}
+	}
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.synced = f.written
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *faultFile) Close() error {
+	if fi := f.fs.check(OpClose, f.name); fi.err != nil {
+		_ = f.inner.Close()
+		return &os.PathError{Op: "close", Path: f.name, Err: fi.err}
+	}
+	return f.inner.Close()
+}
+
+func (f *faultFile) Name() string { return f.name }
+
+func (f *faultFile) Truncate(size int64) error {
+	if fi := f.fs.check(OpTruncate, f.name); fi.err != nil {
+		return &os.PathError{Op: "truncate", Path: f.name, Err: fi.err}
+	}
+	if err := f.inner.Truncate(size); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.written > size {
+		f.written = size
+	}
+	if f.synced > size {
+		f.synced = size
+	}
+	f.mu.Unlock()
+	return nil
+}

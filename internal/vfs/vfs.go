@@ -1,0 +1,103 @@
+// Package vfs abstracts the handful of filesystem operations the log
+// layer performs so storage faults can be injected deterministically in
+// tests. OS is a thin passthrough to the real filesystem; FaultFS wraps
+// any FS with a schedule-driven fault injector (see fault.go). Production
+// code never pays for the indirection beyond an interface call.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File behaviour the log layer uses. Handles
+// returned by an FS are not safe for concurrent use except that Sync may
+// race Write (the interval group-commit fsyncs outside the writer lock).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's dirty pages to stable storage.
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface underneath internal/wal. Every durable
+// artifact (segments, checkpoints, directory entries) is created, synced,
+// renamed and removed through exactly these calls.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// CreateTemp creates a temp file in dir with os.CreateTemp semantics.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads the whole of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate resizes the file at name without opening it here.
+	Truncate(name string, size int64) error
+	// MkdirAll creates the directory path and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists the directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// SyncDir fsyncs the directory itself so just-created or just-renamed
+	// entries survive a crash.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough implementation backed by the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,218 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := OS.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(sub, "f.log")
+	f, err := OS.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != name {
+		t.Fatalf("Name = %q, want %q", f.Name(), name)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OS.ReadFile(name)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := OS.Truncate(name, 2); err != nil {
+		t.Fatal(err)
+	}
+	ren := filepath.Join(sub, "g.log")
+	if err := OS.Rename(name, ren); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g.log" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := OS.Remove(ren); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFailNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS, Fault{Op: OpWrite, After: 2}) // third write fails once
+	f, err := fsys.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("ab")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("cd")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("third write err = %v, want EIO", err)
+	}
+	if _, err := f.Write([]byte("ef")); err != nil {
+		t.Fatalf("fourth write should succeed (transient fault): %v", err)
+	}
+	if got := fsys.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+	if got := fsys.OpCount(OpWrite); got != 4 {
+		t.Fatalf("OpCount(write) = %d, want 4", got)
+	}
+}
+
+func TestFaultPersistentAndPathMatch(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS, Fault{Op: OpSync, Path: "wal-", Count: -1, Err: syscall.ENOSPC})
+	wal, err := fsys.OpenFile(filepath.Join(dir, "wal-001.log"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	other, err := fsys.OpenFile(filepath.Join(dir, "ckpt-001.ckpt"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	for i := 0; i < 3; i++ {
+		if err := wal.Sync(); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("wal sync %d err = %v, want ENOSPC", i, err)
+		}
+	}
+	if err := other.Sync(); err != nil {
+		t.Fatalf("non-matching path must not fault: %v", err)
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "seg")
+	fsys := NewFaultFS(OS, Fault{Op: OpWrite, Torn: 3})
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn write = %d, %v; want 3, EIO", n, err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(name)
+	if string(b) != "abc" {
+		t.Fatalf("on-disk after torn write = %q, want %q", b, "abc")
+	}
+}
+
+func TestFaultDropUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "seg")
+	fsys := NewFaultFS(OS, Fault{Op: OpSync, After: 1, DropUnsynced: true})
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable|")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // first sync passes
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("second sync err = %v, want EIO", err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(name)
+	if string(b) != "durable|" {
+		t.Fatalf("on-disk after dropped sync = %q, want %q", b, "durable|")
+	}
+}
+
+func TestFaultLatencyOnly(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS, Fault{Op: OpSync, Count: -1, Latency: 20 * time.Millisecond})
+	f, err := fsys.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("latency-only fault must not fail the op: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("sync returned after %v, want >= 20ms of injected latency", d)
+	}
+	if fsys.Injected() != 0 {
+		t.Fatalf("latency-only firings must not count as injected failures")
+	}
+}
+
+func TestFaultClearHeals(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS, Fault{Op: OpCreate, Count: -1})
+	if _, err := fsys.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+		t.Fatal("create should fail under persistent fault")
+	}
+	fsys.Clear()
+	f, err := fsys.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("create after Clear: %v", err)
+	}
+	f.Close()
+}
+
+func TestFaultDeterministicReplay(t *testing.T) {
+	// The same schedule against the same operation sequence fails the same
+	// operations — the property every seeded torture schedule relies on.
+	run := func() []bool {
+		dir := t.TempDir()
+		fsys := NewFaultFS(OS, Fault{Op: OpWrite, After: 1, Count: 2})
+		f, err := fsys.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var outcomes []bool
+		for i := 0; i < 5; i++ {
+			_, err := f.Write([]byte{byte(i)})
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at op %d: %v vs %v", i, a, b)
+		}
+	}
+	want := []bool{true, false, false, true, true}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("outcomes = %v, want %v", a, want)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"bohm/internal/txn"
+	"bohm/internal/vfs"
 )
 
 // A checkpoint file is a consistent snapshot of every live record at a
@@ -46,8 +47,8 @@ func checkpointPath(dir string, watermark uint64) string {
 }
 
 // listCheckpoints returns dir's checkpoint files ordered by watermark.
-func listCheckpoints(dir string) ([]checkpointFile, error) {
-	ents, err := os.ReadDir(dir)
+func listCheckpoints(fsys vfs.FS, dir string) ([]checkpointFile, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -70,15 +71,22 @@ func listCheckpoints(dir string) ([]checkpointFile, error) {
 	return cks, nil
 }
 
-// WriteCheckpoint atomically writes a checkpoint at the given watermark.
+// WriteCheckpoint writes on the real filesystem; see WriteCheckpointFS.
+func WriteCheckpoint(dir string, watermark uint64, scan func(emit func(k txn.Key, v []byte) error) error) error {
+	return WriteCheckpointFS(vfs.OS, dir, watermark, scan)
+}
+
+// WriteCheckpointFS atomically writes a checkpoint at the given watermark.
 // scan must call emit once per live record; it runs while the snapshot is
 // streamed, so the caller is responsible for emitting a consistent view
-// (the engine reads every chain at a fixed timestamp boundary).
-func WriteCheckpoint(dir string, watermark uint64, scan func(emit func(k txn.Key, v []byte) error) error) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// (the engine reads every chain at a fixed timestamp boundary). On any
+// error the partial temp file is removed — a failed attempt leaves no
+// debris behind.
+func WriteCheckpointFS(fsys vfs.FS, dir string, watermark uint64, scan func(emit func(k txn.Key, v []byte) error) error) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("wal: creating log dir: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	tmp, err := fsys.CreateTemp(dir, ".ckpt-*.tmp")
 	if err != nil {
 		return fmt.Errorf("wal: creating checkpoint temp: %w", err)
 	}
@@ -87,7 +95,7 @@ func WriteCheckpoint(dir string, watermark uint64, scan func(emit func(k txn.Key
 	defer func() {
 		if tmp != nil {
 			tmp.Close()
-			os.Remove(tmpName)
+			fsys.Remove(tmpName)
 		}
 	}()
 
@@ -146,43 +154,43 @@ func WriteCheckpoint(dir string, watermark uint64, scan func(emit func(k txn.Key
 	}
 	if err := tmp.Close(); err != nil {
 		tmp = nil
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("wal: closing checkpoint: %w", err)
 	}
 	tmp = nil
-	if err := os.Rename(tmpName, checkpointPath(dir, watermark)); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, checkpointPath(dir, watermark)); err != nil {
+		fsys.Remove(tmpName)
 		return fmt.Errorf("wal: publishing checkpoint: %w", err)
 	}
-	return syncDir(dir)
+	return syncDirFS(fsys, dir)
 }
 
-// syncDir fsyncs a directory so a just-renamed file survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: opening log dir for sync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+// syncDirFS fsyncs a directory so a just-renamed file survives a crash.
+func syncDirFS(fsys vfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("wal: syncing log dir: %w", err)
 	}
 	return nil
 }
 
-// LoadCheckpoint loads the newest valid checkpoint in dir, returning its
+// LoadCheckpoint loads from the real filesystem; see LoadCheckpointFS.
+func LoadCheckpoint(dir string) (watermark uint64, recs []CheckpointRecord, found bool, err error) {
+	return LoadCheckpointFS(vfs.OS, dir)
+}
+
+// LoadCheckpointFS loads the newest valid checkpoint in dir, returning its
 // watermark and records. found is false when the directory holds no valid
 // checkpoint (fresh database). A damaged newer checkpoint makes it fall
 // back to an older valid one; validation failures are only returned when
 // no checkpoint loads at all.
-func LoadCheckpoint(dir string) (watermark uint64, recs []CheckpointRecord, found bool, err error) {
-	cks, err := listCheckpoints(dir)
+func LoadCheckpointFS(fsys vfs.FS, dir string) (watermark uint64, recs []CheckpointRecord, found bool, err error) {
+	cks, err := listCheckpoints(fsys, dir)
 	if err != nil {
 		return 0, nil, false, err
 	}
 	var firstErr error
 	for i := len(cks) - 1; i >= 0; i-- {
-		recs, err := readCheckpoint(cks[i].path)
+		recs, err := readCheckpoint(fsys, cks[i].path)
 		if err == nil {
 			return cks[i].watermark, recs, true, nil
 		}
@@ -197,8 +205,8 @@ func LoadCheckpoint(dir string) (watermark uint64, recs []CheckpointRecord, foun
 }
 
 // readCheckpoint parses and validates one checkpoint file.
-func readCheckpoint(path string) ([]CheckpointRecord, error) {
-	raw, err := os.ReadFile(path)
+func readCheckpoint(fsys vfs.FS, path string) ([]CheckpointRecord, error) {
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: reading checkpoint: %w", err)
 	}
@@ -241,16 +249,22 @@ func readCheckpoint(path string) ([]CheckpointRecord, error) {
 	return recs, nil
 }
 
-// RemoveCheckpointsBelow deletes checkpoints older than watermark; called
-// after a newer checkpoint is durable.
+// RemoveCheckpointsBelow removes on the real filesystem; see
+// RemoveCheckpointsBelowFS.
 func RemoveCheckpointsBelow(dir string, watermark uint64) error {
-	cks, err := listCheckpoints(dir)
+	return RemoveCheckpointsBelowFS(vfs.OS, dir, watermark)
+}
+
+// RemoveCheckpointsBelowFS deletes checkpoints older than watermark;
+// called after a newer checkpoint is durable.
+func RemoveCheckpointsBelowFS(fsys vfs.FS, dir string, watermark uint64) error {
+	cks, err := listCheckpoints(fsys, dir)
 	if err != nil {
 		return err
 	}
 	for _, c := range cks {
 		if c.watermark < watermark {
-			if err := os.Remove(c.path); err != nil {
+			if err := fsys.Remove(c.path); err != nil {
 				return fmt.Errorf("wal: removing old checkpoint: %w", err)
 			}
 		}

@@ -1,9 +1,10 @@
 package wal
 
 import (
-	"os"
 	"testing"
 	"time"
+
+	"bohm/internal/vfs"
 )
 
 // TestIntervalSyncDoesNotBlockAppends: with SyncByInterval, the fsync runs
@@ -24,7 +25,7 @@ func TestIntervalSyncDoesNotBlockAppends(t *testing.T) {
 	release := make(chan struct{})
 	first := true
 	w.mu.Lock() // the syncer goroutine reads w.fsync under mu-published state
-	w.fsync = func(f *os.File) error {
+	w.fsync = func(f vfs.File) error {
 		if first {
 			first = false
 			close(started)

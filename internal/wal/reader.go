@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"bohm/internal/vfs"
 )
 
 // segment is one log segment file on disk.
@@ -22,8 +24,8 @@ type segment struct {
 // listSegments returns the directory's segment files ordered by starting
 // batch sequence. Files that do not match the segment naming scheme are
 // ignored.
-func listSegments(dir string) ([]segment, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys vfs.FS, dir string) ([]segment, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -46,7 +48,13 @@ func listSegments(dir string) ([]segment, error) {
 	return segs, nil
 }
 
-// ReadLog scans the directory's segments in order and calls fn for every
+// ReadLog scans the directory's segments on the real filesystem; see
+// ReadLogFS.
+func ReadLog(dir string, afterSeq uint64, fn func(*Batch) error) (lastSeq uint64, torn bool, err error) {
+	return ReadLogFS(vfs.OS, dir, afterSeq, fn)
+}
+
+// ReadLogFS scans the directory's segments in order and calls fn for every
 // intact batch with Seq > afterSeq, in sequence order. It returns the
 // highest intact sequence seen (zero if none) and whether a torn tail —
 // a partial or checksum-failing record at the end of the newest segment,
@@ -54,15 +62,29 @@ func listSegments(dir string) ([]segment, error) {
 //
 // Sequences must be contiguous across the retained log; a gap, or damage
 // anywhere other than the tail of the newest segment, returns ErrCorrupt.
-func ReadLog(dir string, afterSeq uint64, fn func(*Batch) error) (lastSeq uint64, torn bool, err error) {
-	segs, err := listSegments(dir)
+func ReadLogFS(fsys vfs.FS, dir string, afterSeq uint64, fn func(*Batch) error) (lastSeq uint64, torn bool, err error) {
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return 0, false, err
 	}
+	// Start at the newest segment that can contain afterSeq+1 and ignore
+	// everything older. Stale segments below the replay point are not
+	// validated: a failed removal during log truncation (checkpointing on
+	// a faulty disk) can leave gaps among them, and recovery must not
+	// mistake that debris — which it would never replay — for corruption.
+	// When every segment starts above afterSeq+1 nothing is skipped; the
+	// caller's own contiguity check against afterSeq reports the gap.
+	first := 0
+	for i, seg := range segs {
+		if seg.start <= afterSeq+1 {
+			first = i
+		}
+	}
+	segs = segs[first:]
 	var prev uint64 // last seq seen across segments; 0 = none yet
 	for i, seg := range segs {
 		last := i == len(segs)-1
-		prev, torn, err = readSegment(seg, last, prev, afterSeq, fn)
+		prev, torn, err = readSegment(fsys, seg, last, prev, afterSeq, fn)
 		if err != nil {
 			return prev, false, err
 		}
@@ -76,8 +98,8 @@ func ReadLog(dir string, afterSeq uint64, fn func(*Batch) error) (lastSeq uint64
 
 // readSegment scans one segment. A decode failure is a torn tail if this
 // is the newest segment (isLast), otherwise corruption.
-func readSegment(seg segment, isLast bool, prev, afterSeq uint64, fn func(*Batch) error) (uint64, bool, error) {
-	f, err := os.Open(seg.path)
+func readSegment(fsys vfs.FS, seg segment, isLast bool, prev, afterSeq uint64, fn func(*Batch) error) (uint64, bool, error) {
+	f, err := fsys.Open(seg.path)
 	if err != nil {
 		return prev, false, fmt.Errorf("wal: opening segment: %w", err)
 	}
@@ -150,39 +172,47 @@ func readSegment(seg segment, isLast bool, prev, afterSeq uint64, fn func(*Batch
 	}
 }
 
-// HasState reports whether dir contains any log segments or checkpoints —
-// i.e. whether an engine previously ran here and Recover (not a fresh New)
-// is the right way in.
-func HasState(dir string) (bool, error) {
-	segs, err := listSegments(dir)
+// HasState reports on the real filesystem; see HasStateFS.
+func HasState(dir string) (bool, error) { return HasStateFS(vfs.OS, dir) }
+
+// HasStateFS reports whether dir contains any log segments or checkpoints
+// — i.e. whether an engine previously ran here and Recover (not a fresh
+// New) is the right way in.
+func HasStateFS(fsys vfs.FS, dir string) (bool, error) {
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return false, err
 	}
 	if len(segs) > 0 {
 		return true, nil
 	}
-	cks, err := listCheckpoints(dir)
+	cks, err := listCheckpoints(fsys, dir)
 	if err != nil {
 		return false, err
 	}
 	return len(cks) > 0, nil
 }
 
-// RemoveAllState deletes every segment and checkpoint in dir except the
+// RemoveAllState removes on the real filesystem; see RemoveAllStateFS.
+func RemoveAllState(dir string, keepWatermark uint64) error {
+	return RemoveAllStateFS(vfs.OS, dir, keepWatermark)
+}
+
+// RemoveAllStateFS deletes every segment and checkpoint in dir except the
 // checkpoint whose watermark equals keepWatermark (when none matches,
 // everything is removed). Recovery uses it to reset the directory to
 // exactly one checkpoint before re-opening a fresh log.
-func RemoveAllState(dir string, keepWatermark uint64) error {
-	segs, err := listSegments(dir)
+func RemoveAllStateFS(fsys vfs.FS, dir string, keepWatermark uint64) error {
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return err
 	}
 	for _, s := range segs {
-		if err := os.Remove(s.path); err != nil {
+		if err := fsys.Remove(s.path); err != nil {
 			return fmt.Errorf("wal: removing segment: %w", err)
 		}
 	}
-	cks, err := listCheckpoints(dir)
+	cks, err := listCheckpoints(fsys, dir)
 	if err != nil {
 		return err
 	}
@@ -190,7 +220,7 @@ func RemoveAllState(dir string, keepWatermark uint64) error {
 		if c.watermark == keepWatermark {
 			continue
 		}
-		if err := os.Remove(c.path); err != nil {
+		if err := fsys.Remove(c.path); err != nil {
 			return fmt.Errorf("wal: removing checkpoint: %w", err)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"bohm/internal/txn"
+	"bohm/internal/vfs"
 )
 
 // mkBatch builds a recognizable test batch.
@@ -105,7 +106,7 @@ func TestSegmentRotationAndTruncate(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestSegmentRotationAndTruncate(t *testing.T) {
 	if err := w.TruncateBelow(10); err != nil {
 		t.Fatal(err)
 	}
-	left, err := listSegments(dir)
+	left, err := listSegments(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func tornCase(t *testing.T, name string, f func(t *testing.T, path string), want
 		if err := w.Close(); err != nil {
 			t.Fatal(err)
 		}
-		segs, _ := listSegments(dir)
+		segs, _ := listSegments(vfs.OS, dir)
 		if len(segs) != 1 {
 			t.Fatalf("want one segment, got %d", len(segs))
 		}
@@ -245,7 +246,7 @@ func TestCorruptionMidLogIsAnError(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(vfs.OS, dir)
 	if len(segs) < 2 {
 		t.Fatalf("want multiple segments, got %d", len(segs))
 	}
@@ -314,7 +315,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err := RemoveCheckpointsBelow(dir, 50); err != nil {
 		t.Fatal(err)
 	}
-	cks, _ := listCheckpoints(dir)
+	cks, _ := listCheckpoints(vfs.OS, dir)
 	if len(cks) != 1 || cks[0].watermark != 50 {
 		t.Fatalf("after RemoveCheckpointsBelow: %+v", cks)
 	}

@@ -6,12 +6,36 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io/fs"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bohm/internal/vfs"
 )
+
+// RetryPolicy bounds how hard a durability path tries before giving up.
+// The first attempt is immediate; later attempts back off exponentially
+// from Backoff with ±25% jitter.
+type RetryPolicy struct {
+	// Attempts is the number of repair attempts per failure (default 4).
+	// A negative value disables retrying: the first error fail-stops.
+	Attempts int
+	// Backoff is the base delay before the second attempt, doubling each
+	// attempt after that (default 1ms).
+	Backoff time.Duration
+}
+
+func (r *RetryPolicy) normalize(defAttempts int, defBackoff time.Duration) {
+	if r.Attempts == 0 {
+		r.Attempts = defAttempts
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = defBackoff
+	}
+}
 
 // WriterOptions parameterizes a log writer. The zero Dir is invalid;
 // everything else has usable defaults.
@@ -25,6 +49,16 @@ type WriterOptions struct {
 	// SegmentBytes rotates to a new segment file once the current one
 	// exceeds this size (default 16 MiB).
 	SegmentBytes int64
+	// FS is the filesystem implementation (nil means the real one); tests
+	// substitute a fault-injecting FS.
+	FS vfs.FS
+	// Retry bounds write-hole repair after an append/flush/sync error
+	// (default 4 attempts, 1ms base backoff; negative Attempts fail-stop).
+	Retry RetryPolicy
+	// RetainBytes bounds the ring of encoded frames kept above the durable
+	// mark for repair (default 8 MiB). If non-durable frames ever exceed
+	// it, repair of a fault in that window fail-stops instead.
+	RetainBytes int64
 }
 
 func (o *WriterOptions) normalize() error {
@@ -37,6 +71,13 @@ func (o *WriterOptions) normalize() error {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 16 << 20
 	}
+	if o.FS == nil {
+		o.FS = vfs.OS
+	}
+	o.Retry.normalize(4, time.Millisecond)
+	if o.RetainBytes <= 0 {
+		o.RetainBytes = 8 << 20
+	}
 	return nil
 }
 
@@ -48,26 +89,57 @@ type WriterStats struct {
 	Bytes uint64
 	// Syncs is the number of fsync calls issued.
 	Syncs uint64
+	// Retries is the number of write-hole repair attempts made after
+	// storage errors (successful or not).
+	Retries uint64
+}
+
+// retainedFrame is one encoded, not-yet-durable batch kept for repair.
+type retainedFrame struct {
+	seq uint64
+	buf []byte
 }
 
 // Writer is the append side of the command log. Append is called by the
 // engine's sequencer; WaitDurable is called by the acknowledgement path
 // and blocks until a batch's bytes are known to be on disk under the
 // configured policy. A Writer is safe for concurrent use.
+//
+// Storage errors do not immediately poison the writer: every encoded
+// frame above the durable mark is retained in a bounded ring, so on an
+// append/flush/fsync error the writer can cut the current segment back to
+// its durable prefix and re-write the suspect suffix into a fresh segment
+// (see repairLocked). That is sound where "retry the fsync" is not — a
+// post-error fsync on the same fd proves nothing because the kernel
+// reports a writeback error once and may drop the dirty pages, but a new
+// segment rewritten from retained frames re-establishes the acknowledged
+// prefix byte for byte. Only when bounded retries are exhausted does the
+// writer fail-stop.
 type Writer struct {
 	opts WriterOptions
+	fs   vfs.FS
 
-	// mu guards the current segment (file, buffer, byte counts) and the
-	// appended high-water mark. fsync is performed while holding mu: this
-	// serializes appends with syncs, which keeps segment rotation trivially
-	// safe; the sequencer is the only appender and tolerates the pause.
-	mu       sync.Mutex
-	f        *os.File
-	bw       *bufio.Writer
-	segStart uint64 // first batch seq in the current segment
-	segSize  int64
-	appended uint64 // highest batch seq appended
-	scratch  []byte
+	// mu guards the current segment (file, buffer, byte counts), the
+	// appended high-water mark and the retained-frame ring. fsync is
+	// performed while holding mu: this serializes appends with syncs, which
+	// keeps segment rotation trivially safe; the sequencer is the only
+	// appender and tolerates the pause.
+	mu         sync.Mutex
+	f          vfs.File
+	bw         *bufio.Writer
+	segStart   uint64 // first batch seq in the current segment
+	segSize    int64
+	durableOff int64  // bytes of the current segment covered by an fsync
+	appended   uint64 // highest batch seq appended
+	scratch    []byte
+
+	// retained holds encoded frames above the durable mark, oldest first;
+	// retainedBytes tracks their total size against opts.RetainBytes and
+	// frameFree recycles buffers so steady-state retention allocates
+	// nothing.
+	retained      []retainedFrame
+	retainedBytes int64
+	frameFree     [][]byte
 
 	// durable is the highest batch seq guaranteed on disk; guarded by durMu
 	// and broadcast on durCond. syncErr, once set, poisons the writer:
@@ -80,13 +152,15 @@ type Writer struct {
 	batches atomic.Uint64
 	bytes   atomic.Uint64
 	syncs   atomic.Uint64
+	retries atomic.Uint64
 
 	stop       chan struct{}
+	stopOnce   sync.Once
 	syncerDone chan struct{}
 
 	// fsync performs the file synchronization; tests substitute a slow
 	// or instrumented implementation.
-	fsync func(*os.File) error
+	fsync func(vfs.File) error
 }
 
 // OpenWriter creates (or reuses) the log directory and returns a writer.
@@ -98,11 +172,11 @@ func OpenWriter(o WriterOptions) (*Writer, error) {
 	if err := o.normalize(); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+	if err := o.FS.MkdirAll(o.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating log dir: %w", err)
 	}
-	w := &Writer{opts: o, stop: make(chan struct{})}
-	w.fsync = (*os.File).Sync
+	w := &Writer{opts: o, fs: o.FS, stop: make(chan struct{})}
+	w.fsync = vfs.File.Sync
 	w.durCond = sync.NewCond(&w.durMu)
 	if o.Policy == SyncByInterval {
 		w.syncerDone = make(chan struct{})
@@ -119,24 +193,17 @@ func segmentPath(dir string, seq uint64) string {
 // Append encodes b, frames it with a CRC, and writes it to the current
 // segment, rotating first if the segment is full. Under SyncEveryBatch the
 // batch is durable when Append returns; under the other policies Append
-// only buffers and durability is tracked separately (WaitDurable).
+// only buffers and durability is tracked separately (WaitDurable). A
+// storage error triggers write-hole repair; Append only returns an error
+// once repair attempts are exhausted and the writer has failed.
 func (w *Writer) Append(b *Batch) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 
-	// Fail-stop: once a write or sync has failed, the on-disk suffix is
-	// suspect (the kernel may have dropped the failed pages and cleared
-	// the fd's error state), so no later operation may advance the
-	// durable mark past the hole.
+	// Fail-stop: once repair has given up, the on-disk suffix is suspect
+	// and no later operation may advance the durable mark past the hole.
 	if err := w.failedErr(); err != nil {
 		return err
-	}
-
-	if w.f == nil || w.segSize >= w.opts.SegmentBytes {
-		if err := w.rotateLocked(b.Seq); err != nil {
-			w.fail(err)
-			return err
-		}
 	}
 
 	w.scratch = w.scratch[:0]
@@ -155,12 +222,15 @@ func (w *Writer) Append(b *Batch) error {
 	putU32(w.scratch[0:], uint32(len(payload)))
 	putU32(w.scratch[4:], crc32.Checksum(payload, castagnoli))
 
-	if _, err := w.bw.Write(w.scratch); err != nil {
-		w.fail(err)
-		return fmt.Errorf("wal: appending batch %d: %w", b.Seq, err)
+	// Retain the frame before the disk sees it: repair replays retained
+	// frames into a fresh segment, so the copy must exist whatever fails.
+	w.retain(b.Seq)
+
+	if err := w.writeLocked(b.Seq); err != nil {
+		if err := w.repairLocked(err); err != nil {
+			return fmt.Errorf("wal: appending batch %d: %w", b.Seq, err)
+		}
 	}
-	w.segSize += int64(len(w.scratch))
-	w.appended = b.Seq
 	w.batches.Add(1)
 	w.bytes.Add(uint64(len(w.scratch)))
 
@@ -172,18 +242,39 @@ func (w *Writer) Append(b *Batch) error {
 	case SyncNever:
 		// No durability promise: acknowledge immediately.
 		w.advance(w.appended)
+		w.trimRetained()
 	}
 	return nil
 }
 
+// writeLocked puts the encoded frame in scratch on disk as batch seq,
+// rotating to a fresh segment first when needed. Errors are returned raw
+// for repairLocked; nothing here fail-stops. Called with mu held.
+func (w *Writer) writeLocked(seq uint64) error {
+	if w.f == nil || w.segSize >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(seq); err != nil {
+			return err
+		}
+	}
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		return fmt.Errorf("wal: appending batch %d: %w", seq, err)
+	}
+	w.segSize += int64(len(w.scratch))
+	w.appended = seq
+	return nil
+}
+
 // rotateLocked syncs and closes the current segment (if any) and opens a
-// fresh one whose name records firstSeq. Called with mu held.
+// fresh one whose name records firstSeq. Because the old segment is made
+// fully durable before the new one exists, non-durable frames are only
+// ever confined to the newest segment — the invariant repair relies on.
+// Called with mu held; errors are returned raw for repairLocked.
 func (w *Writer) rotateLocked(firstSeq uint64) error {
 	if w.f != nil {
 		// Make the old segment fully durable before moving on, so the
 		// durable high-water mark never points into an unsynced file that
 		// later records sort after.
-		if err := w.syncLocked(); err != nil {
+		if err := w.flushSyncLocked(); err != nil {
 			return err
 		}
 		if err := w.f.Close(); err != nil {
@@ -191,14 +282,14 @@ func (w *Writer) rotateLocked(firstSeq uint64) error {
 		}
 		w.f = nil
 	}
-	f, err := os.OpenFile(segmentPath(w.opts.Dir, firstSeq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile(segmentPath(w.opts.Dir, firstSeq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
 	}
 	// Persist the directory entry: fsyncing the file later covers its
 	// data and inode, but not the dirent — without this, a power failure
 	// could make the whole acknowledged segment vanish.
-	if err := syncDir(w.opts.Dir); err != nil {
+	if err := syncDirFS(w.fs, w.opts.Dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -206,6 +297,7 @@ func (w *Writer) rotateLocked(firstSeq uint64) error {
 	w.bw = bufio.NewWriterSize(f, 1<<16)
 	w.segStart = firstSeq
 	w.segSize = 0
+	w.durableOff = 0
 	if _, err := w.bw.WriteString(segMagic); err != nil {
 		return fmt.Errorf("wal: writing segment header: %w", err)
 	}
@@ -213,28 +305,35 @@ func (w *Writer) rotateLocked(firstSeq uint64) error {
 	return nil
 }
 
-// syncLocked flushes the buffer, fsyncs the segment, and advances the
-// durable mark to everything appended so far. Called with mu held. Once
-// the writer has failed it refuses: a "successful" fsync after an EIO
-// proves nothing (the kernel reports a writeback error once, then drops
-// the pages), so advancing would acknowledge lost data.
-func (w *Writer) syncLocked() error {
-	if err := w.failedErr(); err != nil {
-		return err
-	}
+// flushSyncLocked flushes the buffer, fsyncs the segment, and advances the
+// durable mark to everything appended so far. Errors are returned raw for
+// repairLocked. Called with mu held.
+func (w *Writer) flushSyncLocked() error {
 	if w.f == nil {
 		return nil
 	}
 	if err := w.bw.Flush(); err != nil {
-		w.fail(err)
 		return fmt.Errorf("wal: flushing segment: %w", err)
 	}
 	if err := w.fsync(w.f); err != nil {
-		w.fail(err)
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	w.syncs.Add(1)
+	w.durableOff = w.segSize
 	w.advance(w.appended)
+	w.trimRetained()
+	return nil
+}
+
+// syncLocked is flushSyncLocked behind the fail-stop gate, with repair on
+// error. Called with mu held.
+func (w *Writer) syncLocked() error {
+	if err := w.failedErr(); err != nil {
+		return err
+	}
+	if err := w.flushSyncLocked(); err != nil {
+		return w.repairLocked(err)
+	}
 	return nil
 }
 
@@ -243,6 +342,239 @@ func (w *Writer) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.syncLocked()
+}
+
+// retain appends a copy of scratch (the encoded frame for seq) to the
+// retained ring, recycling buffers from earlier trims. Called with mu
+// held, before the frame is handed to the disk.
+func (w *Writer) retain(seq uint64) {
+	var buf []byte
+	if n := len(w.frameFree); n > 0 && cap(w.frameFree[n-1]) >= len(w.scratch) {
+		buf = w.frameFree[n-1][:0]
+		w.frameFree = w.frameFree[:n-1]
+	}
+	buf = append(buf, w.scratch...)
+	w.retained = append(w.retained, retainedFrame{seq: seq, buf: buf})
+	w.retainedBytes += int64(len(buf))
+	w.trimRetained()
+}
+
+// trimRetained drops frames at or below the durable mark, returning their
+// buffers to the free list. If the non-durable window still exceeds the
+// retention budget, the oldest frames are dropped too — repair of a fault
+// inside that window then fails its coverage check and fail-stops, which
+// is the documented trade for bounded memory. Called with mu held.
+func (w *Writer) trimRetained() {
+	durable := w.durableMark()
+	i, left := 0, w.retainedBytes
+	for i < len(w.retained) && w.retained[i].seq <= durable {
+		left -= int64(len(w.retained[i].buf))
+		i++
+	}
+	for i < len(w.retained)-1 && left > w.opts.RetainBytes {
+		left -= int64(len(w.retained[i].buf))
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	for j := 0; j < i; j++ {
+		fr := &w.retained[j]
+		w.retainedBytes -= int64(len(fr.buf))
+		if len(w.frameFree) < 8 {
+			w.frameFree = append(w.frameFree, fr.buf)
+		}
+		fr.buf = nil
+	}
+	n := copy(w.retained, w.retained[i:])
+	w.retained = w.retained[:n]
+}
+
+// repairLocked runs bounded write-hole repair after cause. The first
+// attempt is immediate; later attempts back off exponentially with
+// jitter, aborting early if the writer is stopping. On success the
+// suspect suffix has been re-established on disk, the durable mark covers
+// everything appended, and the caller's operation is complete. On
+// exhaustion the writer fail-stops with the last error. Called with mu
+// held (the sequencer stalls for the few milliseconds of backoff; every
+// other path already treats the writer as slow storage).
+func (w *Writer) repairLocked(cause error) error {
+	if w.opts.Retry.Attempts < 0 {
+		w.fail(cause)
+		return cause
+	}
+	err := cause
+	for a := 0; a < w.opts.Retry.Attempts; a++ {
+		if a > 0 {
+			d := w.opts.Retry.Backoff << (a - 1)
+			d += time.Duration(rand.Int63n(int64(d)/2+1)) - d/4 // ±25% jitter
+			select {
+			case <-time.After(d):
+			case <-w.stop:
+				err = fmt.Errorf("wal: writer stopped during repair: %w", err)
+				w.fail(err)
+				w.scrubLocked()
+				return err
+			}
+		}
+		w.retries.Add(1)
+		rerr := w.repairOnce()
+		if rerr == nil {
+			return nil
+		}
+		err = rerr
+	}
+	err = fmt.Errorf("wal: repair exhausted after %d attempts: %w", w.opts.Retry.Attempts, err)
+	w.fail(err)
+	w.scrubLocked()
+	return err
+}
+
+// scrubLocked is the fail-stop epilogue: a best-effort removal of every
+// readable-but-not-durable byte the abandoned repair may have left on
+// disk. The clients of those frames were (or are about to be) told their
+// durability is lost, so a later recovery on healed storage must not
+// quietly resurrect them. Errors are deliberately ignored — the storage
+// is already known bad, and recovery tolerates a torn newest segment —
+// but on the common failure profile (fsync errors, full disk) these
+// metadata operations succeed and the on-disk log ends exactly at the
+// durable mark. Called with mu held, after fail().
+func (w *Writer) scrubLocked() {
+	durable := w.durableMark()
+	if w.f != nil {
+		_ = w.f.Close()
+		w.f, w.bw = nil, nil
+	}
+	if w.segStart != 0 {
+		// The current segment: keep its fsync-covered prefix, drop the rest.
+		path := segmentPath(w.opts.Dir, w.segStart)
+		if w.durableOff > 0 {
+			_ = w.fs.Truncate(path, w.durableOff)
+		} else {
+			_ = w.fs.Remove(path)
+		}
+	}
+	if w.segStart != durable+1 {
+		// Debris of a partially-built repair segment (entirely non-durable).
+		_ = w.fs.Remove(segmentPath(w.opts.Dir, durable+1))
+	}
+	_ = w.fs.SyncDir(w.opts.Dir)
+}
+
+// repairOnce makes one attempt at re-establishing the log's durable
+// prefix plus the retained suffix:
+//
+//  1. close the suspect fd — its unflushed/unsynced bytes are unrecoverable;
+//  2. cut the current segment file back to its durable prefix (or remove
+//     it when nothing in it is durable) and persist the cut;
+//  3. re-create a segment starting at durable+1 and re-write every
+//     retained frame into it, flush, fsync, fsync the directory.
+//
+// Afterwards the on-disk log is byte-equivalent to one where every append
+// succeeded the first time. Called with mu held.
+func (w *Writer) repairOnce() error {
+	durable := w.durableMark()
+	if w.f != nil {
+		_ = w.f.Close() // close errors are moot: the fd is being abandoned
+		w.f = nil
+		w.bw = nil
+	}
+	if w.segStart != 0 {
+		path := segmentPath(w.opts.Dir, w.segStart)
+		if w.durableOff > 0 {
+			// The prefix up to durableOff was covered by a successful
+			// fsync; everything after it is suspect. Cut and re-persist.
+			if err := w.fs.Truncate(path, w.durableOff); err != nil {
+				return fmt.Errorf("wal: repair truncating segment: %w", err)
+			}
+			f, err := w.fs.OpenFile(path, os.O_WRONLY, 0)
+			if err != nil {
+				return fmt.Errorf("wal: repair reopening segment: %w", err)
+			}
+			serr := w.fsync(f)
+			cerr := f.Close()
+			if serr != nil {
+				return fmt.Errorf("wal: repair syncing cut segment: %w", serr)
+			}
+			if cerr != nil {
+				return fmt.Errorf("wal: repair closing cut segment: %w", cerr)
+			}
+		} else if err := w.fs.Remove(path); err != nil && !os.IsNotExist(err) {
+			// No durable byte ever reached this segment; recovery must not
+			// see its (possibly torn) remains ahead of the replacement.
+			return fmt.Errorf("wal: repair removing segment: %w", err)
+		}
+		if err := syncDirFS(w.fs, w.opts.Dir); err != nil {
+			return err
+		}
+	}
+	// Detach the current-segment state either way; a later append rotates.
+	w.segStart, w.segSize, w.durableOff = 0, 0, 0
+
+	w.trimRetained()
+	frames := w.retained
+	if len(frames) == 0 {
+		// Nothing above the durable mark is outstanding (the failure hit a
+		// sync with no new bytes, or the suffix was already re-established).
+		return nil
+	}
+	// Coverage check: the ring must hold exactly durable+1..appended. A gap
+	// means retention overflowed its budget and the hole cannot be rebuilt.
+	if frames[0].seq != durable+1 {
+		return fmt.Errorf("wal: repair ring starts at batch %d, need %d (retention overflow)",
+			frames[0].seq, durable+1)
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i].seq != frames[i-1].seq+1 {
+			return fmt.Errorf("wal: repair ring gap at batch %d", frames[i-1].seq)
+		}
+	}
+
+	path := segmentPath(w.opts.Dir, durable+1)
+	if err := w.fs.Remove(path); err != nil && !os.IsNotExist(err) {
+		// Debris from a previous failed repair attempt.
+		return fmt.Errorf("wal: repair clearing segment: %w", err)
+	}
+	f, err := w.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: repair creating segment: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	size := int64(0)
+	if _, err := bw.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: repair writing segment header: %w", err)
+	}
+	size += int64(len(segMagic))
+	for i := range frames {
+		if _, err := bw.Write(frames[i].buf); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: repair rewriting batch %d: %w", frames[i].seq, err)
+		}
+		size += int64(len(frames[i].buf))
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: repair flushing segment: %w", err)
+	}
+	if err := w.fsync(f); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: repair syncing segment: %w", err)
+	}
+	if err := syncDirFS(w.fs, w.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.bw = bw
+	w.segStart = durable + 1
+	w.segSize = size
+	w.durableOff = size
+	w.appended = frames[len(frames)-1].seq
+	w.syncs.Add(1)
+	w.advance(w.appended)
+	w.trimRetained()
+	return nil
 }
 
 // syncLoop is the SyncByInterval group-commit goroutine. It holds the
@@ -267,7 +599,8 @@ func (w *Writer) syncLoop() {
 }
 
 // syncOnce performs one interval group commit: flush under the mutex,
-// fsync outside it.
+// fsync outside it. Storage errors here go through the same repair path
+// as synchronous appends.
 func (w *Writer) syncOnce() {
 	w.mu.Lock()
 	if w.f == nil || w.appended <= w.durableMark() || w.failedErr() != nil {
@@ -275,32 +608,46 @@ func (w *Writer) syncOnce() {
 		return
 	}
 	if err := w.bw.Flush(); err != nil {
-		w.fail(err) // surfaces via WaitDurable
+		_ = w.repairLocked(fmt.Errorf("wal: flushing segment: %w", err))
 		w.mu.Unlock()
 		return
 	}
 	f := w.f
 	mark := w.appended
+	off := w.segSize
 	w.mu.Unlock()
 
 	// Concurrent appends to the same fd are fine: fsync covers at least
 	// every byte flushed before it started. If a rotation closed f in the
 	// meantime, rotateLocked already synced the whole segment (advancing
 	// the durable mark past ours) before closing, so a closed-file error
-	// with the mark already durable is benign. Every other error
-	// fail-stops, even if a concurrent rotation fsync on the same fd
-	// reported success: the kernel hands a pending writeback error to
-	// only one of two racing fsync callers, so the "successful" one
-	// proves nothing about our bytes.
+	// with the mark already durable is benign. Every other error goes to
+	// repair — even if a concurrent rotation fsync on the same fd reported
+	// success, the kernel hands a pending writeback error to only one of
+	// two racing fsync callers, so the "successful" one proves nothing
+	// about our bytes.
 	if err := w.fsync(f); err != nil {
 		if errors.Is(err, fs.ErrClosed) && w.durableMark() >= mark {
 			return
 		}
-		w.fail(err)
+		w.mu.Lock()
+		// The world may have moved on while the lock was dropped (a
+		// rotation or an append-triggered repair); only repair if the mark
+		// is genuinely still not durable.
+		if w.durableMark() < mark && w.failedErr() == nil {
+			_ = w.repairLocked(fmt.Errorf("wal: fsync: %w", err))
+		}
+		w.mu.Unlock()
 		return
 	}
 	w.syncs.Add(1)
 	w.advance(mark)
+	w.mu.Lock()
+	if w.f == f && off > w.durableOff {
+		w.durableOff = off
+	}
+	w.trimRetained()
+	w.mu.Unlock()
 }
 
 // advance publishes seq as durable and wakes waiters. A failed writer
@@ -332,6 +679,10 @@ func (w *Writer) durableMark() uint64 {
 	return w.durable
 }
 
+// DurableMark returns the highest batch sequence known to be on disk —
+// the watermark degraded engines keep serving reads at.
+func (w *Writer) DurableMark() uint64 { return w.durableMark() }
+
 // failedErr returns the recorded write/sync error, if any.
 func (w *Writer) failedErr() error {
 	w.durMu.Lock()
@@ -360,6 +711,7 @@ func (w *Writer) Stats() WriterStats {
 		Batches: w.batches.Load(),
 		Bytes:   w.bytes.Load(),
 		Syncs:   w.syncs.Load(),
+		Retries: w.retries.Load(),
 	}
 }
 
@@ -370,7 +722,7 @@ func (w *Writer) Stats() WriterStats {
 func (w *Writer) TruncateBelow(seq uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	segs, err := listSegments(w.opts.Dir)
+	segs, err := listSegments(w.fs, w.opts.Dir)
 	if err != nil {
 		return err
 	}
@@ -379,7 +731,7 @@ func (w *Writer) TruncateBelow(seq uint64) error {
 			continue
 		}
 		if i+1 < len(segs) && segs[i+1].start <= seq {
-			if err := os.Remove(s.path); err != nil {
+			if err := w.fs.Remove(s.path); err != nil {
 				return fmt.Errorf("wal: truncating: %w", err)
 			}
 		}
@@ -388,7 +740,8 @@ func (w *Writer) TruncateBelow(seq uint64) error {
 }
 
 // Close syncs outstanding data and closes the segment. The writer must not
-// be used afterwards.
+// be used afterwards. A storage fault during the final sync gets one
+// immediate repair attempt but no backoff (the stop signal is already up).
 func (w *Writer) Close() error {
 	w.stopSyncer()
 	w.mu.Lock()
@@ -418,14 +771,12 @@ func (w *Writer) Kill() {
 	w.fail(fmt.Errorf("wal: writer killed"))
 }
 
+// stopSyncer signals shutdown and waits out the interval goroutine. It
+// must not take w.mu: a repair backoff sleeps under the mutex and watches
+// w.stop, so closing the channel lock-free is what lets Close/Kill
+// interrupt an in-flight repair instead of deadlocking behind it.
 func (w *Writer) stopSyncer() {
-	w.mu.Lock()
-	select {
-	case <-w.stop:
-	default:
-		close(w.stop)
-	}
-	w.mu.Unlock()
+	w.stopOnce.Do(func() { close(w.stop) })
 	if w.syncerDone != nil {
 		<-w.syncerDone
 	}

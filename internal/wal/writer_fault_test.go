@@ -1,0 +1,344 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"bohm/internal/txn"
+	"bohm/internal/vfs"
+)
+
+// appendN appends batches first..last and fails the test on any error.
+func appendN(t *testing.T, w *Writer, first, last uint64) {
+	t.Helper()
+	for seq := first; seq <= last; seq++ {
+		if err := w.Append(mkBatch(seq, 2)); err != nil {
+			t.Fatalf("append %d: %v", seq, err)
+		}
+	}
+}
+
+// verifyLog closes nothing; it re-reads dir through the clean OS
+// filesystem and checks batches 1..last are intact and contiguous.
+func verifyLog(t *testing.T, dir string, last uint64) {
+	t.Helper()
+	var seqs []uint64
+	lastSeq, torn, err := ReadLog(dir, 0, func(b *Batch) error {
+		seqs = append(seqs, b.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if torn {
+		t.Fatalf("unexpected torn tail")
+	}
+	if lastSeq != last || uint64(len(seqs)) != last {
+		t.Fatalf("read %d batches up to %d, want %d contiguous", len(seqs), lastSeq, last)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("batch %d has seq %d", i, s)
+		}
+	}
+}
+
+// TestRepairTransientWriteFault: a transient EIO on a segment write is
+// absorbed by write-hole repair — every Append succeeds, retries are
+// counted, and the log is fully readable afterwards.
+func TestRepairTransientWriteFault(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil, vfs.Fault{Op: vfs.OpWrite, Path: "wal-", After: 2, Count: 1})
+	w, err := OpenWriter(WriterOptions{Dir: dir, Policy: SyncEveryBatch, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 10)
+	if got := w.Stats().Retries; got == 0 {
+		t.Fatalf("Retries = 0, want > 0 after an injected write fault")
+	}
+	if fsys.Injected() == 0 {
+		t.Fatalf("fault never fired")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	verifyLog(t, dir, 10)
+}
+
+// TestRepairDroppedPagesFsyncFault: the nastiest real-world profile — the
+// fsync fails AND the kernel drops the dirty pages, so the bytes are gone
+// from the old fd. Repair must rebuild them from the retained ring, across
+// two back-to-back failures (the injected fault also hits the first repair
+// attempt's own fsync).
+func TestRepairDroppedPagesFsyncFault(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil,
+		vfs.Fault{Op: vfs.OpSync, Path: "wal-", After: 2, Count: 2, DropUnsynced: true})
+	w, err := OpenWriter(WriterOptions{Dir: dir, Policy: SyncEveryBatch, FS: fsys,
+		Retry: RetryPolicy{Attempts: 4, Backoff: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 8)
+	if got := w.Stats().Retries; got < 2 {
+		t.Fatalf("Retries = %d, want >= 2 (second failure hit the repair itself)", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	verifyLog(t, dir, 8)
+}
+
+// TestRepairENOSPCOnRotation: a full disk exactly when the writer rotates
+// to a new segment is repaired once space returns (transient ENOSPC).
+func TestRepairENOSPCOnRotation(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil,
+		vfs.Fault{Op: vfs.OpCreate, Path: "wal-", After: 1, Count: 1, Err: syscall.ENOSPC})
+	// Tiny segments force a rotation after the first batch.
+	w, err := OpenWriter(WriterOptions{Dir: dir, Policy: SyncEveryBatch, FS: fsys, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	verifyLog(t, dir, 5)
+	segs, err := listSegments(vfs.OS, dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want multiple segments after forced rotation, got %d (%v)", len(segs), err)
+	}
+}
+
+// TestRepairTornWrite: a write that lands only a prefix of the frame
+// before erroring leaves a torn record; repair cuts it away and rewrites,
+// so recovery never sees the tear.
+func TestRepairTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil,
+		vfs.Fault{Op: vfs.OpWrite, Path: "wal-", After: 1, Count: 1, Torn: 5})
+	w, err := OpenWriter(WriterOptions{Dir: dir, Policy: SyncEveryBatch, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 6)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	verifyLog(t, dir, 6)
+}
+
+// TestPersistentFaultFailsStop: when every fsync fails, bounded repair
+// gives up, the writer poisons, the durable mark never crosses the hole,
+// and both Append and WaitDurable report the error.
+func TestPersistentFaultFailsStop(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil,
+		vfs.Fault{Op: vfs.OpSync, Path: "wal-", After: 2, Count: -1, DropUnsynced: true})
+	w, err := OpenWriter(WriterOptions{Dir: dir, Policy: SyncEveryBatch, FS: fsys,
+		Retry: RetryPolicy{Attempts: 3, Backoff: 100 * time.Microsecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 2) // durable prefix
+	err = w.Append(mkBatch(3, 2))
+	if err == nil {
+		t.Fatal("append under a persistent sync fault must eventually fail")
+	}
+	if got := w.durableMark(); got != 2 {
+		t.Fatalf("durable mark = %d after failure, want 2 (never past the hole)", got)
+	}
+	if werr := w.WaitDurable(3); werr == nil {
+		t.Fatal("WaitDurable(3) must report the poisoned writer")
+	}
+	if aerr := w.Append(mkBatch(4, 2)); aerr == nil {
+		t.Fatal("appends after fail-stop must be refused")
+	}
+	w.Kill()
+	// The durable prefix survives on disk even though the suffix is lost.
+	verifyLog(t, dir, 2)
+}
+
+// TestRepairDisabledFailsStopImmediately: Attempts < 0 restores the old
+// fail-stop behaviour — one error, no repair, poisoned writer.
+func TestRepairDisabledFailsStopImmediately(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil, vfs.Fault{Op: vfs.OpSync, Path: "wal-", DropUnsynced: true})
+	w, err := OpenWriter(WriterOptions{Dir: dir, Policy: SyncEveryBatch, FS: fsys,
+		Retry: RetryPolicy{Attempts: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(mkBatch(1, 2)); err == nil {
+		t.Fatal("append must fail when repair is disabled")
+	}
+	if got := w.Stats().Retries; got != 0 {
+		t.Fatalf("Retries = %d with repair disabled, want 0", got)
+	}
+	w.Kill()
+}
+
+// TestCheckpointFaultLeavesNoTemp: a failure anywhere in checkpoint
+// writing — the data sync or the publishing rename — must remove the
+// partial temp file so later directory listings never trip over debris.
+func TestCheckpointFaultLeavesNoTemp(t *testing.T) {
+	scan := func(emit func(k txn.Key, v []byte) error) error {
+		return emit(txn.Key{Table: 1, ID: 7}, []byte("v"))
+	}
+	for _, tc := range []struct {
+		name  string
+		fault vfs.Fault
+	}{
+		{"sync", vfs.Fault{Op: vfs.OpSync, Path: ".ckpt-"}},
+		{"write", vfs.Fault{Op: vfs.OpWrite, Path: ".ckpt-"}},
+		{"rename", vfs.Fault{Op: vfs.OpRename, Err: syscall.ENOSPC}},
+		{"close", vfs.Fault{Op: vfs.OpClose, Path: ".ckpt-"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fsys := vfs.NewFaultFS(nil, tc.fault)
+			if err := WriteCheckpointFS(fsys, dir, 42, scan); err == nil {
+				t.Fatal("checkpoint under fault must fail")
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if strings.Contains(e.Name(), ".tmp") {
+					t.Fatalf("temp debris left behind: %s", e.Name())
+				}
+			}
+			if _, _, found, err := LoadCheckpoint(dir); err != nil || found {
+				t.Fatalf("no checkpoint should be published (found=%v err=%v)", found, err)
+			}
+			// The disk heals; the same checkpoint then succeeds cleanly.
+			fsys.Clear()
+			if err := WriteCheckpointFS(fsys, dir, 42, scan); err != nil {
+				t.Fatalf("checkpoint after heal: %v", err)
+			}
+			if wm, recs, found, err := LoadCheckpoint(dir); err != nil || !found || wm != 42 || len(recs) != 1 {
+				t.Fatalf("reload after heal = wm %d, %d recs, found %v, err %v", wm, len(recs), found, err)
+			}
+		})
+	}
+}
+
+// TestCloseKillRaceOnFaultedWriter: Close and Kill racing each other and a
+// writer whose storage is persistently failing (with repair backoff in
+// flight) must not deadlock or double-close, and every WaitDurable waiter
+// must be woken. Run under -race in CI.
+func TestCloseKillRaceOnFaultedWriter(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		dir := t.TempDir()
+		fsys := vfs.NewFaultFS(nil,
+			vfs.Fault{Op: vfs.OpSync, Path: "wal-", Count: -1, DropUnsynced: true})
+		w, err := OpenWriter(WriterOptions{Dir: dir, Policy: SyncByInterval,
+			Interval: 200 * time.Microsecond, FS: fsys,
+			Retry: RetryPolicy{Attempts: 10, Backoff: 5 * time.Millisecond}})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(4)
+		go func() { // appender: keeps the writer busy hitting the fault
+			defer wg.Done()
+			for seq := uint64(1); seq <= 50; seq++ {
+				if err := w.Append(mkBatch(seq, 1)); err != nil {
+					return
+				}
+			}
+		}()
+		woken := make(chan error, 1)
+		go func() { // waiter: must be woken by fail or advance
+			defer wg.Done()
+			woken <- w.WaitDurable(50)
+		}()
+		go func() { // closer
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 300 * time.Microsecond)
+			_ = w.Close()
+		}()
+		go func() { // killer
+			defer wg.Done()
+			time.Sleep(time.Duration(7-i) * 300 * time.Microsecond)
+			w.Kill()
+		}()
+
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Close/Kill race deadlocked on a faulted writer")
+		}
+		select {
+		case <-woken:
+		case <-time.After(10 * time.Second):
+			t.Fatal("WaitDurable waiter was never woken")
+		}
+	}
+}
+
+// TestRetentionOverflowFailsStop: when the non-durable window outgrows the
+// retention budget, a fault inside it cannot be repaired; the writer must
+// fail-stop (detected by the ring coverage check) rather than fabricate a
+// log with a hole.
+func TestRetentionOverflowFailsStop(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil)
+	// A huge interval means nothing becomes durable on its own, so with a
+	// 1-byte budget the ring sheds every frame but the newest.
+	w, err := OpenWriter(WriterOptions{Dir: dir, Policy: SyncByInterval, Interval: time.Hour,
+		FS: fsys, RetainBytes: 1, Retry: RetryPolicy{Attempts: 2, Backoff: 100 * time.Microsecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 5)
+	w.mu.Lock()
+	n := len(w.retained)
+	w.mu.Unlock()
+	if n > 1 {
+		t.Fatalf("retained ring holds %d frames over a 1-byte budget, want <= 1", n)
+	}
+	fsys.AddFault(vfs.Fault{Op: vfs.OpSync, Path: "wal-", Count: -1, DropUnsynced: true})
+	if err := w.Sync(); err == nil {
+		t.Fatal("sync must fail: the dropped frames cannot be rebuilt")
+	}
+	if werr := w.WaitDurable(1); werr == nil {
+		t.Fatal("writer must be poisoned after an unrepairable fault")
+	}
+	w.Kill()
+}
+
+// TestRepairKeepsOldSegmentsIntact: a fault in the newest segment must not
+// disturb already-rotated segments — repair surgery is confined to the
+// suspect file.
+func TestRepairKeepsOldSegmentsIntact(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(nil)
+	w, err := OpenWriter(WriterOptions{Dir: dir, Policy: SyncEveryBatch, FS: fsys, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 3) // three one-batch segments
+	before, _ := os.ReadFile(filepath.Join(dir, "wal-00000000000000000001.log"))
+	fsys.AddFault(vfs.Fault{Op: vfs.OpSync, Path: "wal-", Count: 1, DropUnsynced: true})
+	appendN(t, w, 4, 6)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(filepath.Join(dir, "wal-00000000000000000001.log"))
+	if string(before) != string(after) {
+		t.Fatal("repair modified a sealed segment")
+	}
+	verifyLog(t, dir, 6)
+}
