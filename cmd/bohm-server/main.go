@@ -1,0 +1,123 @@
+// Command bohm-server serves a BOHM engine over TCP with cross-connection
+// group batching (see internal/server).
+//
+// Usage:
+//
+//	bohm-server -addr :4455 -log-dir /var/lib/bohm -debug-addr :8080
+//
+// With -log-dir the engine recovers from (and logs to) that directory;
+// without it the store is in-memory and volatile. The built-in procedure
+// registry holds the YCSB procedures (ycsb.rmw, ycsb.put) and the
+// general key/value set (kv.put, kv.get, kv.transfer); applications
+// embedding the server register their own.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bohm"
+	"bohm/internal/server"
+	"bohm/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":4455", "TCP listen address")
+		logDir     = flag.String("log-dir", "", "durability directory (empty = in-memory, volatile)")
+		sync       = flag.String("sync", "batch", "log sync policy: batch, interval or never")
+		syncEvery  = flag.Duration("sync-interval", 2*time.Millisecond, "group-commit interval for -sync interval")
+		ckptEvery  = flag.Int("checkpoint-every", 4096, "checkpoint every N batches (0 = never)")
+		debugAddr  = flag.String("debug-addr", "", "debug/metrics HTTP address (empty = off)")
+		cc         = flag.Int("cc", 0, "concurrency-control workers (0 = default)")
+		exec       = flag.Int("exec", 0, "execution workers (0 = default)")
+		capacity   = flag.Int("capacity", 1<<20, "expected record capacity")
+		batch      = flag.Int("batch", 0, "sequencer batch size (0 = default)")
+		maxBatch   = flag.Int("max-batch", 0, "server batch coalescing cap (0 = sequencer batch size)")
+		window     = flag.Duration("window", 200*time.Microsecond, "batching window under dense arrivals")
+		inflight   = flag.Int("inflight", 4, "max in-flight coalesced batches per lane")
+		depth      = flag.Int("depth", 64, "per-connection pipeline depth")
+		recordSize = flag.Int("record-size", 100, "record size for the YCSB procedures")
+	)
+	flag.Parse()
+
+	cfg := bohm.DefaultConfig()
+	cfg.Capacity = *capacity
+	cfg.Metrics = *debugAddr != ""
+	cfg.DebugAddr = *debugAddr
+	if *cc > 0 {
+		cfg.CCWorkers = *cc
+	}
+	if *exec > 0 {
+		cfg.ExecWorkers = *exec
+	}
+	if *batch > 0 {
+		cfg.BatchSize = *batch
+	}
+	if *logDir != "" {
+		cfg.LogDir = *logDir
+		cfg.SyncInterval = *syncEvery
+		cfg.CheckpointEveryBatches = *ckptEvery
+		switch *sync {
+		case "batch":
+			cfg.SyncPolicy = bohm.SyncEveryBatch
+		case "interval":
+			cfg.SyncPolicy = bohm.SyncByInterval
+		case "never":
+			cfg.SyncPolicy = bohm.SyncNever
+		default:
+			log.Fatalf("unknown -sync %q (want batch, interval or never)", *sync)
+		}
+	}
+
+	if *maxBatch == 0 && *batch > 0 {
+		*maxBatch = *batch
+	}
+
+	reg := bohm.NewRegistry()
+	workload.RegisterYCSB(reg, *recordSize)
+	workload.RegisterKV(reg)
+
+	eng, err := bohm.Recover(cfg, reg)
+	if err != nil {
+		log.Fatalf("bohm-server: recover: %v", err)
+	}
+
+	srv, err := server.New(eng, reg, server.Config{
+		Addr:          *addr,
+		MaxBatch:      *maxBatch,
+		BatchWindow:   *window,
+		MaxInFlight:   *inflight,
+		PipelineDepth: *depth,
+	})
+	if err != nil {
+		eng.Close()
+		log.Fatalf("bohm-server: %v", err)
+	}
+	if *maxBatch == 0 {
+		srvNote := ""
+		if *logDir == "" {
+			srvNote = " (in-memory, volatile)"
+		}
+		log.Printf("bohm-server: serving on %s%s", srv.Addr(), srvNote)
+	} else {
+		log.Printf("bohm-server: serving on %s (max-batch %d)", srv.Addr(), *maxBatch)
+	}
+	if *debugAddr != "" {
+		log.Printf("bohm-server: metrics on http://%s/metrics", eng.DebugListenAddr())
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigCh
+	log.Printf("bohm-server: %s — draining", sig)
+	if err := srv.Close(); err != nil {
+		log.Printf("bohm-server: close: %v", err)
+	}
+	eng.Close()
+	log.Print("bohm-server: done")
+}

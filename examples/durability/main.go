@@ -173,7 +173,11 @@ func parent() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() {
+		if err := os.RemoveAll(dir); err != nil {
+			log.Fatalf("cleanup %s: %v", dir, err)
+		}
+	}()
 
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(), childEnv+"="+dir)
@@ -231,7 +235,11 @@ func faultDemo() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() {
+		if err := os.RemoveAll(dir); err != nil {
+			log.Fatalf("cleanup %s: %v", dir, err)
+		}
+	}()
 
 	fsys := vfs.NewFaultFS(nil) // wraps the OS filesystem
 	cfg := config(dir)

@@ -298,3 +298,45 @@ func TestRunReportsLatencyPercentiles(t *testing.T) {
 			r.P50, r.P99, r.P999, r.Max)
 	}
 }
+
+// TestTinyServerSweep runs the network front-end experiment at micro
+// scale: two connections, two depths plus the no-grouping ablation, over
+// loopback. It checks table shape, positive throughput, and that every
+// run carries a label for BENCH_server.json.
+func TestTinyServerSweep(t *testing.T) {
+	s := Quick
+	s.Records = 512
+	s.RecordSize = 16
+	s.Txns = 300
+	s.MaxThreads = 2
+	s.ServerConns = []int{2}
+	s.ServerDepths = []int{1, 4}
+
+	StartCollecting()
+	tables := ServerSweep(s)
+	runs := CollectedRuns()
+
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+	tput := tables[0]
+	if len(tput.Series) != 3 || len(tput.Rows) != 1 {
+		t.Fatalf("throughput table shape: series=%v rows=%d", tput.Series, len(tput.Rows))
+	}
+	for i, v := range tput.Rows[0].Values {
+		if v <= 0 {
+			t.Errorf("series %s throughput %v", tput.Series[i], v)
+		}
+	}
+	if got := len(runs); got != 3 {
+		t.Fatalf("collected runs = %d, want 3", got)
+	}
+	for _, r := range runs {
+		if r.Label == "" {
+			t.Errorf("run without label: %+v", r)
+		}
+		if r.P99Micros < r.P50Micros {
+			t.Errorf("run %s: p99 %v < p50 %v", r.Label, r.P99Micros, r.P50Micros)
+		}
+	}
+}

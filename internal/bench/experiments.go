@@ -41,6 +41,9 @@ type Scale struct {
 	SBCustomersHigh int           // SmallBank high contention (paper: 50)
 	SBCustomersLow  int           // SmallBank low contention (paper: 100,000)
 	SBSpin          time.Duration // per-transaction spin (paper: 50µs)
+
+	ServerConns  []int // client connection sweep for the server experiment
+	ServerDepths []int // per-connection pipeline depths for the server experiment
 }
 
 // Quick is the scaled-down configuration used by `go test -bench` and CI.
@@ -71,6 +74,9 @@ var Quick = Scale{
 	SBCustomersHigh: 50,
 	SBCustomersLow:  20_000,
 	SBSpin:          0,
+
+	ServerConns:  []int{1, 4, 16, 64},
+	ServerDepths: []int{1, 8, 32},
 }
 
 // Ref is the reference configuration for EXPERIMENTS.md on small hosts:
@@ -103,6 +109,9 @@ var Ref = Scale{
 	SBCustomersHigh: 50,
 	SBCustomersLow:  20_000,
 	SBSpin:          0,
+
+	ServerConns:  []int{1, 4, 16, 64},
+	ServerDepths: []int{1, 8, 32},
 }
 
 // Paper is the published configuration (§4). On hardware smaller than the
@@ -135,6 +144,9 @@ var Paper = Scale{
 	SBCustomersHigh: 50,
 	SBCustomersLow:  100_000,
 	SBSpin:          50 * time.Microsecond,
+
+	ServerConns:  []int{1, 8, 64, 256},
+	ServerDepths: []int{1, 16, 64},
 }
 
 // Experiment binds an experiment id to its runner.
@@ -164,6 +176,7 @@ var Experiments = []Experiment{
 	{"ablation-batch", "BOHM batch size sweep (barrier amortization)", AblationBatch},
 	{"ablation-preprocess", "BOHM pre-processing layer on/off", AblationPreprocess},
 	{"durability", "BOHM command logging overhead (sync policy sweep)", AblationDurability},
+	{"server", "network front-end: loopback conns x pipeline-depth sweep vs no-grouping ablation", ServerSweep},
 }
 
 // ExperimentByID returns the experiment with the given id.

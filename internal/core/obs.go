@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"reflect"
+	"sync"
 	"time"
 
 	"bohm/internal/engine"
@@ -38,6 +39,9 @@ type obsState struct {
 	m     *obs.Metrics
 	srv   *http.Server
 	ln    net.Listener
+
+	extraMu sync.Mutex
+	extra   []func(io.Writer) // RegisterMetricsExtra hooks, scrape-time only
 }
 
 // now returns nanoseconds since the engine was built, monotonic.
@@ -229,12 +233,34 @@ func snakeCase(name string) string {
 	return string(out)
 }
 
+// RegisterMetricsExtra adds a scrape-time hook appended to the /metrics
+// exposition after the engine's own counters, gauges and histograms.
+// Components layered above the engine (the network server) use it to
+// publish their metrics on the endpoint Config.DebugAddr already serves,
+// so one scrape sees bohm_server_* next to bohm_engine_health. No-op
+// when metrics are disabled; hooks must be safe for concurrent scrapes.
+func (e *Engine) RegisterMetricsExtra(f func(io.Writer)) {
+	if e.obs == nil || f == nil {
+		return
+	}
+	e.obs.extraMu.Lock()
+	e.obs.extra = append(e.obs.extra, f)
+	e.obs.extraMu.Unlock()
+}
+
 // writeMetrics renders the full Prometheus text exposition: engine
-// counters (by Stats reflection), gauges, and the stage histograms.
+// counters (by Stats reflection), gauges, the stage histograms, and any
+// registered extras.
 func (e *Engine) writeMetrics(w io.Writer) {
 	obs.WriteCounters(w, statsCounters(e.Stats()))
 	obs.WriteGauges(w, e.gauges())
 	e.obs.m.WriteStageHistograms(w, "bohm_stage_duration_seconds")
+	e.obs.extraMu.Lock()
+	extra := e.obs.extra
+	e.obs.extraMu.Unlock()
+	for _, f := range extra {
+		f(w)
+	}
 }
 
 // flightDump is the /debug/flight JSON shape. Record timestamps are

@@ -1,0 +1,30 @@
+package core
+
+// Hooks for network front-ends (internal/server). The embedded API gets
+// read-your-writes implicitly — ExecuteReadOnly captures ackedBatch on
+// entry, and any externalized ack has already advanced it. A server
+// serving many connections needs the bound as an explicit, transferable
+// value: a recency token handed back with every acknowledgement, echoed
+// on later reads, possibly by a different connection that merely
+// observed the ack.
+
+// AckedBatch returns the newest batch sequence containing an
+// acknowledged transaction — the recency token a front-end returns to
+// clients after their writes commit. A reader that waits for coverage of
+// this bound (WaitCovered) observes every write acknowledged before the
+// token was taken, regardless of which connection submitted it.
+func (e *Engine) AckedBatch() uint64 {
+	return e.ackedBatch.Load()
+}
+
+// WaitCovered blocks until the execution watermark covers token, then
+// returns. Tokens above the sequenced frontier (stale clients, forged
+// bytes) are clamped to it rather than waited for — a token can promise
+// at most "everything acknowledged when it was minted", and nothing
+// beyond the frontier has been acknowledged.
+func (e *Engine) WaitCovered(token uint64) {
+	if hi := e.seqBase + e.batches.Load(); token > hi {
+		token = hi
+	}
+	e.waitRecent(token)
+}

@@ -1,0 +1,189 @@
+package enginetest
+
+// Cross-client read-your-writes over the network front-end. The
+// guarantee under test (internal/server, core.AckedBatch/WaitCovered):
+// a write acknowledged on connection A is visible to an immediately
+// following read on A — the connection's recency token covers its own
+// acks — and to any read on connection B submitted after B observed A's
+// token. The server's group batcher must preserve this while freely
+// re-grouping transactions from other connections.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bohm/client"
+	"bohm/internal/core"
+	"bohm/internal/server"
+	"bohm/internal/txn"
+	"bohm/internal/workload"
+)
+
+func startRWServer(t *testing.T) (*txn.Registry, *server.Server) {
+	t.Helper()
+	reg := txn.NewRegistry()
+	workload.RegisterKV(reg)
+	eng, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(eng, reg, server.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		eng.Close()
+	})
+	return reg, srv
+}
+
+func dialRW(t *testing.T, addr string) *client.Conn {
+	t.Helper()
+	c, err := client.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func putVal(t *testing.T, reg *txn.Registry, c *client.Conn, k txn.Key, v uint64) {
+	t.Helper()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	p, err := c.Submit(reg.MustCall(workload.ProcKVPut, workload.KVPutArgs(k, b[:])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+}
+
+func getVal(t *testing.T, reg *txn.Registry, c *client.Conn, k txn.Key) uint64 {
+	t.Helper()
+	p, err := c.SubmitReadOnly(reg.MustCall(workload.ProcKVGet, workload.KVGetArgs(k)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	return txn.U64(p.Result())
+}
+
+// TestServerReadYourWritesSameConn: every acked write on a connection
+// is visible to the read submitted right after it on that connection.
+func TestServerReadYourWritesSameConn(t *testing.T) {
+	reg, srv := startRWServer(t)
+	a := dialRW(t, srv.Addr())
+	k := txn.Key{Table: 3, ID: 42}
+	for i := uint64(1); i <= 100; i++ {
+		putVal(t, reg, a, k, i)
+		if got := getVal(t, reg, a, k); got != i {
+			t.Fatalf("iteration %d: same-connection read = %d, want %d", i, got, i)
+		}
+	}
+}
+
+// TestServerReadYourWritesAcrossConns: after B observes A's token
+// (simulating any out-of-band "A told B about its write" channel), B's
+// reads must include A's acked writes.
+func TestServerReadYourWritesAcrossConns(t *testing.T) {
+	reg, srv := startRWServer(t)
+	a := dialRW(t, srv.Addr())
+	b := dialRW(t, srv.Addr())
+	k := txn.Key{Table: 3, ID: 43}
+	for i := uint64(1); i <= 100; i++ {
+		putVal(t, reg, a, k, i)
+		b.ObserveToken(a.Token())
+		if got := getVal(t, reg, b, k); got != i {
+			t.Fatalf("iteration %d: cross-connection read = %d, want %d", i, got, i)
+		}
+	}
+}
+
+// TestServerReadYourWritesConcurrent races a writer connection against
+// reader connections that learn tokens through a channel, while
+// unrelated traffic keeps the group batcher mixing connections. A
+// reader must never observe a value older than the write its token
+// covers (newer is fine — the writer keeps going).
+func TestServerReadYourWritesConcurrent(t *testing.T) {
+	reg, srv := startRWServer(t)
+	k := txn.Key{Table: 3, ID: 44}
+
+	type stamp struct {
+		val uint64
+		tok uint64
+	}
+	stamps := make(chan stamp, 64)
+	var wg sync.WaitGroup
+
+	// Writer on its own connection.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stamps)
+		w := dialRW(t, srv.Addr())
+		for i := uint64(1); i <= 300; i++ {
+			putVal(t, reg, w, k, i)
+			stamps <- stamp{val: i, tok: w.Token()}
+		}
+	}()
+
+	// Noise connections keep batches mixed while the test runs.
+	noiseDone := make(chan struct{})
+	for n := 0; n < 2; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := dialRW(t, srv.Addr())
+			nk := txn.Key{Table: 4, ID: uint64(n)}
+			for i := uint64(1); ; i++ {
+				select {
+				case <-noiseDone:
+					return
+				default:
+				}
+				putVal(t, reg, c, nk, i)
+			}
+		}(n)
+	}
+
+	// Readers race the writer, gated only by the token handoff.
+	readerErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(noiseDone)
+		r := dialRW(t, srv.Addr())
+		for s := range stamps {
+			r.ObserveToken(s.tok)
+			if got := getVal(t, reg, r, k); got < s.val {
+				select {
+				case readerErr <- fmt.Errorf("stale read: got %d, token covers %d", got, s.val):
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("concurrent read-your-writes test wedged")
+	}
+	select {
+	case err := <-readerErr:
+		t.Fatal(err)
+	default:
+	}
+}

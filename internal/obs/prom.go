@@ -43,6 +43,38 @@ func WriteCounters(w io.Writer, cs []Counter) {
 	}
 }
 
+// WriteHistogram writes one histogram snapshot in Prometheus text
+// exposition format. Recorded values are divided by scale — pass 1e9 for
+// nanosecond durations (Prometheus wants seconds), 1 for dimensionless
+// values like batch fill. Only populated buckets emit a line, plus the
+// mandatory +Inf bucket.
+func WriteHistogram(w io.Writer, name, help string, snap *HistSnapshot, scale float64) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, c := range snap.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := float64(BucketHigh(i)) / scale
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+			name, strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	// See WriteStageHistograms: never let +Inf undercut the cumulative
+	// buckets under a racing snapshot.
+	total := snap.Count
+	if cum > total {
+		total = cum
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(w, "%s_sum %s\n", name,
+		strconv.FormatFloat(float64(snap.Sum)/scale, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, total)
+}
+
 // WriteStageHistograms writes every stage histogram as one Prometheus
 // histogram family with a stage label, converting nanoseconds to seconds
 // per Prometheus convention. Only populated buckets emit a line (plus

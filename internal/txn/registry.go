@@ -60,6 +60,16 @@ func (r *Registry) Register(id string, f Factory) {
 	r.procs[id] = f
 }
 
+// Registered reports whether id has a factory. The network server uses
+// it to distinguish "unknown procedure" from "bad arguments" when a
+// remote submit fails to build.
+func (r *Registry) Registered(id string) bool {
+	r.mu.RLock()
+	_, ok := r.procs[id]
+	r.mu.RUnlock()
+	return ok
+}
+
 // Build rebuilds the transaction registered under id from args. Recovery
 // uses it to turn logged commands back into runnable transactions.
 func (r *Registry) Build(id string, args []byte) (Txn, error) {

@@ -221,11 +221,11 @@ func readCheckpoint(fsys vfs.FS, path string) ([]CheckpointRecord, error) {
 	if string(body[:8]) != ckptMagic {
 		return nil, fmt.Errorf("%w: checkpoint %s bad magic", ErrCorrupt, path)
 	}
-	d := &decoder{b: body, off: 16}
+	d := txn.NewDecoder(body[16:])
 	var recs []CheckpointRecord
 	for {
-		tag := d.bytes(1)
-		if d.err != nil {
+		tag := d.Bytes(1)
+		if d.Err() != nil {
 			return nil, fmt.Errorf("%w: checkpoint %s truncated", ErrCorrupt, path)
 		}
 		if tag[0] == 0 {
@@ -234,16 +234,16 @@ func readCheckpoint(fsys vfs.FS, path string) ([]CheckpointRecord, error) {
 		if tag[0] != 1 {
 			return nil, fmt.Errorf("%w: checkpoint %s bad record tag", ErrCorrupt, path)
 		}
-		k := txn.Key{Table: d.u32(), ID: d.u64()}
-		v := d.bytes(int(d.u32()))
-		if d.err != nil {
+		k := txn.Key{Table: d.U32(), ID: d.U64()}
+		v := d.Bytes(int(d.U32()))
+		if d.Err() != nil {
 			return nil, fmt.Errorf("%w: checkpoint %s truncated record", ErrCorrupt, path)
 		}
 		// Copy out of the file buffer: records outlive raw.
 		recs = append(recs, CheckpointRecord{Key: k, Val: append([]byte(nil), v...)})
 	}
-	count := d.u64()
-	if d.err != nil || d.off != len(body) || count != uint64(len(recs)) {
+	count := d.U64()
+	if d.Err() != nil || d.Rem() != 0 || count != uint64(len(recs)) {
 		return nil, fmt.Errorf("%w: checkpoint %s bad trailer", ErrCorrupt, path)
 	}
 	return recs, nil

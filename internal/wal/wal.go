@@ -81,16 +81,11 @@ func (p SyncPolicy) String() string {
 }
 
 // TxnRecord is the logged form of one transaction: the registry-dispatched
-// procedure plus the declared access sets. The access sets (point keys and
-// key ranges) are logged so replay does not depend on factories
-// recomputing them identically.
-type TxnRecord struct {
-	Proc   string
-	Args   []byte
-	Reads  []txn.Key
-	Writes []txn.Key
-	Ranges []txn.KeyRange
-}
+// procedure plus the declared access sets. It is the shared wire encoding
+// from internal/txn — the network protocol (internal/wire) transmits the
+// exact bytes the log persists, so registered procedures round-trip
+// between client, server and log with one encoder.
+type TxnRecord = txn.Record
 
 // Batch is the unit of logging and replay: one sequencer batch, identified
 // by its batch sequence number.
@@ -120,8 +115,8 @@ const (
 	ckptMagic = "BOHMCKP1"
 )
 
-// appendUvarint-free fixed-width little-endian encoding: batches are
-// written once and scanned once, so simplicity beats byte-shaving.
+// Fixed-width little-endian encoding shared with internal/txn: batches
+// are written once and scanned once, so simplicity beats byte-shaving.
 
 func appendU32(b []byte, x uint32) []byte {
 	return binary.LittleEndian.AppendUint32(b, x)
@@ -135,135 +130,35 @@ func appendU64(b []byte, x uint64) []byte {
 	return binary.LittleEndian.AppendUint64(b, x)
 }
 
-func appendKeys(b []byte, ks []txn.Key) []byte {
-	b = appendU32(b, uint32(len(ks)))
-	for _, k := range ks {
-		b = appendU32(b, k.Table)
-		b = appendU64(b, k.ID)
-	}
-	return b
-}
-
-func appendRanges(b []byte, rs []txn.KeyRange) []byte {
-	b = appendU32(b, uint32(len(rs)))
-	for _, r := range rs {
-		b = appendU32(b, r.Table)
-		b = appendU64(b, r.Lo)
-		b = appendU64(b, r.Hi)
-	}
-	return b
-}
-
 // encodeBatch appends b's payload encoding to buf and returns it.
 func encodeBatch(buf []byte, b *Batch) []byte {
 	buf = appendU64(buf, b.Seq)
 	buf = appendU32(buf, uint32(len(b.Txns)))
 	for i := range b.Txns {
-		r := &b.Txns[i]
-		buf = appendU32(buf, uint32(len(r.Proc)))
-		buf = append(buf, r.Proc...)
-		buf = appendU32(buf, uint32(len(r.Args)))
-		buf = append(buf, r.Args...)
-		buf = appendKeys(buf, r.Reads)
-		buf = appendKeys(buf, r.Writes)
-		buf = appendRanges(buf, r.Ranges)
+		buf = txn.AppendRecord(buf, &b.Txns[i])
 	}
 	return buf
-}
-
-// decoder is a bounds-checked cursor over an encoded payload.
-type decoder struct {
-	b   []byte
-	off int
-	err error
-}
-
-func (d *decoder) u32() uint32 {
-	if d.err != nil || d.off+4 > len(d.b) {
-		d.fail()
-		return 0
-	}
-	x := binary.LittleEndian.Uint32(d.b[d.off:])
-	d.off += 4
-	return x
-}
-
-func (d *decoder) u64() uint64 {
-	if d.err != nil || d.off+8 > len(d.b) {
-		d.fail()
-		return 0
-	}
-	x := binary.LittleEndian.Uint64(d.b[d.off:])
-	d.off += 8
-	return x
-}
-
-func (d *decoder) bytes(n int) []byte {
-	if d.err != nil || n < 0 || d.off+n > len(d.b) {
-		d.fail()
-		return nil
-	}
-	b := d.b[d.off : d.off+n]
-	d.off += n
-	return b
-}
-
-func (d *decoder) keys() []txn.Key {
-	n := int(d.u32())
-	if d.err != nil || n < 0 || d.off+12*n > len(d.b) {
-		d.fail()
-		return nil
-	}
-	ks := make([]txn.Key, n)
-	for i := range ks {
-		ks[i] = txn.Key{Table: d.u32(), ID: d.u64()}
-	}
-	return ks
-}
-
-func (d *decoder) ranges() []txn.KeyRange {
-	n := int(d.u32())
-	if d.err != nil || n < 0 || d.off+20*n > len(d.b) {
-		d.fail()
-		return nil
-	}
-	rs := make([]txn.KeyRange, n)
-	for i := range rs {
-		rs[i] = txn.KeyRange{Table: d.u32(), Lo: d.u64(), Hi: d.u64()}
-	}
-	return rs
-}
-
-func (d *decoder) fail() {
-	if d.err == nil {
-		d.err = fmt.Errorf("%w: truncated payload", ErrCorrupt)
-	}
 }
 
 // decodeBatch parses one payload. The returned batch aliases payload's
 // argument bytes; callers that retain it must not reuse the buffer.
 func decodeBatch(payload []byte) (*Batch, error) {
-	d := &decoder{b: payload}
-	b := &Batch{Seq: d.u64()}
-	n := int(d.u32())
-	if d.err != nil || n < 0 {
+	d := txn.NewDecoder(payload)
+	b := &Batch{Seq: d.U64()}
+	n := int(d.U32())
+	if d.Err() != nil || n < 0 {
 		return nil, fmt.Errorf("%w: bad batch header", ErrCorrupt)
 	}
 	b.Txns = make([]TxnRecord, 0, n)
 	for i := 0; i < n; i++ {
-		var r TxnRecord
-		r.Proc = string(d.bytes(int(d.u32())))
-		r.Args = d.bytes(int(d.u32()))
-		r.Reads = d.keys()
-		r.Writes = d.keys()
-		r.Ranges = d.ranges()
-		if d.err != nil {
-			return nil, d.err
+		r := d.Record()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("%w: truncated payload", ErrCorrupt)
 		}
 		b.Txns = append(b.Txns, r)
 	}
-	if d.off != len(payload) {
-		return nil, fmt.Errorf("%w: %d trailing bytes in batch payload", ErrCorrupt, len(payload)-d.off)
+	if d.Rem() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in batch payload", ErrCorrupt, d.Rem())
 	}
 	return b, nil
 }

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"bohm/internal/core"
+	"bohm/internal/txn"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := Request{
+		ID:    42,
+		Flags: FlagReadOnly,
+		Token: 7,
+		Rec: txn.Record{
+			Proc:   "kv.put",
+			Args:   []byte{1, 2, 3},
+			Reads:  []txn.Key{{Table: 1, ID: 10}},
+			Writes: []txn.Key{{Table: 1, ID: 10}, {Table: 2, ID: 20}},
+			Ranges: []txn.KeyRange{{Table: 3, Lo: 5, Hi: 9}},
+		},
+	}
+	buf := AppendRequest(nil, &req)
+	if buf[0] != MsgSubmit {
+		t.Fatalf("kind byte = %d, want %d", buf[0], MsgSubmit)
+	}
+	got, err := DecodeRequest(buf[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != req.ID || got.Flags != req.Flags || got.Token != req.Token {
+		t.Errorf("header mismatch: %+v vs %+v", got, req)
+	}
+	if got.Rec.Proc != req.Rec.Proc || !bytes.Equal(got.Rec.Args, req.Rec.Args) {
+		t.Errorf("record proc/args mismatch: %+v", got.Rec)
+	}
+	if len(got.Rec.Reads) != 1 || len(got.Rec.Writes) != 2 || len(got.Rec.Ranges) != 1 {
+		t.Errorf("access sets mismatch: %+v", got.Rec)
+	}
+	if got.Rec.Writes[1] != (txn.Key{Table: 2, ID: 20}) {
+		t.Errorf("write key mismatch: %+v", got.Rec.Writes)
+	}
+
+	// Truncations at every prefix must error, never panic.
+	for n := 0; n < len(buf)-1; n++ {
+		if _, err := DecodeRequest(buf[1:][:n]); err == nil && n < len(buf)-1 {
+			t.Fatalf("truncation at %d bytes decoded successfully", n)
+		}
+	}
+	// Trailing garbage is a protocol error too.
+	if _, err := DecodeRequest(append(buf[1:], 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := Response{
+		ID:     9,
+		Status: StatusNotFound,
+		Token:  101,
+		Msg:    "key not found",
+		Result: []byte{0xde, 0xad},
+	}
+	buf := AppendResponse(nil, &resp)
+	if buf[0] != MsgResult {
+		t.Fatalf("kind byte = %d, want %d", buf[0], MsgResult)
+	}
+	got, err := DecodeResponse(buf[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != resp.ID || got.Status != resp.Status || got.Token != resp.Token ||
+		got.Msg != resp.Msg || !bytes.Equal(got.Result, resp.Result) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, resp)
+	}
+}
+
+func TestFrameRoundTripAndLimit(t *testing.T) {
+	var b bytes.Buffer
+	payload := []byte("hello frames")
+	if err := WriteFrame(&b, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("frame round trip: %q", got)
+	}
+
+	// An oversized length must be rejected before any allocation.
+	b.Reset()
+	b.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&b, nil); !errors.Is(err, ErrProtocol) {
+		t.Errorf("oversized frame error = %v, want ErrProtocol", err)
+	}
+}
+
+type rwPair struct {
+	r io.Reader
+	w io.Writer
+}
+
+func (p rwPair) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p rwPair) Write(b []byte) (int, error) { return p.w.Write(b) }
+
+func TestHandshakeRejectsBadMagic(t *testing.T) {
+	var out bytes.Buffer
+	rw := rwPair{r: bytes.NewReader([]byte("NOTBOHM!")), w: &out}
+	if err := Handshake(rw); !errors.Is(err, ErrProtocol) {
+		t.Errorf("bad magic error = %v, want ErrProtocol", err)
+	}
+	if out.String() != Magic {
+		t.Errorf("our magic not written: %q", out.String())
+	}
+}
+
+func TestStatusErrorMapping(t *testing.T) {
+	// Every status produced by StatusFor must come back as an error that
+	// errors.Is-matches the original sentinel.
+	for _, sentinel := range []error{
+		core.ErrDurabilityLost,
+		core.ErrClosed,
+		core.ErrNotLoggable,
+		core.ErrNotReadOnly,
+		core.ErrDuplicateWriteKey,
+		txn.ErrNotFound,
+		txn.ErrAbort,
+	} {
+		status := StatusFor(sentinel)
+		if status == StatusOK || status == StatusError {
+			t.Errorf("%v mapped to generic status %d", sentinel, status)
+			continue
+		}
+		back := ErrorFor(status, sentinel.Error())
+		if !errors.Is(back, sentinel) {
+			t.Errorf("status %d does not unwrap to %v (got %v)", status, sentinel, back)
+		}
+	}
+	if got := StatusFor(nil); got != StatusOK {
+		t.Errorf("StatusFor(nil) = %d", got)
+	}
+	if got := ErrorFor(StatusOK, ""); got != nil {
+		t.Errorf("ErrorFor(OK) = %v", got)
+	}
+	// A wrapped error keeps its message and its sentinel.
+	wrapped := ErrorFor(StatusAborted, "insufficient funds: abort")
+	if !errors.Is(wrapped, txn.ErrAbort) || wrapped.Error() != "insufficient funds: abort" {
+		t.Errorf("wrapped remote error = %v", wrapped)
+	}
+	// Generic errors survive with their message and match nothing.
+	generic := ErrorFor(StatusError, "boom")
+	if generic.Error() != "boom" || errors.Is(generic, txn.ErrAbort) {
+		t.Errorf("generic remote error = %v", generic)
+	}
+}

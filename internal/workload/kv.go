@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bohm/internal/txn"
+)
+
+// A minimal general-purpose key/value procedure set for the network
+// server and its examples: point put, point get (returning the value to
+// a remote submitter via txn.Resulter), and a conserved-sum transfer.
+// Like the YCSB procedures these are registered, so they are loggable
+// and wire-transmissible for free.
+
+// ProcKVPut is the registry id of the blind point-write; args are one
+// encoded key (12 bytes) followed by the value bytes.
+const ProcKVPut = "kv.put"
+
+// ProcKVGet is the registry id of the point read; args are one encoded
+// key. The read value is surfaced through Result for remote callers.
+const ProcKVGet = "kv.get"
+
+// ProcKVTransfer is the registry id of the two-account transfer; args
+// are two encoded keys plus a u64 amount. It aborts (txn.ErrAbort) when
+// the source balance is insufficient, so the total across accounts is
+// conserved under any interleaving — the smoke-test invariant.
+const ProcKVTransfer = "kv.transfer"
+
+// RegisterKV registers the key/value procedures with reg.
+func RegisterKV(reg *txn.Registry) {
+	reg.Register(ProcKVPut, func(args []byte) (txn.Txn, error) {
+		if len(args) < 12 {
+			return nil, fmt.Errorf("workload: kv.put args too short (%d bytes)", len(args))
+		}
+		ks, err := DecodeKeys(args[:12])
+		if err != nil {
+			return nil, err
+		}
+		return &KVPutTxn{K: ks[0], V: args[12:]}, nil
+	})
+	reg.Register(ProcKVGet, func(args []byte) (txn.Txn, error) {
+		ks, err := DecodeKeys(args)
+		if err != nil {
+			return nil, err
+		}
+		if len(ks) != 1 {
+			return nil, fmt.Errorf("workload: kv.get wants 1 key, got %d", len(ks))
+		}
+		return &KVGetTxn{K: ks[0]}, nil
+	})
+	reg.Register(ProcKVTransfer, func(args []byte) (txn.Txn, error) {
+		if len(args) != 32 {
+			return nil, fmt.Errorf("workload: kv.transfer args must be 32 bytes, got %d", len(args))
+		}
+		ks, err := DecodeKeys(args[:24])
+		if err != nil {
+			return nil, err
+		}
+		amt := binary.LittleEndian.Uint64(args[24:])
+		return &KVTransferTxn{From: ks[0], To: ks[1], Amount: amt}, nil
+	})
+}
+
+// KVPutArgs builds kv.put arguments.
+func KVPutArgs(k txn.Key, v []byte) []byte {
+	return append(EncodeKeys([]txn.Key{k}), v...)
+}
+
+// KVGetArgs builds kv.get arguments.
+func KVGetArgs(k txn.Key) []byte { return EncodeKeys([]txn.Key{k}) }
+
+// KVTransferArgs builds kv.transfer arguments.
+func KVTransferArgs(from, to txn.Key, amount uint64) []byte {
+	b := EncodeKeys([]txn.Key{from, to})
+	return binary.LittleEndian.AppendUint64(b, amount)
+}
+
+// KVPutTxn blindly writes V at K.
+type KVPutTxn struct {
+	K txn.Key
+	V []byte
+}
+
+// ReadSet implements txn.Txn.
+func (t *KVPutTxn) ReadSet() []txn.Key { return nil }
+
+// WriteSet implements txn.Txn.
+func (t *KVPutTxn) WriteSet() []txn.Key { return []txn.Key{t.K} }
+
+// RangeSet implements txn.Txn.
+func (t *KVPutTxn) RangeSet() []txn.KeyRange { return nil }
+
+// Run implements txn.Txn.
+func (t *KVPutTxn) Run(ctx txn.Ctx) error { return ctx.Write(t.K, t.V) }
+
+// KVGetTxn reads K and keeps a copy of the value for Result — engine
+// read buffers are only valid during Run, so remote delivery needs the
+// copy.
+type KVGetTxn struct {
+	K   txn.Key
+	val []byte
+}
+
+// ReadSet implements txn.Txn.
+func (t *KVGetTxn) ReadSet() []txn.Key { return []txn.Key{t.K} }
+
+// WriteSet implements txn.Txn.
+func (t *KVGetTxn) WriteSet() []txn.Key { return nil }
+
+// RangeSet implements txn.Txn.
+func (t *KVGetTxn) RangeSet() []txn.KeyRange { return nil }
+
+// Run implements txn.Txn.
+func (t *KVGetTxn) Run(ctx txn.Ctx) error {
+	v, err := ctx.Read(t.K)
+	if err != nil {
+		return err
+	}
+	t.val = append(t.val[:0], v...)
+	return nil
+}
+
+// Result implements txn.Resulter.
+func (t *KVGetTxn) Result() []byte { return t.val }
+
+// KVTransferTxn moves Amount from From to To, aborting when the source
+// balance (a little-endian u64) is insufficient.
+type KVTransferTxn struct {
+	From, To txn.Key
+	Amount   uint64
+}
+
+// ReadSet implements txn.Txn.
+func (t *KVTransferTxn) ReadSet() []txn.Key { return []txn.Key{t.From, t.To} }
+
+// WriteSet implements txn.Txn.
+func (t *KVTransferTxn) WriteSet() []txn.Key { return []txn.Key{t.From, t.To} }
+
+// RangeSet implements txn.Txn.
+func (t *KVTransferTxn) RangeSet() []txn.KeyRange { return nil }
+
+// Run implements txn.Txn.
+func (t *KVTransferTxn) Run(ctx txn.Ctx) error {
+	fv, err := ctx.Read(t.From)
+	if err != nil {
+		return err
+	}
+	tv, err := ctx.Read(t.To)
+	if err != nil {
+		return err
+	}
+	from, to := binary.LittleEndian.Uint64(fv), binary.LittleEndian.Uint64(tv)
+	if from < t.Amount {
+		return txn.ErrAbort
+	}
+	var fb, tb [8]byte
+	binary.LittleEndian.PutUint64(fb[:], from-t.Amount)
+	binary.LittleEndian.PutUint64(tb[:], to+t.Amount)
+	if err := ctx.Write(t.From, fb[:]); err != nil {
+		return err
+	}
+	return ctx.Write(t.To, tb[:])
+}
